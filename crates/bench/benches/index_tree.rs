@@ -1,0 +1,82 @@
+//! Micro-benchmarks for the Section 3 data structure: the stated cost
+//! bounds are O(n) `create`, O(lg n) `before`/`select`, O(l·lg n)
+//! `substitute`. Sweeping n over powers of two makes the logarithmic/linear
+//! growth visible in the Criterion report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use popqc_core::{IndexTree, SparseCircuit};
+
+fn bench_create(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_tree/create");
+    for exp in [10u32, 12, 14, 16] {
+        let n = 1usize << exp;
+        let weights = vec![1u32; n];
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &weights, |b, w| {
+            b.iter(|| IndexTree::new(w))
+        });
+    }
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_tree/queries");
+    for exp in [10u32, 13, 16] {
+        let n = 1usize << exp;
+        // Half tombstones, alternating, to exercise real select paths.
+        let weights: Vec<u32> = (0..n).map(|i| (i % 2 == 0) as u32).collect();
+        let tree = IndexTree::new(&weights);
+        g.bench_with_input(BenchmarkId::new("before", n), &tree, |b, t| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i * 7 + 13) % n;
+                t.before(i)
+            })
+        });
+        let total = tree.total();
+        g.bench_with_input(BenchmarkId::new("select", n), &tree, |b, t| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i * 7 + 13) % total;
+                t.select(i)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_substitute(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sparse/substitute");
+    for exp in [12u32, 16] {
+        let n = 1usize << exp;
+        let batch = 256usize;
+        g.throughput(Throughput::Elements(batch as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || SparseCircuit::create((0..n as u64).collect::<Vec<_>>()),
+                |mut sc| {
+                    let ups: Vec<(usize, Option<u64>)> =
+                        (0..batch).map(|k| (k * (n / batch), None)).collect();
+                    sc.substitute(ups);
+                    sc
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_create, bench_queries, bench_substitute
+}
+criterion_main!(benches);

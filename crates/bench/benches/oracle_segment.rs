@@ -1,0 +1,68 @@
+//! Oracle cost on 2Ω-segments (Section 7.1's premise: oracles are fast on
+//! small-to-moderate segments and degrade on whole circuits). Benchmarks the
+//! rule-based fixpoint oracle across segment sizes, the quadratic
+//! VOQC-profile merge for contrast, and the search oracle's budgeted cost.
+
+use benchgen::Family;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qoracle::{GateCount, RuleBasedOptimizer, SearchOptimizer, SegmentOracle};
+
+fn segment(len: usize) -> (Vec<qcir::Gate>, u32) {
+    // A realistic segment: a slice out of a mid-size Shor instance.
+    let c = Family::Shor.generate(12, 7);
+    let start = c.len() / 3;
+    (c.gates[start..start + len.min(c.len() - start)].to_vec(), c.num_qubits)
+}
+
+fn bench_rule_oracle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("oracle/rule_based_fixpoint");
+    for omega in [50usize, 100, 200, 400, 800] {
+        let (seg, n) = segment(2 * omega);
+        let oracle = RuleBasedOptimizer::oracle();
+        g.throughput(Throughput::Elements(seg.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(2 * omega), &seg, |b, s| {
+            b.iter(|| oracle.optimize(s, n))
+        });
+    }
+    g.finish();
+}
+
+fn bench_voqc_profile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("oracle/voqc_profile_single_pass");
+    for omega in [100usize, 400] {
+        let (seg, n) = segment(2 * omega);
+        let oracle = RuleBasedOptimizer::voqc_baseline();
+        g.throughput(Throughput::Elements(seg.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(2 * omega), &seg, |b, s| {
+            b.iter(|| oracle.run(s, n))
+        });
+    }
+    g.finish();
+}
+
+fn bench_search_oracle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("oracle/search");
+    g.sample_size(10);
+    for budget in [100usize, 300] {
+        let (seg, n) = segment(80);
+        let oracle = SearchOptimizer::new(GateCount, budget);
+        g.bench_with_input(BenchmarkId::from_parameter(budget), &seg, |b, s| {
+            b.iter(|| oracle.run(s, n))
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(15)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_rule_oracle, bench_voqc_profile, bench_search_oracle
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! The experiment driver: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments <table1|table2|table3|table4|fig3|fig4|fig5|fig6|fig7|fig8|fig9|all>
+//!             [--scale N] [--seed N] [--omega N] [--threads 1,2,4]
+//!             [--timeout SECS] [--out DIR]
+//! ```
+
+use popqc_bench::harness::Opts;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <table1|table2|table3|table4|fig3|fig4|fig5|fig6|fig7|fig8|fig9|all> \
+         [--scale N] [--seed N] [--omega N] [--threads 1,2,4] [--timeout SECS] [--out DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let cmd = args[0].clone();
+    let mut opts = Opts::default();
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1).cloned().unwrap_or_default();
+        match flag {
+            "--scale" => opts.scale = value.parse().unwrap_or_else(|_| usage()),
+            "--seed" => opts.seed = value.parse().unwrap_or_else(|_| usage()),
+            "--omega" => opts.omega = value.parse().unwrap_or_else(|_| usage()),
+            "--threads" => {
+                opts.threads = value
+                    .split(',')
+                    .map(|t| t.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if opts.threads.is_empty() {
+                    usage();
+                }
+            }
+            "--timeout" => {
+                opts.timeout =
+                    Duration::from_secs_f64(value.parse().unwrap_or_else(|_| usage()))
+            }
+            "--out" => opts.out_dir = value.clone().into(),
+            _ => usage(),
+        }
+        i += 2;
+    }
+
+    println!(
+        "POPQC experiments — scale {}, seed {}, Ω {}, threads {:?}, timeout {:?}",
+        opts.scale, opts.seed, opts.omega, opts.threads, opts.timeout
+    );
+
+    use popqc_bench::experiments as e;
+    match cmd.as_str() {
+        "table1" => e::table1(&opts),
+        "table2" => e::table2(&opts),
+        "table3" => e::table3(&opts),
+        "table4" => e::table4(&opts),
+        "fig3" => e::fig3(&opts),
+        "fig4" => e::fig4(&opts),
+        "fig5" => e::fig5(&opts),
+        "fig6" => e::fig6(&opts),
+        "fig7" => e::fig7(&opts),
+        "fig8" => e::fig8(&opts),
+        "fig9" => e::fig9(&opts),
+        "ablation" => e::ablation(&opts),
+        "all" => e::all(&opts),
+        _ => usage(),
+    }
+}

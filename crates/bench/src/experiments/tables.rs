@@ -1,0 +1,196 @@
+//! Tables 1–4 of the paper.
+
+use super::{run_baseline, run_popqc, speedup_string};
+use crate::harness::{dump_json, fmt_pct, fmt_secs, instances, print_table, Opts};
+use oac::{oac_optimize, OacConfig};
+use qoracle::RuleBasedOptimizer;
+use serde_json::json;
+
+/// Shared engine for Tables 1 and 2 (they differ only in POPQC's thread
+/// count).
+fn popqc_vs_voqc(opts: &Opts, popqc_threads: usize, name: &str, title: &str) {
+    println!("\n=== {title} ===");
+    println!(
+        "(VOQC profile baseline: 1 thread, timeout {:?}; POPQC: {} thread(s), Ω={})",
+        opts.timeout, popqc_threads, opts.omega
+    );
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    let mut red_base_sum = (0.0, 0u32);
+    let mut red_pq_sum = (0.0, 0u32);
+    let mut speedups = Vec::new();
+
+    for inst in instances(opts) {
+        let n = inst.circuit.len();
+        let (base_out, base_time, base_to) = run_baseline(&inst.circuit, opts.timeout);
+        let ((pq_out, stats), pq_time) =
+            crate::harness::time(|| run_popqc(&inst.circuit, opts.omega, popqc_threads));
+        let base_red = 1.0 - base_out.len() as f64 / n as f64;
+        let pq_red = stats.reduction();
+        if !base_to {
+            red_base_sum.0 += base_red;
+            red_base_sum.1 += 1;
+        }
+        red_pq_sum.0 += pq_red;
+        red_pq_sum.1 += 1;
+        let sp = base_time.as_secs_f64() / pq_time.as_secs_f64().max(1e-9);
+        speedups.push(sp);
+
+        rows.push(vec![
+            inst.family.name().to_string(),
+            inst.qubits.to_string(),
+            n.to_string(),
+            if base_to {
+                "N.A.".into()
+            } else {
+                fmt_pct(base_red)
+            },
+            if base_to {
+                format!("≥{}", fmt_secs(base_time))
+            } else {
+                fmt_secs(base_time)
+            },
+            fmt_pct(pq_red),
+            fmt_secs(pq_time),
+            speedup_string(base_time, base_to, pq_time),
+        ]);
+        records.push(json!({
+            "family": inst.family.name(),
+            "qubits": inst.qubits,
+            "gates": n,
+            "voqc_reduction": if base_to { serde_json::Value::Null } else { json!(base_red) },
+            "voqc_seconds": base_time.as_secs_f64(),
+            "voqc_timed_out": base_to,
+            "popqc_reduction": pq_red,
+            "popqc_seconds": pq_time.as_secs_f64(),
+            "popqc_rounds": stats.rounds,
+            "popqc_oracle_calls": stats.oracle_calls,
+            "speedup": sp,
+            "popqc_gates_out": pq_out.len(),
+        }));
+        let _ = pq_out;
+    }
+    print_table(
+        &[
+            "benchmark", "#qubits", "#gates", "voqc red", "voqc t(s)", "popqc red", "popqc t(s)",
+            "speedup",
+        ],
+        &rows,
+    );
+    let avg_sp = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    println!(
+        "average: voqc reduction {} | popqc reduction {} | speedup {:.1}",
+        fmt_pct(red_base_sum.0 / red_base_sum.1.max(1) as f64),
+        fmt_pct(red_pq_sum.0 / red_pq_sum.1.max(1) as f64),
+        avg_sp
+    );
+    dump_json(opts, name, &json!({ "rows": records, "average_speedup": avg_sp }));
+}
+
+/// Table 1: POPQC on all cores vs the whole-circuit VOQC-profile baseline.
+pub fn table1(opts: &Opts) {
+    popqc_vs_voqc(
+        opts,
+        opts.max_threads(),
+        "table1",
+        "Table 1: POPQC (all cores) vs whole-circuit oracle (VOQC profile)",
+    );
+}
+
+/// Table 2: both on one thread — the local-optimality speedup in isolation.
+pub fn table2(opts: &Opts) {
+    popqc_vs_voqc(
+        opts,
+        1,
+        "table2",
+        "Table 2: POPQC (1 thread) vs whole-circuit oracle (1 thread)",
+    );
+}
+
+/// Table 3: POPQC (1 thread, Ω=400) vs the OAC sequential baseline with the
+/// same oracle and Ω.
+pub fn table3(opts: &Opts) {
+    let omega = 400;
+    println!("\n=== Table 3: POPQC (1 thread) vs OAC, same oracle, Ω={omega} ===");
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    let oracle = RuleBasedOptimizer::oracle();
+    for inst in instances(opts) {
+        let n = inst.circuit.len();
+        let ((oac_out, oac_stats), oac_time) = crate::harness::time(|| {
+            oac_optimize(&inst.circuit, &oracle, &OacConfig::with_omega(omega))
+        });
+        let ((pq_out, pq_stats), pq_time) =
+            crate::harness::time(|| run_popqc(&inst.circuit, omega, 1));
+        rows.push(vec![
+            inst.family.name().to_string(),
+            inst.qubits.to_string(),
+            n.to_string(),
+            fmt_secs(oac_time),
+            fmt_secs(pq_time),
+            fmt_pct(oac_stats.reduction()),
+            fmt_pct(pq_stats.reduction()),
+            format!(
+                "{:.2}",
+                oac_time.as_secs_f64() / pq_time.as_secs_f64().max(1e-9)
+            ),
+        ]);
+        records.push(json!({
+            "family": inst.family.name(),
+            "qubits": inst.qubits,
+            "gates": n,
+            "oac_seconds": oac_time.as_secs_f64(),
+            "popqc_seconds": pq_time.as_secs_f64(),
+            "oac_reduction": oac_stats.reduction(),
+            "popqc_reduction": pq_stats.reduction(),
+            "oac_gates_out": oac_out.len(),
+            "popqc_gates_out": pq_out.len(),
+        }));
+    }
+    print_table(
+        &[
+            "benchmark", "#qubits", "#gates", "oac t(s)", "popqc t(s)", "oac red", "popqc red",
+            "oac/popqc",
+        ],
+        &rows,
+    );
+    dump_json(opts, "table3", &json!({ "rows": records }));
+}
+
+/// Table 4: sensitivity to the initial gate ordering.
+pub fn table4(opts: &Opts) {
+    println!("\n=== Table 4: initial ordering sensitivity (Ω={}) ===", opts.omega);
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for family in benchgen::Family::ALL {
+        let mut sums = [0.0f64; 3];
+        let mut count = 0u32;
+        for qubits in family.ladder(opts.scale) {
+            let c = family.generate(qubits, opts.seed);
+            let variants = [c.left_justified(), c.right_justified(), c.clone()];
+            for (k, v) in variants.iter().enumerate() {
+                let (_, stats) = run_popqc(v, opts.omega, opts.max_threads());
+                sums[k] += stats.reduction();
+            }
+            count += 1;
+        }
+        let avg = |k: usize| sums[k] / count as f64;
+        rows.push(vec![
+            family.name().to_string(),
+            fmt_pct(avg(0)),
+            fmt_pct(avg(1)),
+            fmt_pct(avg(2)),
+        ]);
+        records.push(json!({
+            "family": family.name(),
+            "left_justified": avg(0),
+            "right_justified": avg(1),
+            "default": avg(2),
+        }));
+    }
+    print_table(
+        &["benchmark", "left-justified", "right-justified", "default"],
+        &rows,
+    );
+    dump_json(opts, "table4", &json!({ "rows": records }));
+}

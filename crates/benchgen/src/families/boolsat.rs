@@ -1,0 +1,101 @@
+//! BoolSat: Boolean satisfiability by amplitude amplification.
+//!
+//! A random 3-CNF formula is compiled to a phase oracle (per-clause
+//! Toffoli-computed flags, an AND-tree onto a result qubit, a Z kick, and
+//! full uncomputation), wrapped in Grover-style diffusion rounds. The
+//! compute/uncompute seams are exactly where real BoolSat circuits carry
+//! removable redundancy.
+
+use super::grid_angle;
+use crate::builders::{mcx, mcz, toffoli};
+use qcir::{Angle, Circuit, Qubit};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+pub fn generate(qubits: u32, rng: &mut ChaCha8Rng) -> Circuit {
+    assert!(qubits >= 8, "BoolSat needs at least 8 qubits");
+    // Layout: variables | clause flag | result | ancilla pool. Half the
+    // width goes to variables so the diffusion MCZ (nv−1 controls, needing
+    // nv−3 V-chain ancillas) always has enough clean ancillas.
+    let nv = ((qubits - 2) / 2) as usize;
+    let vars: Vec<Qubit> = (0..nv as u32).collect();
+    let flag: Qubit = nv as u32;
+    let result: Qubit = nv as u32 + 1;
+    let pool: Vec<Qubit> = (nv as u32 + 2..qubits).collect();
+    let anc: [Qubit; 2] = [pool[0], pool[1]];
+
+    let clauses: Vec<[usize; 3]> = (0..2 * nv)
+        .map(|_| {
+            // Three *distinct* variables per clause (duplicate literals
+            // would degenerate into same-control Toffolis).
+            let a = rng.gen_range(0..nv);
+            let mut b = rng.gen_range(0..nv - 1);
+            if b >= a {
+                b += 1;
+            }
+            let mut c = rng.gen_range(0..nv - 2);
+            for taken in [a.min(b), a.max(b)] {
+                if c >= taken {
+                    c += 1;
+                }
+            }
+            [a, b, c]
+        })
+        .collect();
+    let signs: Vec<[bool; 3]> = clauses.iter().map(|_| [rng.gen(), rng.gen(), rng.gen()]).collect();
+    let rounds = (1usize << (nv / 4)).max(1);
+
+    let mut c = Circuit::new(qubits);
+    for &v in &vars {
+        c.h(v);
+    }
+    for _ in 0..rounds {
+        // Phase oracle: each clause toggles the flag; a Z on the result
+        // qubit kicks the phase; everything uncomputes.
+        for (cl, sg) in clauses.iter().zip(&signs) {
+            let lits: Vec<Qubit> = cl.iter().map(|&i| vars[i]).collect();
+            for (&q, &s) in lits.iter().zip(sg) {
+                if s {
+                    c.x(q);
+                }
+            }
+            mcx(&mut c, &lits, flag, &anc);
+            for (&q, &s) in lits.iter().zip(sg) {
+                if s {
+                    c.x(q);
+                }
+            }
+            // Phase kick with a data-dependent rotation flavor.
+            toffoli(&mut c, flag, result, anc[0]);
+            c.rz(anc[0], Angle::pi_frac(grid_angle(rng), super::GRID_DEN));
+            toffoli(&mut c, flag, result, anc[0]);
+            // Uncompute the clause flag.
+            for (&q, &s) in lits.iter().zip(sg) {
+                if s {
+                    c.x(q);
+                }
+            }
+            mcx(&mut c, &lits, flag, &anc);
+            for (&q, &s) in lits.iter().zip(sg) {
+                if s {
+                    c.x(q);
+                }
+            }
+        }
+        // Diffusion over the variable register (flag and result are clean
+        // here, so they join the ancilla pool for the V-chain).
+        for &v in &vars {
+            c.h(v);
+            c.x(v);
+        }
+        let (&last, ctrl) = vars.split_last().unwrap();
+        let mut diff_anc = vec![flag, result];
+        diff_anc.extend_from_slice(&pool);
+        mcz(&mut c, ctrl, last, &diff_anc);
+        for &v in &vars {
+            c.x(v);
+            c.h(v);
+        }
+    }
+    c
+}

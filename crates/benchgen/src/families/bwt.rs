@@ -1,0 +1,51 @@
+//! BWT: the binary welded tree quantum walk, Trotterized.
+//!
+//! Alternating applications of the two tree-coloring Hamiltonians, each step
+//! a ladder of CNOT-conjugated rotations over the address register plus
+//! Toffoli couplings at the weld.
+
+use super::{grid_angle, GRID_DEN};
+use crate::builders::toffoli;
+use qcir::{Angle, Circuit, Qubit};
+use rand_chacha::ChaCha8Rng;
+
+pub fn generate(qubits: u32, rng: &mut ChaCha8Rng) -> Circuit {
+    assert!(qubits >= 6, "BWT needs at least 6 qubits");
+    // Layout: address register | color qubit | weld ancilla.
+    let k = (qubits - 2) as usize;
+    let addr: Vec<Qubit> = (0..k as u32).collect();
+    let color: Qubit = k as u32;
+    let weld: Qubit = k as u32 + 1;
+
+    let steps = 12 * k;
+    let mut c = Circuit::new(qubits);
+    c.h(color);
+    for step in 0..steps {
+        // Coloring A: XX+YY-style coupling along the address chain,
+        // decomposed into CNOT·RZ·CNOT conjugated by H.
+        for w in addr.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            c.h(a);
+            c.cnot(a, b);
+            c.rz(b, Angle::pi_frac(grid_angle(rng), GRID_DEN));
+            c.cnot(a, b);
+            c.h(a);
+        }
+        // Coloring B: phase ladder keyed on the color qubit.
+        for (j, &a) in addr.iter().enumerate() {
+            c.cnot(color, a);
+            c.rz(a, Angle::pi_frac(1, 1 << (j % 6 + 1)));
+            c.cnot(color, a);
+        }
+        // Weld coupling every other step: parity of the two address ends
+        // toggles the weld ancilla around a rotation.
+        if step % 2 == 0 {
+            toffoli(&mut c, addr[0], *addr.last().unwrap(), weld);
+            c.rz(weld, Angle::pi_frac(grid_angle(rng), GRID_DEN));
+            toffoli(&mut c, addr[0], *addr.last().unwrap(), weld);
+        }
+        // Color flip between half-steps.
+        c.x(color);
+    }
+    c
+}

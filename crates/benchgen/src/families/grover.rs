@@ -1,0 +1,53 @@
+//! Grover search: marked-state phase oracle plus diffusion, iterated
+//! ~π/4·√N times.
+
+use crate::builders::mcz;
+use qcir::{Circuit, Qubit};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+pub fn generate(qubits: u32, rng: &mut ChaCha8Rng) -> Circuit {
+    assert!(qubits >= 5, "Grover needs at least 5 qubits");
+    // Layout: search register | V-chain ancillas. A search register of s
+    // qubits needs s−3 ancillas for the (s−1)-control MCZ.
+    let s = ((qubits as usize) + 3) / 2;
+    let search: Vec<Qubit> = (0..s as u32).collect();
+    let anc: Vec<Qubit> = (s as u32..qubits).collect();
+
+    let marked: u64 = rng.gen_range(0..1u64 << s.min(60));
+    let iterations = {
+        let n = (1u64 << s.min(40)) as f64;
+        ((std::f64::consts::FRAC_PI_4 * n.sqrt()) as usize).max(1)
+    };
+
+    let mut c = Circuit::new(qubits);
+    for &q in &search {
+        c.h(q);
+    }
+    let (&last, ctrl) = search.split_last().unwrap();
+    for _ in 0..iterations {
+        // Oracle: flip phase of |marked⟩.
+        for (i, &q) in search.iter().enumerate() {
+            if marked >> i & 1 == 0 {
+                c.x(q);
+            }
+        }
+        mcz(&mut c, ctrl, last, &anc);
+        for (i, &q) in search.iter().enumerate() {
+            if marked >> i & 1 == 0 {
+                c.x(q);
+            }
+        }
+        // Diffusion.
+        for &q in &search {
+            c.h(q);
+            c.x(q);
+        }
+        mcz(&mut c, ctrl, last, &anc);
+        for &q in &search {
+            c.x(q);
+            c.h(q);
+        }
+    }
+    c
+}

@@ -1,0 +1,85 @@
+//! HHL linear-system solver: quantum phase estimation over a Trotterized
+//! Hamiltonian, a controlled eigenvalue-inversion rotation, and the inverse
+//! QPE. The controlled-U^(2^k) powers give the family its exponential size
+//! growth in the clock width (Table 1: HHL grows ~1000× across 6 qubits).
+
+use super::{grid_angle, GRID_DEN};
+use crate::builders::{crz, iqft, qft};
+use qcir::{Circuit, Qubit};
+use rand_chacha::ChaCha8Rng;
+
+pub fn generate(qubits: u32, rng: &mut ChaCha8Rng) -> Circuit {
+    assert!(qubits >= 5, "HHL needs at least 5 qubits");
+    // Layout: clock register | 2 system qubits | rotation ancilla.
+    let nc = (qubits - 3) as usize;
+    let clock: Vec<Qubit> = (0..nc as u32).collect();
+    let sys: [Qubit; 2] = [nc as u32, nc as u32 + 1];
+    let anc: Qubit = nc as u32 + 2;
+
+    // One Trotter block of the 2-qubit system Hamiltonian, controlled on a
+    // clock qubit. Angles must be nonzero or the controlled evolution (and
+    // with it the whole QPE/inverse-QPE sandwich) degenerates to identity.
+    let block_angles: Vec<i64> = (0..4)
+        .map(|_| loop {
+            let a = grid_angle(rng);
+            if a != 0 {
+                break a;
+            }
+        })
+        .collect();
+    let u_block = |c: &mut Circuit, ctl: Qubit| {
+        crz(c, ctl, sys[0], block_angles[0], GRID_DEN);
+        c.cnot(sys[0], sys[1]);
+        crz(c, ctl, sys[1], block_angles[1], GRID_DEN);
+        c.cnot(sys[0], sys[1]);
+        c.h(sys[0]);
+        crz(c, ctl, sys[0], block_angles[2], GRID_DEN);
+        c.h(sys[0]);
+        crz(c, ctl, sys[1], block_angles[3], GRID_DEN);
+    };
+
+    let mut c = Circuit::new(qubits);
+    // System preparation.
+    c.h(sys[0]);
+    c.cnot(sys[0], sys[1]);
+
+    // QPE forward: H on clock, controlled powers U^(2^k), inverse QFT.
+    for &q in &clock {
+        c.h(q);
+    }
+    for (k, &q) in clock.iter().enumerate() {
+        for _ in 0..1usize << k {
+            u_block(&mut c, q);
+        }
+    }
+    iqft(&mut c, &clock);
+
+    // Eigenvalue-inversion rotation onto the ancilla.
+    for (k, &q) in clock.iter().enumerate() {
+        crz(&mut c, q, anc, 1, 1 << (k + 1));
+    }
+    c.h(anc);
+    for (k, &q) in clock.iter().enumerate() {
+        crz(&mut c, q, anc, -1, 1 << (k + 1));
+    }
+
+    // Inverse QPE: QFT, inverse controlled powers, H.
+    qft(&mut c, &clock);
+    for (k, &q) in clock.iter().enumerate().rev() {
+        for _ in 0..1usize << k {
+            // Inverse block: reversed order, negated rotations.
+            crz(&mut c, q, sys[1], -block_angles[3], GRID_DEN);
+            c.h(sys[0]);
+            crz(&mut c, q, sys[0], -block_angles[2], GRID_DEN);
+            c.h(sys[0]);
+            c.cnot(sys[0], sys[1]);
+            crz(&mut c, q, sys[1], -block_angles[1], GRID_DEN);
+            c.cnot(sys[0], sys[1]);
+            crz(&mut c, q, sys[0], -block_angles[0], GRID_DEN);
+        }
+    }
+    for &q in &clock {
+        c.h(q);
+    }
+    c
+}

@@ -1,0 +1,58 @@
+//! Shor's algorithm: the controlled modular-exponentiation core, built from
+//! controlled Draper (QFT-basis) adders — the structure responsible for the
+//! benchmark's rapid size growth with qubit count.
+
+use crate::builders::{cphase, crz, iqft, qft};
+use qcir::{Circuit, Qubit};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+pub fn generate(qubits: u32, rng: &mut ChaCha8Rng) -> Circuit {
+    assert!(qubits >= 5, "Shor needs at least 5 qubits");
+    // Layout: exponent (control) register | work register.
+    let ne = (qubits as usize) / 2;
+    let exponent: Vec<Qubit> = (0..ne as u32).collect();
+    let work: Vec<Qubit> = (ne as u32..qubits).collect();
+    let nb = work.len();
+
+    // Random odd "N" and base "a" drive the addend patterns.
+    let modulus: u64 = rng.gen_range(0..1u64 << nb.min(50)) | 1;
+    let base: u64 = rng.gen_range(1..1u64 << nb.min(50)) | 1;
+
+    let mut c = Circuit::new(qubits);
+    for &q in &exponent {
+        c.h(q);
+    }
+    c.x(work[0]); // |1⟩ in the work register
+
+    // For each exponent bit k: a controlled modular multiplication by
+    // a^(2^k) mod N, expressed as nb controlled Draper additions in the
+    // Fourier basis. Repetitions double with k (square-and-multiply).
+    for (k, &ctl) in exponent.iter().enumerate() {
+        let reps = (1usize << k.min(6)).max(1);
+        let mut addend = base.wrapping_mul((k as u64).wrapping_add(1)) % modulus.max(1);
+        for _ in 0..reps {
+            qft(&mut c, &work);
+            // Controlled addition of `addend` (Draper): phase each work
+            // qubit by addend's bit pattern, controlled on `ctl`.
+            for (j, &wq) in work.iter().enumerate() {
+                for b in 0..nb - j {
+                    if addend >> b & 1 == 1 {
+                        crz(&mut c, ctl, wq, 1, 1 << b.min(20));
+                    }
+                }
+            }
+            iqft(&mut c, &work);
+            // Modular reduction flavor: compare-and-correct phases between
+            // adjacent work qubits (angles drawn per instance).
+            for w in work.windows(2) {
+                let den = 1i64 << rng.gen_range(1..6);
+                cphase(&mut c, w[0], w[1], -1, den);
+            }
+            addend = addend.wrapping_mul(base) % modulus.max(1);
+        }
+    }
+    // Final inverse QFT over the exponent register (period extraction).
+    iqft(&mut c, &exponent);
+    c
+}

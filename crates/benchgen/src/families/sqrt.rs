@@ -1,0 +1,67 @@
+//! Quantum square root via reversible Newton iteration (NWQBench-style):
+//! repeated adder/subtractor/comparator arithmetic over three registers,
+//! interleaved with the long single-qubit rotation runs that make this
+//! family unusually sensitive to gate ordering (paper §A.4).
+
+use super::{grid_angle, GRID_DEN};
+use crate::builders::{cuccaro_add, cuccaro_sub, toffoli};
+use qcir::{Angle, Circuit, Qubit};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+pub fn generate(qubits: u32, rng: &mut ChaCha8Rng) -> Circuit {
+    assert!(qubits >= 11, "Sqrt needs at least 11 qubits");
+    // Layout: x | guess | temp registers of nb bits each, plus carry-in,
+    // carry-out ancillas.
+    let nb = ((qubits - 2) / 3) as usize;
+    let x: Vec<Qubit> = (0..nb as u32).collect();
+    let g: Vec<Qubit> = (nb as u32..2 * nb as u32).collect();
+    let t: Vec<Qubit> = (2 * nb as u32..3 * nb as u32).collect();
+    let cin: Qubit = 3 * nb as u32;
+    let cout: Qubit = 3 * nb as u32 + 1;
+
+    let iterations = 3 + nb;
+    let mut c = Circuit::new(qubits);
+    // Input loading.
+    for &q in &x {
+        if rng.gen() {
+            c.x(q);
+        }
+    }
+    for &q in &g {
+        c.h(q);
+    }
+    for _ in 0..iterations {
+        // temp := temp + guess ; temp := temp − x  (Newton residual).
+        cuccaro_add(&mut c, &g, &t, cin, cout);
+        cuccaro_sub(&mut c, &x, &t, cin, cout);
+        // Comparator: AND-chain of temp bits onto the carry-out flag.
+        toffoli(&mut c, t[0], t[1 % nb], cout);
+        for j in 2..nb {
+            toffoli(&mut c, t[j], cout, cin);
+            toffoli(&mut c, t[j], cout, cin);
+        }
+        // Conditional update of the guess.
+        for (j, &gq) in g.iter().enumerate() {
+            c.cnot(cout, gq);
+            if j % 2 == 0 {
+                c.cnot(t[j], gq);
+            }
+        }
+        // The family's signature: long runs of consecutive single-qubit
+        // gates (calibration-style rotation ladders) between iterations.
+        for &q in g.iter().chain(&t) {
+            c.rz(q, Angle::pi_frac(grid_angle(rng), GRID_DEN));
+            c.rz(q, Angle::pi_frac(grid_angle(rng), GRID_DEN));
+            if rng.gen_ratio(1, 3) {
+                c.h(q);
+                c.rz(q, Angle::pi_frac(grid_angle(rng), GRID_DEN));
+                c.h(q);
+            }
+        }
+        // Undo the residual so the next iteration starts clean.
+        cuccaro_add(&mut c, &x, &t, cin, cout);
+        cuccaro_sub(&mut c, &g, &t, cin, cout);
+    }
+    c
+}

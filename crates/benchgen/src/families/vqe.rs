@@ -1,0 +1,38 @@
+//! VQE: a hardware-efficient variational ansatz — alternating single-qubit
+//! rotation frames and nearest-neighbour CNOT entangler rungs, with layer
+//! count scaling quadratically in width (as the paper's instances do).
+
+use super::{grid_angle, GRID_DEN};
+use qcir::{Angle, Circuit};
+use rand_chacha::ChaCha8Rng;
+
+pub fn generate(qubits: u32, rng: &mut ChaCha8Rng) -> Circuit {
+    assert!(qubits >= 4, "VQE needs at least 4 qubits");
+    let n = qubits as usize;
+    let layers = (3 * n * n / 5).max(4);
+    let mut c = Circuit::new(qubits);
+    for &q in (0..qubits).collect::<Vec<_>>().iter() {
+        c.h(q);
+    }
+    for layer in 0..layers {
+        // Single-qubit frame: RZ ladders, with occasional basis flips.
+        for q in 0..qubits {
+            c.rz(q, Angle::pi_frac(grid_angle(rng), GRID_DEN));
+            if layer % 3 == 2 {
+                c.h(q);
+            }
+        }
+        // Entangler rung: even or odd nearest-neighbour pairs, as
+        // CNOT·RZ·CNOT two-qubit rotations (many angles are 0 or merge,
+        // which is where VQE circuits pick up their reducibility).
+        let start = (layer % 2) as u32;
+        let mut q = start;
+        while q + 1 < qubits {
+            c.cnot(q, q + 1);
+            c.rz(q + 1, Angle::pi_frac(grid_angle(rng), GRID_DEN));
+            c.cnot(q, q + 1);
+            q += 2;
+        }
+    }
+    c
+}

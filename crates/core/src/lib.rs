@@ -1,0 +1,49 @@
+//! # popqc-core — Parallel Optimization for Quantum Circuits
+//!
+//! The paper's primary contribution: a parallel algorithm for *local
+//! optimization* of quantum circuits. Given an oracle optimizer and a
+//! segment size Ω, POPQC produces a circuit in which **every Ω-segment is
+//! optimal with respect to the oracle** (Theorem 7), using
+//! `O(n(Ω lg n + W))` work and `O(r(lg n + S))` span (Theorem 4).
+//!
+//! The pieces, mapped to the paper:
+//!
+//! * [`index_tree::IndexTree`] — the weighted complete binary tree of
+//!   Section 3 / Figure 1 that locates live gates among tombstones in
+//!   O(lg n).
+//! * [`sparse::SparseCircuit`] — the Algorithm 1 interface: `create`,
+//!   `before`, `get`, `substitute`, `gates` (here `to_units`), with the
+//!   stated cost bounds.
+//! * [`fingers`] — `selectFingers` (Algorithm 4) and the sorted finger
+//!   merge.
+//! * [`engine`] — the round-based driver (Algorithms 2–3), generic over the
+//!   unit type: [`qcir::Gate`] for the primary gate-sequence mode,
+//!   [`qcir::Layer`] for the Section 7.8 depth-aware mode.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use popqc_core::{optimize_circuit, PopqcConfig};
+//! use qoracle::RuleBasedOptimizer;
+//! use qcir::{Angle, Circuit};
+//!
+//! let mut c = Circuit::new(2);
+//! c.h(0).h(0).cnot(0, 1).rz(1, Angle::PI_4).rz(1, Angle::PI_4).cnot(0, 1);
+//! let oracle = RuleBasedOptimizer::oracle();
+//! let (opt, stats) = optimize_circuit(&c, &oracle, &PopqcConfig::with_omega(4));
+//! assert!(opt.len() < c.len());
+//! assert!(stats.rounds >= 1);
+//! ```
+
+pub mod disjoint;
+pub mod engine;
+pub mod fingers;
+pub mod index_tree;
+pub mod sparse;
+
+pub use engine::{
+    optimize_circuit, optimize_layered, popqc_units, verify_local_optimality, PopqcConfig,
+    PopqcStats, RoundRecord,
+};
+pub use index_tree::IndexTree;
+pub use sparse::SparseCircuit;

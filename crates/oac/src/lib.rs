@@ -1,0 +1,267 @@
+//! # oac — the sequential cut–optimize–meld–compress baseline
+//!
+//! A from-scratch implementation of the local optimizer of Arora et al.
+//! ("Local optimization of quantum circuits", the paper's reference [8]),
+//! which POPQC is compared against in Table 3. The algorithm:
+//!
+//! 1. **cut** the circuit into Ω-segments;
+//! 2. **optimize** each segment with the oracle (sequentially);
+//! 3. **meld** the seams: slide a 2Ω window across every segment boundary,
+//!    re-optimizing sequentially left to right so improvements propagate
+//!    into neighbouring segments;
+//! 4. **compress** by left-justifying the circuit (closing the gaps that
+//!    removals leave behind);
+//! 5. repeat until a full pass changes nothing.
+//!
+//! Like the original, every phase rebuilds flat gate vectors, so the
+//! per-iteration overhead is quadratic-ish in circuit size — exactly the
+//! overhead POPQC's index tree avoids (Section 7.7 attributes POPQC's
+//! advantage over OAC to this asymptotic gap).
+
+use qcir::{Circuit, Gate};
+use qoracle::SegmentOracle;
+use std::time::Instant;
+
+/// OAC parameters.
+#[derive(Clone, Debug)]
+pub struct OacConfig {
+    /// Segment size Ω (Table 3 uses 400 for both OAC and POPQC).
+    pub omega: usize,
+    /// Safety cap on cut-meld-compress iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for OacConfig {
+    fn default() -> Self {
+        OacConfig {
+            omega: 400,
+            max_iterations: 64,
+        }
+    }
+}
+
+impl OacConfig {
+    /// Config with the given Ω.
+    pub fn with_omega(omega: usize) -> OacConfig {
+        OacConfig {
+            omega,
+            ..Default::default()
+        }
+    }
+}
+
+/// Run statistics for an OAC invocation.
+#[derive(Clone, Debug, Default)]
+pub struct OacStats {
+    /// Completed cut–meld–compress iterations.
+    pub iterations: usize,
+    /// Total oracle invocations across all phases.
+    pub oracle_calls: u64,
+    /// End-to-end wall-clock time.
+    pub total_nanos: u64,
+    /// Gate count before optimization.
+    pub initial_gates: usize,
+    /// Gate count after optimization.
+    pub final_gates: usize,
+}
+
+impl OacStats {
+    /// Gate reduction as a fraction of the input size.
+    pub fn reduction(&self) -> f64 {
+        if self.initial_gates == 0 {
+            0.0
+        } else {
+            1.0 - self.final_gates as f64 / self.initial_gates as f64
+        }
+    }
+}
+
+/// Runs OAC to convergence. Sequential by construction (the meld phase is
+/// inherently order-dependent, which is the paper's motivation for POPQC).
+pub fn oac_optimize<O: SegmentOracle<Gate>>(
+    c: &Circuit,
+    oracle: &O,
+    cfg: &OacConfig,
+) -> (Circuit, OacStats) {
+    assert!(cfg.omega >= 1, "Ω must be at least 1");
+    let t0 = Instant::now();
+    let mut stats = OacStats {
+        initial_gates: c.len(),
+        ..Default::default()
+    };
+    let mut gates = c.gates.clone();
+
+    for _ in 0..cfg.max_iterations {
+        let before = gates.clone();
+
+        // Phase 1+2: cut into Ω-segments and optimize each.
+        let mut next = Vec::with_capacity(gates.len());
+        for chunk in gates.chunks(cfg.omega) {
+            let opt = oracle.optimize(chunk, c.num_qubits);
+            stats.oracle_calls += 1;
+            if oracle.cost(&opt) < oracle.cost(chunk) {
+                next.extend(opt);
+            } else {
+                next.extend_from_slice(chunk);
+            }
+        }
+        gates = next;
+
+        // Phase 3: meld across seams, left to right. Each window splice
+        // rebuilds the tail — the quadratic overhead characteristic of OAC.
+        let mut seam = cfg.omega;
+        while seam < gates.len() {
+            let lo = seam.saturating_sub(cfg.omega);
+            let hi = (seam + cfg.omega).min(gates.len());
+            let window = &gates[lo..hi];
+            let opt = oracle.optimize(window, c.num_qubits);
+            stats.oracle_calls += 1;
+            if oracle.cost(&opt) < oracle.cost(window) {
+                let removed = window.len() - opt.len();
+                let mut spliced = Vec::with_capacity(gates.len() - removed);
+                spliced.extend_from_slice(&gates[..lo]);
+                spliced.extend(opt);
+                spliced.extend_from_slice(&gates[hi..]);
+                gates = spliced;
+            }
+            seam += cfg.omega;
+        }
+
+        // Phase 4: compress — close gaps by left-justifying.
+        gates = Circuit {
+            num_qubits: c.num_qubits,
+            gates,
+        }
+        .left_justified()
+        .gates;
+
+        stats.iterations += 1;
+        if gates == before {
+            break;
+        }
+    }
+
+    stats.final_gates = gates.len();
+    stats.total_nanos = t0.elapsed().as_nanos() as u64;
+    (
+        Circuit {
+            num_qubits: c.num_qubits,
+            gates,
+        },
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcir::Angle;
+    use qoracle::RuleBasedOptimizer;
+
+    fn random_circuit(n: u32, len: usize, seed: u64) -> Circuit {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let mut c = Circuit::new(n);
+        for _ in 0..len {
+            let r = next();
+            let q = (r % n as u64) as u32;
+            match (r >> 8) % 4 {
+                0 => {
+                    c.h(q);
+                }
+                1 => {
+                    c.x(q);
+                }
+                2 => {
+                    c.rz(q, Angle::pi_frac(((r >> 16) % 16) as i64, 8));
+                }
+                _ => {
+                    let mut t = ((r >> 16) % n as u64) as u32;
+                    if t == q {
+                        t = (t + 1) % n;
+                    }
+                    c.cnot(q, t);
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn reduces_and_preserves_semantics() {
+        let oracle = RuleBasedOptimizer::oracle();
+        for seed in 0..4 {
+            let c = random_circuit(5, 250, seed * 19 + 2);
+            let (opt, stats) = oac_optimize(&c, &oracle, &OacConfig::with_omega(16));
+            assert!(opt.len() < c.len(), "seed {seed}: no reduction");
+            assert_eq!(stats.final_gates, opt.len());
+            assert!(stats.iterations >= 1);
+            assert!(
+                qsim::circuits_equivalent(&c, &opt, 3, seed ^ 0xbeef),
+                "seed {seed}: OAC changed semantics"
+            );
+        }
+    }
+
+    #[test]
+    fn converges_to_a_fixpoint() {
+        let oracle = RuleBasedOptimizer::oracle();
+        let c = random_circuit(4, 200, 11);
+        let cfg = OacConfig::with_omega(12);
+        let (once, _) = oac_optimize(&c, &oracle, &cfg);
+        let (twice, stats2) = oac_optimize(&once, &oracle, &cfg);
+        assert_eq!(once, twice, "OAC output should be a fixpoint");
+        // A fixpoint rerun converges in one verification iteration.
+        assert_eq!(stats2.iterations, 1);
+    }
+
+    #[test]
+    fn quality_close_to_popqc_with_same_oracle() {
+        // Section 7.7: with the same oracle and Ω, OAC and POPQC land within
+        // a whisker of each other on quality.
+        let oracle = RuleBasedOptimizer::oracle();
+        for seed in [5u64, 23] {
+            let c = random_circuit(5, 300, seed);
+            let (oac_out, _) = oac_optimize(&c, &oracle, &OacConfig::with_omega(20));
+            let (pq_out, _) = popqc_core::optimize_circuit(
+                &c,
+                &oracle,
+                &popqc_core::PopqcConfig::with_omega(20),
+            );
+            let a = oac_out.len() as f64;
+            let b = pq_out.len() as f64;
+            let rel = (a - b).abs() / a.max(b).max(1.0);
+            assert!(
+                rel < 0.1,
+                "seed {seed}: OAC {a} vs POPQC {b} diverge by {rel:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_circuit() {
+        let oracle = RuleBasedOptimizer::oracle();
+        let c = Circuit::new(2);
+        let (opt, stats) = oac_optimize(&c, &oracle, &OacConfig::default());
+        assert!(opt.is_empty());
+        assert_eq!(stats.oracle_calls, 0);
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let oracle = RuleBasedOptimizer::oracle();
+        let c = random_circuit(4, 150, 3);
+        let cfg = OacConfig {
+            omega: 10,
+            max_iterations: 1,
+        };
+        let (_, stats) = oac_optimize(&c, &oracle, &cfg);
+        assert_eq!(stats.iterations, 1);
+    }
+}

@@ -1,0 +1,298 @@
+//! Exact angles as rational multiples of π.
+//!
+//! Every rotation angle appearing in the paper's benchmarks is a rational
+//! multiple of π (QFT rotations are `π/2^k`, Toffoli decompositions use
+//! `±π/4`, variational ansätze are snapped to a fine grid). Representing the
+//! angle as `num/den · π` in lowest terms, normalized into `[0, 2π)`, makes
+//! rotation merging and identity detection *exact*: no epsilon comparisons,
+//! and therefore no unsound rewrites in the optimizers.
+
+use std::fmt;
+
+/// An angle `num/den · π`, kept in canonical form:
+///
+/// * `den ≥ 1`,
+/// * `gcd(num, den) = 1` (and `num = 0 ⇒ den = 1`),
+/// * `0 ≤ num < 2·den`, i.e. the angle lies in `[0, 2π)`.
+///
+/// Arithmetic goes through `i128` intermediates, so any two canonical angles
+/// with denominators below `2^40` combine without overflow; the workspace
+/// only ever constructs denominators up to `2^24`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Angle {
+    num: i64,
+    den: i64,
+}
+
+impl Angle {
+    /// The zero angle (the identity rotation).
+    pub const ZERO: Angle = Angle { num: 0, den: 1 };
+    /// π — `RZ(π)` is the Pauli-Z gate up to global phase.
+    pub const PI: Angle = Angle { num: 1, den: 1 };
+    /// π/2 — `RZ(π/2)` is the S gate up to global phase.
+    pub const PI_2: Angle = Angle { num: 1, den: 2 };
+    /// π/4 — `RZ(π/4)` is the T gate up to global phase.
+    pub const PI_4: Angle = Angle { num: 1, den: 4 };
+    /// 3π/2 — `RZ(3π/2)` is the S† gate up to global phase.
+    pub const THREE_PI_2: Angle = Angle { num: 3, den: 2 };
+    /// 7π/4 — `RZ(7π/4)` is the T† gate up to global phase.
+    pub const SEVEN_PI_4: Angle = Angle { num: 7, den: 4 };
+
+    /// Builds the canonical angle `num/den · π`. Panics if `den == 0`.
+    pub fn pi_frac(num: i64, den: i64) -> Angle {
+        assert!(den != 0, "angle denominator must be nonzero");
+        Self::normalize(num as i128, den as i128)
+    }
+
+    fn normalize(mut num: i128, mut den: i128) -> Angle {
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        // Reduce first so the range reduction below stays within i128.
+        let g = gcd128(num, den);
+        if g > 1 {
+            num /= g;
+            den /= g;
+        }
+        // Range-reduce into [0, 2π), i.e. num ∈ [0, 2·den).
+        num = num.rem_euclid(2 * den);
+        let g = gcd128(num, den);
+        if g > 1 {
+            num /= g;
+            den /= g;
+        }
+        if num == 0 {
+            den = 1;
+        }
+        debug_assert!(num >= 0 && num < 2 * den);
+        assert!(
+            num <= i64::MAX as i128 && den <= i64::MAX as i128,
+            "angle overflow after normalization"
+        );
+        Angle {
+            num: num as i64,
+            den: den as i64,
+        }
+    }
+
+    /// Numerator of the canonical `num/den · π` form, in `[0, 2·den)`.
+    #[inline]
+    pub fn numerator(self) -> i64 {
+        self.num
+    }
+
+    /// Denominator of the canonical form (always ≥ 1).
+    #[inline]
+    pub fn denominator(self) -> i64 {
+        self.den
+    }
+
+    /// `true` iff this is the zero angle, i.e. `RZ(self)` is the identity.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// `true` iff the angle equals π.
+    #[inline]
+    pub fn is_pi(self) -> bool {
+        self.num == 1 && self.den == 1
+    }
+
+    /// Sum of two angles, reduced into `[0, 2π)`.
+    pub fn add(self, other: Angle) -> Angle {
+        Self::normalize(
+            self.num as i128 * other.den as i128 + other.num as i128 * self.den as i128,
+            self.den as i128 * other.den as i128,
+        )
+    }
+
+    /// Additive inverse modulo 2π: `self.add(self.neg()) == Angle::ZERO`.
+    pub fn neg(self) -> Angle {
+        Self::normalize(-(self.num as i128), self.den as i128)
+    }
+
+    /// Doubles the angle (mod 2π).
+    pub fn double(self) -> Angle {
+        Self::normalize(2 * self.num as i128, self.den as i128)
+    }
+
+    /// The angle as a float in radians, in `[0, 2π)`.
+    pub fn to_radians(self) -> f64 {
+        self.num as f64 / self.den as f64 * std::f64::consts::PI
+    }
+
+    /// Snaps a float (radians) to the nearest rational multiple of π with
+    /// denominator at most `2^20`, via continued fractions. Used when
+    /// importing QASM files that spell angles as decimal literals.
+    pub fn from_radians(x: f64) -> Angle {
+        let t = x / std::f64::consts::PI; // target num/den
+        let t = t.rem_euclid(2.0);
+        let (num, den) = rational_approx(t, 1 << 20);
+        Self::normalize(num as i128, den as i128)
+    }
+}
+
+fn gcd128(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.abs()
+}
+
+/// Best rational approximation `p/q ≈ t` with `q ≤ max_den`
+/// (continued-fraction convergents).
+fn rational_approx(t: f64, max_den: i64) -> (i64, i64) {
+    let mut x = t;
+    let (mut p0, mut q0, mut p1, mut q1) = (0i64, 1i64, 1i64, 0i64);
+    for _ in 0..64 {
+        let a = x.floor();
+        if a.abs() > i64::MAX as f64 / 2.0 {
+            break;
+        }
+        let a_i = a as i64;
+        let p2 = a_i.saturating_mul(p1).saturating_add(p0);
+        let q2 = a_i.saturating_mul(q1).saturating_add(q0);
+        if q2 > max_den || q2 <= 0 {
+            break;
+        }
+        p0 = p1;
+        q0 = q1;
+        p1 = p2;
+        q1 = q2;
+        let frac = x - a;
+        if frac.abs() < 1e-12 {
+            break;
+        }
+        x = 1.0 / frac;
+    }
+    if q1 == 0 {
+        (0, 1)
+    } else {
+        (p1, q1)
+    }
+}
+
+impl fmt::Debug for Angle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Angle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.num, self.den) {
+            (0, _) => write!(f, "0"),
+            (1, 1) => write!(f, "pi"),
+            (n, 1) => write!(f, "{n}*pi"),
+            (1, d) => write!(f, "pi/{d}"),
+            (n, d) => write!(f, "{n}*pi/{d}"),
+        }
+    }
+}
+
+impl std::ops::Add for Angle {
+    type Output = Angle;
+    fn add(self, rhs: Angle) -> Angle {
+        Angle::add(self, rhs)
+    }
+}
+
+impl std::ops::Neg for Angle {
+    type Output = Angle;
+    fn neg(self) -> Angle {
+        Angle::neg(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_constants() {
+        assert_eq!(Angle::pi_frac(0, 5), Angle::ZERO);
+        assert_eq!(Angle::pi_frac(2, 2), Angle::PI);
+        assert_eq!(Angle::pi_frac(4, 8), Angle::PI_2);
+        assert_eq!(Angle::pi_frac(-1, 2), Angle::THREE_PI_2);
+        assert_eq!(Angle::pi_frac(9, 4), Angle::pi_frac(1, 4));
+    }
+
+    #[test]
+    fn negative_denominator_normalizes() {
+        assert_eq!(Angle::pi_frac(1, -2), Angle::THREE_PI_2);
+        assert_eq!(Angle::pi_frac(-1, -2), Angle::PI_2);
+    }
+
+    #[test]
+    fn addition_wraps_mod_2pi() {
+        assert_eq!(Angle::PI + Angle::PI, Angle::ZERO);
+        assert_eq!(Angle::PI_2 + Angle::THREE_PI_2, Angle::ZERO);
+        assert_eq!(Angle::PI_4 + Angle::PI_4, Angle::PI_2);
+        assert_eq!(
+            Angle::pi_frac(1, 3) + Angle::pi_frac(1, 6),
+            Angle::PI_2
+        );
+    }
+
+    #[test]
+    fn negation_is_inverse() {
+        for (n, d) in [(1, 3), (5, 7), (3, 2), (7, 4), (0, 1), (1, 1)] {
+            let a = Angle::pi_frac(n, d);
+            assert!(
+                (a + (-a)).is_zero(),
+                "{a} + -{a} should be zero, got {:?}",
+                a + (-a)
+            );
+        }
+    }
+
+    #[test]
+    fn double_wraps() {
+        assert_eq!(Angle::PI.double(), Angle::ZERO);
+        assert_eq!(Angle::PI_4.double(), Angle::PI_2);
+        assert_eq!(Angle::THREE_PI_2.double(), Angle::PI);
+    }
+
+    #[test]
+    fn radians_round_trip() {
+        for (n, d) in [(1, 4), (3, 8), (7, 4), (1, 1), (127, 128), (5, 3)] {
+            let a = Angle::pi_frac(n, d);
+            let back = Angle::from_radians(a.to_radians());
+            assert_eq!(a, back, "round trip failed for {a}");
+        }
+    }
+
+    #[test]
+    fn from_radians_snaps_small_denominators() {
+        assert_eq!(Angle::from_radians(std::f64::consts::FRAC_PI_2), Angle::PI_2);
+        assert_eq!(
+            Angle::from_radians(-std::f64::consts::FRAC_PI_4),
+            Angle::SEVEN_PI_4
+        );
+        assert_eq!(Angle::from_radians(0.0), Angle::ZERO);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Angle::ZERO.to_string(), "0");
+        assert_eq!(Angle::PI.to_string(), "pi");
+        assert_eq!(Angle::PI_2.to_string(), "pi/2");
+        assert_eq!(Angle::pi_frac(3, 4).to_string(), "3*pi/4");
+    }
+
+    #[test]
+    fn large_denominator_arithmetic_is_exact() {
+        // Sum 2^20 copies of pi/2^20 and land exactly on pi.
+        let step = Angle::pi_frac(1, 1 << 20);
+        let mut acc = Angle::ZERO;
+        for _ in 0..(1u32 << 20) {
+            acc = acc + step;
+        }
+        assert_eq!(acc, Angle::PI);
+    }
+}

@@ -1,0 +1,257 @@
+//! Flat gate-sequence circuits (the paper's primary representation).
+
+use crate::angle::Angle;
+use crate::gate::{Gate, Qubit};
+use crate::layers::LayeredCircuit;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A quantum circuit: a number of qubit wires and an ordered gate sequence.
+///
+/// Matrix semantics follow Section 2.2: for gates `g1, g2, …, gk` the
+/// circuit's unitary is `[gk]…[g2][g1]` (gates apply left to right).
+#[derive(Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Circuit {
+    /// Number of qubit wires.
+    pub num_qubits: u32,
+    /// The gate sequence, applied left to right.
+    pub gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// An empty circuit over `num_qubits` wires.
+    pub fn new(num_qubits: u32) -> Circuit {
+        Circuit {
+            num_qubits,
+            gates: Vec::new(),
+        }
+    }
+
+    /// Builds a circuit from a gate array, inferring the qubit count from the
+    /// largest index used (at least `min_qubits`).
+    pub fn from_gates(gates: Vec<Gate>, min_qubits: u32) -> Circuit {
+        let n = gates
+            .iter()
+            .map(|g| g.max_qubit() + 1)
+            .max()
+            .unwrap_or(0)
+            .max(min_qubits);
+        Circuit {
+            num_qubits: n,
+            gates,
+        }
+    }
+
+    /// Number of gates.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// `true` iff the circuit has no gates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Appends a Hadamard gate; returns `&mut self` for chaining.
+    pub fn h(&mut self, q: Qubit) -> &mut Self {
+        self.gates.push(Gate::H(q));
+        self
+    }
+
+    /// Appends a Pauli-X gate.
+    pub fn x(&mut self, q: Qubit) -> &mut Self {
+        self.gates.push(Gate::X(q));
+        self
+    }
+
+    /// Appends an `RZ(angle)` gate.
+    pub fn rz(&mut self, q: Qubit, angle: Angle) -> &mut Self {
+        self.gates.push(Gate::Rz(q, angle));
+        self
+    }
+
+    /// Appends a CNOT gate with the given control and target.
+    pub fn cnot(&mut self, c: Qubit, t: Qubit) -> &mut Self {
+        self.gates.push(Gate::Cnot(c, t));
+        self
+    }
+
+    /// Appends all gates of `other` (qubit counts must agree or grow).
+    pub fn append(&mut self, other: &Circuit) {
+        self.num_qubits = self.num_qubits.max(other.num_qubits);
+        self.gates.extend_from_slice(&other.gates);
+    }
+
+    /// Checks structural well-formedness: all qubit indices in range and no
+    /// CNOT with control == target. Returns the first offending gate index.
+    pub fn validate(&self) -> Result<(), usize> {
+        for (i, g) in self.gates.iter().enumerate() {
+            if g.max_qubit() >= self.num_qubits {
+                return Err(i);
+            }
+            if let Gate::Cnot(c, t) = g {
+                if c == t {
+                    return Err(i);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-mnemonic gate counts (`h`, `x`, `rz`, `cx`).
+    pub fn histogram(&self) -> HashMap<&'static str, usize> {
+        let mut m = HashMap::new();
+        for g in &self.gates {
+            *m.entry(g.name()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Number of two-qubit gates.
+    pub fn two_qubit_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_two_qubit()).count()
+    }
+
+    /// Circuit depth: the number of layers of mutually independent gates
+    /// under ASAP scheduling (the "natural running time", Section 2.2).
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.num_qubits as usize];
+        let mut depth = 0;
+        for g in &self.gates {
+            let (a, b) = g.qubits();
+            let l = match b {
+                None => level[a as usize],
+                Some(b) => level[a as usize].max(level[b as usize]),
+            } + 1;
+            level[a as usize] = l;
+            if let Some(b) = b {
+                level[b as usize] = l;
+            }
+            depth = depth.max(l);
+        }
+        depth
+    }
+
+    /// The inverse circuit (reversed order, each gate inverted).
+    pub fn inverse(&self) -> Circuit {
+        Circuit {
+            num_qubits: self.num_qubits,
+            gates: self.gates.iter().rev().map(|g| g.inverse()).collect(),
+        }
+    }
+
+    /// Converts to the layered representation via ASAP scheduling.
+    pub fn layered(&self) -> LayeredCircuit {
+        LayeredCircuit::from_circuit(self)
+    }
+
+    /// Reorders the gate array by pushing every gate as far *left* as
+    /// dependencies allow (Table 4's "left-justified" ordering): convert to
+    /// layers and flatten layer by layer.
+    pub fn left_justified(&self) -> Circuit {
+        self.layered().to_circuit()
+    }
+
+    /// Reorders the gate array by pushing every gate as far *right* as
+    /// possible (Table 4's "right-justified" ordering): ALAP scheduling.
+    pub fn right_justified(&self) -> Circuit {
+        LayeredCircuit::from_circuit_alap(self).to_circuit()
+    }
+}
+
+impl fmt::Debug for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Circuit(qubits={}, gates={})",
+            self.num_qubits,
+            self.gates.len()
+        )?;
+        if self.gates.len() <= 32 {
+            write!(f, " {:?}", self.gates)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0).cnot(0, 1).rz(1, Angle::PI_4).x(2).cnot(1, 2);
+        c
+    }
+
+    #[test]
+    fn builder_and_counts() {
+        let c = sample();
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.two_qubit_count(), 2);
+        let h = c.histogram();
+        assert_eq!(h["h"], 1);
+        assert_eq!(h["cx"], 2);
+        assert_eq!(h["rz"], 1);
+        assert_eq!(h["x"], 1);
+    }
+
+    #[test]
+    fn validate_catches_bad_gates() {
+        let mut c = Circuit::new(2);
+        c.h(2);
+        assert_eq!(c.validate(), Err(0));
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.gates.push(Gate::Cnot(1, 1));
+        assert_eq!(c.validate(), Err(1));
+        assert_eq!(sample().validate(), Ok(()));
+    }
+
+    #[test]
+    fn depth_computation() {
+        // H(0), CNOT(0,1), RZ(1), X(2), CNOT(1,2)
+        // levels: H->1; CNOT(0,1)->2; RZ(1)->3; X(2)->1; CNOT(1,2)->4
+        assert_eq!(sample().depth(), 4);
+        assert_eq!(Circuit::new(4).depth(), 0);
+        let mut par = Circuit::new(4);
+        par.h(0).h(1).h(2).h(3);
+        assert_eq!(par.depth(), 1);
+    }
+
+    #[test]
+    fn inverse_reverses_and_inverts() {
+        let c = sample();
+        let inv = c.inverse();
+        assert_eq!(inv.len(), c.len());
+        assert_eq!(inv.gates[0], Gate::Cnot(1, 2));
+        assert_eq!(inv.gates[2], Gate::Rz(1, -Angle::PI_4));
+        assert_eq!(inv.inverse().gates, c.gates);
+    }
+
+    #[test]
+    fn from_gates_infers_width() {
+        let c = Circuit::from_gates(vec![Gate::Cnot(2, 5), Gate::H(1)], 0);
+        assert_eq!(c.num_qubits, 6);
+        let c = Circuit::from_gates(vec![Gate::H(0)], 9);
+        assert_eq!(c.num_qubits, 9);
+    }
+
+    #[test]
+    fn justification_preserves_multiset_and_dependencies() {
+        let c = sample();
+        for j in [c.left_justified(), c.right_justified()] {
+            assert_eq!(j.len(), c.len());
+            // same multiset of gates
+            let mut a = c.gates.clone();
+            let mut b = j.gates.clone();
+            let key = |g: &Gate| format!("{g:?}");
+            a.sort_by_key(key);
+            b.sort_by_key(key);
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! The layered circuit representation (Sections 2.2 and 7.8).
+//!
+//! A *layer* is a set of mutually independent gates (disjoint qubits); the
+//! number of layers is the circuit *depth*, the quantum analogue of span.
+//! POPQC's generalized engine optimizes at layer granularity for the
+//! depth-aware experiments (Figure 6), and the ASAP/ALAP schedules here also
+//! implement the left-/right-justified orderings of Table 4.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// One layer: gates acting on pairwise-disjoint qubit sets.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Layer(pub Vec<Gate>);
+
+impl Layer {
+    /// Number of gates in the layer.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` iff the layer holds no gates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Checks that all gates in the layer are pairwise independent.
+    pub fn is_well_formed(&self) -> bool {
+        for (i, a) in self.0.iter().enumerate() {
+            for b in &self.0[i + 1..] {
+                if !a.independent(b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// A circuit organized into layers of independent gates.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LayeredCircuit {
+    /// Number of qubit wires.
+    pub num_qubits: u32,
+    /// Layers applied left to right.
+    pub layers: Vec<Layer>,
+}
+
+impl LayeredCircuit {
+    /// ASAP (as-soon-as-possible) layering: each gate is placed in the
+    /// earliest layer after the last layer that touches one of its qubits.
+    /// Flattening this layering yields the left-justified gate order.
+    pub fn from_circuit(c: &Circuit) -> LayeredCircuit {
+        let mut level = vec![0usize; c.num_qubits as usize];
+        let mut layers: Vec<Layer> = Vec::new();
+        for &g in &c.gates {
+            let (a, b) = g.qubits();
+            let l = match b {
+                None => level[a as usize],
+                Some(b) => level[a as usize].max(level[b as usize]),
+            };
+            if l == layers.len() {
+                layers.push(Layer::default());
+            }
+            layers[l].0.push(g);
+            level[a as usize] = l + 1;
+            if let Some(b) = b {
+                level[b as usize] = l + 1;
+            }
+        }
+        LayeredCircuit {
+            num_qubits: c.num_qubits,
+            layers,
+        }
+    }
+
+    /// ALAP (as-late-as-possible) layering: schedule the reversed circuit
+    /// ASAP and flip it back. Flattening yields the right-justified order.
+    pub fn from_circuit_alap(c: &Circuit) -> LayeredCircuit {
+        let reversed = Circuit {
+            num_qubits: c.num_qubits,
+            gates: c.gates.iter().rev().copied().collect(),
+        };
+        let mut lc = Self::from_circuit(&reversed);
+        lc.layers.reverse();
+        for layer in &mut lc.layers {
+            layer.0.reverse();
+        }
+        lc
+    }
+
+    /// Flattens the layers back into a gate-sequence circuit.
+    pub fn to_circuit(&self) -> Circuit {
+        Circuit {
+            num_qubits: self.num_qubits,
+            gates: self
+                .layers
+                .iter()
+                .flat_map(|l| l.0.iter().copied())
+                .collect(),
+        }
+    }
+
+    /// Depth = number of layers.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total gate count across all layers.
+    pub fn gate_count(&self) -> usize {
+        self.layers.iter().map(Layer::len).sum()
+    }
+
+    /// The mixed cost function of Section 7.8: `10·depth + gates`.
+    pub fn mixed_cost(&self) -> u64 {
+        10 * self.depth() as u64 + self.gate_count() as u64
+    }
+
+    /// Checks that every layer is well formed and no layer is empty.
+    pub fn is_well_formed(&self) -> bool {
+        self.layers
+            .iter()
+            .all(|l| !l.is_empty() && l.is_well_formed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::angle::Angle;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0).cnot(0, 1).rz(1, Angle::PI_4).x(2).cnot(1, 2);
+        c
+    }
+
+    #[test]
+    fn asap_layering_matches_depth() {
+        let c = sample();
+        let lc = c.layered();
+        assert_eq!(lc.depth(), c.depth());
+        assert_eq!(lc.gate_count(), c.len());
+        assert!(lc.is_well_formed());
+        // X(2) floats up into the first layer next to H(0).
+        assert_eq!(lc.layers[0].0, vec![Gate::H(0), Gate::X(2)]);
+    }
+
+    #[test]
+    fn alap_layering_preserves_semantics_order() {
+        let c = sample();
+        let lc = LayeredCircuit::from_circuit_alap(&c);
+        assert_eq!(lc.depth(), c.depth());
+        assert_eq!(lc.gate_count(), c.len());
+        assert!(lc.is_well_formed());
+        // In ALAP, X(2) is delayed to sit right before CNOT(1,2).
+        let flat = lc.to_circuit();
+        let pos_x = flat.gates.iter().position(|g| *g == Gate::X(2)).unwrap();
+        let pos_cx = flat
+            .gates
+            .iter()
+            .position(|g| *g == Gate::Cnot(1, 2))
+            .unwrap();
+        assert!(pos_x < pos_cx);
+        assert!(pos_x >= 2, "ALAP should delay X(2), got position {pos_x}");
+    }
+
+    #[test]
+    fn round_trip_preserves_per_qubit_order() {
+        let c = sample();
+        for flat in [c.left_justified(), c.right_justified()] {
+            for q in 0..c.num_qubits {
+                let orig: Vec<Gate> = c.gates.iter().filter(|g| g.acts_on(q)).copied().collect();
+                let now: Vec<Gate> = flat.gates.iter().filter(|g| g.acts_on(q)).copied().collect();
+                assert_eq!(orig, now, "per-qubit order changed on wire {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_cost() {
+        let c = sample();
+        let lc = c.layered();
+        assert_eq!(lc.mixed_cost(), 10 * lc.depth() as u64 + c.len() as u64);
+    }
+
+    #[test]
+    fn layer_well_formedness_detects_conflicts() {
+        assert!(Layer(vec![Gate::H(0), Gate::X(1)]).is_well_formed());
+        assert!(!Layer(vec![Gate::H(0), Gate::Cnot(0, 1)]).is_well_formed());
+    }
+
+    #[test]
+    fn empty_circuit() {
+        let c = Circuit::new(4);
+        let lc = c.layered();
+        assert_eq!(lc.depth(), 0);
+        assert_eq!(lc.to_circuit(), c);
+    }
+}

@@ -1,0 +1,330 @@
+//! OPENQASM 2.0 reader/writer for the `{h, x, rz, cx}` gate set.
+//!
+//! The paper's benchmarks are distributed as QASM files; this module lets the
+//! reproduction import such files and export optimized circuits. Only the
+//! subset needed for the gate set is supported: a single `qreg`, the four
+//! gates, comments, `barrier` (ignored), and angle expressions built from
+//! integers, floats, `pi`, `*`, `/`, and unary minus.
+
+use crate::angle::Angle;
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use std::fmt;
+
+/// Error raised while parsing a QASM file, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QasmError {
+    /// 1-based line number of the offending statement.
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for QasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "qasm parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for QasmError {}
+
+fn err(line: usize, msg: impl Into<String>) -> QasmError {
+    QasmError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Serializes a circuit as OPENQASM 2.0. Angles print in exact
+/// `n*pi/d` form, which [`parse`] reads back losslessly.
+pub fn to_qasm(c: &Circuit) -> String {
+    let mut out = String::with_capacity(32 + 12 * c.gates.len());
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    out.push_str(&format!("qreg q[{}];\n", c.num_qubits));
+    for g in &c.gates {
+        match *g {
+            Gate::H(q) => out.push_str(&format!("h q[{q}];\n")),
+            Gate::X(q) => out.push_str(&format!("x q[{q}];\n")),
+            Gate::Rz(q, a) => out.push_str(&format!("rz({a}) q[{q}];\n")),
+            Gate::Cnot(c0, t) => out.push_str(&format!("cx q[{c0}],q[{t}];\n")),
+        }
+    }
+    out
+}
+
+/// Parses an OPENQASM 2.0 program restricted to the POPQC gate set.
+pub fn parse(src: &str) -> Result<Circuit, QasmError> {
+    let mut num_qubits: Option<(String, u32)> = None;
+    let mut gates = Vec::new();
+
+    for (idx, raw_line) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = match raw_line.find("//") {
+            Some(p) => &raw_line[..p],
+            None => raw_line,
+        };
+        // A line may hold several `;`-terminated statements.
+        for stmt in line.split(';') {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            if stmt.starts_with("OPENQASM") || stmt.starts_with("include") {
+                continue;
+            }
+            if stmt.starts_with("barrier") {
+                continue;
+            }
+            if let Some(rest) = stmt.strip_prefix("qreg") {
+                let rest = rest.trim();
+                let (name, size) = parse_reg_decl(rest).ok_or_else(|| {
+                    err(lineno, format!("malformed qreg declaration: {stmt}"))
+                })?;
+                if num_qubits.is_some() {
+                    return Err(err(lineno, "multiple qreg declarations are not supported"));
+                }
+                num_qubits = Some((name, size));
+                continue;
+            }
+            if stmt.starts_with("creg") || stmt.starts_with("measure") {
+                return Err(err(
+                    lineno,
+                    "classical registers/measurement are outside the POPQC gate set",
+                ));
+            }
+            let (reg, n) = num_qubits
+                .as_ref()
+                .ok_or_else(|| err(lineno, "gate before qreg declaration"))?;
+            let g = parse_gate(stmt, reg, lineno)?;
+            if g.max_qubit() >= *n {
+                return Err(err(
+                    lineno,
+                    format!("qubit index out of range (register has {n} qubits): {stmt}"),
+                ));
+            }
+            gates.push(g);
+        }
+    }
+
+    let n = num_qubits
+        .ok_or_else(|| err(src.lines().count().max(1), "missing qreg declaration"))?
+        .1;
+    Ok(Circuit {
+        num_qubits: n,
+        gates,
+    })
+}
+
+fn parse_reg_decl(s: &str) -> Option<(String, u32)> {
+    let open = s.find('[')?;
+    let close = s.find(']')?;
+    let name = s[..open].trim();
+    let size: u32 = s[open + 1..close].trim().parse().ok()?;
+    if name.is_empty() {
+        return None;
+    }
+    Some((name.to_string(), size))
+}
+
+fn parse_gate(stmt: &str, reg: &str, lineno: usize) -> Result<Gate, QasmError> {
+    if let Some(rest) = stmt.strip_prefix("cx") {
+        let mut it = rest.split(',');
+        let c = parse_operand(it.next().unwrap_or(""), reg)
+            .ok_or_else(|| err(lineno, format!("malformed cx control: {stmt}")))?;
+        let t = parse_operand(it.next().unwrap_or(""), reg)
+            .ok_or_else(|| err(lineno, format!("malformed cx target: {stmt}")))?;
+        if it.next().is_some() {
+            return Err(err(lineno, format!("too many cx operands: {stmt}")));
+        }
+        if c == t {
+            return Err(err(lineno, format!("cx control equals target: {stmt}")));
+        }
+        return Ok(Gate::Cnot(c, t));
+    }
+    if let Some(rest) = stmt.strip_prefix("rz") {
+        let rest = rest.trim_start();
+        let open = rest
+            .strip_prefix('(')
+            .ok_or_else(|| err(lineno, format!("rz missing angle: {stmt}")))?;
+        let close = open
+            .find(')')
+            .ok_or_else(|| err(lineno, format!("rz missing ')': {stmt}")))?;
+        let angle = parse_angle(&open[..close])
+            .ok_or_else(|| err(lineno, format!("cannot parse angle: {stmt}")))?;
+        let q = parse_operand(&open[close + 1..], reg)
+            .ok_or_else(|| err(lineno, format!("malformed rz operand: {stmt}")))?;
+        return Ok(Gate::Rz(q, angle));
+    }
+    if let Some(rest) = stmt.strip_prefix("h ") {
+        let q = parse_operand(rest, reg)
+            .ok_or_else(|| err(lineno, format!("malformed h operand: {stmt}")))?;
+        return Ok(Gate::H(q));
+    }
+    if let Some(rest) = stmt.strip_prefix("x ") {
+        let q = parse_operand(rest, reg)
+            .ok_or_else(|| err(lineno, format!("malformed x operand: {stmt}")))?;
+        return Ok(Gate::X(q));
+    }
+    Err(err(lineno, format!("unsupported statement: {stmt}")))
+}
+
+fn parse_operand(s: &str, reg: &str) -> Option<u32> {
+    let s = s.trim();
+    let rest = s.strip_prefix(reg)?.trim_start();
+    let inner = rest.strip_prefix('[')?.strip_suffix(']')?;
+    inner.trim().parse().ok()
+}
+
+/// Parses an angle expression: products/quotients of integers, floats, and
+/// `pi`, with unary minus (e.g. `pi/4`, `-3*pi/8`, `0.5*pi`, `1.5707963`).
+/// Decimal literals are snapped to the nearest rational multiple of π.
+pub fn parse_angle(s: &str) -> Option<Angle> {
+    let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+    if s.is_empty() {
+        return None;
+    }
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s.as_str()),
+    };
+    let mut value = 1.0f64;
+    let mut op = '*';
+    for token in tokenize(body)? {
+        match token {
+            Tok::Op(c) => op = c,
+            Tok::Val(v) => {
+                if op == '*' {
+                    value *= v;
+                } else {
+                    if v == 0.0 {
+                        return None;
+                    }
+                    value /= v;
+                }
+            }
+        }
+    }
+    let a = Angle::from_radians(if neg { -value } else { value });
+    Some(a)
+}
+
+enum Tok {
+    Op(char),
+    Val(f64),
+}
+
+fn tokenize(s: &str) -> Option<Vec<Tok>> {
+    let mut out = Vec::new();
+    let mut rest = s;
+    let mut expecting_value = true;
+    while !rest.is_empty() {
+        if expecting_value {
+            if let Some(r) = rest.strip_prefix("pi") {
+                out.push(Tok::Val(std::f64::consts::PI));
+                rest = r;
+            } else {
+                let end = rest
+                    .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E'))
+                    .unwrap_or(rest.len());
+                if end == 0 {
+                    return None;
+                }
+                let v: f64 = rest[..end].parse().ok()?;
+                out.push(Tok::Val(v));
+                rest = &rest[end..];
+            }
+            expecting_value = false;
+        } else {
+            let c = rest.chars().next()?;
+            if c != '*' && c != '/' {
+                return None;
+            }
+            out.push(Tok::Op(c));
+            rest = &rest[1..];
+            expecting_value = true;
+        }
+    }
+    if expecting_value {
+        return None;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut c = Circuit::new(4);
+        c.h(0)
+            .cnot(0, 1)
+            .rz(1, Angle::pi_frac(3, 8))
+            .x(3)
+            .rz(2, Angle::PI)
+            .rz(3, Angle::pi_frac(-1, 4));
+        let text = to_qasm(&c);
+        let back = parse(&text).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn parse_angles() {
+        assert_eq!(parse_angle("pi/4"), Some(Angle::PI_4));
+        assert_eq!(parse_angle("-pi/4"), Some(Angle::SEVEN_PI_4));
+        assert_eq!(parse_angle("3*pi/4"), Some(Angle::pi_frac(3, 4)));
+        assert_eq!(parse_angle("0"), Some(Angle::ZERO));
+        assert_eq!(parse_angle("2*pi"), Some(Angle::ZERO));
+        assert_eq!(parse_angle("0.5*pi"), Some(Angle::PI_2));
+        assert_eq!(parse_angle("1.5707963267948966"), Some(Angle::PI_2));
+        assert_eq!(parse_angle("pi"), Some(Angle::PI));
+        assert_eq!(parse_angle(""), None);
+        assert_eq!(parse_angle("pi/0"), None);
+        assert_eq!(parse_angle("foo"), None);
+    }
+
+    #[test]
+    fn parse_sample_program() {
+        let src = r#"
+OPENQASM 2.0;
+include "qelib1.inc";
+// a comment
+qreg q[3];
+h q[0];
+cx q[0],q[1];
+rz(pi/2) q[1]; x q[2];
+barrier q;
+cx q[1], q[2];
+"#;
+        let c = parse(src).unwrap();
+        assert_eq!(c.num_qubits, 3);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.gates[2], Gate::Rz(1, Angle::PI_2));
+        assert_eq!(c.gates[4], Gate::Cnot(1, 2));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let src = "OPENQASM 2.0;\nqreg q[2];\nh q[5];\n";
+        let e = parse(src).unwrap_err();
+        assert_eq!(e.line, 3);
+
+        let e = parse("OPENQASM 2.0;\nh q[0];\n").unwrap_err();
+        assert!(e.msg.contains("before qreg"));
+
+        let e = parse("qreg q[2];\ncx q[1],q[1];\n").unwrap_err();
+        assert!(e.msg.contains("control equals target"));
+
+        let e = parse("qreg q[2];\nmeasure q[0];\n").unwrap_err();
+        assert!(e.msg.contains("outside the POPQC gate set"));
+
+        let e = parse("OPENQASM 2.0;\n").unwrap_err();
+        assert!(e.msg.contains("missing qreg"));
+    }
+
+    #[test]
+    fn unsupported_gate_is_an_error() {
+        let e = parse("qreg q[2];\nt q[0];\n").unwrap_err();
+        assert!(e.msg.contains("unsupported"));
+    }
+}

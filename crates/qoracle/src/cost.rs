@@ -1,0 +1,88 @@
+//! Cost functions for oracle acceptance and search guidance.
+//!
+//! The default objective throughout the paper is gate count; Section 7.8
+//! demonstrates flexibility with `cost = 10·depth + gates`. Both live here
+//! behind the [`CostFn`] trait so the search optimizer and the layered POPQC
+//! engine can swap objectives.
+
+use qcir::{Circuit, Gate};
+
+/// A circuit cost functional over flat gate sequences.
+pub trait CostFn: Sync + Send {
+    /// Cost of a gate sequence over `num_qubits` wires.
+    fn cost(&self, gates: &[Gate], num_qubits: u32) -> u64;
+
+    /// Display name for experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Plain gate count — the paper's default objective.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GateCount;
+
+impl CostFn for GateCount {
+    fn cost(&self, gates: &[Gate], _num_qubits: u32) -> u64 {
+        gates.len() as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "gate-count"
+    }
+}
+
+/// The Section 7.8 mixed objective: `depth_weight·depth + gate_weight·gates`
+/// (the paper uses 10 and 1).
+#[derive(Clone, Copy, Debug)]
+pub struct MixedDepthGates {
+    /// Weight on circuit depth (paper: 10).
+    pub depth_weight: u64,
+    /// Weight on gate count (paper: 1).
+    pub gate_weight: u64,
+}
+
+impl Default for MixedDepthGates {
+    fn default() -> Self {
+        MixedDepthGates {
+            depth_weight: 10,
+            gate_weight: 1,
+        }
+    }
+}
+
+impl CostFn for MixedDepthGates {
+    fn cost(&self, gates: &[Gate], num_qubits: u32) -> u64 {
+        let c = Circuit {
+            num_qubits,
+            gates: gates.to_vec(),
+        };
+        self.depth_weight * c.depth() as u64 + self.gate_weight * gates.len() as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "mixed-depth-gates"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcir::Angle;
+
+    #[test]
+    fn gate_count_is_length() {
+        let g = vec![Gate::H(0), Gate::X(1), Gate::Rz(0, Angle::PI_4)];
+        assert_eq!(GateCount.cost(&g, 2), 3);
+        assert_eq!(GateCount.cost(&[], 2), 0);
+    }
+
+    #[test]
+    fn mixed_cost_weights_depth() {
+        // Two parallel H's: depth 1, gates 2 -> 12. Two serial H's on one
+        // wire: depth 2, gates 2 -> 22.
+        let par = vec![Gate::H(0), Gate::H(1)];
+        let ser = vec![Gate::H(0), Gate::H(0)];
+        let m = MixedDepthGates::default();
+        assert_eq!(m.cost(&par, 2), 12);
+        assert_eq!(m.cost(&ser, 2), 22);
+    }
+}

@@ -1,0 +1,101 @@
+//! The rule-based optimizer's pass framework.
+//!
+//! Each pass is a pure function `Vec<Gate> → Vec<Gate>` implementing one of
+//! the Nam-et-al. optimization families. Passes communicate only through the
+//! gate sequence, so the pipeline in [`crate::rule_based`] can run them in
+//! any order and to fixpoint.
+
+pub mod cancel_1q;
+pub mod cancel_2q;
+pub mod hadamard;
+pub mod not_prop;
+pub mod rotation_merge;
+pub mod rotation_merge_scan;
+
+pub use cancel_1q::CancelSingleQubit;
+pub use cancel_2q::CancelTwoQubit;
+pub use hadamard::HadamardReduction;
+pub use not_prop::NotPropagation;
+pub use rotation_merge::RotationMerge;
+pub use rotation_merge_scan::RotationMergeScan;
+
+use qcir::Gate;
+
+/// One optimization pass over a gate sequence.
+pub trait Pass: Sync + Send {
+    /// Pass name for tracing and experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Rewrites the gate sequence into an equivalent one (up to global
+    /// phase). `num_qubits` is the enclosing circuit width.
+    fn run(&self, gates: Vec<Gate>, num_qubits: u32) -> Vec<Gate>;
+}
+
+/// Compacts a tombstoned working buffer into a dense gate vector, dropping
+/// removed slots and identity rotations (`RZ(0)`).
+pub(crate) fn compact(slots: Vec<Option<Gate>>) -> Vec<Gate> {
+    slots
+        .into_iter()
+        .flatten()
+        .filter(|g| !g.is_identity())
+        .collect()
+}
+
+/// Positions of every gate acting on each wire, in circuit order. The
+/// pattern-matching passes use this to walk "next gate on this wire" chains
+/// without rescanning the whole sequence.
+#[allow(dead_code)]
+pub(crate) fn wire_positions(gates: &[Gate], num_qubits: u32) -> Vec<Vec<u32>> {
+    let mut wp = vec![Vec::new(); num_qubits as usize];
+    for (i, g) in gates.iter().enumerate() {
+        let (a, b) = g.qubits();
+        wp[a as usize].push(i as u32);
+        if let Some(b) = b {
+            wp[b as usize].push(i as u32);
+        }
+    }
+    wp
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use qcir::{Angle, Circuit, Gate};
+
+    /// Deterministic random circuit over `n` qubits with angles on the
+    /// π/8 grid — dense in redundancy so passes have work to do.
+    pub fn random_circuit(n: u32, len: usize, seed: u64) -> Circuit {
+        // SplitMix64, kept local to avoid a dev-dependency cycle with qsim.
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let mut c = Circuit::new(n);
+        for _ in 0..len {
+            let r = next();
+            let q = (r % n as u64) as u32;
+            match (r >> 8) % 4 {
+                0 => {
+                    c.h(q);
+                }
+                1 => {
+                    c.x(q);
+                }
+                2 => {
+                    c.rz(q, Angle::pi_frac(((r >> 16) % 16) as i64, 8));
+                }
+                _ => {
+                    let mut t = ((r >> 16) % n as u64) as u32;
+                    if t == q {
+                        t = (t + 1) % n;
+                    }
+                    c.cnot(q, t);
+                }
+            }
+        }
+        c
+    }
+}

@@ -1,0 +1,274 @@
+//! Phase-polynomial rotation merging (Nam et al. §4.4, via the phase-folding
+//! formulation of Amy–Maslov–Mosca).
+//!
+//! Within `{CNOT, X, RZ}` regions, each wire carries an affine Boolean
+//! function of the circuit's *path variables*: the original inputs, plus a
+//! fresh variable for every Hadamard (each H introduces a new path-sum
+//! variable). An `RZ(θ)` on a wire carrying the function `f ⊕ c` contributes
+//! the path-phase `e^{iθ'(−1)^{f}}`-style factor with `θ' = c ? −θ : θ`,
+//! which depends only on `f` — not on *where* in the circuit it is applied.
+//! Phases on the same linear part therefore merge, regardless of distance.
+//!
+//! Consequences implemented here, all in one linear sweep:
+//!
+//! * two rotations whose wires carry the same linear function merge
+//!   (`θ₁ + θ₂` at the earlier site), even across CNOTs, X gates, and
+//!   rotations on other functions;
+//! * a rotation on the *complement* of a seen function merges with negated
+//!   angle;
+//! * a rotation on a constant function (empty linear part) is a global phase
+//!   and is deleted;
+//! * merged-to-zero rotations are deleted.
+//!
+//! This pass never increases the gate count.
+
+use super::Pass;
+use qcir::{Angle, Gate};
+use std::collections::HashMap;
+
+/// The phase-polynomial rotation merging pass.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RotationMerge;
+
+/// Hard cap on tracked linear-function size; wires whose function would
+/// exceed it are reset to a fresh opaque variable (sound: it only *loses*
+/// merge opportunities, never soundness).
+const MAX_TERMS: usize = 128;
+
+/// A wire's value as an affine function: XOR of `vars`, complemented iff
+/// `comp`. `vars` is sorted and duplicate-free.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct LinFn {
+    vars: Vec<u32>,
+    comp: bool,
+}
+
+impl LinFn {
+    fn var(v: u32) -> LinFn {
+        LinFn {
+            vars: vec![v],
+            comp: false,
+        }
+    }
+}
+
+/// XOR (symmetric difference) of two sorted variable sets.
+fn xor_sets(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+impl Pass for RotationMerge {
+    fn name(&self) -> &'static str {
+        "rotation-merge"
+    }
+
+    fn run(&self, gates: Vec<Gate>, num_qubits: u32) -> Vec<Gate> {
+        let mut fresh = num_qubits;
+        let mut wire: Vec<LinFn> = (0..num_qubits).map(LinFn::var).collect();
+        // linear part -> (slot index of the first rotation on it, whether the
+        // wire was complemented at that site).
+        let mut sites: HashMap<Vec<u32>, (usize, bool)> = HashMap::new();
+        let mut out: Vec<Option<Gate>> = Vec::with_capacity(gates.len());
+
+        for g in gates {
+            match g {
+                Gate::Cnot(c, t) => {
+                    let vars = xor_sets(&wire[c as usize].vars, &wire[t as usize].vars);
+                    if vars.len() > MAX_TERMS {
+                        wire[t as usize] = LinFn::var(fresh);
+                        fresh += 1;
+                    } else {
+                        wire[t as usize] = LinFn {
+                            vars,
+                            comp: wire[t as usize].comp ^ wire[c as usize].comp,
+                        };
+                    }
+                    out.push(Some(g));
+                }
+                Gate::X(q) => {
+                    wire[q as usize].comp = !wire[q as usize].comp;
+                    out.push(Some(g));
+                }
+                Gate::H(q) => {
+                    wire[q as usize] = LinFn::var(fresh);
+                    fresh += 1;
+                    out.push(Some(g));
+                }
+                Gate::Rz(q, theta) => {
+                    let f = &wire[q as usize];
+                    if f.vars.is_empty() {
+                        // Phase on a constant: global phase, delete.
+                        continue;
+                    }
+                    match sites.get(&f.vars) {
+                        None => {
+                            sites.insert(f.vars.clone(), (out.len(), f.comp));
+                            out.push(Some(g));
+                        }
+                        Some(&(k, comp_at_k)) => {
+                            let Some(Gate::Rz(q0, prev)) = out[k] else {
+                                unreachable!("merge site must hold a rotation");
+                            };
+                            // Same complement: add; opposite: subtract.
+                            let delta = if comp_at_k == f.comp { theta } else { -theta };
+                            let sum = prev + delta;
+                            out[k] = if sum.is_zero() {
+                                // Keep the slot (sites may still point at it)
+                                // as an explicit identity; compaction strips it.
+                                Some(Gate::Rz(q0, Angle::ZERO))
+                            } else {
+                                Some(Gate::Rz(q0, sum))
+                            };
+                        }
+                    }
+                }
+            }
+        }
+        super::compact(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcir::Circuit;
+
+    fn run(c: &Circuit) -> Vec<Gate> {
+        RotationMerge.run(c.gates.clone(), c.num_qubits)
+    }
+
+    #[test]
+    fn adjacent_rotations_merge() {
+        let mut c = Circuit::new(1);
+        c.rz(0, Angle::PI_4).rz(0, Angle::PI_2);
+        assert_eq!(run(&c), vec![Gate::Rz(0, Angle::pi_frac(3, 4))]);
+    }
+
+    #[test]
+    fn merge_through_cnot_sandwich() {
+        // RZ(1) CNOT(0,1) RZ'(1) CNOT(0,1): wire 1 carries x1, then x0^x1,
+        // then x1 again — the outer rotations merge despite the CNOTs.
+        let mut c = Circuit::new(2);
+        c.rz(1, Angle::PI_4)
+            .cnot(0, 1)
+            .rz(1, Angle::PI_4) // on x0^x1: independent, stays
+            .cnot(0, 1)
+            .rz(1, Angle::PI_4); // back on x1: merges with the first
+        let out = run(&c);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0], Gate::Rz(1, Angle::PI_2));
+        let oc = Circuit {
+            num_qubits: 2,
+            gates: out,
+        };
+        assert!(qsim::circuits_equivalent_exact(&c, &oc));
+    }
+
+    #[test]
+    fn complement_merges_with_negation() {
+        // X(0) RZ(θ) X(0) RZ(φ) : first rotation acts on ¬x0, second on x0;
+        // they merge to RZ(φ−θ) at the first site.
+        let mut c = Circuit::new(1);
+        c.x(0)
+            .rz(0, Angle::PI_4)
+            .x(0)
+            .rz(0, Angle::PI_2);
+        let out = run(&c);
+        // Merged: π/4 at site on ¬x0, contribution of π/2 on x0 is −π/2
+        // there: π/4 − π/2 = −π/4 = 7π/4.
+        assert_eq!(
+            out,
+            vec![Gate::X(0), Gate::Rz(0, Angle::SEVEN_PI_4), Gate::X(0)]
+        );
+        let oc = Circuit {
+            num_qubits: 1,
+            gates: out,
+        };
+        assert!(qsim::circuits_equivalent_exact(&c, &oc));
+    }
+
+    #[test]
+    fn rotations_cancelling_to_zero_disappear() {
+        let mut c = Circuit::new(2);
+        c.rz(0, Angle::PI_4).cnot(0, 1).rz(0, -Angle::PI_4);
+        assert_eq!(run(&c), vec![Gate::Cnot(0, 1)]);
+    }
+
+    #[test]
+    fn h_blocks_merging() {
+        let mut c = Circuit::new(1);
+        c.rz(0, Angle::PI_4).h(0).rz(0, Angle::PI_4);
+        assert_eq!(run(&c).len(), 3);
+    }
+
+    #[test]
+    fn merges_across_different_wires() {
+        // The swap-by-three-CNOTs moves x0 onto wire 1; a rotation on wire 0
+        // before the swap and on wire 1 after it act on the same linear
+        // function x0 and must merge.
+        let mut c = Circuit::new(2);
+        c.rz(0, Angle::PI_4)
+            .cnot(0, 1)
+            .cnot(1, 0)
+            .cnot(0, 1)
+            .rz(1, Angle::PI_4);
+        let out = run(&c);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0], Gate::Rz(0, Angle::PI_2));
+        let oc = Circuit {
+            num_qubits: 2,
+            gates: out,
+        };
+        assert!(qsim::circuits_equivalent_exact(&c, &oc));
+    }
+
+    #[test]
+    fn never_increases_count_and_preserves_semantics() {
+        for seed in 0..10 {
+            let c = super::super::testutil::random_circuit(4, 80, seed * 17 + 3);
+            let out = Circuit {
+                num_qubits: 4,
+                gates: run(&c),
+            };
+            assert!(out.len() <= c.len());
+            assert!(
+                qsim::circuits_equivalent(&c, &out, 3, seed ^ 0xfeed),
+                "seed {seed}: pass changed semantics"
+            );
+        }
+    }
+
+    #[test]
+    fn long_distance_merge() {
+        // Two rotations on x0 separated by a pile of unrelated activity.
+        let mut c = Circuit::new(3);
+        c.rz(0, Angle::PI_4);
+        for _ in 0..10 {
+            c.h(1).cnot(1, 2).x(2);
+        }
+        c.rz(0, Angle::PI_4);
+        let out = run(&c);
+        assert_eq!(out.len(), c.len() - 1);
+        assert_eq!(out[0], Gate::Rz(0, Angle::PI_2));
+    }
+}

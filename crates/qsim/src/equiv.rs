@@ -1,0 +1,104 @@
+//! Circuit-equivalence checks (up to global phase).
+//!
+//! Two flavours:
+//!
+//! * [`circuits_equivalent_exact`] builds the full unitaries (≤ 8 qubits in
+//!   practice) — the gold standard for verifying individual rewrite rules.
+//! * [`circuits_equivalent`] pushes a handful of seeded random states through
+//!   both circuits and compares fidelities; a single random state already
+//!   detects inequivalence with probability 1 (the equivalent-or-not set has
+//!   measure zero), so a few trials give overwhelming confidence at any size
+//!   the simulator can hold.
+
+use crate::state::StateVector;
+use crate::unitary::circuit_unitary;
+use qcir::Circuit;
+
+/// `true` iff `|⟨a|b⟩| ≈ 1`, i.e. the (normalized) states agree up to a
+/// global phase.
+pub fn states_equal_up_to_phase(a: &StateVector, b: &StateVector, tol: f64) -> bool {
+    (a.inner(b).norm() - 1.0).abs() < tol
+}
+
+/// Randomized equivalence: simulates `trials` seeded random states through
+/// both circuits. Suitable up to ~20 qubits.
+pub fn circuits_equivalent(a: &Circuit, b: &Circuit, trials: u32, seed: u64) -> bool {
+    let n = a.num_qubits.max(b.num_qubits);
+    if a.num_qubits != b.num_qubits {
+        // Widths may legitimately differ when one side dropped idle wires;
+        // simulate both in the wider register.
+    }
+    for t in 0..trials {
+        let s = StateVector::random(n, seed.wrapping_add(t as u64));
+        let mut sa = s.clone();
+        let mut sb = s;
+        sa.apply_circuit(a);
+        sb.apply_circuit(b);
+        if !states_equal_up_to_phase(&sa, &sb, 1e-8) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Exact equivalence via full unitaries; use for ≤ 8-qubit rule checks.
+pub fn circuits_equivalent_exact(a: &Circuit, b: &Circuit) -> bool {
+    let n = a.num_qubits.max(b.num_qubits);
+    let mut a = a.clone();
+    let mut b = b.clone();
+    a.num_qubits = n;
+    b.num_qubits = n;
+    circuit_unitary(&a).equals_up_to_phase(&circuit_unitary(&b), 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcir::Angle;
+
+    #[test]
+    fn hsh_rule_holds() {
+        // H S H = S† H S† up to global phase (Nam et al. Hadamard reduction).
+        let mut lhs = Circuit::new(1);
+        lhs.h(0).rz(0, Angle::PI_2).h(0);
+        let mut rhs = Circuit::new(1);
+        rhs.rz(0, -Angle::PI_2).h(0).rz(0, -Angle::PI_2);
+        assert!(circuits_equivalent_exact(&lhs, &rhs));
+        assert!(circuits_equivalent(&lhs, &rhs, 4, 11));
+    }
+
+    #[test]
+    fn cnot_pair_cancels() {
+        let mut lhs = Circuit::new(2);
+        lhs.cnot(0, 1).cnot(0, 1);
+        let rhs = Circuit::new(2);
+        assert!(circuits_equivalent_exact(&lhs, &rhs));
+    }
+
+    #[test]
+    fn inequivalent_detected_randomized() {
+        let mut a = Circuit::new(3);
+        a.h(0).cnot(0, 1).rz(1, Angle::PI_4);
+        let mut b = a.clone();
+        b.gates.pop();
+        assert!(!circuits_equivalent(&a, &b, 3, 5));
+    }
+
+    #[test]
+    fn rotation_merge_rule_holds() {
+        let mut lhs = Circuit::new(1);
+        lhs.rz(0, Angle::PI_4).rz(0, Angle::PI_2);
+        let mut rhs = Circuit::new(1);
+        rhs.rz(0, Angle::pi_frac(3, 4));
+        assert!(circuits_equivalent_exact(&lhs, &rhs));
+    }
+
+    #[test]
+    fn width_mismatch_handled() {
+        let mut a = Circuit::new(2);
+        a.h(0);
+        let mut b = Circuit::new(3);
+        b.h(0);
+        assert!(circuits_equivalent(&a, &b, 2, 3));
+    }
+}

@@ -1,0 +1,126 @@
+//! Full-unitary construction for tiny circuits.
+//!
+//! Building the 2ⁿ×2ⁿ matrix is exponential (Section 2.2), so this is only
+//! for verifying rewrite rules and small test circuits — exactly the regime
+//! where exact equality up to global phase is the right notion.
+
+use crate::complex::Complex;
+use crate::state::StateVector;
+use qcir::Circuit;
+
+/// A dense 2ⁿ×2ⁿ unitary stored column-major: `cols[j]` is `U|j⟩`.
+#[derive(Clone, Debug)]
+pub struct Unitary {
+    /// Matrix dimension (2ⁿ).
+    pub dim: usize,
+    /// Columns of the matrix: `cols[j][i] = ⟨i|U|j⟩`.
+    pub cols: Vec<Vec<Complex>>,
+}
+
+/// Computes the full unitary of `c` by simulating every basis state.
+/// Panics above 12 qubits (16 M complex entries) to protect test runs.
+pub fn circuit_unitary(c: &Circuit) -> Unitary {
+    assert!(
+        c.num_qubits <= 12,
+        "unitary construction limited to 12 qubits"
+    );
+    let dim = 1usize << c.num_qubits;
+    let cols = (0..dim)
+        .map(|j| {
+            let mut s = StateVector::basis(c.num_qubits, j);
+            s.apply_circuit(c);
+            s.amplitudes().to_vec()
+        })
+        .collect();
+    Unitary { dim, cols }
+}
+
+impl Unitary {
+    /// `true` iff `self = e^{iφ}·other` for some global phase φ.
+    pub fn equals_up_to_phase(&self, other: &Unitary, tol: f64) -> bool {
+        if self.dim != other.dim {
+            return false;
+        }
+        // Find the largest entry of self to anchor the phase.
+        let mut best = (0usize, 0usize, 0.0f64);
+        for j in 0..self.dim {
+            for i in 0..self.dim {
+                let m = self.cols[j][i].norm_sqr();
+                if m > best.2 {
+                    best = (i, j, m);
+                }
+            }
+        }
+        let (i0, j0, m) = best;
+        if m < tol {
+            // self ≈ 0 is not unitary; fall back to direct comparison.
+            return false;
+        }
+        let a = self.cols[j0][i0];
+        let b = other.cols[j0][i0];
+        if b.norm() < tol {
+            return false;
+        }
+        // phase = b / a
+        let inv = a.conj().scale(1.0 / a.norm_sqr());
+        let phase = b * inv;
+        for j in 0..self.dim {
+            for i in 0..self.dim {
+                if (self.cols[j][i] * phase - other.cols[j][i]).norm() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcir::Angle;
+
+    #[test]
+    fn identity_unitary() {
+        let c = Circuit::new(2);
+        let u = circuit_unitary(&c);
+        for j in 0..4 {
+            for i in 0..4 {
+                let expect = if i == j { Complex::ONE } else { Complex::ZERO };
+                assert!((u.cols[j][i] - expect).norm() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn hh_is_identity_up_to_phase() {
+        let mut c = Circuit::new(1);
+        c.h(0).h(0);
+        let u = circuit_unitary(&c);
+        let id = circuit_unitary(&Circuit::new(1));
+        assert!(u.equals_up_to_phase(&id, 1e-10));
+    }
+
+    #[test]
+    fn z_vs_rz_pi_differ_only_in_phase() {
+        // Z = diag(1,-1); RZ(π) = diag(-i, i) = -i · Z.
+        let mut rz = Circuit::new(1);
+        rz.rz(0, Angle::PI);
+        let mut xzx = Circuit::new(1);
+        // X RZ(π) X = RZ(-π) = RZ(π) up to phase? RZ(-π) = diag(i,-i) = i·Z.
+        xzx.x(0).rz(0, Angle::PI).x(0);
+        let u1 = circuit_unitary(&rz);
+        let u2 = circuit_unitary(&xzx);
+        assert!(u1.equals_up_to_phase(&u2, 1e-10));
+    }
+
+    #[test]
+    fn distinct_circuits_are_detected() {
+        let mut a = Circuit::new(1);
+        a.h(0);
+        let b = Circuit::new(1);
+        let ua = circuit_unitary(&a);
+        let ub = circuit_unitary(&b);
+        assert!(!ua.equals_up_to_phase(&ub, 1e-10));
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the simulator itself: unitarity, inverse
+//! round-trips, and agreement between the randomized and exact equivalence
+//! checkers. If these fail, every downstream "semantics preserved" claim in
+//! the workspace is meaningless — so they get their own suite.
+
+use proptest::prelude::*;
+use qcir::{Angle, Circuit, Gate};
+use qsim::{circuits_equivalent, circuits_equivalent_exact, StateVector};
+
+fn arb_circuit(n: u32, max_len: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec((0u8..4, 0..n, 0..n, -8i64..8), 0..max_len).prop_map(move |specs| {
+        let mut c = Circuit::new(n);
+        for (kind, q, r, num) in specs {
+            match kind {
+                0 => {
+                    c.h(q);
+                }
+                1 => {
+                    c.x(q);
+                }
+                2 => {
+                    c.rz(q, Angle::pi_frac(num, 8));
+                }
+                _ => {
+                    let t = if r == q { (r + 1) % n } else { r };
+                    c.cnot(q, t);
+                }
+            }
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gates_preserve_norm(c in arb_circuit(5, 60), seed in 0u64..1000) {
+        let mut s = StateVector::random(5, seed);
+        s.apply_circuit(&c);
+        prop_assert!((s.norm() - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn inverse_restores_state(c in arb_circuit(5, 60), seed in 0u64..1000) {
+        let s0 = StateVector::random(5, seed);
+        let mut s = s0.clone();
+        s.apply_circuit(&c);
+        s.apply_circuit(&c.inverse());
+        prop_assert!((s.inner(&s0).norm() - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn circuit_is_equivalent_to_itself_shuffled_by_layers(c in arb_circuit(4, 50)) {
+        // Left-justification permutes gates without changing semantics;
+        // both checkers must agree it is an equivalence.
+        let lj = c.left_justified();
+        prop_assert!(circuits_equivalent(&c, &lj, 2, 7));
+        prop_assert!(circuits_equivalent_exact(&c, &lj));
+    }
+
+    #[test]
+    fn dropping_a_nontrivial_gate_is_detected(c in arb_circuit(4, 40)) {
+        // Find a non-identity gate to drop; the checkers must notice.
+        if let Some(pos) = c.gates.iter().position(|g| !g.is_identity() && !matches!(g, Gate::Rz(_, a) if a.is_pi())) {
+            let mut broken = c.clone();
+            broken.gates.remove(pos);
+            // Removing H/X/CNOT (or a non-π rotation) changes the unitary
+            // except in degenerate self-cancelling cases; accept either
+            // verdict but demand the checkers AGREE with each other.
+            let fast = circuits_equivalent(&c, &broken, 3, 99);
+            let exact = circuits_equivalent_exact(&c, &broken);
+            prop_assert_eq!(fast, exact);
+        }
+    }
+
+    #[test]
+    fn equivalence_is_invariant_under_global_phase(c in arb_circuit(4, 40)) {
+        // Appending RZ(θ) twice on a fresh wire multiplies the state by a
+        // phase only when the wire is |0⟩... instead, test the canonical
+        // global-phase source: X RZ(θ) X RZ(θ) = e^{iθ}·I? No — simplest
+        // exact global phase: RZ(2π) ≡ −I on nothing... our angles are mod
+        // 2π so build phase via X·RZ(π)·X·RZ(π) = −I (on one wire):
+        let mut phased = c.clone();
+        phased.x(0);
+        phased.rz(0, Angle::PI);
+        phased.x(0);
+        phased.rz(0, Angle::PI);
+        // X Z X Z = −I exactly: a pure global phase.
+        prop_assert!(circuits_equivalent(&c, &phased, 2, 5));
+        prop_assert!(circuits_equivalent_exact(&c, &phased));
+    }
+}

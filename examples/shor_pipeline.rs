@@ -1,0 +1,54 @@
+//! A realistic toolchain pipeline around Shor's algorithm:
+//!
+//! 1. generate the modular-exponentiation circuit,
+//! 2. export it as OPENQASM 2.0 (what a frontend would hand us),
+//! 3. parse it back, optimize with the whole-circuit baseline and with
+//!    POPQC, and compare quality and speed,
+//! 4. verify POPQC's output semantically against the input (simulator).
+//!
+//! ```sh
+//! cargo run --release --example shor_pipeline
+//! ```
+
+use popqc::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let circuit = Family::Shor.generate(10, 7);
+    println!("Shor(10 qubits): {} gates", circuit.len());
+
+    // Round-trip through QASM, as a real pipeline would.
+    let qasm = popqc::ir::qasm::to_qasm(&circuit);
+    println!("QASM export: {} bytes", qasm.len());
+    let circuit = popqc::ir::qasm::parse(&qasm).expect("round-trip parse");
+
+    // Whole-circuit baseline: one VOQC-style pass sequence.
+    let baseline = RuleBasedOptimizer::voqc_baseline();
+    let t0 = Instant::now();
+    let base_out = baseline.optimize_circuit(&circuit);
+    let base_time = t0.elapsed();
+
+    // POPQC with the fixpoint oracle.
+    let oracle = RuleBasedOptimizer::oracle();
+    let t0 = Instant::now();
+    let (popqc_out, stats) = optimize_circuit(&circuit, &oracle, &PopqcConfig::with_omega(200));
+    let popqc_time = t0.elapsed();
+
+    println!(
+        "baseline: {} gates in {:?}   POPQC: {} gates in {:?} ({} rounds)",
+        base_out.len(),
+        base_time,
+        popqc_out.len(),
+        popqc_time,
+        stats.rounds
+    );
+
+    // Semantic check (10 qubits fits the simulator comfortably).
+    let ok = popqc::sim::circuits_equivalent(&circuit, &popqc_out, 3, 2025);
+    println!("semantics preserved: {ok}");
+    assert!(ok);
+
+    // Export the optimized circuit for the next pipeline stage.
+    let out_qasm = popqc::ir::qasm::to_qasm(&popqc_out);
+    println!("optimized QASM: {} bytes", out_qasm.len());
+}

@@ -1,0 +1,60 @@
+//! # popqc — Parallel Optimization for Quantum Circuits
+//!
+//! A complete, self-contained Rust reproduction of **"POPQC: Parallel
+//! Optimization for Quantum Circuits"** (Liu, Arora, Xu, Acar — SPAA 2025).
+//!
+//! POPQC optimizes a quantum circuit by maintaining a set of *fingers* —
+//! positions near which optimization may still be possible — and, in rounds,
+//! optimizing the 2Ω-gate segments around non-interfering fingers in
+//! parallel with an external *oracle* optimizer. The output is *locally
+//! optimal*: no Ω-gate window can be improved by the oracle. For constant Ω
+//! the algorithm does `O(n lg n)` work with `O(r lg n)` span.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`ir`] | `qcir` | gates, exact angles, circuits, layers, QASM |
+//! | [`sim`] | `qsim` | state-vector simulator and equivalence checks |
+//! | [`oracles`] | `qoracle` | rule-based (VOQC-style) and search (Quartz-style) oracles |
+//! | [`core`] | `popqc-core` | index tree, sparse circuit, finger engine |
+//! | [`baseline`] | `oac` | sequential cut-meld-compress baseline |
+//! | [`benchmarks`] | `benchgen` | the eight benchmark circuit families |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use popqc::prelude::*;
+//!
+//! // Generate a benchmark circuit and optimize it with POPQC.
+//! let circuit = Family::Vqe.generate(12, 42);
+//! let oracle = RuleBasedOptimizer::oracle();
+//! let (optimized, stats) = optimize_circuit(&circuit, &oracle, &PopqcConfig::with_omega(100));
+//!
+//! assert!(optimized.len() < circuit.len());
+//! println!(
+//!     "reduced {} -> {} gates in {} rounds ({} oracle calls)",
+//!     circuit.len(), optimized.len(), stats.rounds, stats.oracle_calls
+//! );
+//! ```
+
+pub use benchgen as benchmarks;
+pub use oac as baseline;
+pub use popqc_core as core;
+pub use qcir as ir;
+pub use qoracle as oracles;
+pub use qsim as sim;
+
+/// The types most programs need, in one import.
+pub mod prelude {
+    pub use benchgen::Family;
+    pub use oac::{oac_optimize, OacConfig, OacStats};
+    pub use popqc_core::{
+        optimize_circuit, optimize_layered, verify_local_optimality, PopqcConfig, PopqcStats,
+    };
+    pub use qcir::{Angle, Circuit, Gate, Layer, LayeredCircuit, Qubit};
+    pub use qoracle::{
+        CostFn, GateCount, LayerSearchOracle, MixedDepthGates, RuleBasedOptimizer, SearchOptimizer,
+        SegmentOracle,
+    };
+}

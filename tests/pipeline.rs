@@ -1,0 +1,136 @@
+//! End-to-end pipeline tests: benchmark generation → POPQC → semantic
+//! verification, across every family, plus baseline-quality comparisons.
+
+use popqc::prelude::*;
+
+#[test]
+fn every_family_optimizes_and_verifies() {
+    let oracle = RuleBasedOptimizer::oracle();
+    let cfg = PopqcConfig::with_omega(100);
+    for family in Family::ALL {
+        let q = family.ladder(0)[0];
+        let circuit = family.generate(q, 7);
+        let (opt, stats) = optimize_circuit(&circuit, &oracle, &cfg);
+        assert!(
+            opt.len() < circuit.len(),
+            "{}: expected some reduction on {} gates",
+            family.name(),
+            circuit.len()
+        );
+        assert_eq!(stats.final_units, opt.len());
+        assert_eq!(opt.validate(), Ok(()), "{}: invalid output", family.name());
+        // Simulator check where feasible.
+        if q <= 14 && circuit.len() <= 40_000 {
+            assert!(
+                popqc::sim::circuits_equivalent(&circuit, &opt, 2, 1234),
+                "{}: semantics changed",
+                family.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn popqc_quality_matches_or_beats_single_pass_baseline() {
+    // Section 7.4's quality story: POPQC with the fixpoint oracle never
+    // loses materially to the whole-circuit single-sequence baseline, and
+    // usually wins (convergence effect).
+    let oracle = RuleBasedOptimizer::oracle();
+    let baseline = RuleBasedOptimizer::voqc_baseline();
+    let cfg = PopqcConfig::with_omega(100);
+    let mut wins = 0;
+    let mut total = 0;
+    for family in Family::ALL {
+        let q = family.ladder(0)[0];
+        let circuit = family.generate(q, 13);
+        let base = baseline.optimize_circuit(&circuit);
+        let (pq, _) = optimize_circuit(&circuit, &oracle, &cfg);
+        total += 1;
+        // Allow a small deficit (local optimality is weaker than global
+        // passes in odd corners) but track wins.
+        assert!(
+            (pq.len() as f64) <= base.len() as f64 * 1.05 + 8.0,
+            "{}: POPQC {} much worse than baseline {}",
+            family.name(),
+            pq.len(),
+            base.len()
+        );
+        if pq.len() <= base.len() {
+            wins += 1;
+        }
+    }
+    assert!(
+        wins * 2 >= total,
+        "POPQC should at least tie the baseline on most families ({wins}/{total})"
+    );
+}
+
+#[test]
+fn optimized_circuits_round_trip_through_qasm() {
+    let oracle = RuleBasedOptimizer::oracle();
+    let circuit = Family::Hhl.generate(8, 5);
+    let (opt, _) = optimize_circuit(&circuit, &oracle, &PopqcConfig::with_omega(64));
+    let qasm = popqc::ir::qasm::to_qasm(&opt);
+    let back = popqc::ir::qasm::parse(&qasm).expect("parse optimized output");
+    assert_eq!(back, opt);
+}
+
+#[test]
+fn oac_and_popqc_agree_on_quality_with_same_oracle() {
+    // Table 3 setting: same oracle, same Ω; quality within 0.1%-ish in the
+    // paper, we allow a few percent on these small instances.
+    let oracle = RuleBasedOptimizer::oracle();
+    for family in [Family::Vqe, Family::Grover, Family::Shor] {
+        let q = family.ladder(0)[0];
+        let circuit = family.generate(q, 3);
+        let (oac_out, oac_stats) = oac_optimize(&circuit, &oracle, &OacConfig::with_omega(100));
+        let (pq_out, pq_stats) = optimize_circuit(&circuit, &oracle, &PopqcConfig::with_omega(100));
+        let a = oac_out.len() as f64;
+        let b = pq_out.len() as f64;
+        assert!(
+            (a - b).abs() / a.max(b) < 0.05,
+            "{}: OAC {} vs POPQC {} diverge",
+            family.name(),
+            a,
+            b
+        );
+        assert!(oac_stats.oracle_calls > 0 && pq_stats.oracle_calls > 0);
+    }
+}
+
+#[test]
+fn layer_mode_on_benchmarks() {
+    // Section 7.8 on a real benchmark family: the mixed objective must not
+    // regress, and depth should drop on VQE-style circuits.
+    let circuit = Family::Vqe.generate(8, 21);
+    let layered = circuit.layered();
+    let oracle = LayerSearchOracle::new(MixedDepthGates::default(), 200, circuit.num_qubits);
+    let (opt, _) = optimize_layered(&layered, &oracle, &PopqcConfig::with_omega(12));
+    assert!(opt.mixed_cost() <= layered.mixed_cost());
+    assert!(popqc::sim::circuits_equivalent(
+        &circuit,
+        &opt.to_circuit(),
+        2,
+        77
+    ));
+}
+
+#[test]
+fn initial_ordering_variants_all_verify() {
+    // Table 4 setting: default vs left-justified vs right-justified inputs.
+    let oracle = RuleBasedOptimizer::oracle();
+    let cfg = PopqcConfig::with_omega(100);
+    let circuit = Family::Sqrt.generate(14, 9);
+    for (name, variant) in [
+        ("default", circuit.clone()),
+        ("left", circuit.left_justified()),
+        ("right", circuit.right_justified()),
+    ] {
+        let (opt, _) = optimize_circuit(&variant, &oracle, &cfg);
+        assert!(opt.len() < variant.len(), "{name}: no reduction");
+        assert!(
+            popqc::sim::circuits_equivalent(&circuit, &opt, 2, 31),
+            "{name}: semantics changed"
+        );
+    }
+}
