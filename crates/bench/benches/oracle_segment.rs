@@ -11,7 +11,10 @@ fn segment(len: usize) -> (Vec<qcir::Gate>, u32) {
     // A realistic segment: a slice out of a mid-size Shor instance.
     let c = Family::Shor.generate(12, 7);
     let start = c.len() / 3;
-    (c.gates[start..start + len.min(c.len() - start)].to_vec(), c.num_qubits)
+    (
+        c.gates[start..start + len.min(c.len() - start)].to_vec(),
+        c.num_qubits,
+    )
 }
 
 fn bench_rule_oracle(c: &mut Criterion) {

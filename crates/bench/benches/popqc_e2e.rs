@@ -10,7 +10,9 @@ use qoracle::RuleBasedOptimizer;
 fn bench_popqc(c: &mut Criterion) {
     let mut g = c.benchmark_group("popqc/e2e");
     g.sample_size(10);
-    let ncores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let ncores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     for family in [Family::Vqe, Family::Hhl] {
         let qubits = family.ladder(0)[1];
         let circuit = family.generate(qubits, 42);
@@ -25,9 +27,7 @@ fn bench_popqc(c: &mut Criterion) {
             g.bench_with_input(
                 BenchmarkId::new(format!("{}-{}", family.name(), qubits), threads),
                 &circuit,
-                |b, c| {
-                    b.iter(|| pool.install(|| popqc_core::optimize_circuit(c, &oracle, &cfg)))
-                },
+                |b, c| b.iter(|| pool.install(|| popqc_core::optimize_circuit(c, &oracle, &cfg))),
             );
         }
     }
@@ -41,7 +41,10 @@ fn bench_oac_contrast(c: &mut Criterion) {
     let circuit = family.generate(family.ladder(0)[1], 42);
     let oracle = RuleBasedOptimizer::oracle();
     g.bench_function("popqc_1t_omega400", |b| {
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
         let cfg = PopqcConfig::with_omega(400);
         b.iter(|| pool.install(|| popqc_core::optimize_circuit(&circuit, &oracle, &cfg)))
     });

@@ -1,0 +1,90 @@
+//! Batch-service throughput: jobs/sec through the worker pool, cold cache
+//! vs warm cache, over the benchgen families. The warm numbers bound the
+//! service overhead (fingerprint + cache probe + handle plumbing) per job;
+//! the cold/warm gap is the memoization win.
+
+use benchgen::Family;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use popqc_core::PopqcConfig;
+use qcir::Circuit;
+use qoracle::RuleBasedOptimizer;
+use qsvc::{OptimizationService, ServiceConfig};
+
+fn batch() -> Vec<Circuit> {
+    Family::ALL
+        .iter()
+        .map(|f| f.generate(f.ladder(0)[0], 42))
+        .collect()
+}
+
+fn service(workers: usize) -> OptimizationService<RuleBasedOptimizer> {
+    OptimizationService::new(
+        RuleBasedOptimizer::oracle(),
+        ServiceConfig {
+            workers,
+            threads_per_job: 1,
+            cache_capacity: 256,
+            cache_shards: 8,
+        },
+    )
+}
+
+fn bench_cold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("svc/cold_batch");
+    g.sample_size(10);
+    let circuits = batch();
+    let cfg = PopqcConfig::with_omega(100);
+    g.throughput(Throughput::Elements(circuits.len() as u64));
+    let ncores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    for workers in [1usize, ncores] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &circuits,
+            |b, circuits| {
+                // A fresh service per iteration: every job misses.
+                b.iter_batched(
+                    || service(workers),
+                    |svc| svc.submit_batch(circuits.iter().cloned(), &cfg).wait(),
+                    criterion::BatchSize::PerIteration,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_warm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("svc/warm_batch");
+    g.sample_size(20);
+    let circuits = batch();
+    let cfg = PopqcConfig::with_omega(100);
+    g.throughput(Throughput::Elements(circuits.len() as u64));
+    let svc = service(2);
+    // Pre-warm: one cold pass populates the cache.
+    let cold = svc.submit_batch(circuits.iter().cloned(), &cfg).wait();
+    assert_eq!(cold.cache_hits(), 0);
+    g.bench_function("hits", |b| {
+        b.iter(|| {
+            let warm = svc.submit_batch(circuits.iter().cloned(), &cfg).wait();
+            debug_assert_eq!(warm.cache_hits(), circuits.len());
+            warm
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_cold, bench_warm
+}
+criterion_main!(benches);

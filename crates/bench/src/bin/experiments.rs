@@ -42,8 +42,7 @@ fn main() {
                 }
             }
             "--timeout" => {
-                opts.timeout =
-                    Duration::from_secs_f64(value.parse().unwrap_or_else(|_| usage()))
+                opts.timeout = Duration::from_secs_f64(value.parse().unwrap_or_else(|_| usage()))
             }
             "--out" => opts.out_dir = value.clone().into(),
             _ => usage(),

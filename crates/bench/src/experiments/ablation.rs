@@ -36,9 +36,21 @@ pub fn ablation(opts: &Opts) {
         rows.push(vec![
             large.family.name().to_string(),
             c.len().to_string(),
-            format!("{} ({})", fmt_secs(f_t), fmt_pct(1.0 - f_out.len() as f64 / c.len() as f64)),
-            format!("{} ({})", fmt_secs(m_t), fmt_pct(1.0 - m_out.len() as f64 / c.len() as f64)),
-            format!("{} ({})", fmt_secs(p_t), fmt_pct(1.0 - p_out.len() as f64 / c.len() as f64)),
+            format!(
+                "{} ({})",
+                fmt_secs(f_t),
+                fmt_pct(1.0 - f_out.len() as f64 / c.len() as f64)
+            ),
+            format!(
+                "{} ({})",
+                fmt_secs(m_t),
+                fmt_pct(1.0 - m_out.len() as f64 / c.len() as f64)
+            ),
+            format!(
+                "{} ({})",
+                fmt_secs(p_t),
+                fmt_pct(1.0 - p_out.len() as f64 / c.len() as f64)
+            ),
             format!("{:.1}", f_t.as_secs_f64() / m_t.as_secs_f64().max(1e-9)),
         ]);
         records.push(json!({

@@ -33,7 +33,10 @@ pub fn fig3(opts: &Opts) {
         headers.push(format!("{t}t"));
     }
     for (_, large) in extreme_instances(opts) {
-        let mut row = vec![large.family.name().to_string(), large.circuit.len().to_string()];
+        let mut row = vec![
+            large.family.name().to_string(),
+            large.circuit.len().to_string(),
+        ];
         let base = timed_popqc(&large.circuit, opts.omega, 1);
         let mut series = Vec::new();
         for &t in &opts.threads {
@@ -46,7 +49,9 @@ pub fn fig3(opts: &Opts) {
             row.push(format!("{sp:.2}"));
             series.push(json!({"threads": t, "speedup": sp, "seconds": dt.as_secs_f64()}));
         }
-        records.push(json!({"family": large.family.name(), "gates": large.circuit.len(), "series": series}));
+        records.push(
+            json!({"family": large.family.name(), "gates": large.circuit.len(), "series": series}),
+        );
         rows.push(row);
     }
     let hdr: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
@@ -56,7 +61,10 @@ pub fn fig3(opts: &Opts) {
 
 /// Figure 4: number of rounds, smallest vs largest instance per family.
 pub fn fig4(opts: &Opts) {
-    println!("\n=== Figure 4: #rounds, smallest vs largest instance (Ω={}) ===", opts.omega);
+    println!(
+        "\n=== Figure 4: #rounds, smallest vs largest instance (Ω={}) ===",
+        opts.omega
+    );
     let mut rows = Vec::new();
     let mut records = Vec::new();
     for (small, large) in extreme_instances(opts) {
@@ -73,7 +81,10 @@ pub fn fig4(opts: &Opts) {
             "large": {"gates": large.circuit.len(), "rounds": l_stats.rounds},
         }));
     }
-    print_table(&["benchmark", "rounds (smallest)", "rounds (largest)"], &rows);
+    print_table(
+        &["benchmark", "rounds (smallest)", "rounds (largest)"],
+        &rows,
+    );
     dump_json(opts, "fig4", &json!({ "rows": records }));
 }
 
@@ -81,7 +92,10 @@ pub fn fig4(opts: &Opts) {
 /// point per instance.
 pub fn fig5(opts: &Opts) {
     let t = opts.max_threads();
-    println!("\n=== Figure 5: self-speedup ({t} threads) vs #gates (Ω={}) ===", opts.omega);
+    println!(
+        "\n=== Figure 5: self-speedup ({t} threads) vs #gates (Ω={}) ===",
+        opts.omega
+    );
     let mut rows = Vec::new();
     let mut records = Vec::new();
     for inst in instances(opts) {
@@ -126,7 +140,8 @@ pub fn fig6(opts: &Opts) {
             let gate_arm = LayerSearchOracle::new(GateCount, budget, c.num_qubits);
             let (out_g, _) = crate::harness::pool(opts.max_threads())
                 .install(|| popqc_core::optimize_layered(&lc, &gate_arm, &cfg));
-            let mixed_arm = LayerSearchOracle::new(MixedDepthGates::default(), budget, c.num_qubits);
+            let mixed_arm =
+                LayerSearchOracle::new(MixedDepthGates::default(), budget, c.num_qubits);
             let (out_m, _) = crate::harness::pool(opts.max_threads())
                 .install(|| popqc_core::optimize_layered(&lc, &mixed_arm, &cfg));
             let gates0 = lc.gate_count() as f64;
@@ -166,7 +181,10 @@ pub fn fig6(opts: &Opts) {
 
 /// Figure 7 (A.1): 1-thread work and oracle-call counts vs circuit size.
 pub fn fig7(opts: &Opts) {
-    println!("\n=== Figure 7 (A.1): work and #oracle calls vs #gates (1 thread, Ω={}) ===", opts.omega);
+    println!(
+        "\n=== Figure 7 (A.1): work and #oracle calls vs #gates (1 thread, Ω={}) ===",
+        opts.omega
+    );
     let mut rows = Vec::new();
     let mut records = Vec::new();
     let mut sum_calls_per_gate = 0.0;
@@ -193,7 +211,14 @@ pub fn fig7(opts: &Opts) {
         }));
     }
     print_table(
-        &["instance", "#gates", "time(s)", "#calls", "calls/gate", "µs/gate"],
+        &[
+            "instance",
+            "#gates",
+            "time(s)",
+            "#calls",
+            "calls/gate",
+            "µs/gate",
+        ],
         &rows,
     );
     println!(
@@ -205,7 +230,10 @@ pub fn fig7(opts: &Opts) {
 
 /// Figure 8 (A.2): fraction of run time spent inside the oracle.
 pub fn fig8(opts: &Opts) {
-    println!("\n=== Figure 8 (A.2): fraction of time in the oracle (1 thread, Ω={}) ===", opts.omega);
+    println!(
+        "\n=== Figure 8 (A.2): fraction of time in the oracle (1 thread, Ω={}) ===",
+        opts.omega
+    );
     let mut rows = Vec::new();
     let mut records = Vec::new();
     for inst in instances(opts) {

@@ -72,7 +72,13 @@ fn popqc_vs_voqc(opts: &Opts, popqc_threads: usize, name: &str, title: &str) {
     }
     print_table(
         &[
-            "benchmark", "#qubits", "#gates", "voqc red", "voqc t(s)", "popqc red", "popqc t(s)",
+            "benchmark",
+            "#qubits",
+            "#gates",
+            "voqc red",
+            "voqc t(s)",
+            "popqc red",
+            "popqc t(s)",
             "speedup",
         ],
         &rows,
@@ -84,7 +90,11 @@ fn popqc_vs_voqc(opts: &Opts, popqc_threads: usize, name: &str, title: &str) {
         fmt_pct(red_pq_sum.0 / red_pq_sum.1.max(1) as f64),
         avg_sp
     );
-    dump_json(opts, name, &json!({ "rows": records, "average_speedup": avg_sp }));
+    dump_json(
+        opts,
+        name,
+        &json!({ "rows": records, "average_speedup": avg_sp }),
+    );
 }
 
 /// Table 1: POPQC on all cores vs the whole-circuit VOQC-profile baseline.
@@ -149,7 +159,13 @@ pub fn table3(opts: &Opts) {
     }
     print_table(
         &[
-            "benchmark", "#qubits", "#gates", "oac t(s)", "popqc t(s)", "oac red", "popqc red",
+            "benchmark",
+            "#qubits",
+            "#gates",
+            "oac t(s)",
+            "popqc t(s)",
+            "oac red",
+            "popqc red",
             "oac/popqc",
         ],
         &rows,
@@ -159,7 +175,10 @@ pub fn table3(opts: &Opts) {
 
 /// Table 4: sensitivity to the initial gate ordering.
 pub fn table4(opts: &Opts) {
-    println!("\n=== Table 4: initial ordering sensitivity (Ω={}) ===", opts.omega);
+    println!(
+        "\n=== Table 4: initial ordering sensitivity (Ω={}) ===",
+        opts.omega
+    );
     let mut rows = Vec::new();
     let mut records = Vec::new();
     for family in benchgen::Family::ALL {

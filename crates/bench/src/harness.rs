@@ -75,9 +75,10 @@ pub fn instances(opts: &Opts) -> Vec<Instance> {
     Family::ALL
         .iter()
         .flat_map(|&family| {
-            family.ladder(opts.scale).into_iter().map(move |qubits| {
-                (family, qubits)
-            })
+            family
+                .ladder(opts.scale)
+                .into_iter()
+                .map(move |qubits| (family, qubits))
         })
         .map(|(family, qubits)| Instance {
             family,
@@ -157,7 +158,10 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         println!("{s}");
     };
     line(headers.iter().map(|h| h.to_string()).collect());
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for row in rows {
         line(row.clone());
     }

@@ -257,13 +257,7 @@ mod tests {
     fn toffoli_is_ccx() {
         let mut c = Circuit::new(3);
         toffoli(&mut c, 0, 1, 2);
-        implements_permutation(&c, |j| {
-            if j & 0b011 == 0b011 {
-                j ^ 0b100
-            } else {
-                j
-            }
-        });
+        implements_permutation(&c, |j| if j & 0b011 == 0b011 { j ^ 0b100 } else { j });
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub fn generate(qubits: u32, rng: &mut ChaCha8Rng) -> Circuit {
             [a, b, c]
         })
         .collect();
-    let signs: Vec<[bool; 3]> = clauses.iter().map(|_| [rng.gen(), rng.gen(), rng.gen()]).collect();
+    let signs: Vec<[bool; 3]> = clauses
+        .iter()
+        .map(|_| [rng.gen(), rng.gen(), rng.gen()])
+        .collect();
     let rounds = (1usize << (nv / 4)).max(1);
 
     let mut c = Circuit::new(qubits);

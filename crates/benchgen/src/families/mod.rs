@@ -109,6 +109,21 @@ impl Family {
         }
     }
 
+    /// Smallest width the family's generator supports; [`Self::generate`]
+    /// panics below it.
+    pub fn min_qubits(self) -> u32 {
+        match self {
+            Family::BoolSat => 8,
+            Family::Bwt => 6,
+            Family::Grover => 5,
+            Family::Hhl => 5,
+            Family::Shor => 5,
+            Family::Sqrt => 11,
+            Family::StateVec => 2,
+            Family::Vqe => 4,
+        }
+    }
+
     /// Generates the family's circuit at the given width. Deterministic in
     /// `(qubits, seed)`.
     pub fn generate(self, qubits: u32, seed: u64) -> Circuit {
@@ -154,6 +169,26 @@ mod tests {
             assert_eq!(Family::from_name(&f.name().to_lowercase()), Some(f));
         }
         assert_eq!(Family::from_name("nope"), None);
+    }
+
+    #[test]
+    fn min_qubits_matches_generator_asserts() {
+        // `min_qubits` duplicates the `assert!(qubits >= N)` constants in
+        // each generator; this pins the two together so they cannot drift.
+        for f in Family::ALL {
+            let min = f.min_qubits();
+            assert!(
+                f.generate(min, 1).validate().is_ok(),
+                "{}: generate(min_qubits) must succeed",
+                f.name()
+            );
+            let below = std::panic::catch_unwind(|| f.generate(min - 1, 1));
+            assert!(
+                below.is_err(),
+                "{}: generate(min_qubits - 1) must panic",
+                f.name()
+            );
+        }
     }
 
     #[test]

@@ -37,9 +37,9 @@ pub fn generate(qubits: u32, rng: &mut ChaCha8Rng) -> Circuit {
         cuccaro_sub(&mut c, &x, &t, cin, cout);
         // Comparator: AND-chain of temp bits onto the carry-out flag.
         toffoli(&mut c, t[0], t[1 % nb], cout);
-        for j in 2..nb {
-            toffoli(&mut c, t[j], cout, cin);
-            toffoli(&mut c, t[j], cout, cin);
+        for &tq in t.iter().take(nb).skip(2) {
+            toffoli(&mut c, tq, cout, cin);
+            toffoli(&mut c, tq, cout, cin);
         }
         // Conditional update of the guess.
         for (j, &gq) in g.iter().enumerate() {

@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::Instant;
 
 /// POPQC parameters.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct PopqcConfig {
     /// The local-optimality radius Ω (the paper's default is 200).
     pub omega: usize,
@@ -91,6 +91,33 @@ impl PopqcStats {
     }
 }
 
+/// Observer notified as an optimization run progresses — the hook the batch
+/// service (and any future UI) uses to surface live per-job progress
+/// without touching the engine's hot path.
+///
+/// Called once per round, after the round's substitutions land, from the
+/// driving thread. Implementations should be cheap; the engine blocks on
+/// them.
+pub trait RoundObserver: Sync {
+    fn on_round(&self, round: usize, record: &RoundRecord);
+}
+
+/// The no-op observer used by the plain entry points.
+impl RoundObserver for () {
+    #[inline]
+    fn on_round(&self, _round: usize, _record: &RoundRecord) {}
+}
+
+/// Adapts a closure into a [`RoundObserver`].
+pub struct FnObserver<F>(pub F);
+
+impl<F: Fn(usize, &RoundRecord) + Sync> RoundObserver for FnObserver<F> {
+    #[inline]
+    fn on_round(&self, round: usize, record: &RoundRecord) {
+        (self.0)(round, record)
+    }
+}
+
 /// POPQC (Algorithm 2) over an arbitrary unit sequence.
 ///
 /// Returns the optimized unit sequence and run statistics. Deterministic:
@@ -104,6 +131,22 @@ pub fn popqc_units<U, O>(
 where
     U: Clone + Send + Sync,
     O: SegmentOracle<U>,
+{
+    popqc_units_observed(units, num_qubits, oracle, cfg, &())
+}
+
+/// [`popqc_units`] with a [`RoundObserver`] progress hook.
+pub fn popqc_units_observed<U, O, Obs>(
+    units: Vec<U>,
+    num_qubits: u32,
+    oracle: &O,
+    cfg: &PopqcConfig,
+    observer: &Obs,
+) -> (Vec<U>, PopqcStats)
+where
+    U: Clone + Send + Sync,
+    O: SegmentOracle<U>,
+    Obs: RoundObserver + ?Sized,
 {
     assert!(cfg.omega >= 1, "Ω must be at least 1");
     let t_start = Instant::now();
@@ -154,12 +197,14 @@ where
 
         let ra = round_accepted.load(Relaxed);
         accepted.fetch_add(ra, Relaxed);
-        stats.rounds_detail.push(RoundRecord {
+        let record = RoundRecord {
             fingers: fingers.len(),
             selected: selected.len(),
             accepted: ra as usize,
-        });
+        };
+        stats.rounds_detail.push(record);
         stats.rounds += 1;
+        observer.on_round(stats.rounds, &record);
         fingers = merge_dedup(&remaining, &new_fingers);
     }
 
@@ -240,7 +285,17 @@ pub fn optimize_circuit<O: SegmentOracle<Gate>>(
     oracle: &O,
     cfg: &PopqcConfig,
 ) -> (Circuit, PopqcStats) {
-    let (gates, stats) = popqc_units(c.gates.clone(), c.num_qubits, oracle, cfg);
+    optimize_circuit_observed(c, oracle, cfg, &())
+}
+
+/// [`optimize_circuit`] with a [`RoundObserver`] progress hook.
+pub fn optimize_circuit_observed<O: SegmentOracle<Gate>, Obs: RoundObserver + ?Sized>(
+    c: &Circuit,
+    oracle: &O,
+    cfg: &PopqcConfig,
+    observer: &Obs,
+) -> (Circuit, PopqcStats) {
+    let (gates, stats) = popqc_units_observed(c.gates.clone(), c.num_qubits, oracle, cfg, observer);
     (
         Circuit {
             num_qubits: c.num_qubits,

@@ -38,7 +38,7 @@ pub fn select_fingers<U: Clone + Send + Sync>(
     for i in 0..fingers.len() {
         let first_in_group = i == 0 || groups[i] > groups[i - 1];
         if first_in_group {
-            if groups[i] % 2 == 0 {
+            if groups[i].is_multiple_of(2) {
                 even.push(i);
             } else {
                 odd.push(i);

@@ -136,7 +136,7 @@ impl IndexTree {
         while node < self.cap {
             let left = self.w[2 * node].load(Relaxed);
             if rank < left {
-                node = 2 * node;
+                node *= 2;
             } else {
                 rank -= left;
                 node = 2 * node + 1;
@@ -260,7 +260,6 @@ mod tests {
         let n = 257; // force a ragged last level
         let mut weights = vec![1u32; n];
         let t = IndexTree::new(&weights);
-        let mut naive = Naive(weights.clone());
         let mut seed = 0xDEADBEEFu64;
         let mut rng = move || {
             seed ^= seed << 13;
@@ -279,8 +278,11 @@ mod tests {
             for &(s, v) in &ups {
                 weights[s] = v;
             }
-            naive = Naive(weights.clone());
-            assert_eq!(t.total(), naive.0.iter().map(|&w| w as usize).sum::<usize>());
+            let naive = Naive(weights.clone());
+            assert_eq!(
+                t.total(),
+                naive.0.iter().map(|&w| w as usize).sum::<usize>()
+            );
             for probe in [0usize, 1, n / 3, n / 2, n - 1, n] {
                 assert_eq!(t.before(probe), naive.before(probe), "before({probe})");
             }

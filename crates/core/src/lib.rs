@@ -42,8 +42,9 @@ pub mod index_tree;
 pub mod sparse;
 
 pub use engine::{
-    optimize_circuit, optimize_layered, popqc_units, verify_local_optimality, PopqcConfig,
-    PopqcStats, RoundRecord,
+    optimize_circuit, optimize_circuit_observed, optimize_layered, popqc_units,
+    popqc_units_observed, verify_local_optimality, FnObserver, PopqcConfig, PopqcStats,
+    RoundObserver, RoundRecord,
 };
 pub use index_tree::IndexTree;
 pub use sparse::SparseCircuit;

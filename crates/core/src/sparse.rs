@@ -114,10 +114,7 @@ impl<U: Clone + Send + Sync> SparseCircuit<U> {
     /// O(n) work, O(lg n) span (parallel filter-collect).
     pub fn to_units(&self) -> Vec<U> {
         if self.slots.len() >= 1 << 12 {
-            self.slots
-                .par_iter()
-                .filter_map(|s| s.clone())
-                .collect()
+            self.slots.par_iter().filter_map(|s| s.clone()).collect()
         } else {
             self.slots.iter().filter_map(|s| s.clone()).collect()
         }
@@ -173,7 +170,10 @@ mod tests {
         assert_eq!(c.len(), n / 2);
         let units = c.to_units();
         assert_eq!(units.len(), n / 2);
-        assert!(units.iter().enumerate().all(|(k, &v)| v == 2 * k as u64 + 1));
+        assert!(units
+            .iter()
+            .enumerate()
+            .all(|(k, &v)| v == 2 * k as u64 + 1));
     }
 
     #[test]

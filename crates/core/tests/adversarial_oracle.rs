@@ -113,7 +113,7 @@ struct FlakyOracle {
 impl SegmentOracle<Gate> for FlakyOracle {
     fn optimize(&self, units: &[Gate], _n: u32) -> Vec<Gate> {
         let k = self.calls.fetch_add(1, Ordering::Relaxed);
-        if k % 2 == 0 && units.len() > 2 {
+        if k.is_multiple_of(2) && units.len() > 2 {
             units[..units.len() - 1].to_vec()
         } else {
             units.to_vec()

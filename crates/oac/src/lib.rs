@@ -229,11 +229,8 @@ mod tests {
         for seed in [5u64, 23] {
             let c = random_circuit(5, 300, seed);
             let (oac_out, _) = oac_optimize(&c, &oracle, &OacConfig::with_omega(20));
-            let (pq_out, _) = popqc_core::optimize_circuit(
-                &c,
-                &oracle,
-                &popqc_core::PopqcConfig::with_omega(20),
-            );
+            let (pq_out, _) =
+                popqc_core::optimize_circuit(&c, &oracle, &popqc_core::PopqcConfig::with_omega(20));
             let a = oac_out.len() as f64;
             let b = pq_out.len() as f64;
             let rel = (a - b).abs() / a.max(b).max(1.0);

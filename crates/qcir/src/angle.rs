@@ -102,6 +102,7 @@ impl Angle {
     }
 
     /// Sum of two angles, reduced into `[0, 2π)`.
+    #[allow(clippy::should_implement_trait)] // also exposed via `impl Add`
     pub fn add(self, other: Angle) -> Angle {
         Self::normalize(
             self.num as i128 * other.den as i128 + other.num as i128 * self.den as i128,
@@ -110,6 +111,7 @@ impl Angle {
     }
 
     /// Additive inverse modulo 2π: `self.add(self.neg()) == Angle::ZERO`.
+    #[allow(clippy::should_implement_trait)] // also exposed via `impl Neg`
     pub fn neg(self) -> Angle {
         Self::normalize(-(self.num as i128), self.den as i128)
     }
@@ -233,10 +235,7 @@ mod tests {
         assert_eq!(Angle::PI + Angle::PI, Angle::ZERO);
         assert_eq!(Angle::PI_2 + Angle::THREE_PI_2, Angle::ZERO);
         assert_eq!(Angle::PI_4 + Angle::PI_4, Angle::PI_2);
-        assert_eq!(
-            Angle::pi_frac(1, 3) + Angle::pi_frac(1, 6),
-            Angle::PI_2
-        );
+        assert_eq!(Angle::pi_frac(1, 3) + Angle::pi_frac(1, 6), Angle::PI_2);
     }
 
     #[test]
@@ -269,7 +268,10 @@ mod tests {
 
     #[test]
     fn from_radians_snaps_small_denominators() {
-        assert_eq!(Angle::from_radians(std::f64::consts::FRAC_PI_2), Angle::PI_2);
+        assert_eq!(
+            Angle::from_radians(std::f64::consts::FRAC_PI_2),
+            Angle::PI_2
+        );
         assert_eq!(
             Angle::from_radians(-std::f64::consts::FRAC_PI_4),
             Angle::SEVEN_PI_4

@@ -145,7 +145,12 @@ mod tests {
         assert!(!Gate::Cnot(0, 1).is_inverse_of(&Gate::Cnot(1, 0)));
         assert!(Gate::Rz(0, Angle::PI_4).is_inverse_of(&Gate::Rz(0, Angle::SEVEN_PI_4)));
         assert!(!Gate::Rz(0, Angle::PI_4).is_inverse_of(&Gate::Rz(0, Angle::PI_4)));
-        for g in [Gate::H(1), Gate::X(2), Gate::Rz(0, Angle::PI_4), Gate::Cnot(3, 5)] {
+        for g in [
+            Gate::H(1),
+            Gate::X(2),
+            Gate::Rz(0, Angle::PI_4),
+            Gate::Cnot(3, 5),
+        ] {
             assert!(g.is_inverse_of(&g.inverse()));
         }
     }

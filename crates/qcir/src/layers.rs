@@ -176,7 +176,12 @@ mod tests {
         for flat in [c.left_justified(), c.right_justified()] {
             for q in 0..c.num_qubits {
                 let orig: Vec<Gate> = c.gates.iter().filter(|g| g.acts_on(q)).copied().collect();
-                let now: Vec<Gate> = flat.gates.iter().filter(|g| g.acts_on(q)).copied().collect();
+                let now: Vec<Gate> = flat
+                    .gates
+                    .iter()
+                    .filter(|g| g.acts_on(q))
+                    .copied()
+                    .collect();
                 assert_eq!(orig, now, "per-qubit order changed on wire {q}");
             }
         }

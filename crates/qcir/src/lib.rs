@@ -20,11 +20,13 @@
 
 pub mod angle;
 pub mod circuit;
+pub mod fingerprint;
 pub mod gate;
 pub mod layers;
 pub mod qasm;
 
 pub use angle::Angle;
 pub use circuit::Circuit;
+pub use fingerprint::{fingerprint_gates, Fingerprint, FingerprintHasher};
 pub use gate::{Gate, Qubit};
 pub use layers::{Layer, LayeredCircuit};

@@ -77,9 +77,8 @@ pub fn parse(src: &str) -> Result<Circuit, QasmError> {
             }
             if let Some(rest) = stmt.strip_prefix("qreg") {
                 let rest = rest.trim();
-                let (name, size) = parse_reg_decl(rest).ok_or_else(|| {
-                    err(lineno, format!("malformed qreg declaration: {stmt}"))
-                })?;
+                let (name, size) = parse_reg_decl(rest)
+                    .ok_or_else(|| err(lineno, format!("malformed qreg declaration: {stmt}")))?;
                 if num_qubits.is_some() {
                     return Err(err(lineno, "multiple qreg declarations are not supported"));
                 }

@@ -6,8 +6,7 @@ use proptest::prelude::*;
 use qcir::Angle;
 
 fn arb_angle() -> impl Strategy<Value = Angle> {
-    (-(1i64 << 24)..(1i64 << 24), 1i64..(1 << 20))
-        .prop_map(|(num, den)| Angle::pi_frac(num, den))
+    (-(1i64 << 24)..(1i64 << 24), 1i64..(1 << 20)).prop_map(|(num, den)| Angle::pi_frac(num, den))
 }
 
 proptest! {

@@ -59,7 +59,7 @@ pub(crate) fn wire_positions(gates: &[Gate], num_qubits: u32) -> Vec<Vec<u32>> {
 
 #[cfg(test)]
 pub(crate) mod testutil {
-    use qcir::{Angle, Circuit, Gate};
+    use qcir::{Angle, Circuit};
 
     /// Deterministic random circuit over `n` qubits with angles on the
     /// π/8 grid — dense in redundancy so passes have work to do.

@@ -189,10 +189,7 @@ mod tests {
         // X(0) RZ(θ) X(0) RZ(φ) : first rotation acts on ¬x0, second on x0;
         // they merge to RZ(φ−θ) at the first site.
         let mut c = Circuit::new(1);
-        c.x(0)
-            .rz(0, Angle::PI_4)
-            .x(0)
-            .rz(0, Angle::PI_2);
+        c.x(0).rz(0, Angle::PI_4).x(0).rz(0, Angle::PI_2);
         let out = run(&c);
         // Merged: π/4 at site on ¬x0, contribution of π/2 on x0 is −π/2
         // there: π/4 − π/2 = −π/4 = 7π/4.

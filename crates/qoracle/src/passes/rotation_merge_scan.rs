@@ -116,7 +116,11 @@ impl Pass for RotationMergeScan {
                     Gate::Rz(w, phi) => {
                         if wires[w as usize].vars == anchor {
                             // Same linear function (complement ⇒ negate).
-                            let delta = if wires[w as usize].comp { -theta } else { theta };
+                            let delta = if wires[w as usize].comp {
+                                -theta
+                            } else {
+                                theta
+                            };
                             let sum = phi + delta;
                             slots[i] = None;
                             slots[j] = if sum.is_zero() {
@@ -146,10 +150,7 @@ mod tests {
     #[test]
     fn merges_adjacent_and_distant_rotations() {
         let mut c = Circuit::new(2);
-        c.rz(0, Angle::PI_4)
-            .cnot(0, 1)
-            .h(1)
-            .rz(0, Angle::PI_4);
+        c.rz(0, Angle::PI_4).cnot(0, 1).h(1).rz(0, Angle::PI_4);
         let out = run(&c);
         assert_eq!(out.len(), 3);
         assert!(out.contains(&Gate::Rz(0, Angle::PI_2)));

@@ -22,6 +22,10 @@ use std::time::Instant;
 pub struct RuleBasedOptimizer {
     passes: Vec<Box<dyn Pass>>,
     max_rounds: usize,
+    /// Stable configuration id; doubles as the optimization service's
+    /// cache-key oracle id, so distinct behaviours must carry distinct
+    /// labels.
+    label: &'static str,
 }
 
 impl RuleBasedOptimizer {
@@ -64,6 +68,7 @@ impl RuleBasedOptimizer {
         RuleBasedOptimizer {
             passes: Self::voqc_sequence(deadline),
             max_rounds: 1,
+            label: "voqc-baseline",
         }
     }
 
@@ -79,6 +84,7 @@ impl RuleBasedOptimizer {
         RuleBasedOptimizer {
             passes: Self::nam_sequence(),
             max_rounds: 1,
+            label: "rule-single-pass",
         }
     }
 
@@ -88,6 +94,7 @@ impl RuleBasedOptimizer {
         RuleBasedOptimizer {
             passes: Self::nam_sequence(),
             max_rounds: 32,
+            label: "rule-fixpoint",
         }
     }
 
@@ -96,6 +103,9 @@ impl RuleBasedOptimizer {
         RuleBasedOptimizer {
             passes: Self::nam_sequence(),
             max_rounds: max_rounds.max(1),
+            // Ambiguous across bounds by construction; service users should
+            // supply an explicit oracle id for custom-bounded pipelines.
+            label: "rule-bounded",
         }
     }
 
@@ -147,7 +157,7 @@ impl SegmentOracle<Gate> for RuleBasedOptimizer {
     }
 
     fn name(&self) -> &'static str {
-        "rule-based"
+        self.label
     }
 }
 

@@ -134,7 +134,12 @@ mod tests {
         // generated neighbors against the simulator.
         let mut cases: Vec<Circuit> = Vec::new();
         let mut c = Circuit::new(2);
-        c.h(0).h(0).cnot(0, 1).cnot(0, 1).rz(1, Angle::PI_4).rz(1, Angle::PI_4);
+        c.h(0)
+            .h(0)
+            .cnot(0, 1)
+            .cnot(0, 1)
+            .rz(1, Angle::PI_4)
+            .rz(1, Angle::PI_4);
         cases.push(c);
         let mut c = Circuit::new(2);
         c.h(0).rz(0, Angle::PI_2).h(0).x(1).rz(1, Angle::PI_4);
@@ -143,7 +148,10 @@ mod tests {
         c.h(0).h(1).cnot(0, 1).h(0).h(1);
         cases.push(c);
         let mut c = Circuit::new(3);
-        c.rz(0, Angle::PI_4).cnot(0, 1).cnot(0, 2).rz(0, Angle::ZERO);
+        c.rz(0, Angle::PI_4)
+            .cnot(0, 1)
+            .cnot(0, 2)
+            .rz(0, Angle::ZERO);
         cases.push(c);
 
         let mut total = 0;

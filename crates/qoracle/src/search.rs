@@ -188,8 +188,7 @@ impl<C: CostFn> SegmentOracle<Layer> for LayerSearchOracle<C> {
             num_qubits,
             gates: opt,
         });
-        if relayered.layers.len() <= units.len()
-            && self.cost(&relayered.layers) < self.cost(units)
+        if relayered.layers.len() <= units.len() && self.cost(&relayered.layers) < self.cost(units)
         {
             relayered.layers
         } else {

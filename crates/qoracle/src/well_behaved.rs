@@ -62,8 +62,7 @@ impl<O: SegmentOracle<Gate>> SegmentOracle<Gate> for WellBehavedOracle<O> {
                     let w = &out[s..s + self.window];
                     let o = self.inner.optimize(w, num_qubits);
                     if o.len() < w.len() {
-                        let mut next =
-                            Vec::with_capacity(out.len() - (w.len() - o.len()));
+                        let mut next = Vec::with_capacity(out.len() - (w.len() - o.len()));
                         next.extend_from_slice(&out[..s]);
                         next.extend(o);
                         next.extend_from_slice(&out[s + self.window..]);

@@ -137,7 +137,7 @@ mod tests {
     #[test]
     fn cis_is_unit() {
         for k in 0..8 {
-            let z = Complex::cis(k as f64 * 0.7853981633974483);
+            let z = Complex::cis(k as f64 * std::f64::consts::FRAC_PI_4);
             assert!((z.norm() - 1.0).abs() < 1e-12);
         }
         let i = Complex::cis(std::f64::consts::FRAC_PI_2);

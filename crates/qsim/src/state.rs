@@ -133,7 +133,7 @@ impl StateVector {
     }
 
     fn apply_x(&mut self, q: Qubit) {
-        self.for_pairs(q, |a, b| std::mem::swap(a, b));
+        self.for_pairs(q, std::mem::swap);
     }
 
     fn apply_rz(&mut self, q: Qubit, theta: f64) {
@@ -249,16 +249,27 @@ mod tests {
         let mut big = StateVector::random(14, 5);
         let clone = big.clone();
         let mut c = Circuit::new(14);
-        c.h(13).cnot(13, 0).rz(0, Angle::PI_4).cnot(13, 0).rz(13, Angle::PI_2).h(13);
+        c.h(13)
+            .cnot(13, 0)
+            .rz(0, Angle::PI_4)
+            .cnot(13, 0)
+            .rz(13, Angle::PI_2)
+            .h(13);
         big.apply_circuit(&c);
         assert!((big.norm() - 1.0).abs() < 1e-9);
         // The circuit above is not identity; fidelity must have moved.
         let f = big.inner(&clone).norm();
-        assert!(f < 1.0 - 1e-6, "circuit should alter the state, fidelity {f}");
+        assert!(
+            f < 1.0 - 1e-6,
+            "circuit should alter the state, fidelity {f}"
+        );
         // Applying the inverse restores the state exactly (up to fp error).
         big.apply_circuit(&c.inverse());
         let f = big.inner(&clone).norm();
-        assert!((f - 1.0).abs() < 1e-9, "inverse should restore, fidelity {f}");
+        assert!(
+            (f - 1.0).abs() < 1e-9,
+            "inverse should restore, fidelity {f}"
+        );
     }
 
     #[test]

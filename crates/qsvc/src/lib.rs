@@ -1,0 +1,57 @@
+//! # popqc-svc — the batch optimization service
+//!
+//! The POPQC paper parallelizes optimization *within* one circuit; this
+//! crate adds the orthogonal production axis: parallelism *across*
+//! circuits, with memoization and full accounting. It is the outer
+//! scheduling layer the ROADMAP's "serve heavy traffic" north star needs —
+//! each circuit-optimization is a job, the engine is the inner kernel.
+//!
+//! * [`OptimizationService`] — fixed worker pool (outer parallelism) where
+//!   each job runs the engine under a bounded thread budget (inner
+//!   parallelism), so one huge circuit cannot starve the queue.
+//! * [`ShardedLruCache`] — results memoized under
+//!   [`JobKey`] = (structural circuit fingerprint, oracle id, engine
+//!   config); identical resubmissions cost zero oracle calls.
+//! * [`JobHandle`] / [`BatchHandle`] / [`BatchResult`] — completion,
+//!   live round-progress, and per-job + aggregate statistics with
+//!   cache-hit attribution.
+//! * [`report`] — the JSON stats schema the `popqc` CLI emits.
+//!
+//! In-process only by design: a network frontend is a follow-up that wraps
+//! this API (see ROADMAP "Open items").
+//!
+//! ## Example
+//!
+//! ```
+//! use qsvc::{OptimizationService, ServiceConfig};
+//! use popqc_core::PopqcConfig;
+//! use qoracle::RuleBasedOptimizer;
+//! use qcir::{Angle, Circuit};
+//!
+//! let svc = OptimizationService::new(
+//!     RuleBasedOptimizer::oracle(),
+//!     ServiceConfig { workers: 2, ..ServiceConfig::default() },
+//! );
+//! let mut c = Circuit::new(2);
+//! c.h(0).h(0).cnot(0, 1).rz(1, Angle::PI_4).rz(1, Angle::PI_4);
+//!
+//! let cfg = PopqcConfig::with_omega(4);
+//! let first = svc.submit(c.clone(), &cfg).wait();
+//! assert!(!first.cache_hit);
+//!
+//! // Resubmission: served from cache, zero new oracle calls.
+//! let again = svc.submit(c, &cfg).wait();
+//! assert!(again.cache_hit);
+//! assert_eq!(again.circuit, first.circuit);
+//! assert_eq!(svc.stats().cache_hits, 1);
+//! ```
+
+pub mod cache;
+pub mod report;
+pub mod service;
+
+pub use cache::{CacheStats, ShardedLruCache};
+pub use service::{
+    BatchHandle, BatchResult, JobHandle, JobKey, JobResult, OptimizationService, ServiceConfig,
+    ServiceStats,
+};

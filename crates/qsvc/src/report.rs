@@ -1,0 +1,75 @@
+//! JSON batch reports.
+//!
+//! Turns a [`BatchResult`](crate::BatchResult) plus the service counters
+//! into the stats document the `popqc` CLI writes. Kept in the service
+//! crate (rather than the CLI) so the schema is testable and reusable by a
+//! future HTTP frontend.
+
+use crate::service::{BatchResult, ServiceStats};
+use serde_json::{json, Value};
+
+/// Per-pass report: one batch submission of `labels.len()` jobs.
+///
+/// `labels` must parallel `batch.results` (submission order); pass file
+/// names, family names, or any stable identifier.
+pub fn batch_report(labels: &[String], batch: &BatchResult, pass: usize) -> Value {
+    assert_eq!(
+        labels.len(),
+        batch.results.len(),
+        "one label per job required"
+    );
+    let jobs: Vec<Value> = labels
+        .iter()
+        .zip(&batch.results)
+        .map(|(label, r)| {
+            json!({
+                "label": label.as_str(),
+                "fingerprint": r.key.fingerprint.to_hex(),
+                "oracle": r.key.oracle_id.as_str(),
+                "omega": r.key.config.omega,
+                "input_gates": r.stats.initial_units,
+                "output_gates": r.stats.final_units,
+                "reduction": r.stats.reduction(),
+                "rounds": r.stats.rounds,
+                "oracle_calls": r.stats.oracle_calls,
+                "cache_hit": r.cache_hit,
+                "queue_seconds": r.queue_nanos as f64 / 1e9,
+                "run_seconds": r.run_nanos as f64 / 1e9,
+            })
+        })
+        .collect();
+    let (gates_in, gates_out) = batch.gate_totals();
+    json!({
+        "pass": pass,
+        "jobs": jobs,
+        "job_count": batch.results.len(),
+        "cache_hits": batch.cache_hits(),
+        "oracle_calls_issued": batch.oracle_calls_issued(),
+        "gates_in": gates_in,
+        "gates_out": gates_out,
+        "wall_seconds": batch.wall_nanos as f64 / 1e9,
+        "jobs_per_sec": batch.jobs_per_sec(),
+    })
+}
+
+/// The full report: every pass plus the service's cumulative counters.
+pub fn service_report(
+    passes: Vec<Value>,
+    stats: &ServiceStats,
+    workers: usize,
+    threads_per_job: usize,
+) -> Value {
+    json!({
+        "passes": passes,
+        "service": {
+            "workers": workers,
+            "threads_per_job": threads_per_job,
+            "submitted": stats.submitted,
+            "completed": stats.completed,
+            "cache_hits": stats.cache_hits,
+            "oracle_calls_issued": stats.oracle_calls_issued,
+            "cache_entries": stats.cache.entries,
+            "cache_evictions": stats.cache.evictions,
+        },
+    })
+}

@@ -1,0 +1,553 @@
+//! The batch optimization service: a fixed worker pool over the POPQC
+//! engine with memoization.
+//!
+//! Architecture (one process, no network — an HTTP frontend can wrap this
+//! API later without touching it):
+//!
+//! ```text
+//!  submit/submit_batch ──▶ FIFO queue ──▶ N worker threads
+//!        │                                   │  (each installs a
+//!        │ cache probe                       │   threads-per-job pool:
+//!        ▼                                   ▼   outer × inner parallelism)
+//!  ShardedLruCache ◀────── insert ────── optimize_circuit_observed
+//!        │                                   │
+//!        └────────▶ JobHandle::wait ◀────────┘
+//! ```
+//!
+//! * **Outer parallelism** — `workers` jobs run concurrently, one per
+//!   worker thread.
+//! * **Inner parallelism** — each worker installs a `threads_per_job`-wide
+//!   pool before entering the engine, so one huge circuit saturates its
+//!   budget instead of starving the queue.
+//! * **Memoization** — results are cached under
+//!   `(circuit fingerprint, oracle id, engine config)`. Identical
+//!   resubmissions are answered from cache with zero oracle calls, and the
+//!   per-job [`JobResult::cache_hit`] flag plus the service-level counters
+//!   make hits auditable end to end.
+
+use crate::cache::{CacheStats, ShardedLruCache};
+use popqc_core::{optimize_circuit_observed, PopqcConfig, PopqcStats, RoundObserver, RoundRecord};
+use qcir::{Circuit, Fingerprint, Gate};
+use qoracle::SegmentOracle;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// The memoization key: everything that determines an optimization result.
+///
+/// The engine is deterministic, so `(structural input, oracle, config)`
+/// fully determines `(output circuit, call counts)` — timing fields in the
+/// cached stats are from the original run.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct JobKey {
+    /// Structural fingerprint of the input circuit.
+    pub fingerprint: Fingerprint,
+    /// Stable oracle identifier (defaults to [`SegmentOracle::name`];
+    /// override via [`OptimizationService::with_oracle_id`] when running a
+    /// custom-parameterized oracle whose name does not pin its behaviour).
+    pub oracle_id: String,
+    /// Engine parameters the result depends on.
+    pub config: PopqcConfig,
+}
+
+/// Service sizing knobs.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads (concurrent jobs). `0` = available parallelism.
+    pub workers: usize,
+    /// Engine threads each job may use. `0` = `max(1, cores / workers)`,
+    /// so a fully loaded service oversubscribes at most 1×.
+    pub threads_per_job: usize,
+    /// Total result-cache entries before LRU eviction.
+    pub cache_capacity: usize,
+    /// Cache shards (lock granularity).
+    pub cache_shards: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 0,
+            threads_per_job: 0,
+            cache_capacity: 1024,
+            cache_shards: 16,
+        }
+    }
+}
+
+impl ServiceConfig {
+    fn resolved(&self) -> (usize, usize) {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let workers = if self.workers == 0 {
+            cores
+        } else {
+            self.workers
+        };
+        let threads_per_job = if self.threads_per_job == 0 {
+            (cores / workers).max(1)
+        } else {
+            self.threads_per_job
+        };
+        (workers, threads_per_job)
+    }
+}
+
+/// A finished job: the optimized circuit plus full accounting.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// The optimized circuit (bit-identical to a direct
+    /// `optimize_circuit` call with the same inputs).
+    pub circuit: Circuit,
+    /// Engine statistics. For cache hits these are the *original* run's
+    /// stats; no new oracle work happened.
+    pub stats: PopqcStats,
+    /// Whether this result was served from the cache.
+    pub cache_hit: bool,
+    /// The memoization key the job ran (or hit) under.
+    pub key: JobKey,
+    /// Nanoseconds from submission to a worker picking the job up
+    /// (zero for submit-time cache hits).
+    pub queue_nanos: u64,
+    /// Nanoseconds the worker spent producing the result
+    /// (zero for submit-time cache hits).
+    pub run_nanos: u64,
+}
+
+/// What the cache stores: the output half of a [`JobResult`].
+struct CachedRun {
+    circuit: Circuit,
+    stats: PopqcStats,
+}
+
+enum SlotState {
+    Pending,
+    Done(Arc<JobResult>),
+}
+
+/// Shared completion slot between a [`JobHandle`] and the worker pool.
+struct JobSlot {
+    state: Mutex<SlotState>,
+    done: Condvar,
+    rounds: AtomicUsize,
+}
+
+impl JobSlot {
+    fn new() -> Arc<JobSlot> {
+        Arc::new(JobSlot {
+            state: Mutex::new(SlotState::Pending),
+            done: Condvar::new(),
+            rounds: AtomicUsize::new(0),
+        })
+    }
+
+    fn fulfil(&self, result: Arc<JobResult>) {
+        let mut st = self.state.lock().expect("job slot poisoned");
+        *st = SlotState::Done(result);
+        self.done.notify_all();
+    }
+}
+
+/// Handle to a submitted job.
+pub struct JobHandle {
+    slot: Arc<JobSlot>,
+}
+
+impl JobHandle {
+    /// Blocks until the job completes.
+    pub fn wait(&self) -> Arc<JobResult> {
+        let mut st = self.slot.state.lock().expect("job slot poisoned");
+        loop {
+            match &*st {
+                SlotState::Done(r) => return Arc::clone(r),
+                SlotState::Pending => {
+                    st = self.slot.done.wait(st).expect("job slot poisoned");
+                }
+            }
+        }
+    }
+
+    /// The result if the job already finished, without blocking.
+    pub fn try_result(&self) -> Option<Arc<JobResult>> {
+        match &*self.slot.state.lock().expect("job slot poisoned") {
+            SlotState::Done(r) => Some(Arc::clone(r)),
+            SlotState::Pending => None,
+        }
+    }
+
+    /// Engine rounds completed so far (live progress via the core
+    /// [`RoundObserver`] hook; cache hits jump straight to the final
+    /// count).
+    pub fn rounds_completed(&self) -> usize {
+        self.slot.rounds.load(Relaxed)
+    }
+}
+
+/// Handles for one batch submission, in submission order.
+pub struct BatchHandle {
+    handles: Vec<JobHandle>,
+    submitted_at: Instant,
+}
+
+impl BatchHandle {
+    /// Blocks until every job in the batch completes.
+    pub fn wait(self) -> BatchResult {
+        let results: Vec<Arc<JobResult>> = self.handles.iter().map(JobHandle::wait).collect();
+        BatchResult {
+            wall_nanos: self.submitted_at.elapsed().as_nanos() as u64,
+            results,
+        }
+    }
+
+    /// Per-job handles (e.g. for live progress polling before `wait`).
+    pub fn handles(&self) -> &[JobHandle] {
+        &self.handles
+    }
+
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+}
+
+/// All results of a batch, in submission order, with aggregates.
+pub struct BatchResult {
+    /// One result per submitted job, in submission order.
+    pub results: Vec<Arc<JobResult>>,
+    /// Submission-to-last-completion wall time.
+    pub wall_nanos: u64,
+}
+
+impl BatchResult {
+    /// Jobs answered from the cache.
+    pub fn cache_hits(&self) -> usize {
+        self.results.iter().filter(|r| r.cache_hit).count()
+    }
+
+    /// Oracle calls actually issued by this batch (cache hits contribute
+    /// zero — their stats describe the original run).
+    pub fn oracle_calls_issued(&self) -> u64 {
+        self.results
+            .iter()
+            .filter(|r| !r.cache_hit)
+            .map(|r| r.stats.oracle_calls)
+            .sum()
+    }
+
+    /// Total input and output gate counts.
+    pub fn gate_totals(&self) -> (usize, usize) {
+        self.results.iter().fold((0, 0), |(i, o), r| {
+            (i + r.stats.initial_units, o + r.stats.final_units)
+        })
+    }
+
+    /// Completed jobs per second of batch wall time.
+    pub fn jobs_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.results.len() as f64 / (self.wall_nanos as f64 / 1e9)
+        }
+    }
+}
+
+/// Monotonic service-wide counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceStats {
+    /// Jobs accepted by `submit`/`submit_batch`.
+    pub submitted: u64,
+    /// Jobs completed (including cache hits).
+    pub completed: u64,
+    /// Jobs answered from the cache (at submit or dequeue time).
+    pub cache_hits: u64,
+    /// Oracle calls issued by cache-missing jobs.
+    pub oracle_calls_issued: u64,
+    /// Cache-layer counters.
+    pub cache: CacheStats,
+}
+
+struct QueuedJob {
+    circuit: Circuit,
+    key: JobKey,
+    slot: Arc<JobSlot>,
+    enqueued_at: Instant,
+}
+
+struct Inner<O> {
+    oracle: O,
+    oracle_id: String,
+    threads_per_job: usize,
+    cache: ShardedLruCache<JobKey, CachedRun>,
+    queue: Mutex<VecDeque<QueuedJob>>,
+    work_ready: Condvar,
+    shutdown: AtomicBool,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    cache_hits: AtomicU64,
+    oracle_calls_issued: AtomicU64,
+}
+
+/// Counts engine rounds into the job slot as they complete.
+struct SlotProgress(Arc<JobSlot>);
+
+impl RoundObserver for SlotProgress {
+    fn on_round(&self, round: usize, _record: &RoundRecord) {
+        self.0.rounds.store(round, Relaxed);
+    }
+}
+
+impl<O: SegmentOracle<Gate>> Inner<O> {
+    fn complete(&self, slot: &JobSlot, result: JobResult) {
+        if result.cache_hit {
+            self.cache_hits.fetch_add(1, Relaxed);
+        }
+        self.completed.fetch_add(1, Relaxed);
+        slot.rounds.store(result.stats.rounds, Relaxed);
+        slot.fulfil(Arc::new(result));
+    }
+
+    fn run_job(&self, job: QueuedJob, pool: &rayon::ThreadPool) {
+        let queue_nanos = job.enqueued_at.elapsed().as_nanos() as u64;
+        // Second probe: an identical job submitted earlier may have
+        // completed while this one sat in the queue.
+        if let Some(cached) = self.cache.get(&job.key) {
+            self.complete(
+                &job.slot,
+                JobResult {
+                    circuit: cached.circuit.clone(),
+                    stats: cached.stats.clone(),
+                    cache_hit: true,
+                    key: job.key,
+                    queue_nanos,
+                    run_nanos: 0,
+                },
+            );
+            return;
+        }
+
+        let t0 = Instant::now();
+        let observer = SlotProgress(Arc::clone(&job.slot));
+        let (optimized, stats) = pool.install(|| {
+            optimize_circuit_observed(&job.circuit, &self.oracle, &job.key.config, &observer)
+        });
+        let run_nanos = t0.elapsed().as_nanos() as u64;
+
+        self.oracle_calls_issued
+            .fetch_add(stats.oracle_calls, Relaxed);
+        self.cache.insert(
+            job.key.clone(),
+            Arc::new(CachedRun {
+                circuit: optimized.clone(),
+                stats: stats.clone(),
+            }),
+        );
+        self.complete(
+            &job.slot,
+            JobResult {
+                circuit: optimized,
+                stats,
+                cache_hit: false,
+                key: job.key,
+                queue_nanos,
+                run_nanos,
+            },
+        );
+    }
+
+    fn worker_loop(&self) {
+        // One engine pool per worker, reused across jobs: with a real
+        // thread-pool implementation, building per job would spawn and tear
+        // down OS threads on the hot path.
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(self.threads_per_job)
+            .build()
+            .expect("per-worker thread pool");
+        loop {
+            let job = {
+                let mut q = self.queue.lock().expect("job queue poisoned");
+                loop {
+                    if let Some(job) = q.pop_front() {
+                        break job;
+                    }
+                    if self.shutdown.load(Relaxed) {
+                        return;
+                    }
+                    q = self.work_ready.wait(q).expect("job queue poisoned");
+                }
+            };
+            self.run_job(job, &pool);
+        }
+    }
+}
+
+/// The in-process batch optimization service. See the module docs for the
+/// architecture; construct with [`OptimizationService::new`], submit with
+/// [`submit`](OptimizationService::submit) /
+/// [`submit_batch`](OptimizationService::submit_batch), and audit with
+/// [`stats`](OptimizationService::stats).
+///
+/// Dropping the service drains the queue (every outstanding
+/// [`JobHandle`] still completes) and joins the workers.
+pub struct OptimizationService<O: SegmentOracle<Gate> + Send + Sync + 'static> {
+    inner: Arc<Inner<O>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    worker_count: usize,
+    threads_per_job: usize,
+}
+
+impl<O: SegmentOracle<Gate> + Send + Sync + 'static> OptimizationService<O> {
+    /// Spawns the worker pool. The service owns `oracle`; its
+    /// [`SegmentOracle::name`] becomes the cache key's oracle id, so two
+    /// oracles with the same name MUST behave identically (the workspace's
+    /// named constructors guarantee this; for custom-parameterized oracles
+    /// use [`with_oracle_id`](Self::with_oracle_id)).
+    pub fn new(oracle: O, config: ServiceConfig) -> OptimizationService<O> {
+        let id = oracle.name().to_string();
+        OptimizationService::with_oracle_id(oracle, id, config)
+    }
+
+    /// [`new`](Self::new) with an explicit cache-key oracle id.
+    pub fn with_oracle_id(
+        oracle: O,
+        oracle_id: String,
+        config: ServiceConfig,
+    ) -> OptimizationService<O> {
+        let (workers, threads_per_job) = config.resolved();
+        let inner = Arc::new(Inner {
+            oracle,
+            oracle_id,
+            threads_per_job,
+            cache: ShardedLruCache::new(config.cache_capacity, config.cache_shards),
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            oracle_calls_issued: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("qsvc-worker-{i}"))
+                    .spawn(move || inner.worker_loop())
+                    .expect("spawn service worker")
+            })
+            .collect();
+        OptimizationService {
+            inner,
+            workers: handles,
+            worker_count: workers,
+            threads_per_job,
+        }
+    }
+
+    /// With the default [`ServiceConfig`].
+    pub fn with_defaults(oracle: O) -> OptimizationService<O> {
+        OptimizationService::new(oracle, ServiceConfig::default())
+    }
+
+    /// The key `circuit` would be cached under with this service's oracle.
+    pub fn key_for(&self, circuit: &Circuit, cfg: &PopqcConfig) -> JobKey {
+        JobKey {
+            fingerprint: circuit.fingerprint(),
+            oracle_id: self.inner.oracle_id.clone(),
+            config: cfg.clone(),
+        }
+    }
+
+    /// Submits one circuit. Cache hits complete immediately (the handle is
+    /// already fulfilled); misses are queued for the worker pool.
+    pub fn submit(&self, circuit: Circuit, cfg: &PopqcConfig) -> JobHandle {
+        self.inner.submitted.fetch_add(1, Relaxed);
+        let key = self.key_for(&circuit, cfg);
+        let slot = JobSlot::new();
+
+        if let Some(cached) = self.inner.cache.get(&key) {
+            self.inner.complete(
+                &slot,
+                JobResult {
+                    circuit: cached.circuit.clone(),
+                    stats: cached.stats.clone(),
+                    cache_hit: true,
+                    key,
+                    queue_nanos: 0,
+                    run_nanos: 0,
+                },
+            );
+            return JobHandle { slot };
+        }
+
+        let job = QueuedJob {
+            circuit,
+            key,
+            slot: Arc::clone(&slot),
+            enqueued_at: Instant::now(),
+        };
+        {
+            let mut q = self.inner.queue.lock().expect("job queue poisoned");
+            q.push_back(job);
+        }
+        self.inner.work_ready.notify_one();
+        JobHandle { slot }
+    }
+
+    /// Submits a homogeneous batch (one engine config for all circuits).
+    pub fn submit_batch(
+        &self,
+        circuits: impl IntoIterator<Item = Circuit>,
+        cfg: &PopqcConfig,
+    ) -> BatchHandle {
+        let submitted_at = Instant::now();
+        let handles = circuits.into_iter().map(|c| self.submit(c, cfg)).collect();
+        BatchHandle {
+            handles,
+            submitted_at,
+        }
+    }
+
+    /// Point-in-time service counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.inner.submitted.load(Relaxed),
+            completed: self.inner.completed.load(Relaxed),
+            cache_hits: self.inner.cache_hits.load(Relaxed),
+            oracle_calls_issued: self.inner.oracle_calls_issued.load(Relaxed),
+            cache: self.inner.cache.stats(),
+        }
+    }
+
+    /// Worker pool width.
+    pub fn workers(&self) -> usize {
+        self.worker_count
+    }
+
+    /// Engine threads each job runs with.
+    pub fn threads_per_job(&self) -> usize {
+        self.threads_per_job
+    }
+}
+
+impl<O: SegmentOracle<Gate> + Send + Sync + 'static> Drop for OptimizationService<O> {
+    fn drop(&mut self) {
+        // Set the flag while holding the queue lock: a worker is then either
+        // before its shutdown check (and will see the flag) or already inside
+        // `wait` (and will receive the notification) — storing without the
+        // lock could interleave inside a worker's check-then-wait window and
+        // lose the wakeup, hanging `join` forever.
+        {
+            let _q = self.inner.queue.lock().expect("job queue poisoned");
+            self.inner.shutdown.store(true, Relaxed);
+        }
+        self.inner.work_ready.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Service-level tests: batch results must be byte-identical to direct
+//! engine calls, cache accounting must be exact, and the warm-cache path
+//! must issue zero oracle calls.
+
+use benchgen::Family;
+use popqc_core::{optimize_circuit, PopqcConfig};
+use qcir::Circuit;
+use qoracle::RuleBasedOptimizer;
+use qsvc::{OptimizationService, ServiceConfig};
+
+fn small_service(workers: usize) -> OptimizationService<RuleBasedOptimizer> {
+    OptimizationService::new(
+        RuleBasedOptimizer::oracle(),
+        ServiceConfig {
+            workers,
+            threads_per_job: 1,
+            cache_capacity: 64,
+            cache_shards: 4,
+        },
+    )
+}
+
+fn bench_circuits() -> Vec<Circuit> {
+    Family::ALL
+        .iter()
+        .map(|f| f.generate(f.ladder(0)[0], 11))
+        .collect()
+}
+
+#[test]
+fn batch_results_match_direct_engine_calls_exactly() {
+    let oracle = RuleBasedOptimizer::oracle();
+    let cfg = PopqcConfig::with_omega(64);
+    let circuits = bench_circuits();
+
+    let svc = small_service(4);
+    let batch = svc.submit_batch(circuits.clone(), &cfg).wait();
+
+    assert_eq!(batch.results.len(), circuits.len());
+    for (c, r) in circuits.iter().zip(&batch.results) {
+        let (direct, direct_stats) = optimize_circuit(c, &oracle, &cfg);
+        assert_eq!(
+            r.circuit, direct,
+            "service output differs from direct optimize_circuit"
+        );
+        assert_eq!(r.stats.oracle_calls, direct_stats.oracle_calls);
+        assert_eq!(r.stats.final_units, direct_stats.final_units);
+        assert!(!r.cache_hit, "first submission must be a miss");
+    }
+}
+
+#[test]
+fn warm_batch_is_all_hits_with_zero_new_oracle_calls() {
+    let cfg = PopqcConfig::with_omega(64);
+    let circuits = bench_circuits();
+    let svc = small_service(4);
+
+    let cold = svc.submit_batch(circuits.clone(), &cfg).wait();
+    assert_eq!(cold.cache_hits(), 0);
+    assert!(cold.oracle_calls_issued() > 0);
+    let calls_after_cold = svc.stats().oracle_calls_issued;
+
+    let warm = svc.submit_batch(circuits.clone(), &cfg).wait();
+    assert_eq!(warm.cache_hits(), circuits.len(), "all jobs must hit");
+    assert_eq!(warm.oracle_calls_issued(), 0, "warm batch must be free");
+    assert_eq!(
+        svc.stats().oracle_calls_issued,
+        calls_after_cold,
+        "service must not have issued any new oracle calls"
+    );
+    assert_eq!(svc.stats().cache_hits, circuits.len() as u64);
+
+    // Hits return the identical optimized circuit.
+    for (c, w) in cold.results.iter().zip(&warm.results) {
+        assert_eq!(c.circuit, w.circuit);
+        assert_eq!(c.key, w.key);
+    }
+}
+
+#[test]
+fn different_configs_and_oracles_do_not_share_cache_entries() {
+    let circuits = bench_circuits();
+    let c = circuits[0].clone();
+
+    let svc = small_service(2);
+    let a = svc.submit(c.clone(), &PopqcConfig::with_omega(32)).wait();
+    let b = svc.submit(c.clone(), &PopqcConfig::with_omega(64)).wait();
+    assert!(
+        !a.cache_hit && !b.cache_hit,
+        "distinct Ω must be distinct keys"
+    );
+    assert_ne!(a.key, b.key);
+
+    // Same circuit through a differently-named oracle: fresh key space.
+    let baseline_svc = OptimizationService::new(
+        RuleBasedOptimizer::voqc_baseline(),
+        ServiceConfig {
+            workers: 1,
+            threads_per_job: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    let d = baseline_svc
+        .submit(c.clone(), &PopqcConfig::with_omega(32))
+        .wait();
+    assert_ne!(
+        a.key.oracle_id, d.key.oracle_id,
+        "oracle configurations must carry distinct ids"
+    );
+}
+
+#[test]
+fn eviction_forces_recomputation() {
+    let cfg = PopqcConfig::with_omega(32);
+    // Capacity 1 (single shard): the second distinct circuit evicts the
+    // first.
+    let svc = OptimizationService::new(
+        RuleBasedOptimizer::oracle(),
+        ServiceConfig {
+            workers: 1,
+            threads_per_job: 1,
+            cache_capacity: 1,
+            cache_shards: 1,
+        },
+    );
+    let a = Family::Vqe.generate(Family::Vqe.ladder(0)[0], 1);
+    let b = Family::Grover.generate(Family::Grover.ladder(0)[0], 1);
+
+    assert!(!svc.submit(a.clone(), &cfg).wait().cache_hit);
+    assert!(svc.submit(a.clone(), &cfg).wait().cache_hit);
+    assert!(!svc.submit(b.clone(), &cfg).wait().cache_hit); // evicts a
+    assert!(
+        !svc.submit(a.clone(), &cfg).wait().cache_hit,
+        "evicted entry must recompute"
+    );
+    assert!(svc.stats().cache.evictions >= 1);
+}
+
+#[test]
+fn results_are_independent_of_worker_and_thread_budget() {
+    let cfg = PopqcConfig::with_omega(48);
+    let circuits = bench_circuits();
+
+    let narrow = small_service(1);
+    let wide = OptimizationService::new(
+        RuleBasedOptimizer::oracle(),
+        ServiceConfig {
+            workers: 4,
+            threads_per_job: 3,
+            cache_capacity: 64,
+            cache_shards: 4,
+        },
+    );
+    let n = narrow.submit_batch(circuits.clone(), &cfg).wait();
+    let w = wide.submit_batch(circuits, &cfg).wait();
+    for (a, b) in n.results.iter().zip(&w.results) {
+        assert_eq!(
+            a.circuit, b.circuit,
+            "engine determinism must survive the service"
+        );
+    }
+}
+
+#[test]
+fn handles_report_progress_and_results_preserve_semantics() {
+    let cfg = PopqcConfig::with_omega(32);
+    let c = Family::Hhl.generate(Family::Hhl.ladder(0)[0], 3);
+    let svc = small_service(2);
+
+    let handle = svc.submit(c.clone(), &cfg);
+    let result = handle.wait();
+    assert_eq!(handle.rounds_completed(), result.stats.rounds);
+    assert!(handle.try_result().is_some());
+    assert!(result.circuit.len() < c.len(), "expected some reduction");
+    assert!(
+        qsim::circuits_equivalent(&c, &result.circuit, 2, 0x5eed),
+        "service output changed circuit semantics"
+    );
+}
+
+#[test]
+fn batch_report_json_schema() {
+    let cfg = PopqcConfig::with_omega(32);
+    let circuits = vec![
+        Family::Vqe.generate(Family::Vqe.ladder(0)[0], 5),
+        Family::Sqrt.generate(Family::Sqrt.ladder(0)[0], 5),
+    ];
+    let labels: Vec<String> = vec!["vqe".into(), "sqrt".into()];
+    let svc = small_service(2);
+    let batch = svc.submit_batch(circuits, &cfg).wait();
+
+    let pass = qsvc::report::batch_report(&labels, &batch, 1);
+    assert_eq!(pass.get("job_count").unwrap().as_u64(), Some(2));
+    assert_eq!(pass.get("cache_hits").unwrap().as_u64(), Some(0));
+    let jobs = pass.get("jobs").unwrap().as_array().unwrap();
+    assert_eq!(jobs[0].get("label").unwrap().as_str(), Some("vqe"));
+    assert_eq!(jobs[0].get("cache_hit").unwrap().as_bool(), Some(false));
+    assert_eq!(
+        jobs[0].get("fingerprint").unwrap().as_str().unwrap().len(),
+        32
+    );
+
+    let stats = svc.stats();
+    let full =
+        qsvc::report::service_report(vec![pass], &stats, svc.workers(), svc.threads_per_job());
+    // The document must survive a serialize/parse round trip.
+    let text = serde_json::to_string_pretty(&full).unwrap();
+    let back = serde_json::from_str(&text).unwrap();
+    assert_eq!(
+        back.get("service")
+            .unwrap()
+            .get("cache_hits")
+            .unwrap()
+            .as_u64(),
+        Some(0)
+    );
+}

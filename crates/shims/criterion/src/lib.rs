@@ -1,0 +1,337 @@
+//! A std-only stand-in for the subset of
+//! [criterion](https://docs.rs/criterion) this workspace uses. The build
+//! environment is offline, so the real crate cannot be fetched.
+//!
+//! The harness is real but simple: each benchmark warms up for the
+//! configured warm-up time, then runs `sample_size` samples (each sample
+//! sized to fill `measurement_time / sample_size`) and prints the minimum,
+//! median, and mean per-iteration wall time plus derived throughput. There
+//! are no statistical regressions reports, plots, or baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation; printed as elements/sec or bytes/sec.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Batch sizing for `iter_batched`; the shim treats all variants alike.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Benchmark identifier: `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Settings {
+        Settings {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let settings = self.settings;
+        run_benchmark(name, settings, None, &mut f);
+    }
+
+    /// Entry point used by the expansion of [`criterion_main!`].
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+/// A named group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.settings, self.throughput, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.settings, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Handed to benchmark closures; measures the routine.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(f());
+        }
+        self.samples.push(t0.elapsed());
+    }
+
+    pub fn iter_batched<S, R, FS: FnMut() -> S, FR: FnMut(S) -> R>(
+        &mut self,
+        mut setup: FS,
+        mut routine: FR,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters_per_sample {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            total += t0.elapsed();
+        }
+        self.samples.push(total);
+    }
+}
+
+fn run_benchmark(
+    label: &str,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    // Warm-up: run single-iteration samples until the warm-up time elapses,
+    // and estimate the per-iteration cost from them.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+    };
+    while warm_start.elapsed() < settings.warm_up_time {
+        f(&mut b);
+        warm_iters += 1;
+        if warm_iters >= 1000 {
+            break;
+        }
+    }
+    let warm_elapsed = warm_start.elapsed();
+    let per_iter = warm_elapsed
+        .checked_div(warm_iters.max(1) as u32)
+        .unwrap_or(Duration::from_nanos(1))
+        .max(Duration::from_nanos(1));
+
+    // Size each sample so all samples together fill the measurement time.
+    let budget_per_sample = settings.measurement_time.as_secs_f64() / settings.sample_size as f64;
+    let iters = (budget_per_sample / per_iter.as_secs_f64()).ceil().max(1.0) as u64;
+
+    let mut b = Bencher {
+        iters_per_sample: iters,
+        samples: Vec::with_capacity(settings.sample_size),
+    };
+    for _ in 0..settings.sample_size {
+        f(&mut b);
+    }
+
+    let mut per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / iters as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = per_iter.first().copied().unwrap_or(0.0);
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+
+    let fmt_time = |s: f64| {
+        if s < 1e-6 {
+            format!("{:.1} ns", s * 1e9)
+        } else if s < 1e-3 {
+            format!("{:.2} µs", s * 1e6)
+        } else if s < 1.0 {
+            format!("{:.2} ms", s * 1e3)
+        } else {
+            format!("{:.3} s", s)
+        }
+    };
+    let tp = match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!("  {:.0} elem/s", n as f64 / median)
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            format!("  {:.0} B/s", n as f64 / median)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{label:<50} min {}  med {}  mean {}  ({} samples x {} iters){tp}",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(mean),
+        per_iter.len(),
+        iters,
+    );
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(10));
+        let mut count = 0u64;
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                count += 1;
+                std::hint::black_box(count)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("with_input", 4), &4u64, |b, &n| {
+            b.iter_batched(|| vec![0u8; n as usize], |v| v.len(), BatchSize::LargeInput)
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,418 @@
+//! A std-only stand-in for the subset of
+//! [proptest](https://docs.rs/proptest) this workspace uses. The build
+//! environment is offline, so the real crate cannot be fetched.
+//!
+//! Supported surface:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header and
+//!   `#[test] fn name(x in strategy, ...) { ... }` items;
+//! * [`Strategy`] with `prop_map`, implemented for primitive integer ranges
+//!   and tuples (arity 2–4);
+//! * `prop::collection::vec`, `prop::collection::btree_map`,
+//!   `prop::option::of`;
+//! * `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from real proptest: cases are generated from a fixed seed
+//! (fully deterministic, no `PROPTEST_*` env handling) and failing inputs are
+//! reported but **not shrunk** — the printed counterexample is the raw
+//! generated value.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use std::ops::Range;
+
+/// The per-case random source handed to strategies.
+pub struct TestRng(ChaCha8Rng);
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        TestRng(ChaCha8Rng::seed_from_u64(seed))
+    }
+
+    pub fn rng(&mut self) -> &mut ChaCha8Rng {
+        &mut self.0
+    }
+}
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// A value generator. Unlike real proptest there is no intermediate
+/// `ValueTree`: strategies produce final values directly.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy producing one fixed value (proptest's `Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.start..self.end)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<char> {
+    type Value = char;
+
+    fn generate(&self, rng: &mut TestRng) -> char {
+        let lo = self.start as u32;
+        let hi = self.end as u32;
+        loop {
+            let v = rng.rng().gen_range(lo..hi);
+            if let Some(c) = char::from_u32(v) {
+                return c;
+            }
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// `prop::…` strategy constructors.
+pub mod prop {
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+        use std::collections::BTreeMap;
+        use std::ops::Range;
+
+        /// Vectors with a length drawn from `len` and elements from
+        /// `element`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = if self.len.start >= self.len.end {
+                    self.len.start
+                } else {
+                    rng.rng().gen_range(self.len.start..self.len.end)
+                };
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// BTree maps with up to `size` entries (duplicate keys collapse,
+        /// matching real proptest's behaviour of treating `size` as an upper
+        /// bound).
+        pub fn btree_map<K: Strategy, V: Strategy>(
+            key: K,
+            value: V,
+            size: Range<usize>,
+        ) -> BTreeMapStrategy<K, V> {
+            BTreeMapStrategy { key, value, size }
+        }
+
+        pub struct BTreeMapStrategy<K, V> {
+            key: K,
+            value: V,
+            size: Range<usize>,
+        }
+
+        impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+        where
+            K::Value: Ord,
+        {
+            type Value = BTreeMap<K::Value, V::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+                let n = if self.size.start >= self.size.end {
+                    self.size.start
+                } else {
+                    rng.rng().gen_range(self.size.start..self.size.end)
+                };
+                (0..n)
+                    .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                    .collect()
+            }
+        }
+    }
+
+    pub mod option {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// `None` roughly one time in four, `Some(inner)` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.rng().gen_range(0u32..4) == 0 {
+                    None
+                } else {
+                    Some(self.inner.generate(rng))
+                }
+            }
+        }
+    }
+}
+
+/// Derives the per-test base seed. Deterministic across runs and platforms.
+pub fn seed_for(test_name: &str, case: u32) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h ^ ((case as u64) << 32 | case as u64)
+}
+
+/// Everything the `proptest!` expansion and test bodies need in scope.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+)
+    };
+}
+
+/// The test-suite macro: expands each item into a `#[test]` that runs
+/// `cases` generated inputs through the body, reporting the failing input
+/// (unshrunk) on panic.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_proptest(
+                    stringify!($name),
+                    &($cfg),
+                    |__pt_rng, __pt_inputs| {
+                        let ($($arg,)+) = (
+                            $($crate::Strategy::generate(&($strat), __pt_rng),)+
+                        );
+                        __pt_inputs.push_str(&format!(
+                            concat!($(stringify!($arg), " = {:?}; ",)+),
+                            $(&$arg,)+
+                        ));
+                        $body
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Drives one property: generates `cfg.cases` inputs and reports the case
+/// index, seed, and inputs of the first failure. The closure receives a
+/// string buffer to record the generated inputs into before running the
+/// body, so the failure report shows the actual counterexample.
+pub fn run_proptest(
+    name: &str,
+    cfg: &ProptestConfig,
+    mut case_fn: impl FnMut(&mut TestRng, &mut String),
+) {
+    for case in 0..cfg.cases {
+        let seed = seed_for(name, case);
+        let mut rng = TestRng::new(seed);
+        let mut inputs = String::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            case_fn(&mut rng, &mut inputs)
+        }));
+        if let Err(panic) = result {
+            let msg = panic
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "<non-string panic>".to_string());
+            panic!(
+                "proptest `{name}` failed at case {case} (seed {seed:#x})\n\
+                 inputs: {inputs}\n{msg}\n\
+                 (no shrinking in this shim; inputs are deterministic in the seed)"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_vec() -> impl Strategy<Value = Vec<u32>> {
+        prop::collection::vec(0u32..10, 0..5)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, y in -5i64..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y), "y = {}", y);
+        }
+
+        #[test]
+        fn maps_and_tuples(v in small_vec().prop_map(|v| v.len()), t in (0u8..4, 0u32..7)) {
+            prop_assert!(v < 5);
+            prop_assert!(t.0 < 4 && t.1 < 7);
+        }
+
+        #[test]
+        fn collections(m in prop::collection::btree_map(0usize..20, prop::option::of(0u32..3), 0..8)) {
+            prop_assert!(m.len() < 8);
+            for k in m.keys() {
+                prop_assert!(*k < 20);
+            }
+        }
+    }
+
+    #[test]
+    fn failure_reports_case() {
+        let result = std::panic::catch_unwind(|| {
+            crate::run_proptest(
+                "always_fails",
+                &ProptestConfig::with_cases(3),
+                |_rng, _inputs| {
+                    panic!("boom");
+                },
+            );
+        });
+        let err = result.unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("always_fails"), "got: {msg}");
+        assert!(msg.contains("boom"), "got: {msg}");
+    }
+}

@@ -1,0 +1,79 @@
+//! A std-only stand-in for [rand_chacha](https://docs.rs/rand_chacha)'s
+//! `ChaCha8Rng` (offline build; the real crate cannot be fetched). The
+//! workspace uses `ChaCha8Rng` purely as a *deterministic, seedable* stream —
+//! no cryptographic property is relied on — so this shim substitutes
+//! xoshiro256++ seeded via SplitMix64. Streams differ numerically from real
+//! ChaCha8, which only shifts which concrete random circuits the generators
+//! emit, not any test or experiment semantics.
+
+use rand::{RngCore, SeedableRng};
+
+/// Deterministic seedable RNG under the `ChaCha8Rng` name (xoshiro256++).
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> ChaCha8Rng {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // xoshiro must not start from the all-zero state.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E3779B97F4A7C15;
+        }
+        ChaCha8Rng { s }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(123);
+        let mut b = ChaCha8Rng::seed_from_u64(123);
+        let mut c = ChaCha8Rng::seed_from_u64(124);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn usable_through_rand_traits() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let v: i64 = rng.gen_range(-4i64..4);
+        assert!((-4..4).contains(&v));
+        let _: bool = rng.gen();
+    }
+}

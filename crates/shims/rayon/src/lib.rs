@@ -1,0 +1,301 @@
+//! A std-only stand-in for the subset of [rayon](https://docs.rs/rayon) this
+//! workspace uses. The build environment is offline, so the real crate cannot
+//! be fetched; this shim keeps the same names and semantics for:
+//!
+//! * `par_iter()` / `into_par_iter()` / `par_chunks_mut()` with the adapter
+//!   chains the workspace uses (`map`, `zip`, `enumerate`, `filter_map`,
+//!   `for_each`, `collect`);
+//! * `ThreadPoolBuilder` / `ThreadPool::install` / `current_num_threads`.
+//!
+//! Execution is genuinely parallel: every closure-applying adapter splits its
+//! items into one contiguous chunk per available thread and runs the chunks
+//! under `std::thread::scope`, preserving item order. "Available threads" is
+//! the installed pool width (a thread-local set by [`ThreadPool::install`]),
+//! defaulting to `std::thread::available_parallelism()`. Unlike real rayon
+//! there is no work-stealing, so irregular workloads balance worse — but
+//! results are bit-identical and the scaling experiments still scale.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Width installed by [`ThreadPool::install`] for the current thread.
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Number of threads parallel operations on this thread will use.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS
+        .with(|c| c.get())
+        .unwrap_or_else(default_threads)
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by this shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the pool width; `0` means "use the default".
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = Some(n);
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(0) | None => default_threads(),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A "pool" that scopes a parallelism width rather than owning threads:
+/// [`ThreadPool::install`] pins [`current_num_threads`] for the closure's
+/// duration, and parallel operations spawn scoped threads on demand.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's width installed as the parallelism level.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(Some(self.num_threads)));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Applies `f` to every item, in parallel, preserving order.
+fn run_parallel<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let threads = current_num_threads();
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("parallel worker panicked"));
+        }
+    });
+    out
+}
+
+/// An eager parallel iterator: closure-applying adapters execute immediately
+/// (in parallel); structural adapters just reshape the buffered items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter {
+            items: run_parallel(self.items, f),
+        }
+    }
+
+    pub fn filter_map<R: Send, F: Fn(T) -> Option<R> + Sync>(self, f: F) -> ParIter<R> {
+        ParIter {
+            items: run_parallel(self.items, f).into_iter().flatten().collect(),
+        }
+    }
+
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        run_parallel(self.items, f);
+    }
+
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// `.par_iter()` on slices and vectors.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `.into_par_iter()` on owned collections and ranges.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter {
+                    items: self.collect(),
+                }
+            }
+        }
+    )*};
+}
+
+impl_range_par_iter!(usize, u32, u64, i32, i64);
+
+/// `.par_chunks_mut()` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("join worker panicked"))
+    })
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000u64).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert!(doubled.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn chunks_mut_and_install() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        let mut v = vec![1u32; 4096];
+        v.par_chunks_mut(64).enumerate().for_each(|(i, c)| {
+            for x in c.iter_mut() {
+                *x = i as u32;
+            }
+        });
+        assert_eq!(v[0], 0);
+        assert_eq!(v[4095], 63);
+    }
+
+    #[test]
+    fn filter_map_and_zip() {
+        let a = [1u32, 2, 3, 4];
+        let b = [10u32, 20, 30, 40];
+        let sums: Vec<u32> = a.par_iter().zip(b.par_iter()).map(|(x, y)| x + y).collect();
+        assert_eq!(sums, vec![11, 22, 33, 44]);
+        let odd: Vec<u32> = a
+            .par_iter()
+            .filter_map(|&x| (x % 2 == 1).then_some(x))
+            .collect();
+        assert_eq!(odd, vec![1, 3]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Batch optimization through the service: outer parallelism over circuits,
+//! memoized results, and cache-hit accounting.
+//!
+//! ```sh
+//! cargo run --release --example batch_service
+//! ```
+
+use popqc::prelude::*;
+
+fn main() {
+    // One job per benchmark family at its smallest laptop-scale width.
+    let circuits: Vec<Circuit> = Family::ALL
+        .iter()
+        .map(|f| f.generate(f.ladder(0)[0], 42))
+        .collect();
+    let total_gates: usize = circuits.iter().map(Circuit::len).sum();
+    println!(
+        "batch: {} circuits, {} gates total",
+        circuits.len(),
+        total_gates
+    );
+
+    let svc = OptimizationService::new(
+        RuleBasedOptimizer::oracle(),
+        ServiceConfig {
+            workers: 4,
+            threads_per_job: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    let cfg = PopqcConfig::with_omega(100);
+
+    // Cold pass: every job misses the cache and runs the engine.
+    let cold = svc.submit_batch(circuits.iter().cloned(), &cfg).wait();
+    let (gates_in, gates_out) = cold.gate_totals();
+    println!(
+        "cold: {:.3}s ({:.1} jobs/s), {} oracle calls, {gates_in} -> {gates_out} gates",
+        cold.wall_nanos as f64 / 1e9,
+        cold.jobs_per_sec(),
+        cold.oracle_calls_issued(),
+    );
+
+    // Warm pass: identical circuits, so every job is a cache hit and no
+    // oracle call is issued.
+    let warm = svc.submit_batch(circuits.iter().cloned(), &cfg).wait();
+    println!(
+        "warm: {:.6}s ({:.0} jobs/s), {} cache hits, {} oracle calls",
+        warm.wall_nanos as f64 / 1e9,
+        warm.jobs_per_sec(),
+        warm.cache_hits(),
+        warm.oracle_calls_issued(),
+    );
+    assert_eq!(warm.cache_hits(), circuits.len());
+    assert_eq!(warm.oracle_calls_issued(), 0);
+
+    // Per-job detail for the cold pass.
+    for (family, result) in Family::ALL.iter().zip(&cold.results) {
+        println!(
+            "  {:<8} {:>6} -> {:>6} gates  ({} rounds, {} oracle calls, key {})",
+            family.name(),
+            result.stats.initial_units,
+            result.stats.final_units,
+            result.stats.rounds,
+            result.stats.oracle_calls,
+            &result.key.fingerprint.to_hex()[..12],
+        );
+    }
+
+    let stats = svc.stats();
+    println!(
+        "service: {} submitted, {} cache hits, {} oracle calls issued, {} cached entries",
+        stats.submitted, stats.cache_hits, stats.oracle_calls_issued, stats.cache.entries
+    );
+}

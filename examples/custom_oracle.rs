@@ -58,7 +58,10 @@ fn main() {
         verify_local_optimality(&optimized.gates, optimized.num_qubits, &oracle, cfg.omega),
         Ok(())
     );
-    println!("locally optimal w.r.t. the custom oracle (Ω = {})", cfg.omega);
+    println!(
+        "locally optimal w.r.t. the custom oracle (Ω = {})",
+        cfg.omega
+    );
 
     // The stronger built-in oracle can of course still find more.
     let strong = RuleBasedOptimizer::oracle();

@@ -40,7 +40,12 @@ fn main() {
 
     // The paper's guarantee (Theorem 7): no Ω-window of the output can be
     // improved by the oracle. Check it directly on this small instance.
-    match verify_local_optimality(&optimized.gates, optimized.num_qubits, &oracle, config.omega) {
+    match verify_local_optimality(
+        &optimized.gates,
+        optimized.num_qubits,
+        &oracle,
+        config.omega,
+    ) {
         Ok(()) => println!("local optimality verified for Ω = {}", config.omega),
         Err(at) => println!("window at {at} still improvable (oracle not well-behaved here)"),
     }

@@ -1,0 +1,405 @@
+//! The `popqc` CLI: batch-optimize QASM circuits through the optimization
+//! service.
+//!
+//! ```text
+//! popqc optimize <FILE|DIR>... [--out DIR] [--omega N] [--oracle rule|search]
+//!                [--workers N] [--threads-per-job N] [--cache-capacity N]
+//!                [--repeat N] [--report FILE] [--verify] [--quiet]
+//! popqc gen --family NAME --qubits N [--seed S] [--out FILE|DIR]
+//! popqc families
+//! ```
+//!
+//! `optimize` ingests `.qasm` files (directories are scanned for them),
+//! submits every circuit as a job to an in-process [`OptimizationService`],
+//! writes each optimized circuit as QASM under `--out`, and emits a JSON
+//! stats report with per-job and service-level cache/oracle accounting.
+//! `--repeat N` resubmits the same batch N times in-process — pass 2+ should
+//! be pure cache hits with zero new oracle calls, which the report makes
+//! auditable. `--verify` equivalence-checks outputs on small circuits via
+//! the state-vector simulator.
+
+use popqc::prelude::*;
+use popqc::service::report::{batch_report, service_report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         popqc optimize <FILE|DIR>... [--out DIR] [--omega N] [--oracle rule|search]\n           \
+         [--workers N] [--threads-per-job N] [--cache-capacity N]\n           \
+         [--repeat N] [--report FILE] [--verify] [--quiet]\n  \
+         popqc gen --family NAME --qubits N [--seed S] [--out FILE|DIR]\n  \
+         popqc families"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("popqc: error: {msg}");
+    std::process::exit(1);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("optimize") => cmd_optimize(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("families") => cmd_families(),
+        _ => usage(),
+    }
+}
+
+fn cmd_families() -> ExitCode {
+    for f in Family::ALL {
+        println!("{}", f.name().to_lowercase());
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse_family(name: &str) -> Family {
+    Family::ALL
+        .into_iter()
+        .find(|f| f.name().eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| {
+            fail(format!(
+                "unknown family `{name}` (see `popqc families` for the list)"
+            ))
+        })
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> T {
+    let Some(v) = value else {
+        fail(format!("{flag} requires a value"));
+    };
+    v.parse()
+        .unwrap_or_else(|_| fail(format!("cannot parse {flag} value `{v}`")))
+}
+
+fn cmd_gen(args: &[String]) -> ExitCode {
+    let mut family: Option<Family> = None;
+    let mut qubits: Option<u32> = None;
+    let mut seed: u64 = 42;
+    let mut out: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--family" => {
+                family = Some(parse_family(args.get(i + 1).unwrap_or_else(|| usage())));
+                i += 2;
+            }
+            "--qubits" => {
+                qubits = Some(parse_num("--qubits", args.get(i + 1)));
+                i += 2;
+            }
+            "--seed" => {
+                seed = parse_num("--seed", args.get(i + 1));
+                i += 2;
+            }
+            "--out" => {
+                out = Some(PathBuf::from(args.get(i + 1).unwrap_or_else(|| usage())));
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    let (Some(family), Some(qubits)) = (family, qubits) else {
+        usage();
+    };
+    if qubits < family.min_qubits() {
+        fail(format!(
+            "{} needs at least {} qubits (got {qubits})",
+            family.name(),
+            family.min_qubits()
+        ));
+    }
+    let circuit = family.generate(qubits, seed);
+    let qasm = popqc::ir::qasm::to_qasm(&circuit);
+    match out {
+        None => {
+            print!("{qasm}");
+        }
+        Some(path) => {
+            let path = if path.is_dir() {
+                path.join(format!(
+                    "{}-{qubits}-s{seed}.qasm",
+                    family.name().to_lowercase()
+                ))
+            } else {
+                path
+            };
+            std::fs::write(&path, qasm)
+                .unwrap_or_else(|e| fail(format!("cannot write {}: {e}", path.display())));
+            eprintln!(
+                "wrote {} ({} gates, {} qubits)",
+                path.display(),
+                circuit.len(),
+                circuit.num_qubits
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+struct OptimizeOpts {
+    inputs: Vec<PathBuf>,
+    out_dir: Option<PathBuf>,
+    omega: usize,
+    oracle: String,
+    workers: usize,
+    threads_per_job: usize,
+    cache_capacity: usize,
+    repeat: usize,
+    report: Option<PathBuf>,
+    verify: bool,
+    quiet: bool,
+}
+
+fn parse_optimize_opts(args: &[String]) -> OptimizeOpts {
+    let mut o = OptimizeOpts {
+        inputs: Vec::new(),
+        out_dir: None,
+        omega: 200,
+        oracle: "rule".to_string(),
+        workers: 0,
+        threads_per_job: 0,
+        cache_capacity: 1024,
+        repeat: 1,
+        report: None,
+        verify: false,
+        quiet: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                o.out_dir = Some(PathBuf::from(args.get(i + 1).unwrap_or_else(|| usage())));
+                i += 2;
+            }
+            "--omega" => {
+                o.omega = parse_num("--omega", args.get(i + 1));
+                i += 2;
+            }
+            "--oracle" => {
+                o.oracle = args.get(i + 1).unwrap_or_else(|| usage()).clone();
+                i += 2;
+            }
+            "--workers" => {
+                o.workers = parse_num("--workers", args.get(i + 1));
+                i += 2;
+            }
+            "--threads-per-job" => {
+                o.threads_per_job = parse_num("--threads-per-job", args.get(i + 1));
+                i += 2;
+            }
+            "--cache-capacity" => {
+                o.cache_capacity = parse_num("--cache-capacity", args.get(i + 1));
+                i += 2;
+            }
+            "--repeat" => {
+                o.repeat = parse_num("--repeat", args.get(i + 1));
+                i += 2;
+            }
+            "--report" => {
+                o.report = Some(PathBuf::from(args.get(i + 1).unwrap_or_else(|| usage())));
+                i += 2;
+            }
+            "--verify" => {
+                o.verify = true;
+                i += 1;
+            }
+            "--quiet" => {
+                o.quiet = true;
+                i += 1;
+            }
+            flag if flag.starts_with("--") => usage(),
+            path => {
+                o.inputs.push(PathBuf::from(path));
+                i += 1;
+            }
+        }
+    }
+    if o.inputs.is_empty() || o.omega == 0 || o.repeat == 0 {
+        usage();
+    }
+    o
+}
+
+/// Expands files/directories into a sorted list of `.qasm` files.
+fn collect_qasm_files(inputs: &[PathBuf]) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for input in inputs {
+        if input.is_dir() {
+            let entries = std::fs::read_dir(input)
+                .unwrap_or_else(|e| fail(format!("cannot read {}: {e}", input.display())));
+            for entry in entries {
+                let path = entry
+                    .unwrap_or_else(|e| fail(format!("cannot read {}: {e}", input.display())))
+                    .path();
+                if path.extension().is_some_and(|x| x == "qasm") {
+                    files.push(path);
+                }
+            }
+        } else {
+            files.push(input.clone());
+        }
+    }
+    files.sort();
+    files.dedup();
+    if files.is_empty() {
+        fail("no .qasm files found in the given paths");
+    }
+    files
+}
+
+fn cmd_optimize(args: &[String]) -> ExitCode {
+    let opts = parse_optimize_opts(args);
+    let files = collect_qasm_files(&opts.inputs);
+
+    // Outputs are written under --out by basename; two inputs sharing one
+    // would silently clobber each other, so reject that up front.
+    if opts.out_dir.is_some() {
+        let mut names = std::collections::HashSet::new();
+        for path in &files {
+            let name = path
+                .file_name()
+                .map(|n| n.to_os_string())
+                .unwrap_or_default();
+            if !names.insert(name.clone()) {
+                fail(format!(
+                    "two inputs share the file name `{}`; outputs under --out would \
+                     overwrite each other (rename one or run separate batches)",
+                    name.to_string_lossy()
+                ));
+            }
+        }
+    }
+
+    // Parse every input up front so a malformed file fails fast.
+    let mut labels = Vec::new();
+    let mut circuits = Vec::new();
+    for path in &files {
+        let src = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(format!("cannot read {}: {e}", path.display())));
+        let circuit = popqc::ir::qasm::parse(&src)
+            .unwrap_or_else(|e| fail(format!("{}: {e}", path.display())));
+        labels.push(
+            path.file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.display().to_string()),
+        );
+        circuits.push(circuit);
+    }
+
+    let cfg = PopqcConfig::with_omega(opts.omega);
+    let svc_cfg = ServiceConfig {
+        workers: opts.workers,
+        threads_per_job: opts.threads_per_job,
+        cache_capacity: opts.cache_capacity,
+        ..ServiceConfig::default()
+    };
+
+    // Dispatch on the oracle choice; each arm monomorphizes the service.
+    let report = match opts.oracle.as_str() {
+        "rule" => run_batches(
+            OptimizationService::new(RuleBasedOptimizer::oracle(), svc_cfg),
+            &labels,
+            &circuits,
+            &cfg,
+            &opts,
+            &files,
+        ),
+        "search" => run_batches(
+            OptimizationService::new(SearchOptimizer::new(GateCount, 2000), svc_cfg),
+            &labels,
+            &circuits,
+            &cfg,
+            &opts,
+            &files,
+        ),
+        other => fail(format!("unknown oracle `{other}` (use rule|search)")),
+    };
+
+    if let Some(report_path) = &opts.report {
+        let text = serde_json::to_string_pretty(&report).expect("serialize report");
+        std::fs::write(report_path, text)
+            .unwrap_or_else(|e| fail(format!("cannot write {}: {e}", report_path.display())));
+        if !opts.quiet {
+            eprintln!("report written to {}", report_path.display());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_batches<O: SegmentOracle<Gate> + Send + Sync + 'static>(
+    svc: OptimizationService<O>,
+    labels: &[String],
+    circuits: &[Circuit],
+    cfg: &PopqcConfig,
+    opts: &OptimizeOpts,
+    files: &[PathBuf],
+) -> serde_json::Value {
+    let mut passes = Vec::new();
+    let mut last: Option<BatchResult> = None;
+    for pass in 1..=opts.repeat {
+        let batch = svc.submit_batch(circuits.iter().cloned(), cfg).wait();
+        if !opts.quiet {
+            let (gates_in, gates_out) = batch.gate_totals();
+            eprintln!(
+                "pass {pass}: {} jobs in {:.3}s ({:.1} jobs/s) — {} cache hits, \
+                 {} oracle calls, {} -> {} gates",
+                batch.results.len(),
+                batch.wall_nanos as f64 / 1e9,
+                batch.jobs_per_sec(),
+                batch.cache_hits(),
+                batch.oracle_calls_issued(),
+                gates_in,
+                gates_out,
+            );
+        }
+        passes.push(batch_report(labels, &batch, pass));
+        last = Some(batch);
+    }
+    let batch = last.expect("at least one pass");
+
+    // Write optimized QASM under --out, preserving file names.
+    if let Some(out_dir) = &opts.out_dir {
+        std::fs::create_dir_all(out_dir)
+            .unwrap_or_else(|e| fail(format!("cannot create {}: {e}", out_dir.display())));
+        for (path, result) in files.iter().zip(&batch.results) {
+            let name = path.file_name().expect("qasm file name");
+            let out_path = out_dir.join(name);
+            std::fs::write(&out_path, popqc::ir::qasm::to_qasm(&result.circuit))
+                .unwrap_or_else(|e| fail(format!("cannot write {}: {e}", out_path.display())));
+        }
+        if !opts.quiet {
+            eprintln!(
+                "wrote {} optimized circuits to {}",
+                batch.results.len(),
+                out_dir.display()
+            );
+        }
+    }
+
+    // Optional semantic verification on simulator-sized circuits.
+    if opts.verify {
+        let mut verified = 0;
+        let mut skipped = 0;
+        for ((label, input), result) in labels.iter().zip(circuits).zip(&batch.results) {
+            if input.num_qubits <= 12 && input.len() <= 60_000 {
+                if !popqc::sim::circuits_equivalent(input, &result.circuit, 2, 0xC1C1) {
+                    fail(format!("{label}: optimized circuit is NOT equivalent"));
+                }
+                verified += 1;
+            } else {
+                skipped += 1;
+            }
+        }
+        if !opts.quiet {
+            eprintln!("verify: {verified} equivalence-checked, {skipped} too large (skipped)");
+        }
+    }
+
+    let stats = svc.stats();
+    service_report(passes, &stats, svc.workers(), svc.threads_per_job())
+}

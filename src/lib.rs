@@ -20,6 +20,7 @@
 //! | [`core`] | `popqc-core` | index tree, sparse circuit, finger engine |
 //! | [`baseline`] | `oac` | sequential cut-meld-compress baseline |
 //! | [`benchmarks`] | `benchgen` | the eight benchmark circuit families |
+//! | [`service`] | `popqc-svc` | batch optimization service: job scheduling + result cache |
 //!
 //! ## Quick start
 //!
@@ -44,6 +45,7 @@ pub use popqc_core as core;
 pub use qcir as ir;
 pub use qoracle as oracles;
 pub use qsim as sim;
+pub use qsvc as service;
 
 /// The types most programs need, in one import.
 pub mod prelude {
@@ -52,9 +54,13 @@ pub mod prelude {
     pub use popqc_core::{
         optimize_circuit, optimize_layered, verify_local_optimality, PopqcConfig, PopqcStats,
     };
-    pub use qcir::{Angle, Circuit, Gate, Layer, LayeredCircuit, Qubit};
+    pub use qcir::{Angle, Circuit, Fingerprint, Gate, Layer, LayeredCircuit, Qubit};
     pub use qoracle::{
         CostFn, GateCount, LayerSearchOracle, MixedDepthGates, RuleBasedOptimizer, SearchOptimizer,
         SegmentOracle,
+    };
+    pub use qsvc::{
+        BatchHandle, BatchResult, JobHandle, JobKey, JobResult, OptimizationService, ServiceConfig,
+        ServiceStats,
     };
 }

@@ -7,31 +7,29 @@ use proptest::prelude::*;
 
 /// Strategy: arbitrary circuits over `n` qubits with π/8-grid angles.
 fn arb_circuit(n: u32, max_len: usize) -> impl Strategy<Value = Circuit> {
-    prop::collection::vec(
-        (0u8..4, 0..n, 0..n.max(2), -8i64..8),
-        0..max_len,
-    )
-    .prop_map(move |specs| {
-        let mut c = Circuit::new(n);
-        for (kind, q, r, num) in specs {
-            match kind {
-                0 => {
-                    c.h(q);
-                }
-                1 => {
-                    c.x(q);
-                }
-                2 => {
-                    c.rz(q, Angle::pi_frac(num, 8));
-                }
-                _ => {
-                    let t = if r == q { (r + 1) % n } else { r % n };
-                    c.cnot(q, t);
+    prop::collection::vec((0u8..4, 0..n, 0..n.max(2), -8i64..8), 0..max_len).prop_map(
+        move |specs| {
+            let mut c = Circuit::new(n);
+            for (kind, q, r, num) in specs {
+                match kind {
+                    0 => {
+                        c.h(q);
+                    }
+                    1 => {
+                        c.x(q);
+                    }
+                    2 => {
+                        c.rz(q, Angle::pi_frac(num, 8));
+                    }
+                    _ => {
+                        let t = if r == q { (r + 1) % n } else { r % n };
+                        c.cnot(q, t);
+                    }
                 }
             }
-        }
-        c
-    })
+            c
+        },
+    )
 }
 
 proptest! {

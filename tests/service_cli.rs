@@ -1,0 +1,157 @@
+//! End-to-end test of the `popqc` CLI: generate a directory of QASM
+//! benchmarks, batch-optimize it twice in one process, and check the
+//! acceptance properties — outputs re-parse and are semantically
+//! equivalent, and the warm pass is pure cache hits with zero new oracle
+//! calls (via the report's counters).
+
+use std::path::Path;
+use std::process::Command;
+
+fn popqc_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_popqc")
+}
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(popqc_bin())
+        .args(args)
+        .output()
+        .expect("spawn popqc CLI")
+}
+
+fn assert_success(out: &std::process::Output, what: &str) {
+    assert!(
+        out.status.success(),
+        "{what} failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+}
+
+#[test]
+fn cli_round_trips_a_directory_with_warm_cache_second_pass() {
+    let tmp = std::env::temp_dir().join(format!("popqc-cli-test-{}", std::process::id()));
+    let in_dir = tmp.join("in");
+    let out_dir = tmp.join("out");
+    std::fs::create_dir_all(&in_dir).unwrap();
+    let _cleanup = Cleanup(&tmp);
+
+    // A small multi-family batch via `popqc gen`.
+    for (family, qubits) in [
+        ("vqe", "8"),
+        ("grover", "6"),
+        ("statevec", "5"),
+        ("hhl", "6"),
+    ] {
+        let out = run(&[
+            "gen",
+            "--family",
+            family,
+            "--qubits",
+            qubits,
+            "--seed",
+            "9",
+            "--out",
+            in_dir.to_str().unwrap(),
+        ]);
+        assert_success(&out, &format!("gen {family}"));
+    }
+    let inputs: Vec<_> = std::fs::read_dir(&in_dir).unwrap().collect();
+    assert_eq!(inputs.len(), 4);
+
+    // Batch-optimize the directory twice in one process, with verification.
+    let report_path = tmp.join("report.json");
+    let out = run(&[
+        "optimize",
+        in_dir.to_str().unwrap(),
+        "--out",
+        out_dir.to_str().unwrap(),
+        "--omega",
+        "80",
+        "--workers",
+        "2",
+        "--threads-per-job",
+        "1",
+        "--repeat",
+        "2",
+        "--verify",
+        "--report",
+        report_path.to_str().unwrap(),
+    ]);
+    assert_success(&out, "optimize");
+
+    // Every output re-parses, is smaller, and is equivalent to its input.
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&in_dir).unwrap() {
+        let in_path = entry.unwrap().path();
+        let out_path = out_dir.join(in_path.file_name().unwrap());
+        let original = popqc::ir::qasm::parse(&std::fs::read_to_string(&in_path).unwrap()).unwrap();
+        let optimized = popqc::ir::qasm::parse(&std::fs::read_to_string(&out_path).unwrap())
+            .unwrap_or_else(|e| panic!("optimized {} does not re-parse: {e}", out_path.display()));
+        assert!(optimized.validate().is_ok());
+        assert!(
+            optimized.len() <= original.len(),
+            "{}: output larger than input",
+            out_path.display()
+        );
+        assert!(
+            popqc::sim::circuits_equivalent(&original, &optimized, 2, 0xFACE),
+            "{}: semantics changed",
+            out_path.display()
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 4);
+
+    // The report's counters prove the warm-cache property.
+    let report = serde_json::from_str(&std::fs::read_to_string(&report_path).unwrap())
+        .expect("report parses as JSON");
+    let passes = report.get("passes").unwrap().as_array().unwrap();
+    assert_eq!(passes.len(), 2);
+    let cold = &passes[0];
+    let warm = &passes[1];
+    assert_eq!(cold.get("cache_hits").unwrap().as_u64(), Some(0));
+    assert!(cold.get("oracle_calls_issued").unwrap().as_u64().unwrap() > 0);
+    assert_eq!(warm.get("cache_hits").unwrap().as_u64(), Some(4));
+    assert_eq!(
+        warm.get("oracle_calls_issued").unwrap().as_u64(),
+        Some(0),
+        "warm pass must issue zero oracle calls"
+    );
+    // Warm jobs are flagged individually too.
+    for job in warm.get("jobs").unwrap().as_array().unwrap() {
+        assert_eq!(job.get("cache_hit").unwrap().as_bool(), Some(true));
+    }
+    let service = report.get("service").unwrap();
+    assert_eq!(service.get("cache_hits").unwrap().as_u64(), Some(4));
+    assert_eq!(service.get("submitted").unwrap().as_u64(), Some(8));
+}
+
+#[test]
+fn cli_families_lists_all_eight() {
+    let out = run(&["families"]);
+    assert_success(&out, "families");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let listed: Vec<&str> = stdout.lines().collect();
+    assert_eq!(listed.len(), 8);
+    assert!(listed.contains(&"vqe") && listed.contains(&"shor"));
+}
+
+#[test]
+fn cli_rejects_bad_input_cleanly() {
+    let out = run(&["gen", "--family", "sqrt", "--qubits", "4"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("at least"), "got: {stderr}");
+
+    let out = run(&["optimize", "/nonexistent-popqc-path"]);
+    assert!(!out.status.success());
+}
+
+/// Removes the temp tree on drop, including on panic.
+struct Cleanup<'a>(&'a Path);
+
+impl Drop for Cleanup<'_> {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(self.0);
+    }
+}
