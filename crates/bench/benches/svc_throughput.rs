@@ -2,12 +2,18 @@
 //! vs warm cache, over the benchgen families. The warm numbers bound the
 //! service overhead (fingerprint + cache probe + handle plumbing) per job;
 //! the cold/warm gap is the memoization win.
+//!
+//! Setting `POPQC_SVC_REPORT=<path>` additionally runs one cold and one
+//! warm pass through a fresh service and writes the JSON batch report
+//! there, so CI can archive the cache-hit/oracle-call counters per PR
+//! (`cargo bench --bench svc_throughput -- --test` for the smoke run).
 
 use benchgen::Family;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use popqc_core::PopqcConfig;
 use qcir::Circuit;
 use qoracle::RuleBasedOptimizer;
+use qsvc::report::{batch_report, service_report};
 use qsvc::{OptimizationService, ServiceConfig};
 
 fn batch() -> Vec<Circuit> {
@@ -38,7 +44,10 @@ fn bench_cold(c: &mut Criterion) {
     let ncores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    for workers in [1usize, ncores] {
+    // One entry per distinct width: real criterion panics on duplicate
+    // benchmark IDs, which [1, ncores] would produce on a 1-core machine.
+    let widths: &[usize] = if ncores > 1 { &[1, ncores] } else { &[1] };
+    for &workers in widths {
         g.bench_with_input(
             BenchmarkId::from_parameter(workers),
             &circuits,
@@ -87,4 +96,39 @@ criterion_group! {
     config = config();
     targets = bench_cold, bench_warm
 }
-criterion_main!(benches);
+
+/// Writes the cold-vs-warm JSON batch report to `path`. Pass 1 must be all
+/// misses and pass 2 all hits with zero oracle calls; the report makes the
+/// counters inspectable without re-running.
+fn write_service_report(path: &str) {
+    let circuits = batch();
+    let labels: Vec<String> = Family::ALL.iter().map(|f| f.name().to_string()).collect();
+    let cfg = PopqcConfig::with_omega(100);
+    let svc = service(2);
+
+    let cold = svc.submit_batch(circuits.iter().cloned(), &cfg).wait();
+    let warm = svc.submit_batch(circuits.iter().cloned(), &cfg).wait();
+    assert_eq!(cold.cache_hits(), 0, "cold pass must be all misses");
+    assert_eq!(
+        warm.cache_hits(),
+        circuits.len(),
+        "warm pass must be all hits"
+    );
+    assert_eq!(warm.oracle_calls_issued(), 0);
+
+    let passes = vec![
+        batch_report(&labels, &cold, 1),
+        batch_report(&labels, &warm, 2),
+    ];
+    let report = service_report(passes, &svc.stats(), svc.workers(), svc.threads_per_job());
+    let text = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(path, text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("svc report written to {path}");
+}
+
+fn main() {
+    benches();
+    if let Ok(path) = std::env::var("POPQC_SVC_REPORT") {
+        write_service_report(&path);
+    }
+}

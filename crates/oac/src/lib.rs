@@ -1,7 +1,7 @@
 //! # oac — the sequential cut–optimize–meld–compress baseline
 //!
 //! A from-scratch implementation of the local optimizer of Arora et al.
-//! ("Local optimization of quantum circuits", the paper's reference [8]),
+//! ("Local optimization of quantum circuits", the paper's reference \[8\]),
 //! which POPQC is compared against in Table 3. The algorithm:
 //!
 //! 1. **cut** the circuit into Ω-segments;

@@ -116,7 +116,10 @@ pub fn parse(src: &str) -> Result<Circuit, QasmError> {
 
 fn parse_reg_decl(s: &str) -> Option<(String, u32)> {
     let open = s.find('[')?;
-    let close = s.find(']')?;
+    // Search for the bracket *after* `[`: `find(']')` over the whole string
+    // would produce an inverted range (and a slice panic) on inputs like
+    // `qreg q]0[`.
+    let close = open + s[open..].find(']')?;
     let name = s[..open].trim();
     let size: u32 = s[open + 1..close].trim().parse().ok()?;
     if name.is_empty() {
@@ -325,5 +328,15 @@ cx q[1], q[2];
     fn unsupported_gate_is_an_error() {
         let e = parse("qreg q[2];\nt q[0];\n").unwrap_err();
         assert!(e.msg.contains("unsupported"));
+    }
+
+    #[test]
+    fn malformed_qreg_brackets_error_instead_of_panicking() {
+        // `]` before `[` used to slice with an inverted range and panic.
+        for src in ["qreg q]0[;\n", "qreg q];\n", "qreg [3];\n", "qreg q[x];\n"] {
+            let e = parse(src).unwrap_err();
+            assert!(e.msg.contains("qreg"), "{src:?} -> {e}");
+            assert_eq!(e.line, 1);
+        }
     }
 }

@@ -1,0 +1,291 @@
+//! The JSON API over the optimization service.
+//!
+//! | route | method | body | reply |
+//! |-------|--------|------|-------|
+//! | `/healthz` | GET | — | `{"status":"ok"}` |
+//! | `/v1/stats` | GET | — | service counters (see [`qsvc::report::stats_report`]) |
+//! | `/v1/optimize` | POST | QASM text | job document (blocks; `?wait=false` returns 202 + job id) |
+//! | `/v1/batch` | POST | `{"circuits":[{"label","qasm"},…],"omega":N}` | batch report (see [`qsvc::report::batch_report`]) |
+//! | `/v1/jobs/{id}` | GET | — | job status/progress, result when done |
+//!
+//! `POST /v1/optimize` options are query parameters: `omega` (engine
+//! window, defaults to the server's `--omega`), `label` (echoed in the job
+//! document), `wait=false` (submit-and-poll instead of blocking). Only
+//! `wait=false` submissions are retained for `/v1/jobs/{id}` polling —
+//! blocking requests get their result inline and are not kept around.
+//! Malformed input — unparseable QASM, bad JSON, unknown fields of the
+//! wrong type, out-of-range numbers — is a 400 with an `error` message,
+//! never a dropped connection.
+
+use crate::http::{Request, Response};
+use crate::server::Handler;
+use popqc_core::PopqcConfig;
+use qcir::{qasm, Gate};
+use qoracle::SegmentOracle;
+use qsvc::report::{batch_report, job_report, stats_report};
+use qsvc::service::{JobHandle, JobResult, OptimizationService};
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+
+/// Completed `wait=false` jobs retained for `GET /v1/jobs/{id}` before
+/// the oldest are evicted (pending jobs are never evicted; blocking
+/// submissions are never stored).
+const JOB_HISTORY_CAP: usize = 4096;
+
+struct StoredJob {
+    handle: Arc<JobHandle>,
+    label: Option<String>,
+}
+
+/// Shared server state: the service plus the polling-job registry.
+///
+/// Generic over the oracle like the service itself; the `popqc serve` CLI
+/// monomorphizes one per `--oracle` choice.
+pub struct AppState<O: SegmentOracle<Gate> + Send + Sync + 'static> {
+    svc: OptimizationService<O>,
+    default_omega: usize,
+    jobs: Mutex<BTreeMap<u64, StoredJob>>,
+    next_job_id: AtomicU64,
+}
+
+impl<O: SegmentOracle<Gate> + Send + Sync + 'static> AppState<O> {
+    /// Wraps a running service. `default_omega` applies when a request
+    /// does not pass `?omega=`.
+    pub fn new(svc: OptimizationService<O>, default_omega: usize) -> AppState<O> {
+        AppState {
+            svc,
+            default_omega,
+            jobs: Mutex::new(BTreeMap::new()),
+            next_job_id: AtomicU64::new(1),
+        }
+    }
+
+    /// The wrapped service (e.g. for shutdown-time stats logging).
+    pub fn service(&self) -> &OptimizationService<O> {
+        &self.svc
+    }
+
+    fn register_job(&self, id: u64, handle: Arc<JobHandle>, label: Option<String>) {
+        let mut jobs = self.jobs.lock().expect("job registry poisoned");
+        jobs.insert(id, StoredJob { handle, label });
+        // Evict oldest *completed* jobs beyond the cap; never a pending
+        // job (its client may still be polling toward a live handle).
+        while jobs.len() > JOB_HISTORY_CAP {
+            let Some((&oldest_done, _)) =
+                jobs.iter().find(|(_, j)| j.handle.try_result().is_some())
+            else {
+                break;
+            };
+            jobs.remove(&oldest_done);
+        }
+    }
+
+    fn handle_optimize(&self, req: &Request) -> Response {
+        let qasm_src = match req.body_utf8() {
+            Ok(s) => s,
+            Err(e) => return error(400, e.to_string()),
+        };
+        if qasm_src.trim().is_empty() {
+            return error(400, "empty request body; POST the QASM program text");
+        }
+        let circuit = match qasm::parse(qasm_src) {
+            Ok(c) => c,
+            Err(e) => return error(400, e.to_string()),
+        };
+        let omega = match req.query_param("omega") {
+            None => self.default_omega,
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => return error(400, format!("bad omega `{v}` (need a positive integer)")),
+            },
+        };
+        let wait = match req.query_param("wait") {
+            None => true,
+            Some("true") | Some("1") => true,
+            Some("false") | Some("0") => false,
+            Some(v) => return error(400, format!("bad wait `{v}` (need true|false)")),
+        };
+        let label = req.query_param("label").map(str::to_string);
+
+        let cfg = PopqcConfig::with_omega(omega);
+        let handle = Arc::new(self.svc.submit(circuit, &cfg));
+        let id = self.next_job_id.fetch_add(1, Relaxed);
+        if wait {
+            // Blocking requests deliver their result inline and are not
+            // retained: every JobResult holds a full circuit, so keeping
+            // jobs nobody will poll would turn the registry cap into an
+            // unbounded-bytes cache.
+            let result = handle.wait();
+            Response::json(200, &job_json(id, label.as_deref(), Some(&result), &handle))
+        } else {
+            self.register_job(id, Arc::clone(&handle), label.clone());
+            // A submit-time cache hit completes synchronously inside
+            // `submit`; report it done (200) rather than claiming the
+            // client must poll.
+            let result = handle.try_result();
+            let status = if result.is_some() { 200 } else { 202 };
+            Response::json(
+                status,
+                &job_json(id, label.as_deref(), result.as_deref(), &handle),
+            )
+        }
+    }
+
+    fn handle_batch(&self, req: &Request) -> Response {
+        let body = match req.body_utf8() {
+            Ok(s) => s,
+            Err(e) => return error(400, e.to_string()),
+        };
+        let doc = match serde_json::from_str(body) {
+            Ok(v) => v,
+            Err(e) => return error(400, format!("request body is not valid JSON: {e}")),
+        };
+        let Some(entries) = doc.get("circuits").and_then(Value::as_array) else {
+            return error(400, "missing `circuits` array");
+        };
+        if entries.is_empty() {
+            return error(400, "`circuits` is empty");
+        }
+        let omega = match doc.get("omega") {
+            None => self.default_omega,
+            Some(v) => match v.as_u64() {
+                Some(n) if n > 0 => n as usize,
+                _ => return error(400, "bad `omega` (need a positive integer)"),
+            },
+        };
+
+        let mut labels = Vec::with_capacity(entries.len());
+        let mut circuits = Vec::with_capacity(entries.len());
+        for (i, entry) in entries.iter().enumerate() {
+            let (label, src) = match entry {
+                Value::String(s) => (format!("job-{i}"), s.as_str()),
+                obj => {
+                    let Some(src) = obj.get("qasm").and_then(Value::as_str) else {
+                        return error(400, format!("circuits[{i}]: missing `qasm` string"));
+                    };
+                    let label = obj
+                        .get("label")
+                        .and_then(Value::as_str)
+                        .map(str::to_string)
+                        .unwrap_or_else(|| format!("job-{i}"));
+                    (label, src)
+                }
+            };
+            match qasm::parse(src) {
+                Ok(c) => {
+                    labels.push(label);
+                    circuits.push(c);
+                }
+                Err(e) => return error(400, format!("{label}: {e}")),
+            }
+        }
+
+        let cfg = PopqcConfig::with_omega(omega);
+        let batch = self.svc.submit_batch(circuits, &cfg).wait();
+        let mut report = batch_report(&labels, &batch, 1);
+        if let Value::Object(pairs) = &mut report {
+            // The batch report carries stats, not circuits; attach the
+            // optimized QASM per job so the endpoint is self-contained.
+            if let Some(jobs) = pairs
+                .iter_mut()
+                .find(|(k, _)| k == "jobs")
+                .and_then(|(_, v)| match v {
+                    Value::Array(a) => Some(a),
+                    _ => None,
+                })
+            {
+                for (job, result) in jobs.iter_mut().zip(&batch.results) {
+                    if let Value::Object(fields) = job {
+                        fields.push(("qasm".to_string(), json!(qasm::to_qasm(&result.circuit))));
+                    }
+                }
+            }
+        }
+        Response::json(200, &report)
+    }
+
+    fn handle_job_get(&self, id_str: &str) -> Response {
+        let Ok(id) = id_str.parse::<u64>() else {
+            return error(400, format!("bad job id `{id_str}`"));
+        };
+        let job = {
+            let jobs = self.jobs.lock().expect("job registry poisoned");
+            jobs.get(&id)
+                .map(|j| (Arc::clone(&j.handle), j.label.clone()))
+        };
+        let Some((handle, label)) = job else {
+            return error(404, format!("no such job {id}"));
+        };
+        let result = handle.try_result();
+        Response::json(
+            200,
+            &job_json(id, label.as_deref(), result.as_deref(), &handle),
+        )
+    }
+
+    fn handle_stats(&self) -> Response {
+        let mut stats = stats_report(
+            &self.svc.stats(),
+            self.svc.workers(),
+            self.svc.threads_per_job(),
+        );
+        if let Value::Object(pairs) = &mut stats {
+            pairs.push((
+                "jobs_tracked".to_string(),
+                json!(self.jobs.lock().expect("job registry poisoned").len()),
+            ));
+        }
+        Response::json(200, &stats)
+    }
+}
+
+impl<O: SegmentOracle<Gate> + Send + Sync + 'static> Handler for AppState<O> {
+    fn handle(&self, req: &Request) -> Response {
+        let method = req.method.as_str();
+        let path = req.path.as_str();
+        match (method, path) {
+            ("GET", "/healthz") => Response::json(200, &json!({ "status": "ok" })),
+            ("GET", "/v1/stats") => self.handle_stats(),
+            ("POST", "/v1/optimize") => self.handle_optimize(req),
+            ("POST", "/v1/batch") => self.handle_batch(req),
+            (_, "/healthz") | (_, "/v1/stats") => method_not_allowed("GET"),
+            (_, "/v1/optimize") | (_, "/v1/batch") => method_not_allowed("POST"),
+            _ => match path.strip_prefix("/v1/jobs/") {
+                Some(id) if method == "GET" => self.handle_job_get(id),
+                Some(_) => method_not_allowed("GET"),
+                None => error(404, format!("no route for {path}")),
+            },
+        }
+    }
+}
+
+fn error(status: u16, msg: impl Into<String>) -> Response {
+    Response::json(status, &json!({ "error": msg.into() }))
+}
+
+fn method_not_allowed(allowed: &str) -> Response {
+    error(405, format!("method not allowed (use {allowed})"))
+}
+
+/// The job document: status + progress always, stats + optimized QASM once
+/// the result exists. One schema for `/v1/optimize` and `/v1/jobs/{id}`;
+/// the stats fields come from [`job_report`] (same schema as the CLI's
+/// batch report), with the optimized QASM appended.
+fn job_json(id: u64, label: Option<&str>, result: Option<&JobResult>, handle: &JobHandle) -> Value {
+    let mut doc = json!({
+        "job_id": id,
+        "label": label,
+        "done": result.is_some(),
+        "rounds_completed": handle.rounds_completed(),
+    });
+    if let (Some(r), Value::Object(pairs)) = (result, &mut doc) {
+        let mut stats = job_report(r);
+        if let Value::Object(fields) = &mut stats {
+            fields.push(("qasm".to_string(), json!(qasm::to_qasm(&r.circuit))));
+        }
+        pairs.push(("result".to_string(), stats));
+    }
+    doc
+}

@@ -1,0 +1,458 @@
+//! Minimal HTTP/1.1 framing: request parsing (request line, headers,
+//! `Content-Length` and chunked bodies) and response serialization with
+//! keep-alive support.
+//!
+//! This is deliberately a small vendored subset — just enough protocol for
+//! the JSON API in [`crate::api`] — not a general-purpose HTTP
+//! implementation. Unsupported constructs are rejected with a clear
+//! [`HttpError`] that the server maps to a 4xx response instead of killing
+//! the connection silently.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Hard cap on request bodies (16 MiB); larger uploads get a 413.
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+/// Hard cap on a single header line.
+const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Hard cap on the number of request headers.
+const MAX_HEADERS: usize = 100;
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The request is malformed; the message goes into the 400 body.
+    BadRequest(String),
+    /// The declared or actual body size exceeds [`MAX_BODY_BYTES`].
+    PayloadTooLarge,
+    /// The socket failed mid-request (timeout, reset, …).
+    Io(io::Error),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            HttpError::PayloadTooLarge => write!(f, "payload too large"),
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> HttpError {
+        HttpError::Io(e)
+    }
+}
+
+fn bad(msg: impl Into<String>) -> HttpError {
+    HttpError::BadRequest(msg.into())
+}
+
+/// A parsed request: method, decoded path + query, headers, raw body.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// Path without the query string (e.g. `/v1/jobs/7`).
+    pub path: String,
+    /// Decoded `key=value` query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Header name/value pairs as received (names matched case-insensitively).
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open afterwards.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First query parameter with the given name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, or a 400-shaped error.
+    pub fn body_utf8(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body).map_err(|_| bad("request body is not valid UTF-8"))
+    }
+}
+
+/// Reads one CRLF- (or LF-) terminated line, bounded by [`MAX_LINE_BYTES`].
+fn read_line(r: &mut impl BufRead) -> Result<Option<String>, HttpError> {
+    let mut buf = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Ok(None); // clean EOF between requests
+                }
+                return Err(bad("connection closed mid-line"));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    let s = String::from_utf8(buf).map_err(|_| bad("non-UTF-8 header line"))?;
+                    return Ok(Some(s));
+                }
+                buf.push(byte[0]);
+                if buf.len() > MAX_LINE_BYTES {
+                    return Err(bad("header line too long"));
+                }
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// Decodes `%XX` escapes and `+` (as space) in a query component.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                match bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u8::from_str_radix(h, 16).ok())
+                {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect()
+}
+
+/// Reads one request off the stream. `Ok(None)` means the client closed the
+/// connection cleanly between requests (normal keep-alive teardown).
+///
+/// `w` is the response side of the same connection: a client sending
+/// `Expect: 100-continue` (curl does for bodies over 1 KiB) waits for the
+/// interim `100 Continue` line before transmitting the body, so it must be
+/// written between the headers and the body read. Pass
+/// [`std::io::sink()`] when parsing from a buffer.
+pub fn read_request(
+    r: &mut impl BufRead,
+    w: &mut impl Write,
+) -> Result<Option<Request>, HttpError> {
+    let Some(request_line) = read_line(r)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or_else(|| bad("empty request line"))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| bad("request line missing target"))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| bad("request line missing HTTP version"))?;
+    if parts.next().is_some() {
+        return Err(bad("malformed request line"));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(bad(format!("unsupported HTTP version `{version}`")));
+    }
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target.to_string(), Vec::new()),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r)?.ok_or_else(|| bad("connection closed in headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad(format!("malformed header line `{line}`")))?;
+        headers.push((name.trim().to_string(), value.trim().to_string()));
+        if headers.len() > MAX_HEADERS {
+            return Err(bad("too many headers"));
+        }
+    }
+
+    let header = |name: &str| -> Option<&str> {
+        headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    };
+
+    if header("Expect").is_some_and(|e| e.eq_ignore_ascii_case("100-continue")) {
+        w.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+        w.flush()?;
+    }
+
+    let body = if header("Transfer-Encoding").is_some_and(|te| {
+        te.split(',')
+            .any(|t| t.trim().eq_ignore_ascii_case("chunked"))
+    }) {
+        read_chunked_body(r)?
+    } else if let Some(cl) = header("Content-Length") {
+        let len: usize = cl
+            .trim()
+            .parse()
+            .map_err(|_| bad(format!("bad Content-Length `{cl}`")))?;
+        if len > MAX_BODY_BYTES {
+            return Err(HttpError::PayloadTooLarge);
+        }
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body)?;
+        body
+    } else {
+        Vec::new()
+    };
+
+    let keep_alive = match header("Connection") {
+        Some(c) if c.eq_ignore_ascii_case("close") => false,
+        Some(c) if c.eq_ignore_ascii_case("keep-alive") => true,
+        _ => version == "HTTP/1.1", // 1.1 defaults to keep-alive
+    };
+
+    Ok(Some(Request {
+        method: method.to_string(),
+        path,
+        query,
+        headers,
+        body,
+        keep_alive,
+    }))
+}
+
+/// Reads a `Transfer-Encoding: chunked` body, including discarding any
+/// trailer section.
+fn read_chunked_body(r: &mut impl BufRead) -> Result<Vec<u8>, HttpError> {
+    let mut body = Vec::new();
+    loop {
+        let line = read_line(r)?.ok_or_else(|| bad("connection closed in chunk header"))?;
+        // Chunk extensions (after ';') are allowed and ignored.
+        let size_str = line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_str, 16)
+            .map_err(|_| bad(format!("bad chunk size `{size_str}`")))?;
+        if size == 0 {
+            // Discard trailers until the blank line.
+            loop {
+                let t = read_line(r)?.ok_or_else(|| bad("connection closed in trailers"))?;
+                if t.is_empty() {
+                    return Ok(body);
+                }
+            }
+        }
+        if body.len() + size > MAX_BODY_BYTES {
+            return Err(HttpError::PayloadTooLarge);
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        r.read_exact(&mut body[start..])?;
+        // Each chunk is followed by CRLF.
+        let sep = read_line(r)?.ok_or_else(|| bad("connection closed after chunk"))?;
+        if !sep.is_empty() {
+            return Err(bad("missing CRLF after chunk data"));
+        }
+    }
+}
+
+/// An outgoing response. Construct with [`Response::json`] /
+/// [`Response::text`] and send with [`Response::write_to`].
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    pub fn json(status: u16, value: &serde_json::Value) -> Response {
+        let body = serde_json::to_string(value)
+            .expect("serialize response JSON")
+            .into_bytes();
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes the response; `keep_alive` controls the `Connection`
+    /// header (the server closes the socket when it is false).
+    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        )?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), &mut std::io::sink())
+    }
+
+    #[test]
+    fn parses_request_with_content_length() {
+        let req = parse(
+            "POST /v1/optimize?omega=80 HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/optimize");
+        assert_eq!(req.query_param("omega"), Some("80"));
+        assert_eq!(req.body, b"hello");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn parses_chunked_body() {
+        let raw = "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+                   4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n";
+        let req = parse(raw).unwrap().unwrap();
+        assert_eq!(req.body, b"Wikipedia");
+    }
+
+    #[test]
+    fn eof_between_requests_is_clean() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            parse("garbage\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/3.0\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nContent-Length: zonk\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn connection_close_header_wins() {
+        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive);
+        let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn query_decoding() {
+        let req = parse("GET /p?label=a%20b+c&flag HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.query_param("label"), Some("a b c"));
+        assert_eq!(req.query_param("flag"), Some(""));
+    }
+
+    #[test]
+    fn expect_100_continue_gets_the_interim_response_before_the_body() {
+        let raw = "POST /x HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 2\r\n\r\nhi";
+        let mut interim = Vec::new();
+        let req = read_request(&mut BufReader::new(raw.as_bytes()), &mut interim)
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"hi");
+        assert_eq!(interim, b"HTTP/1.1 100 Continue\r\n\r\n");
+
+        // No Expect header: nothing interim is written.
+        let mut interim = Vec::new();
+        let raw = "GET / HTTP/1.1\r\n\r\n";
+        read_request(&mut BufReader::new(raw.as_bytes()), &mut interim)
+            .unwrap()
+            .unwrap();
+        assert!(interim.is_empty());
+    }
+
+    #[test]
+    fn response_serializes_with_length() {
+        let mut out = Vec::new();
+        Response::text(200, "ok").write_to(&mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\nok"));
+    }
+}

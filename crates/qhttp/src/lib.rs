@@ -1,0 +1,53 @@
+//! # popqc-http — HTTP frontend for the batch optimization service
+//!
+//! Wraps [`qsvc::OptimizationService`] in a std-only, dependency-free
+//! HTTP/1.1 server so remote clients can submit QASM circuits, poll job
+//! progress, and read the cache/oracle counters — the "shared submission
+//! front door over a parallel backend" shape the ROADMAP's north star
+//! calls for. The `popqc serve` CLI subcommand is a thin wrapper over this
+//! crate.
+//!
+//! Three layers, separated so each is testable on its own:
+//!
+//! * [`http`] — vendored minimal HTTP/1.1 framing: request parsing
+//!   (request line, headers, `Content-Length` and chunked bodies),
+//!   response serialization, keep-alive semantics.
+//! * [`server`] — a threaded acceptor over one `TcpListener`; each
+//!   connection thread runs a keep-alive loop and dispatches to a
+//!   [`Handler`].
+//! * [`api`] — the JSON routes (`POST /v1/optimize`, `POST /v1/batch`,
+//!   `GET /v1/jobs/{id}`, `GET /v1/stats`, `GET /healthz`) over an
+//!   [`AppState`] holding the service and the job registry.
+//!
+//! Concurrent identical submissions are deduplicated by the service's
+//! in-flight coalescing (one computation, N waiters) and completed
+//! duplicates by its result cache — both visible per job (`cache_hit`,
+//! `coalesced`) and in `/v1/stats`.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use qhttp::api::AppState;
+//! use qhttp::server::{HttpServer, ServerConfig};
+//! use qoracle::RuleBasedOptimizer;
+//! use qsvc::{OptimizationService, ServiceConfig};
+//! use std::sync::Arc;
+//!
+//! let svc = OptimizationService::new(
+//!     RuleBasedOptimizer::oracle(),
+//!     ServiceConfig::default(),
+//! );
+//! let state = Arc::new(AppState::new(svc, 200));
+//! let server = HttpServer::serve("127.0.0.1:8080", state, ServerConfig::default())
+//!     .expect("bind");
+//! println!("listening on http://{}", server.local_addr());
+//! // ... server runs until dropped ...
+//! ```
+
+pub mod api;
+pub mod http;
+pub mod server;
+
+pub use api::AppState;
+pub use http::{Request, Response};
+pub use server::{Handler, HttpServer, ServerConfig};

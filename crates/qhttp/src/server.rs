@@ -1,0 +1,186 @@
+//! The threaded acceptor: a `TcpListener` shared by a small pool of
+//! connection threads, each running a keep-alive request loop.
+//!
+//! Sizing model: a connection occupies its thread for as long as it stays
+//! open, so `conn_threads` bounds concurrent connections (requests beyond
+//! that queue in the kernel accept backlog). Optimization work itself runs
+//! on the [`OptimizationService`](qsvc::OptimizationService) worker pool,
+//! not on connection threads — a slow circuit blocks only its own
+//! connection. Idle keep-alive connections are reaped by a read timeout so
+//! they cannot pin threads forever.
+
+use crate::http::{read_request, HttpError, Request, Response};
+use serde_json::json;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Routes one parsed request to one response. Implemented by
+/// [`crate::api::AppState`]; the separation keeps the socket plumbing
+/// testable without the service.
+pub trait Handler: Send + Sync + 'static {
+    fn handle(&self, req: &Request) -> Response;
+}
+
+/// Server sizing knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Connection-handler threads (= max concurrent connections).
+    pub conn_threads: usize,
+    /// Idle keep-alive connections are closed after this long without a
+    /// request.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            conn_threads: 8,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A running HTTP server. Dropping it (or calling
+/// [`shutdown`](HttpServer::shutdown)) stops accepting, wakes the acceptor
+/// threads, and joins them.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// the connection threads.
+    pub fn serve<H: Handler>(
+        addr: impl ToSocketAddrs,
+        handler: Arc<H>,
+        config: ServerConfig,
+    ) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let listener = Arc::new(listener);
+        let threads = (0..config.conn_threads.max(1))
+            .map(|i| {
+                let listener = Arc::clone(&listener);
+                let handler = Arc::clone(&handler);
+                let stop = Arc::clone(&stop);
+                let timeout = config.read_timeout;
+                std::thread::Builder::new()
+                    .name(format!("qhttp-conn-{i}"))
+                    .spawn(move || {
+                        while !stop.load(SeqCst) {
+                            match listener.accept() {
+                                Ok((stream, _peer)) => {
+                                    if stop.load(SeqCst) {
+                                        return;
+                                    }
+                                    // Both directions: a client that stops
+                                    // reading its response must not pin
+                                    // this thread any longer than an idle
+                                    // one.
+                                    let _ = stream.set_read_timeout(Some(timeout));
+                                    let _ = stream.set_write_timeout(Some(timeout));
+                                    let _ = stream.set_nodelay(true);
+                                    handle_connection(stream, handler.as_ref(), &stop);
+                                }
+                                Err(_) => {
+                                    // Transient accept errors (EMFILE, reset
+                                    // during handshake); back off briefly.
+                                    std::thread::sleep(Duration::from_millis(10));
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn connection thread")
+            })
+            .collect();
+        Ok(HttpServer {
+            addr,
+            stop,
+            threads,
+        })
+    }
+
+    /// The bound address (resolves the actual port when bound with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the connection threads. Connections that
+    /// are mid-request finish their current response first; a thread
+    /// parked on an idle keep-alive connection exits at its next read
+    /// timeout, so shutdown can take up to
+    /// [`ServerConfig::read_timeout`] in the worst case.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, SeqCst) {
+            return;
+        }
+        // Wake every thread blocked in `accept` with a no-op connection.
+        // A wildcard bind address (0.0.0.0/[::]) is not connectable on
+        // every platform; aim the wake-up at loopback instead.
+        let ip = match self.addr.ip() {
+            std::net::IpAddr::V4(v4) if v4.is_unspecified() => {
+                std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST)
+            }
+            std::net::IpAddr::V6(v6) if v6.is_unspecified() => {
+                std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST)
+            }
+            ip => ip,
+        };
+        let wake = SocketAddr::new(ip, self.addr.port());
+        for _ in 0..self.threads.len() {
+            let _ = TcpStream::connect_timeout(&wake, Duration::from_millis(250));
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Keep-alive loop: read a request, dispatch, respond, repeat until the
+/// client closes, errs, opts out of keep-alive, or the server stops.
+fn handle_connection<H: Handler>(stream: TcpStream, handler: &H, stop: &AtomicBool) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader, &mut writer) {
+            Ok(None) => return, // clean close between requests
+            Ok(Some(req)) => {
+                let response = handler.handle(&req);
+                // Stop keeping the connection alive once shutdown begins.
+                let keep_alive = req.keep_alive && !stop.load(SeqCst);
+                if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(e) => {
+                // Protocol errors get a response when possible; the
+                // connection is not reusable afterwards (framing is lost).
+                let response = match e {
+                    HttpError::BadRequest(msg) => Response::json(400, &json!({ "error": msg })),
+                    HttpError::PayloadTooLarge => {
+                        Response::json(413, &json!({ "error": "request body too large" }))
+                    }
+                    HttpError::Io(_) => return, // timeout/reset: nothing to say
+                };
+                let _ = response.write_to(&mut writer, false);
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,416 @@
+//! Loopback integration tests: a real server on an ephemeral port, driven
+//! by a raw `TcpStream` client (no HTTP library on either side), proving
+//! the acceptance properties end to end — serving, cache-hit accounting,
+//! concurrent-duplicate deduplication, job polling, and clean 4xx behaviour
+//! on malformed input.
+
+use benchgen::Family;
+use qhttp::api::AppState;
+use qhttp::server::{HttpServer, ServerConfig};
+use qoracle::RuleBasedOptimizer;
+use qsvc::{OptimizationService, ServiceConfig};
+use serde_json::Value;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+fn start_server(workers: usize) -> HttpServer {
+    let svc = OptimizationService::new(
+        RuleBasedOptimizer::oracle(),
+        ServiceConfig {
+            workers,
+            threads_per_job: 1,
+            cache_capacity: 64,
+            cache_shards: 4,
+        },
+    );
+    let state = Arc::new(AppState::new(svc, 80));
+    HttpServer::serve("127.0.0.1:0", state, ServerConfig::default()).expect("bind loopback")
+}
+
+fn sample_qasm() -> String {
+    qcir::qasm::to_qasm(&Family::Vqe.generate(Family::Vqe.ladder(0)[0], 21))
+}
+
+/// One-shot request over a fresh connection; returns (status, body).
+fn request(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    read_response(&mut stream)
+}
+
+/// Reads one full response (status line, headers, Content-Length body).
+fn read_response(stream: &mut TcpStream) -> (u16, String) {
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 4096];
+    let (headers_end, content_length) = loop {
+        let n = stream.read(&mut buf).expect("read response");
+        assert!(n > 0, "connection closed before response completed");
+        raw.extend_from_slice(&buf[..n]);
+        if let Some(pos) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = std::str::from_utf8(&raw[..pos]).expect("utf-8 headers");
+            let cl = head
+                .lines()
+                .find_map(|l| {
+                    l.split_once(':')
+                        .filter(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+                })
+                .map(|(_, v)| v.trim().parse::<usize>().expect("content-length"))
+                .unwrap_or(0);
+            break (pos + 4, cl);
+        }
+    };
+    while raw.len() < headers_end + content_length {
+        let n = stream.read(&mut buf).expect("read body");
+        assert!(n > 0, "connection closed mid-body");
+        raw.extend_from_slice(&buf[..n]);
+    }
+    let head = std::str::from_utf8(&raw[..headers_end]).unwrap();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let body =
+        String::from_utf8_lossy(&raw[headers_end..headers_end + content_length]).into_owned();
+    (status, body)
+}
+
+fn json(body: &str) -> Value {
+    serde_json::from_str(body).unwrap_or_else(|e| panic!("bad JSON response: {e}\n{body}"))
+}
+
+fn get_stats(addr: SocketAddr) -> Value {
+    let (status, body) = request(addr, "GET", "/v1/stats", "");
+    assert_eq!(status, 200);
+    json(&body)
+}
+
+#[test]
+fn healthz_and_stats_respond() {
+    let server = start_server(2);
+    let addr = server.local_addr();
+
+    let (status, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(json(&body).get("status").unwrap().as_str(), Some("ok"));
+
+    let stats = get_stats(addr);
+    assert_eq!(stats.get("submitted").unwrap().as_u64(), Some(0));
+    assert!(stats.get("workers").unwrap().as_u64().unwrap() >= 1);
+}
+
+#[test]
+fn optimize_twice_second_is_cache_hit_with_zero_new_oracle_calls() {
+    let server = start_server(2);
+    let addr = server.local_addr();
+    let qasm = sample_qasm();
+
+    let (status, body) = request(addr, "POST", "/v1/optimize?label=first", &qasm);
+    assert_eq!(status, 200, "body: {body}");
+    let first = json(&body);
+    assert_eq!(first.get("done").unwrap().as_bool(), Some(true));
+    assert_eq!(first.get("label").unwrap().as_str(), Some("first"));
+    let result = first.get("result").unwrap();
+    assert_eq!(result.get("cache_hit").unwrap().as_bool(), Some(false));
+    assert!(result.get("oracle_calls").unwrap().as_u64().unwrap() > 0);
+    let optimized = result.get("qasm").unwrap().as_str().unwrap();
+    assert!(qcir::qasm::parse(optimized).is_ok(), "output must re-parse");
+    let calls_after_cold = get_stats(addr)
+        .get("oracle_calls_issued")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert!(calls_after_cold > 0);
+
+    // Identical resubmission: a cache hit, and the service-wide oracle-call
+    // counter must not move.
+    let (status, body) = request(addr, "POST", "/v1/optimize", &qasm);
+    assert_eq!(status, 200);
+    let second = json(&body);
+    let result = second.get("result").unwrap();
+    assert_eq!(result.get("cache_hit").unwrap().as_bool(), Some(true));
+    assert_eq!(
+        result.get("qasm").unwrap().as_str().unwrap(),
+        optimized,
+        "hit must return the identical circuit"
+    );
+    let stats = get_stats(addr);
+    assert_eq!(
+        stats.get("oracle_calls_issued").unwrap().as_u64(),
+        Some(calls_after_cold),
+        "second POST must issue zero oracle calls"
+    );
+    assert_eq!(stats.get("cache_hits").unwrap().as_u64(), Some(1));
+}
+
+#[test]
+fn concurrent_duplicate_posts_compute_once() {
+    const CLIENTS: usize = 6;
+    let server = start_server(4);
+    let addr = server.local_addr();
+    let qasm = sample_qasm();
+
+    let responses: Vec<Value> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let qasm = &qasm;
+                s.spawn(move || {
+                    let (status, body) = request(addr, "POST", "/v1/optimize", qasm);
+                    assert_eq!(status, 200, "body: {body}");
+                    json(&body)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // However the submissions interleave, exactly one computes; the rest
+    // are coalesced waiters or (if the first finished early) cache hits.
+    let mut misses = 0;
+    let mut outputs = std::collections::HashSet::new();
+    for r in &responses {
+        let result = r.get("result").unwrap();
+        if result.get("cache_hit").unwrap().as_bool() == Some(false) {
+            misses += 1;
+        }
+        outputs.insert(result.get("qasm").unwrap().as_str().unwrap().to_string());
+    }
+    assert_eq!(misses, 1, "exactly one of {CLIENTS} duplicates computes");
+    assert_eq!(outputs.len(), 1, "all clients get the identical circuit");
+
+    let stats = get_stats(addr);
+    assert_eq!(
+        stats.get("submitted").unwrap().as_u64(),
+        Some(CLIENTS as u64)
+    );
+    assert_eq!(
+        stats.get("cache_hits").unwrap().as_u64(),
+        Some((CLIENTS - 1) as u64)
+    );
+}
+
+#[test]
+fn async_submission_and_job_polling() {
+    let server = start_server(2);
+    let addr = server.local_addr();
+    let qasm = sample_qasm();
+
+    let (status, body) = request(addr, "POST", "/v1/optimize?wait=false&label=bg", &qasm);
+    assert_eq!(status, 202, "body: {body}");
+    let doc = json(&body);
+    let id = doc.get("job_id").unwrap().as_u64().unwrap();
+    assert!(doc.get("result").is_none());
+
+    // Poll until done (bounded; the circuit is small).
+    let mut done = false;
+    for _ in 0..600 {
+        let (status, body) = request(addr, "GET", &format!("/v1/jobs/{id}"), "");
+        assert_eq!(status, 200);
+        let doc = json(&body);
+        if doc.get("done").unwrap().as_bool() == Some(true) {
+            let result = doc.get("result").unwrap();
+            assert_eq!(doc.get("label").unwrap().as_str(), Some("bg"));
+            assert!(result.get("output_gates").unwrap().as_u64().unwrap() > 0);
+            assert_eq!(
+                doc.get("rounds_completed").unwrap().as_u64().unwrap(),
+                result.get("rounds").unwrap().as_u64().unwrap()
+            );
+            done = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(done, "job {id} never completed");
+
+    let (status, _) = request(addr, "GET", "/v1/jobs/999999", "");
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "GET", "/v1/jobs/not-a-number", "");
+    assert_eq!(status, 400);
+
+    // wait=false on an already-cached circuit completes synchronously:
+    // the response must say so (200 + result), not demand a pointless poll.
+    let (status, body) = request(addr, "POST", "/v1/optimize?wait=false", &qasm);
+    assert_eq!(status, 200, "body: {body}");
+    let doc = json(&body);
+    assert_eq!(doc.get("done").unwrap().as_bool(), Some(true));
+    assert_eq!(
+        doc.get("result")
+            .unwrap()
+            .get("cache_hit")
+            .unwrap()
+            .as_bool(),
+        Some(true)
+    );
+}
+
+#[test]
+fn batch_endpoint_reports_per_job_and_aggregate_counters() {
+    let server = start_server(2);
+    let addr = server.local_addr();
+    let a = sample_qasm();
+    let b = qcir::qasm::to_qasm(&Family::Grover.generate(Family::Grover.ladder(0)[0], 5));
+
+    let body = serde_json::to_string(&serde_json::json!({
+        "omega": 64,
+        "circuits": [
+            {"label": "vqe", "qasm": a.clone()},
+            {"label": "grover", "qasm": b},
+            {"label": "vqe-again", "qasm": a},
+        ],
+    }))
+    .unwrap();
+    let (status, reply) = request(addr, "POST", "/v1/batch", &body);
+    assert_eq!(status, 200, "body: {reply}");
+    let report = json(&reply);
+    assert_eq!(report.get("job_count").unwrap().as_u64(), Some(3));
+    let jobs = report.get("jobs").unwrap().as_array().unwrap();
+    assert_eq!(jobs[0].get("label").unwrap().as_str(), Some("vqe"));
+    assert_eq!(jobs[2].get("label").unwrap().as_str(), Some("vqe-again"));
+    // The duplicate inside one batch computes once (coalesced or cached).
+    assert_eq!(report.get("cache_hits").unwrap().as_u64(), Some(1));
+    assert_eq!(
+        jobs[0].get("qasm").unwrap().as_str(),
+        jobs[2].get("qasm").unwrap().as_str()
+    );
+    for job in jobs {
+        assert!(qcir::qasm::parse(job.get("qasm").unwrap().as_str().unwrap()).is_ok());
+    }
+}
+
+#[test]
+fn malformed_requests_get_clean_4xx_responses() {
+    let server = start_server(1);
+    let addr = server.local_addr();
+
+    // Unparseable QASM: 400 with the parser's message, not a panic.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/optimize",
+        "OPENQASM 2.0;\nqreg q]0[;\nh q[0];\n",
+    );
+    assert_eq!(status, 400);
+    assert!(json(&body)
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("qreg"));
+
+    // Empty body.
+    let (status, _) = request(addr, "POST", "/v1/optimize", "");
+    assert_eq!(status, 400);
+
+    // Bad query parameter values.
+    let qasm = sample_qasm();
+    let (status, _) = request(addr, "POST", "/v1/optimize?omega=zero", &qasm);
+    assert_eq!(status, 400);
+    let (status, _) = request(addr, "POST", "/v1/optimize?wait=maybe", &qasm);
+    assert_eq!(status, 400);
+
+    // Batch body that is not JSON / missing fields / bad member QASM.
+    let (status, body) = request(addr, "POST", "/v1/batch", "this is not json");
+    assert_eq!(status, 400);
+    assert!(json(&body)
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("JSON"));
+    let (status, _) = request(addr, "POST", "/v1/batch", "{\"circuits\": []}");
+    assert_eq!(status, 400);
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/batch",
+        "{\"circuits\": [{\"label\": \"bad\", \"qasm\": \"qreg q[1]; zz q[0];\"}]}",
+    );
+    assert_eq!(status, 400);
+    assert!(json(&body)
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("bad"));
+
+    // Routing errors.
+    let (status, _) = request(addr, "GET", "/v1/nope", "");
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "GET", "/v1/optimize", "");
+    assert_eq!(status, 405);
+    let (status, _) = request(addr, "DELETE", "/healthz", "");
+    assert_eq!(status, 405);
+
+    // A request that is not HTTP at all still gets a 400, then the
+    // connection closes.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(b"SPEAK FRIEND AND ENTER\r\n\r\n").unwrap();
+    let (status, _) = read_response(&mut stream);
+    assert_eq!(status, 400);
+}
+
+#[test]
+fn keep_alive_serves_multiple_requests_on_one_connection() {
+    let server = start_server(1);
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    for _ in 0..3 {
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let (status, body) = read_response(&mut stream);
+        assert_eq!(status, 200);
+        assert_eq!(json(&body).get("status").unwrap().as_str(), Some("ok"));
+    }
+
+    // Chunked upload on the same connection.
+    let qasm = sample_qasm();
+    let mut chunked =
+        String::from("POST /v1/optimize HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n\r\n");
+    for part in qasm.as_bytes().chunks(100) {
+        chunked.push_str(&format!("{:x}\r\n", part.len()));
+        chunked.push_str(std::str::from_utf8(part).unwrap());
+        chunked.push_str("\r\n");
+    }
+    chunked.push_str("0\r\n\r\n");
+    stream.write_all(chunked.as_bytes()).unwrap();
+    let (status, body) = read_response(&mut stream);
+    assert_eq!(status, 200, "body: {body}");
+    assert_eq!(
+        json(&body)
+            .get("result")
+            .unwrap()
+            .get("cache_hit")
+            .unwrap()
+            .as_bool(),
+        Some(false)
+    );
+}
+
+#[test]
+fn shutdown_is_clean_and_idempotent() {
+    let mut server = start_server(1);
+    let addr = server.local_addr();
+    let (status, _) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    server.shutdown();
+    server.shutdown(); // second call is a no-op
+    assert!(
+        TcpStream::connect(addr).is_err() || {
+            // The OS may accept briefly while the socket drains; a request
+            // must at least not be served.
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+            let mut buf = Vec::new();
+            s.read_to_end(&mut buf).unwrap_or(0) == 0
+        }
+    );
+}

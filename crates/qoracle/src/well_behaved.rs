@@ -3,7 +3,7 @@
 //! Section 6 of the paper defines an oracle as **well-behaved** when every
 //! segment of its output is optimal with respect to the oracle itself; the
 //! local-optimality theorem (Theorem 7) is conditional on this property.
-//! Real oracles — VOQC, and this crate's [`RuleBasedOptimizer`] — violate it
+//! Real oracles — VOQC, and this crate's [`RuleBasedOptimizer`](crate::RuleBasedOptimizer) — violate it
 //! in rare corners: NOT propagation relocates X gates across distances that
 //! depend on the window extent, so a fixpoint of a 2Ω-window can still
 //! contain an improvable Ω-subwindow (measured at < 1% of windows on random

@@ -11,14 +11,16 @@
 //!   parallelism), so one huge circuit cannot starve the queue.
 //! * [`ShardedLruCache`] — results memoized under
 //!   [`JobKey`] = (structural circuit fingerprint, oracle id, engine
-//!   config); identical resubmissions cost zero oracle calls.
+//!   config); identical resubmissions cost zero oracle calls. Identical
+//!   jobs submitted *concurrently* coalesce onto one in-flight computation
+//!   (see [`ServiceStats::coalesced`]).
 //! * [`JobHandle`] / [`BatchHandle`] / [`BatchResult`] — completion,
 //!   live round-progress, and per-job + aggregate statistics with
 //!   cache-hit attribution.
 //! * [`report`] — the JSON stats schema the `popqc` CLI emits.
 //!
-//! In-process only by design: a network frontend is a follow-up that wraps
-//! this API (see ROADMAP "Open items").
+//! Network-free by design: the HTTP frontend is the separate `popqc-http`
+//! crate, which wraps this API without this crate knowing about sockets.
 //!
 //! ## Example
 //!

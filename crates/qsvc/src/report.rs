@@ -1,12 +1,32 @@
 //! JSON batch reports.
 //!
-//! Turns a [`BatchResult`](crate::BatchResult) plus the service counters
+//! Turns a [`BatchResult`] plus the service counters
 //! into the stats document the `popqc` CLI writes. Kept in the service
 //! crate (rather than the CLI) so the schema is testable and reusable by a
 //! future HTTP frontend.
 
-use crate::service::{BatchResult, ServiceStats};
+use crate::service::{BatchResult, JobResult, ServiceStats};
 use serde_json::{json, Value};
+
+/// The per-job stats object: the one schema shared by [`batch_report`]
+/// and the HTTP frontend's job documents, so the two cannot drift when
+/// [`JobResult`] grows a field.
+pub fn job_report(r: &JobResult) -> Value {
+    json!({
+        "fingerprint": r.key.fingerprint.to_hex(),
+        "oracle": r.key.oracle_id.as_str(),
+        "omega": r.key.config.omega,
+        "input_gates": r.stats.initial_units,
+        "output_gates": r.stats.final_units,
+        "reduction": r.stats.reduction(),
+        "rounds": r.stats.rounds,
+        "oracle_calls": r.stats.oracle_calls,
+        "cache_hit": r.cache_hit,
+        "coalesced": r.coalesced,
+        "queue_seconds": r.queue_nanos as f64 / 1e9,
+        "run_seconds": r.run_nanos as f64 / 1e9,
+    })
+}
 
 /// Per-pass report: one batch submission of `labels.len()` jobs.
 ///
@@ -22,20 +42,11 @@ pub fn batch_report(labels: &[String], batch: &BatchResult, pass: usize) -> Valu
         .iter()
         .zip(&batch.results)
         .map(|(label, r)| {
-            json!({
-                "label": label.as_str(),
-                "fingerprint": r.key.fingerprint.to_hex(),
-                "oracle": r.key.oracle_id.as_str(),
-                "omega": r.key.config.omega,
-                "input_gates": r.stats.initial_units,
-                "output_gates": r.stats.final_units,
-                "reduction": r.stats.reduction(),
-                "rounds": r.stats.rounds,
-                "oracle_calls": r.stats.oracle_calls,
-                "cache_hit": r.cache_hit,
-                "queue_seconds": r.queue_nanos as f64 / 1e9,
-                "run_seconds": r.run_nanos as f64 / 1e9,
-            })
+            let mut job = json!({ "label": label.as_str() });
+            if let (Value::Object(dst), Value::Object(src)) = (&mut job, job_report(r)) {
+                dst.extend(src);
+            }
+            job
         })
         .collect();
     let (gates_in, gates_out) = batch.gate_totals();
@@ -52,6 +63,23 @@ pub fn batch_report(labels: &[String], batch: &BatchResult, pass: usize) -> Valu
     })
 }
 
+/// The service's cumulative counters as one JSON object. Shared by
+/// [`service_report`] and the HTTP frontend's `GET /v1/stats` endpoint so
+/// both emit the same schema.
+pub fn stats_report(stats: &ServiceStats, workers: usize, threads_per_job: usize) -> Value {
+    json!({
+        "workers": workers,
+        "threads_per_job": threads_per_job,
+        "submitted": stats.submitted,
+        "completed": stats.completed,
+        "cache_hits": stats.cache_hits,
+        "coalesced": stats.coalesced,
+        "oracle_calls_issued": stats.oracle_calls_issued,
+        "cache_entries": stats.cache.entries,
+        "cache_evictions": stats.cache.evictions,
+    })
+}
+
 /// The full report: every pass plus the service's cumulative counters.
 pub fn service_report(
     passes: Vec<Value>,
@@ -61,15 +89,6 @@ pub fn service_report(
 ) -> Value {
     json!({
         "passes": passes,
-        "service": {
-            "workers": workers,
-            "threads_per_job": threads_per_job,
-            "submitted": stats.submitted,
-            "completed": stats.completed,
-            "cache_hits": stats.cache_hits,
-            "oracle_calls_issued": stats.oracle_calls_issued,
-            "cache_entries": stats.cache.entries,
-            "cache_evictions": stats.cache.evictions,
-        },
+        "service": stats_report(stats, workers, threads_per_job),
     })
 }

@@ -24,12 +24,17 @@
 //!   resubmissions are answered from cache with zero oracle calls, and the
 //!   per-job [`JobResult::cache_hit`] flag plus the service-level counters
 //!   make hits auditable end to end.
+//! * **In-flight coalescing** — identical jobs submitted while a duplicate
+//!   is still queued or running attach as waiters to that one computation
+//!   (per-key in-flight table) instead of each computing; the finishing
+//!   worker fulfils all of them. Coalesced jobs are flagged via
+//!   [`JobResult::coalesced`] and counted in [`ServiceStats::coalesced`].
 
 use crate::cache::{CacheStats, ShardedLruCache};
 use popqc_core::{optimize_circuit_observed, PopqcConfig, PopqcStats, RoundObserver, RoundRecord};
 use qcir::{Circuit, Fingerprint, Gate};
 use qoracle::SegmentOracle;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
@@ -106,6 +111,10 @@ pub struct JobResult {
     pub stats: PopqcStats,
     /// Whether this result was served from the cache.
     pub cache_hit: bool,
+    /// Whether this result came from attaching to an identical job that was
+    /// already queued or running when this one was submitted (in-flight
+    /// coalescing). Coalesced results are also counted as cache hits.
+    pub coalesced: bool,
     /// The memoization key the job ran (or hit) under.
     pub key: JobKey,
     /// Nanoseconds from submission to a worker picking the job up
@@ -263,8 +272,12 @@ pub struct ServiceStats {
     pub submitted: u64,
     /// Jobs completed (including cache hits).
     pub completed: u64,
-    /// Jobs answered from the cache (at submit or dequeue time).
+    /// Jobs answered from the cache (at submit or dequeue time) or by
+    /// coalescing onto an in-flight duplicate.
     pub cache_hits: u64,
+    /// Jobs that attached as waiters to an identical in-flight job instead
+    /// of computing (a subset of `cache_hits`).
+    pub coalesced: u64,
     /// Oracle calls issued by cache-missing jobs.
     pub oracle_calls_issued: u64,
     /// Cache-layer counters.
@@ -278,6 +291,57 @@ struct QueuedJob {
     enqueued_at: Instant,
 }
 
+/// A duplicate submission parked on an in-flight computation.
+struct Waiter {
+    slot: Arc<JobSlot>,
+    attached_at: Instant,
+}
+
+/// Unwind protection for the in-flight entry: if the oracle (a public
+/// trait clients implement) panics mid-computation, the entry must not
+/// leak — a leaked entry would park every future submission of the same
+/// circuit as a waiter that is never fulfilled. On unwind the guard
+/// removes the entry and re-enqueues each waiter as an independent job
+/// (the pre-coalescing behaviour for duplicates); it is disarmed on the
+/// normal path, where `settle_waiters` removes the entry instead.
+struct InflightGuard<'a> {
+    inflight: &'a Mutex<HashMap<JobKey, Vec<Waiter>>>,
+    queue: &'a Mutex<VecDeque<QueuedJob>>,
+    work_ready: &'a Condvar,
+    circuit: &'a Circuit,
+    key: &'a JobKey,
+    armed: bool,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let waiters: Vec<Waiter> = self
+            .inflight
+            .lock()
+            .expect("inflight table poisoned")
+            .remove(self.key)
+            .into_iter()
+            .flatten()
+            .collect();
+        if waiters.is_empty() {
+            return;
+        }
+        let mut q = self.queue.lock().expect("job queue poisoned");
+        for w in waiters {
+            q.push_back(QueuedJob {
+                circuit: self.circuit.clone(),
+                key: self.key.clone(),
+                slot: w.slot,
+                enqueued_at: w.attached_at,
+            });
+            self.work_ready.notify_one();
+        }
+    }
+}
+
 struct Inner<O> {
     oracle: O,
     oracle_id: String,
@@ -285,19 +349,40 @@ struct Inner<O> {
     cache: ShardedLruCache<JobKey, CachedRun>,
     queue: Mutex<VecDeque<QueuedJob>>,
     work_ready: Condvar,
+    /// In-flight table: one entry per key that is queued or running, holding
+    /// the duplicate submissions parked on it. The entry is created by the
+    /// `submit` that enqueues the computation and removed (waiters drained)
+    /// by the worker that finishes it.
+    inflight: Mutex<HashMap<JobKey, Vec<Waiter>>>,
     shutdown: AtomicBool,
     submitted: AtomicU64,
     completed: AtomicU64,
     cache_hits: AtomicU64,
+    coalesced: AtomicU64,
     oracle_calls_issued: AtomicU64,
 }
 
-/// Counts engine rounds into the job slot as they complete.
-struct SlotProgress(Arc<JobSlot>);
+/// Counts engine rounds into the running job's slot — and into every
+/// waiter currently coalesced onto it, so a client polling a coalesced
+/// job sees the same live progress as the lead submission.
+struct SlotProgress<'a> {
+    slot: &'a JobSlot,
+    key: &'a JobKey,
+    inflight: &'a Mutex<HashMap<JobKey, Vec<Waiter>>>,
+}
 
-impl RoundObserver for SlotProgress {
+impl RoundObserver for SlotProgress<'_> {
     fn on_round(&self, round: usize, _record: &RoundRecord) {
-        self.0.rounds.store(round, Relaxed);
+        self.slot.rounds.store(round, Relaxed);
+        // One short map lock per engine round (tens per job) is noise next
+        // to the oracle calls the round just made.
+        if let Ok(inflight) = self.inflight.lock() {
+            if let Some(waiters) = inflight.get(self.key) {
+                for w in waiters {
+                    w.slot.rounds.store(round, Relaxed);
+                }
+            }
+        }
     }
 }
 
@@ -311,17 +396,49 @@ impl<O: SegmentOracle<Gate>> Inner<O> {
         slot.fulfil(Arc::new(result));
     }
 
+    /// Drains and fulfils every waiter parked on `key`. Must run after the
+    /// result is in the cache: once the in-flight entry is gone, duplicate
+    /// submissions fall through to the cache probe, so the ordering
+    /// guarantees they find the result there.
+    fn settle_waiters(&self, key: &JobKey, circuit: &Circuit, stats: &PopqcStats) {
+        let waiters = self
+            .inflight
+            .lock()
+            .expect("inflight table poisoned")
+            .remove(key);
+        for w in waiters.into_iter().flatten() {
+            self.coalesced.fetch_add(1, Relaxed);
+            let slot = w.slot;
+            self.complete(
+                &slot,
+                JobResult {
+                    circuit: circuit.clone(),
+                    stats: stats.clone(),
+                    cache_hit: true,
+                    coalesced: true,
+                    key: key.clone(),
+                    queue_nanos: w.attached_at.elapsed().as_nanos() as u64,
+                    run_nanos: 0,
+                },
+            );
+        }
+    }
+
     fn run_job(&self, job: QueuedJob, pool: &rayon::ThreadPool) {
         let queue_nanos = job.enqueued_at.elapsed().as_nanos() as u64;
         // Second probe: an identical job submitted earlier may have
-        // completed while this one sat in the queue.
+        // completed while this one sat in the queue (possible when the
+        // earlier job's in-flight entry was removed between this job's
+        // submit-time cache probe and its in-flight check).
         if let Some(cached) = self.cache.get(&job.key) {
+            self.settle_waiters(&job.key, &cached.circuit, &cached.stats);
             self.complete(
                 &job.slot,
                 JobResult {
                     circuit: cached.circuit.clone(),
                     stats: cached.stats.clone(),
                     cache_hit: true,
+                    coalesced: false,
                     key: job.key,
                     queue_nanos,
                     run_nanos: 0,
@@ -331,10 +448,24 @@ impl<O: SegmentOracle<Gate>> Inner<O> {
         }
 
         let t0 = Instant::now();
-        let observer = SlotProgress(Arc::clone(&job.slot));
+        let observer = SlotProgress {
+            slot: &job.slot,
+            key: &job.key,
+            inflight: &self.inflight,
+        };
+        let mut guard = InflightGuard {
+            inflight: &self.inflight,
+            queue: &self.queue,
+            work_ready: &self.work_ready,
+            circuit: &job.circuit,
+            key: &job.key,
+            armed: true,
+        };
         let (optimized, stats) = pool.install(|| {
             optimize_circuit_observed(&job.circuit, &self.oracle, &job.key.config, &observer)
         });
+        guard.armed = false;
+        drop(guard); // release the borrows of `job` before it is moved below
         let run_nanos = t0.elapsed().as_nanos() as u64;
 
         self.oracle_calls_issued
@@ -346,12 +477,14 @@ impl<O: SegmentOracle<Gate>> Inner<O> {
                 stats: stats.clone(),
             }),
         );
+        self.settle_waiters(&job.key, &optimized, &stats);
         self.complete(
             &job.slot,
             JobResult {
                 circuit: optimized,
                 stats,
                 cache_hit: false,
+                coalesced: false,
                 key: job.key,
                 queue_nanos,
                 run_nanos,
@@ -425,10 +558,12 @@ impl<O: SegmentOracle<Gate> + Send + Sync + 'static> OptimizationService<O> {
             cache: ShardedLruCache::new(config.cache_capacity, config.cache_shards),
             queue: Mutex::new(VecDeque::new()),
             work_ready: Condvar::new(),
+            inflight: Mutex::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
             oracle_calls_issued: AtomicU64::new(0),
         });
         let handles = (0..workers)
@@ -476,12 +611,28 @@ impl<O: SegmentOracle<Gate> + Send + Sync + 'static> OptimizationService<O> {
                     circuit: cached.circuit.clone(),
                     stats: cached.stats.clone(),
                     cache_hit: true,
+                    coalesced: false,
                     key,
                     queue_nanos: 0,
                     run_nanos: 0,
                 },
             );
             return JobHandle { slot };
+        }
+
+        // In-flight coalescing: if an identical job is already queued or
+        // running, park this submission as a waiter on it instead of
+        // computing again. The finishing worker fulfils all waiters.
+        {
+            let mut inflight = self.inner.inflight.lock().expect("inflight table poisoned");
+            if let Some(waiters) = inflight.get_mut(&key) {
+                waiters.push(Waiter {
+                    slot: Arc::clone(&slot),
+                    attached_at: Instant::now(),
+                });
+                return JobHandle { slot };
+            }
+            inflight.insert(key.clone(), Vec::new());
         }
 
         let job = QueuedJob {
@@ -518,6 +669,7 @@ impl<O: SegmentOracle<Gate> + Send + Sync + 'static> OptimizationService<O> {
             submitted: self.inner.submitted.load(Relaxed),
             completed: self.inner.completed.load(Relaxed),
             cache_hits: self.inner.cache_hits.load(Relaxed),
+            coalesced: self.inner.coalesced.load(Relaxed),
             oracle_calls_issued: self.inner.oracle_calls_issued.load(Relaxed),
             cache: self.inner.cache.stats(),
         }

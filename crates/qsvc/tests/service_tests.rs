@@ -1,12 +1,15 @@
 //! Service-level tests: batch results must be byte-identical to direct
-//! engine calls, cache accounting must be exact, and the warm-cache path
-//! must issue zero oracle calls.
+//! engine calls, cache accounting must be exact, the warm-cache path
+//! must issue zero oracle calls, and concurrent duplicate submissions
+//! must coalesce onto one computation.
 
 use benchgen::Family;
 use popqc_core::{optimize_circuit, PopqcConfig};
-use qcir::Circuit;
-use qoracle::RuleBasedOptimizer;
+use qcir::{Circuit, Gate};
+use qoracle::{RuleBasedOptimizer, SegmentOracle};
 use qsvc::{OptimizationService, ServiceConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 fn small_service(workers: usize) -> OptimizationService<RuleBasedOptimizer> {
     OptimizationService::new(
@@ -176,6 +179,219 @@ fn handles_report_progress_and_results_preserve_semantics() {
         qsim::circuits_equivalent(&c, &result.circuit, 2, 0x5eed),
         "service output changed circuit semantics"
     );
+}
+
+/// Wraps the rule-based oracle and blocks every call until released, so a
+/// test can pin one computation in flight while duplicates are submitted.
+/// Also counts calls, independently of the engine's own accounting.
+struct GatedOracle {
+    inner: RuleBasedOptimizer,
+    released: Arc<(Mutex<bool>, Condvar)>,
+    calls: AtomicU64,
+    entered: AtomicBool,
+}
+
+impl GatedOracle {
+    fn new() -> (GatedOracle, Arc<(Mutex<bool>, Condvar)>) {
+        let released = Arc::new((Mutex::new(false), Condvar::new()));
+        (
+            GatedOracle {
+                inner: RuleBasedOptimizer::oracle(),
+                released: Arc::clone(&released),
+                calls: AtomicU64::new(0),
+                entered: AtomicBool::new(false),
+            },
+            released,
+        )
+    }
+}
+
+fn release(gate: &(Mutex<bool>, Condvar)) {
+    *gate.0.lock().unwrap() = true;
+    gate.1.notify_all();
+}
+
+impl SegmentOracle<Gate> for GatedOracle {
+    fn optimize(&self, units: &[Gate], num_qubits: u32) -> Vec<Gate> {
+        self.entered.store(true, Ordering::SeqCst);
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        let (lock, cv) = &*self.released;
+        let mut ok = lock.lock().unwrap();
+        while !*ok {
+            ok = cv.wait(ok).unwrap();
+        }
+        drop(ok);
+        self.inner.optimize(units, num_qubits)
+    }
+
+    fn cost(&self, units: &[Gate]) -> u64 {
+        self.inner.cost(units)
+    }
+
+    fn name(&self) -> &'static str {
+        "gated-rule"
+    }
+}
+
+#[test]
+fn concurrent_duplicates_coalesce_onto_one_computation() {
+    const DUPLICATES: usize = 8;
+    let cfg = PopqcConfig::with_omega(32);
+    let circuit = Family::Vqe.generate(Family::Vqe.ladder(0)[0], 7);
+
+    let (oracle, gate) = GatedOracle::new();
+    // Plenty of workers: without coalescing the duplicates would all run.
+    let svc = OptimizationService::new(
+        oracle,
+        ServiceConfig {
+            workers: 4,
+            threads_per_job: 1,
+            cache_capacity: 64,
+            cache_shards: 4,
+        },
+    );
+
+    // First submission starts computing and blocks inside the oracle;
+    // the duplicates are submitted while it is pinned in flight.
+    let first = svc.submit(circuit.clone(), &cfg);
+    let dups: Vec<_> = (0..DUPLICATES)
+        .map(|_| svc.submit(circuit.clone(), &cfg))
+        .collect();
+    release(&gate);
+
+    let lead = first.wait();
+    assert!(!lead.cache_hit && !lead.coalesced);
+
+    let mut coalesced = 0;
+    for h in &dups {
+        let r = h.wait();
+        assert_eq!(r.circuit, lead.circuit, "waiters get the identical result");
+        assert_eq!(r.key, lead.key);
+        assert!(r.cache_hit, "duplicates must not recompute");
+        assert_eq!(r.run_nanos, 0);
+        assert_eq!(
+            h.rounds_completed(),
+            lead.stats.rounds,
+            "waiters must end at the lead job's round count"
+        );
+        if r.coalesced {
+            coalesced += 1;
+        }
+    }
+    // Every duplicate submitted while the lead was in flight coalesces
+    // (none could be a submit-time cache hit: the cache was empty until
+    // the gate was released).
+    assert_eq!(coalesced, DUPLICATES);
+
+    let stats = svc.stats();
+    assert_eq!(stats.submitted, (DUPLICATES + 1) as u64);
+    assert_eq!(stats.completed, (DUPLICATES + 1) as u64);
+    assert_eq!(stats.coalesced, DUPLICATES as u64);
+    assert_eq!(stats.cache_hits, DUPLICATES as u64);
+    assert_eq!(
+        stats.oracle_calls_issued, lead.stats.oracle_calls,
+        "exactly one computation's worth of oracle calls"
+    );
+}
+
+/// Blocks like [`GatedOracle`], then panics on the first call after
+/// release — simulating a buggy client-provided oracle crashing while
+/// waiters are coalesced onto its job.
+struct PanicOnceOracle {
+    inner: RuleBasedOptimizer,
+    released: Arc<(Mutex<bool>, Condvar)>,
+    panicked: AtomicBool,
+}
+
+impl SegmentOracle<Gate> for PanicOnceOracle {
+    fn optimize(&self, units: &[Gate], num_qubits: u32) -> Vec<Gate> {
+        let (lock, cv) = &*self.released;
+        let mut ok = lock.lock().unwrap();
+        while !*ok {
+            ok = cv.wait(ok).unwrap();
+        }
+        drop(ok);
+        if !self.panicked.swap(true, Ordering::SeqCst) {
+            panic!("injected oracle fault");
+        }
+        self.inner.optimize(units, num_qubits)
+    }
+
+    fn cost(&self, units: &[Gate]) -> u64 {
+        self.inner.cost(units)
+    }
+
+    fn name(&self) -> &'static str {
+        "panic-once"
+    }
+}
+
+#[test]
+fn oracle_panic_does_not_strand_coalesced_waiters() {
+    const DUPLICATES: usize = 4;
+    let cfg = PopqcConfig::with_omega(32);
+    let circuit = Family::Vqe.generate(Family::Vqe.ladder(0)[0], 13);
+
+    let released = Arc::new((Mutex::new(false), Condvar::new()));
+    let oracle = PanicOnceOracle {
+        inner: RuleBasedOptimizer::oracle(),
+        released: Arc::clone(&released),
+        panicked: AtomicBool::new(false),
+    };
+    // Two workers: the one running the lead job dies with the panic; the
+    // survivor must pick up the re-enqueued waiters.
+    let svc = OptimizationService::new(
+        oracle,
+        ServiceConfig {
+            workers: 2,
+            threads_per_job: 1,
+            cache_capacity: 64,
+            cache_shards: 4,
+        },
+    );
+
+    // Lead job blocks inside the oracle; duplicates park as waiters.
+    let _lead = svc.submit(circuit.clone(), &cfg);
+    let dups: Vec<_> = (0..DUPLICATES)
+        .map(|_| svc.submit(circuit.clone(), &cfg))
+        .collect();
+    release(&released);
+    // (The lead handle itself is never fulfilled after a panic — that
+    // predates coalescing — but the waiters must not be stranded with it.)
+
+    let first = dups[0].wait();
+    for h in &dups[1..] {
+        assert_eq!(h.wait().circuit, first.circuit);
+    }
+
+    // The in-flight table is clean: a fresh submission of the same
+    // circuit is a plain cache hit, not a stranded waiter.
+    let again = svc.submit(circuit, &cfg).wait();
+    assert!(again.cache_hit);
+}
+
+#[test]
+fn coalesced_batch_of_identical_circuits_computes_once() {
+    // The end-to-end shape from the ROADMAP item: one batch holding N
+    // copies of the same circuit computes once, regardless of timing
+    // (each copy is either a waiter or, if the first finished early, a
+    // plain cache hit — never a second computation).
+    const COPIES: usize = 6;
+    let cfg = PopqcConfig::with_omega(48);
+    let circuit = Family::Grover.generate(Family::Grover.ladder(0)[0], 3);
+    let svc = small_service(4);
+
+    let batch = svc
+        .submit_batch(std::iter::repeat_n(circuit, COPIES), &cfg)
+        .wait();
+    assert_eq!(batch.results.len(), COPIES);
+    assert_eq!(batch.cache_hits(), COPIES - 1);
+    let misses: Vec<_> = batch.results.iter().filter(|r| !r.cache_hit).collect();
+    assert_eq!(misses.len(), 1, "exactly one job computes");
+    assert_eq!(batch.oracle_calls_issued(), misses[0].stats.oracle_calls);
+    for r in &batch.results {
+        assert_eq!(r.circuit, misses[0].circuit);
+    }
 }
 
 #[test]

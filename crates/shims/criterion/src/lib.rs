@@ -60,6 +60,9 @@ struct Settings {
     sample_size: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
+    /// `--test` mode: run each benchmark once to prove it works, skipping
+    /// warm-up and sampling (mirrors real criterion's smoke-test flag).
+    test_mode: bool,
 }
 
 impl Default for Settings {
@@ -68,6 +71,7 @@ impl Default for Settings {
             sample_size: 100,
             measurement_time: Duration::from_secs(5),
             warm_up_time: Duration::from_secs(3),
+            test_mode: false,
         }
     }
 }
@@ -108,8 +112,13 @@ impl Criterion {
         run_benchmark(name, settings, None, &mut f);
     }
 
-    /// Entry point used by the expansion of [`criterion_main!`].
-    pub fn configure_from_args(self) -> Criterion {
+    /// Entry point used by the expansion of [`criterion_main!`]. Honors the
+    /// `--test` CLI flag (smoke mode: each benchmark runs exactly once), as
+    /// real criterion does under `cargo bench -- --test`.
+    pub fn configure_from_args(mut self) -> Criterion {
+        if std::env::args().any(|a| a == "--test") {
+            self.settings.test_mode = true;
+        }
         self
     }
 
@@ -207,6 +216,19 @@ fn run_benchmark(
     throughput: Option<Throughput>,
     f: &mut dyn FnMut(&mut Bencher),
 ) {
+    if settings.test_mode {
+        let mut b = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+        };
+        let t0 = Instant::now();
+        f(&mut b);
+        println!(
+            "{label:<50} ok ({:.3} s, test mode, 1 sample)",
+            t0.elapsed().as_secs_f64()
+        );
+        return;
+    }
     // Warm-up: run single-iteration samples until the warm-up time elapses,
     // and estimate the per-iteration cost from them.
     let warm_start = Instant::now();

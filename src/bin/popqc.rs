@@ -5,6 +5,9 @@
 //! popqc optimize <FILE|DIR>... [--out DIR] [--omega N] [--oracle rule|search]
 //!                [--workers N] [--threads-per-job N] [--cache-capacity N]
 //!                [--repeat N] [--report FILE] [--verify] [--quiet]
+//! popqc serve [--addr HOST:PORT] [--workers N] [--threads-per-job N]
+//!             [--omega N] [--oracle rule|search] [--cache-capacity N]
+//!             [--conn-threads N]
 //! popqc gen --family NAME --qubits N [--seed S] [--out FILE|DIR]
 //! popqc families
 //! ```
@@ -29,6 +32,8 @@ fn usage() -> ! {
          popqc optimize <FILE|DIR>... [--out DIR] [--omega N] [--oracle rule|search]\n           \
          [--workers N] [--threads-per-job N] [--cache-capacity N]\n           \
          [--repeat N] [--report FILE] [--verify] [--quiet]\n  \
+         popqc serve [--addr HOST:PORT] [--workers N] [--threads-per-job N]\n           \
+         [--omega N] [--oracle rule|search] [--cache-capacity N] [--conn-threads N]\n  \
          popqc gen --family NAME --qubits N [--seed S] [--out FILE|DIR]\n  \
          popqc families"
     );
@@ -44,6 +49,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("optimize") => cmd_optimize(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("families") => cmd_families(),
         _ => usage(),
@@ -139,6 +145,93 @@ fn cmd_gen(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut omega: usize = 200;
+    let mut oracle = "rule".to_string();
+    let mut svc_cfg = ServiceConfig::default();
+    let mut http_cfg = popqc::http::ServerConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                addr = args.get(i + 1).unwrap_or_else(|| usage()).clone();
+                i += 2;
+            }
+            "--workers" => {
+                svc_cfg.workers = parse_num("--workers", args.get(i + 1));
+                i += 2;
+            }
+            "--threads-per-job" => {
+                svc_cfg.threads_per_job = parse_num("--threads-per-job", args.get(i + 1));
+                i += 2;
+            }
+            "--cache-capacity" => {
+                svc_cfg.cache_capacity = parse_num("--cache-capacity", args.get(i + 1));
+                i += 2;
+            }
+            "--conn-threads" => {
+                http_cfg.conn_threads = parse_num("--conn-threads", args.get(i + 1));
+                i += 2;
+            }
+            "--omega" => {
+                omega = parse_num("--omega", args.get(i + 1));
+                i += 2;
+            }
+            "--oracle" => {
+                oracle = args.get(i + 1).unwrap_or_else(|| usage()).clone();
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    if omega == 0 || http_cfg.conn_threads == 0 {
+        usage();
+    }
+
+    match oracle.as_str() {
+        "rule" => run_server(
+            OptimizationService::new(RuleBasedOptimizer::oracle(), svc_cfg),
+            &addr,
+            omega,
+            http_cfg,
+        ),
+        "search" => run_server(
+            OptimizationService::new(SearchOptimizer::new(GateCount, 2000), svc_cfg),
+            &addr,
+            omega,
+            http_cfg,
+        ),
+        other => fail(format!("unknown oracle `{other}` (use rule|search)")),
+    }
+}
+
+fn run_server<O: SegmentOracle<Gate> + Send + Sync + 'static>(
+    svc: OptimizationService<O>,
+    addr: &str,
+    omega: usize,
+    http_cfg: popqc::http::ServerConfig,
+) -> ExitCode {
+    let workers = svc.workers();
+    let threads_per_job = svc.threads_per_job();
+    let state = std::sync::Arc::new(popqc::http::AppState::new(svc, omega));
+    let server = popqc::http::HttpServer::serve(addr, state, http_cfg)
+        .unwrap_or_else(|e| fail(format!("cannot bind {addr}: {e}")));
+    eprintln!(
+        "popqc-svc listening on http://{} ({} workers x {} threads/job, default omega {omega})",
+        server.local_addr(),
+        workers,
+        threads_per_job,
+    );
+    eprintln!(
+        "endpoints: POST /v1/optimize  POST /v1/batch  GET /v1/jobs/{{id}}  GET /v1/stats  GET /healthz"
+    );
+    // Serve until the process is killed; the acceptor threads own the work.
+    loop {
+        std::thread::park();
+    }
 }
 
 struct OptimizeOpts {

@@ -20,7 +20,8 @@
 //! | [`core`] | `popqc-core` | index tree, sparse circuit, finger engine |
 //! | [`baseline`] | `oac` | sequential cut-meld-compress baseline |
 //! | [`benchmarks`] | `benchgen` | the eight benchmark circuit families |
-//! | [`service`] | `popqc-svc` | batch optimization service: job scheduling + result cache |
+//! | [`service`] | `popqc-svc` | batch optimization service: job scheduling + result cache + coalescing |
+//! | [`http`] | `popqc-http` | HTTP/1.1 frontend: optimize/batch/jobs/stats JSON endpoints |
 //!
 //! ## Quick start
 //!
@@ -43,6 +44,7 @@ pub use benchgen as benchmarks;
 pub use oac as baseline;
 pub use popqc_core as core;
 pub use qcir as ir;
+pub use qhttp as http;
 pub use qoracle as oracles;
 pub use qsim as sim;
 pub use qsvc as service;

@@ -147,6 +147,123 @@ fn cli_rejects_bad_input_cleanly() {
     assert!(!out.status.success());
 }
 
+#[test]
+fn cli_fails_cleanly_on_unparseable_qasm() {
+    let tmp = std::env::temp_dir().join(format!("popqc-badqasm-test-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).unwrap();
+    let _cleanup = Cleanup(&tmp);
+
+    // One good file and several malformed ones — including the inverted
+    // qreg brackets that used to panic the parser with a slice error —
+    // must each produce exit code 1 and a diagnostic naming the file,
+    // never a panic mid-batch.
+    let good = tmp.join("good.qasm");
+    std::fs::write(&good, "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n").unwrap();
+    for (name, contents) in [
+        (
+            "inverted-brackets.qasm",
+            "OPENQASM 2.0;\nqreg q]0[;\nh q[0];\n",
+        ),
+        ("unknown-gate.qasm", "OPENQASM 2.0;\nqreg q[2];\nt q[0];\n"),
+        ("not-qasm-at-all.qasm", "definitely not a circuit\n"),
+    ] {
+        let bad = tmp.join(name);
+        std::fs::write(&bad, contents).unwrap();
+        let out = run(&[
+            "optimize",
+            good.to_str().unwrap(),
+            bad.to_str().unwrap(),
+            "--omega",
+            "32",
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{name}: expected exit 1, got {:?}",
+            out.status
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("popqc: error") && stderr.contains(name),
+            "{name}: diagnostic must name the file, got: {stderr}"
+        );
+        assert!(
+            !stderr.contains("panicked"),
+            "{name}: CLI must not panic, got: {stderr}"
+        );
+        std::fs::remove_file(&bad).unwrap();
+    }
+}
+
+#[test]
+fn cli_serve_answers_health_and_optimize_over_loopback() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let mut child = Command::new(popqc_bin())
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--threads-per-job",
+            "1",
+            "--omega",
+            "64",
+        ])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn popqc serve");
+    let _cleanup = KillOnDrop(&mut child);
+
+    // The CLI announces the resolved ephemeral port on stderr.
+    let stderr = _cleanup.0.stderr.take().expect("piped stderr");
+    let mut lines = BufReader::new(stderr).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("serve exited before announcing its address")
+            .unwrap();
+        if let Some(rest) = line.split("http://").nth(1) {
+            break rest.split_whitespace().next().unwrap().to_string();
+        }
+    };
+
+    let send = |target: &str, body: &str| -> String {
+        let mut s = std::net::TcpStream::connect(&addr).expect("connect to serve");
+        write!(
+            s,
+            "{} {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            if body.is_empty() { "GET" } else { "POST" },
+            body.len()
+        )
+        .unwrap();
+        let mut reply = String::new();
+        s.read_to_string(&mut reply).unwrap();
+        reply
+    };
+
+    let health = send("/healthz", "");
+    assert!(health.starts_with("HTTP/1.1 200"), "got: {health}");
+
+    let qasm = "OPENQASM 2.0;\nqreg q[2];\nh q[0];\nh q[0];\ncx q[0],q[1];\n";
+    let reply = send("/v1/optimize", qasm);
+    assert!(reply.starts_with("HTTP/1.1 200"), "got: {reply}");
+    assert!(reply.contains("\"cache_hit\":false"), "got: {reply}");
+    let reply = send("/v1/optimize", qasm);
+    assert!(reply.contains("\"cache_hit\":true"), "got: {reply}");
+}
+
+/// Kills the `popqc serve` child on drop, including on panic.
+struct KillOnDrop<'a>(&'a mut std::process::Child);
+
+impl Drop for KillOnDrop<'_> {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
 /// Removes the temp tree on drop, including on panic.
 struct Cleanup<'a>(&'a Path);
 
