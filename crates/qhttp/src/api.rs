@@ -12,7 +12,13 @@
 //! window, defaults to the server's `--omega`), `label` (echoed in the job
 //! document), `wait=false` (submit-and-poll instead of blocking). Only
 //! `wait=false` submissions are retained for `/v1/jobs/{id}` polling —
-//! blocking requests get their result inline and are not kept around.
+//! blocking requests get their result inline and are not kept around. The
+//! polling registry is bounded: when it is full of still-pending jobs, new
+//! `wait=false` submissions are refused with 503 instead of growing the
+//! queue without limit. A job whose oracle run failed reports the failure
+//! in its `result.error` field (and a 500 status when blocking); a batch
+//! with any failed job is a 500 whose report carries per-job `error`
+//! fields, with `qasm` omitted for the failed entries.
 //! Malformed input — unparseable QASM, bad JSON, unknown fields of the
 //! wrong type, out-of-range numbers — is a 400 with an `error` message,
 //! never a dropped connection.
@@ -29,9 +35,14 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex};
 
-/// Completed `wait=false` jobs retained for `GET /v1/jobs/{id}` before
-/// the oldest are evicted (pending jobs are never evicted; blocking
-/// submissions are never stored).
+/// Cap on the `wait=false` job registry. Completed jobs beyond it are
+/// evicted oldest-first; a pending job is never evicted (its client may
+/// still be polling toward a live handle), so when eviction cannot bring
+/// the registry under the cap, new `wait=false` submissions are refused
+/// with 503 — otherwise a flood of distinct circuits would grow the
+/// registry and the service queue (each entry holding a full circuit)
+/// without bound. Blocking submissions are never stored and are bounded
+/// by the connection-thread count instead.
 const JOB_HISTORY_CAP: usize = 4096;
 
 struct StoredJob {
@@ -47,6 +58,7 @@ pub struct AppState<O: SegmentOracle<Gate> + Send + Sync + 'static> {
     svc: OptimizationService<O>,
     default_omega: usize,
     jobs: Mutex<BTreeMap<u64, StoredJob>>,
+    job_cap: usize,
     next_job_id: AtomicU64,
 }
 
@@ -54,10 +66,24 @@ impl<O: SegmentOracle<Gate> + Send + Sync + 'static> AppState<O> {
     /// Wraps a running service. `default_omega` applies when a request
     /// does not pass `?omega=`.
     pub fn new(svc: OptimizationService<O>, default_omega: usize) -> AppState<O> {
+        AppState::with_job_cap(svc, default_omega, JOB_HISTORY_CAP)
+    }
+
+    /// [`new`](Self::new) with an explicit cap on the `wait=false` job
+    /// registry (default 4096): completed jobs beyond it are evicted
+    /// oldest-first, and when pending jobs alone fill it, new `wait=false`
+    /// submissions are refused with 503. Mainly for tests and
+    /// memory-constrained deployments.
+    pub fn with_job_cap(
+        svc: OptimizationService<O>,
+        default_omega: usize,
+        job_cap: usize,
+    ) -> AppState<O> {
         AppState {
             svc,
             default_omega,
             jobs: Mutex::new(BTreeMap::new()),
+            job_cap,
             next_job_id: AtomicU64::new(1),
         }
     }
@@ -67,12 +93,11 @@ impl<O: SegmentOracle<Gate> + Send + Sync + 'static> AppState<O> {
         &self.svc
     }
 
-    fn register_job(&self, id: u64, handle: Arc<JobHandle>, label: Option<String>) {
-        let mut jobs = self.jobs.lock().expect("job registry poisoned");
-        jobs.insert(id, StoredJob { handle, label });
-        // Evict oldest *completed* jobs beyond the cap; never a pending
-        // job (its client may still be polling toward a live handle).
-        while jobs.len() > JOB_HISTORY_CAP {
+    /// Evicts oldest *completed* jobs until the registry is under the cap;
+    /// never a pending job (its client may still be polling toward a live
+    /// handle).
+    fn evict_completed(&self, jobs: &mut BTreeMap<u64, StoredJob>) {
+        while jobs.len() >= self.job_cap {
             let Some((&oldest_done, _)) =
                 jobs.iter().find(|(_, j)| j.handle.try_result().is_some())
             else {
@@ -110,17 +135,45 @@ impl<O: SegmentOracle<Gate> + Send + Sync + 'static> AppState<O> {
         let label = req.query_param("label").map(str::to_string);
 
         let cfg = PopqcConfig::with_omega(omega);
-        let handle = Arc::new(self.svc.submit(circuit, &cfg));
-        let id = self.next_job_id.fetch_add(1, Relaxed);
         if wait {
             // Blocking requests deliver their result inline and are not
             // retained: every JobResult holds a full circuit, so keeping
             // jobs nobody will poll would turn the registry cap into an
             // unbounded-bytes cache.
+            let handle = self.svc.submit(circuit, &cfg);
+            let id = self.next_job_id.fetch_add(1, Relaxed);
             let result = handle.wait();
-            Response::json(200, &job_json(id, label.as_deref(), Some(&result), &handle))
+            let status = if result.error.is_some() { 500 } else { 200 };
+            Response::json(
+                status,
+                &job_json(id, label.as_deref(), Some(&result), &handle),
+            )
         } else {
-            self.register_job(id, Arc::clone(&handle), label.clone());
+            // Capacity check, submission, and registration form ONE
+            // critical section: releasing the lock between the check and
+            // the insert would let concurrent submissions overshoot the
+            // cap. Holding it across `submit` cannot deadlock — the
+            // service never takes this registry lock — and refusing
+            // *before* submitting matters because a queued job cannot be
+            // taken back.
+            let mut jobs = self.jobs.lock().expect("job registry poisoned");
+            self.evict_completed(&mut jobs);
+            if jobs.len() >= self.job_cap {
+                return error(
+                    503,
+                    "job registry is full of pending jobs; retry later or use wait=true",
+                );
+            }
+            let handle = Arc::new(self.svc.submit(circuit, &cfg));
+            let id = self.next_job_id.fetch_add(1, Relaxed);
+            jobs.insert(
+                id,
+                StoredJob {
+                    handle: Arc::clone(&handle),
+                    label: label.clone(),
+                },
+            );
+            drop(jobs);
             // A submit-time cache hit completes synchronously inside
             // `submit`; report it done (200) rather than claiming the
             // client must poll.
@@ -188,6 +241,10 @@ impl<O: SegmentOracle<Gate> + Send + Sync + 'static> AppState<O> {
         if let Value::Object(pairs) = &mut report {
             // The batch report carries stats, not circuits; attach the
             // optimized QASM per job so the endpoint is self-contained.
+            // A failed job (oracle panic) holds its *input* circuit, so no
+            // `qasm` is attached there — only its `error` field — and the
+            // whole response is a 500 so a client checking the status code
+            // alone can never mistake an input echo for an optimization.
             if let Some(jobs) = pairs
                 .iter_mut()
                 .find(|(k, _)| k == "jobs")
@@ -197,13 +254,14 @@ impl<O: SegmentOracle<Gate> + Send + Sync + 'static> AppState<O> {
                 })
             {
                 for (job, result) in jobs.iter_mut().zip(&batch.results) {
-                    if let Value::Object(fields) = job {
+                    if let (Value::Object(fields), None) = (job, &result.error) {
                         fields.push(("qasm".to_string(), json!(qasm::to_qasm(&result.circuit))));
                     }
                 }
             }
         }
-        Response::json(200, &report)
+        let any_failed = batch.results.iter().any(|r| r.error.is_some());
+        Response::json(if any_failed { 500 } else { 200 }, &report)
     }
 
     fn handle_job_get(&self, id_str: &str) -> Response {

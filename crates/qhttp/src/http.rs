@@ -227,14 +227,55 @@ pub fn read_request(
         w.flush()?;
     }
 
-    let body = if header("Transfer-Encoding").is_some_and(|te| {
-        te.split(',')
-            .any(|t| t.trim().eq_ignore_ascii_case("chunked"))
-    }) {
+    // Body framing must be unambiguous: a Transfer-Encoding this server
+    // does not decode, Transfer-Encoding combined with Content-Length, or
+    // conflicting duplicate Content-Length headers are each rejected
+    // outright — silently picking one interpretation is how request
+    // smuggling happens once a proxy sits in front. Every repeated field
+    // line counts: per RFC 7230 duplicates combine into one list, so the
+    // coding check must see them all, not just the first header.
+    let content_lengths: Vec<&str> = headers
+        .iter()
+        .filter(|(k, _)| k.eq_ignore_ascii_case("Content-Length"))
+        .map(|(_, v)| v.trim())
+        .collect();
+    let transfer_encodings: Vec<&str> = headers
+        .iter()
+        .filter(|(k, _)| k.eq_ignore_ascii_case("Transfer-Encoding"))
+        .map(|(_, v)| v.as_str())
+        .collect();
+    let body = if !transfer_encodings.is_empty() {
+        let mut codings = transfer_encodings
+            .iter()
+            .flat_map(|v| v.split(','))
+            .map(str::trim)
+            .filter(|t| !t.is_empty());
+        let only_chunked = codings
+            .next()
+            .is_some_and(|t| t.eq_ignore_ascii_case("chunked"))
+            && codings.next().is_none();
+        if !only_chunked {
+            return Err(bad(format!(
+                "unsupported Transfer-Encoding `{}`",
+                transfer_encodings.join(", ")
+            )));
+        }
+        if !content_lengths.is_empty() {
+            return Err(bad("Transfer-Encoding combined with Content-Length"));
+        }
         read_chunked_body(r)?
-    } else if let Some(cl) = header("Content-Length") {
+    } else if let Some(&cl) = content_lengths.first() {
+        if content_lengths.iter().any(|&c| c != cl) {
+            return Err(bad("conflicting Content-Length headers"));
+        }
+        // Strictly 1*DIGIT (RFC 9110): Rust's `parse` would also accept a
+        // leading `+`, which a stricter front proxy may reject or
+        // reinterpret — the same parser-disagreement class as the
+        // Transfer-Encoding checks above.
+        if cl.is_empty() || !cl.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(bad(format!("bad Content-Length `{cl}`")));
+        }
         let len: usize = cl
-            .trim()
             .parse()
             .map_err(|_| bad(format!("bad Content-Length `{cl}`")))?;
         if len > MAX_BODY_BYTES {
@@ -271,6 +312,11 @@ fn read_chunked_body(r: &mut impl BufRead) -> Result<Vec<u8>, HttpError> {
         let line = read_line(r)?.ok_or_else(|| bad("connection closed in chunk header"))?;
         // Chunk extensions (after ';') are allowed and ignored.
         let size_str = line.split(';').next().unwrap_or("").trim();
+        // Strictly 1*HEXDIG (RFC 9112): `from_str_radix` alone would also
+        // accept a leading `+`.
+        if size_str.is_empty() || !size_str.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(bad(format!("bad chunk size `{size_str}`")));
+        }
         let size = usize::from_str_radix(size_str, 16)
             .map_err(|_| bad(format!("bad chunk size `{size_str}`")))?;
         if size == 0 {
@@ -282,7 +328,10 @@ fn read_chunked_body(r: &mut impl BufRead) -> Result<Vec<u8>, HttpError> {
                 }
             }
         }
-        if body.len() + size > MAX_BODY_BYTES {
+        // `body.len() <= MAX_BODY_BYTES` is invariant here, so the
+        // subtraction cannot underflow — and unlike `body.len() + size`,
+        // this cannot overflow for an attacker-chosen 16-digit hex size.
+        if size > MAX_BODY_BYTES - body.len() {
             return Err(HttpError::PayloadTooLarge);
         }
         let start = body.len();
@@ -334,6 +383,7 @@ impl Response {
             405 => "Method Not Allowed",
             413 => "Payload Too Large",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "Unknown",
         }
     }
@@ -387,6 +437,67 @@ mod tests {
     }
 
     #[test]
+    fn huge_chunk_size_is_payload_too_large_not_overflow() {
+        // A chunk size crafted so `body.len() + size` wraps around usize
+        // must hit the 413 path, not bypass the cap and panic in
+        // `read_exact` (regression: remote DoS via integer overflow).
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+             10\r\n0123456789abcdef\r\n{:x}\r\n",
+            usize::MAX - 14
+        );
+        assert!(matches!(parse(&raw), Err(HttpError::PayloadTooLarge)));
+        // Same for a single oversized (but non-wrapping) chunk.
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n{:x}\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse(&raw), Err(HttpError::PayloadTooLarge)));
+    }
+
+    #[test]
+    fn ambiguous_body_framing_is_rejected() {
+        // Transfer-Encoding we cannot decode: never fall back to
+        // Content-Length framing.
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nTransfer-Encoding: gzip\r\nContent-Length: 2\r\n\r\nhi"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nTransfer-Encoding: gzip, chunked\r\n\r\n0\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        // Both framings at once.
+        assert!(matches!(
+            parse(
+                "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\nContent-Length: 5\r\n\r\n\
+                 0\r\n\r\n"
+            ),
+            Err(HttpError::BadRequest(_))
+        ));
+        // A second Transfer-Encoding field line combines with the first
+        // (RFC 7230): `chunked` + `gzip` across two lines is as ambiguous
+        // as `chunked, gzip` in one.
+        assert!(matches!(
+            parse(
+                "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\nTransfer-Encoding: gzip\r\n\r\n\
+                 0\r\n\r\n"
+            ),
+            Err(HttpError::BadRequest(_))
+        ));
+        // Conflicting duplicate Content-Length headers.
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\nhi "),
+            Err(HttpError::BadRequest(_))
+        ));
+        // Agreeing duplicates are harmless and accepted.
+        let req = parse("POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nhi")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"hi");
+    }
+
+    #[test]
     fn eof_between_requests_is_clean() {
         assert!(parse("").unwrap().is_none());
     }
@@ -403,6 +514,16 @@ mod tests {
         ));
         assert!(matches!(
             parse("GET / HTTP/1.1\r\nContent-Length: zonk\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        // Signed numbers are not 1*DIGIT / 1*HEXDIG, even though Rust's
+        // integer parsers would accept the `+`.
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: +2\r\n\r\nhi"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n+2\r\nhi\r\n0\r\n\r\n"),
             Err(HttpError::BadRequest(_))
         ));
     }

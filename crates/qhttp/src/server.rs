@@ -161,9 +161,20 @@ fn handle_connection<H: Handler>(stream: TcpStream, handler: &H, stop: &AtomicBo
         match read_request(&mut reader, &mut writer) {
             Ok(None) => return, // clean close between requests
             Ok(Some(req)) => {
-                let response = handler.handle(&req);
-                // Stop keeping the connection alive once shutdown begins.
-                let keep_alive = req.keep_alive && !stop.load(SeqCst);
+                // A panicking handler must not unwind through this thread:
+                // the acceptor pool is fixed-size and never respawned, so a
+                // lost thread would permanently shrink the server. Answer
+                // 500 and drop the connection instead.
+                let response =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler.handle(&req)));
+                let (response, keep_alive) = match response {
+                    // Stop keeping the connection alive once shutdown begins.
+                    Ok(r) => (r, req.keep_alive && !stop.load(SeqCst)),
+                    Err(_) => (
+                        Response::json(500, &json!({ "error": "internal server error" })),
+                        false,
+                    ),
+                };
                 if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
                     return;
                 }
@@ -182,5 +193,60 @@ fn handle_connection<H: Handler>(stream: TcpStream, handler: &H, stop: &AtomicBo
                 return;
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    /// Panics on `/boom`, otherwise answers 200.
+    struct BoomHandler;
+
+    impl Handler for BoomHandler {
+        fn handle(&self, req: &Request) -> Response {
+            if req.path == "/boom" {
+                panic!("handler exploded");
+            }
+            Response::text(200, "ok")
+        }
+    }
+
+    fn roundtrip(addr: SocketAddr, target: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        use std::io::Write;
+        write!(
+            stream,
+            "GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+        )
+        .expect("send");
+        let mut reply = String::new();
+        stream.read_to_string(&mut reply).expect("read reply");
+        reply
+    }
+
+    #[test]
+    fn handler_panic_answers_500_and_does_not_kill_the_conn_thread() {
+        // One connection thread: if the panic unwound through it, the
+        // second and third requests would hang instead of being served.
+        let server = HttpServer::serve(
+            "127.0.0.1:0",
+            Arc::new(BoomHandler),
+            ServerConfig {
+                conn_threads: 1,
+                read_timeout: Duration::from_secs(5),
+            },
+        )
+        .expect("bind loopback");
+        let addr = server.local_addr();
+
+        for _ in 0..2 {
+            let reply = roundtrip(addr, "/boom");
+            assert!(reply.starts_with("HTTP/1.1 500 "), "reply: {reply}");
+            assert!(reply.contains("Connection: close"), "reply: {reply}");
+        }
+        let reply = roundtrip(addr, "/fine");
+        assert!(reply.starts_with("HTTP/1.1 200 "), "reply: {reply}");
     }
 }

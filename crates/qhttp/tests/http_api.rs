@@ -5,14 +5,15 @@
 //! on malformed input.
 
 use benchgen::Family;
+use qcir::Gate;
 use qhttp::api::AppState;
 use qhttp::server::{HttpServer, ServerConfig};
-use qoracle::RuleBasedOptimizer;
+use qoracle::{RuleBasedOptimizer, SegmentOracle};
 use qsvc::{OptimizationService, ServiceConfig};
 use serde_json::Value;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 fn start_server(workers: usize) -> HttpServer {
     let svc = OptimizationService::new(
@@ -393,6 +394,176 @@ fn keep_alive_serves_multiple_requests_on_one_connection() {
             .as_bool(),
         Some(false)
     );
+}
+
+/// Blocks every oracle call until released, pinning submitted jobs in the
+/// pending state so registry-capacity behaviour is deterministic.
+struct GatedOracle {
+    inner: RuleBasedOptimizer,
+    released: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl SegmentOracle<Gate> for GatedOracle {
+    fn optimize(&self, units: &[Gate], num_qubits: u32) -> Vec<Gate> {
+        let (lock, cv) = &*self.released;
+        let mut ok = lock.lock().unwrap();
+        while !*ok {
+            ok = cv.wait(ok).unwrap();
+        }
+        drop(ok);
+        self.inner.optimize(units, num_qubits)
+    }
+
+    fn cost(&self, units: &[Gate]) -> u64 {
+        self.inner.cost(units)
+    }
+
+    fn name(&self) -> &'static str {
+        "gated-rule"
+    }
+}
+
+#[test]
+fn full_pending_registry_rejects_new_async_jobs_with_503() {
+    let released = Arc::new((Mutex::new(false), Condvar::new()));
+    let svc = OptimizationService::new(
+        GatedOracle {
+            inner: RuleBasedOptimizer::oracle(),
+            released: Arc::clone(&released),
+        },
+        ServiceConfig {
+            workers: 1,
+            threads_per_job: 1,
+            cache_capacity: 64,
+            cache_shards: 4,
+        },
+    );
+    // Registry cap of 2: pending jobs fill it; eviction may only remove
+    // completed ones.
+    let state = Arc::new(AppState::with_job_cap(svc, 80, 2));
+    let server =
+        HttpServer::serve("127.0.0.1:0", state, ServerConfig::default()).expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Three distinct circuits so nothing coalesces or cache-hits.
+    let circuits: Vec<String> = [7u64, 9, 11]
+        .iter()
+        .map(|&n| qcir::qasm::to_qasm(&Family::Vqe.generate(Family::Vqe.ladder(0)[0], n)))
+        .collect();
+
+    let mut ids = Vec::new();
+    for qasm in &circuits[..2] {
+        let (status, body) = request(addr, "POST", "/v1/optimize?wait=false", qasm);
+        assert_eq!(status, 202, "body: {body}");
+        ids.push(json(&body).get("job_id").unwrap().as_u64().unwrap());
+    }
+    // Registry now holds 2 pending jobs (the oracle is gated shut): the
+    // next submission must be refused before it reaches the queue.
+    let (status, body) = request(addr, "POST", "/v1/optimize?wait=false", &circuits[2]);
+    assert_eq!(status, 503, "body: {body}");
+    assert!(json(&body)
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("pending"));
+
+    // Unblock the oracle, let both jobs finish, and the refused circuit is
+    // accepted on retry (completed jobs are evicted to make room).
+    *released.0.lock().unwrap() = true;
+    released.1.notify_all();
+    for id in ids {
+        let mut done = false;
+        for _ in 0..600 {
+            let (status, body) = request(addr, "GET", &format!("/v1/jobs/{id}"), "");
+            assert_eq!(status, 200);
+            if json(&body).get("done").unwrap().as_bool() == Some(true) {
+                done = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(done, "job {id} never completed");
+    }
+    let (status, body) = request(addr, "POST", "/v1/optimize?wait=false", &circuits[2]);
+    assert!(
+        status == 202 || status == 200,
+        "retry after drain must be accepted, got {status}: {body}"
+    );
+}
+
+/// Panics on every call — the remote-client view of a buggy oracle.
+struct PanicOracle;
+
+impl SegmentOracle<Gate> for PanicOracle {
+    fn optimize(&self, _units: &[Gate], _num_qubits: u32) -> Vec<Gate> {
+        panic!("injected oracle fault");
+    }
+
+    fn cost(&self, units: &[Gate]) -> u64 {
+        units.len() as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "panic-always"
+    }
+}
+
+#[test]
+fn oracle_panic_surfaces_as_500_and_server_keeps_serving() {
+    let svc = OptimizationService::new(
+        PanicOracle,
+        ServiceConfig {
+            workers: 1,
+            threads_per_job: 1,
+            cache_capacity: 64,
+            cache_shards: 4,
+        },
+    );
+    let state = Arc::new(AppState::new(svc, 80));
+    let server =
+        HttpServer::serve("127.0.0.1:0", state, ServerConfig::default()).expect("bind loopback");
+    let addr = server.local_addr();
+
+    let qasm = sample_qasm();
+    let (status, body) = request(addr, "POST", "/v1/optimize", &qasm);
+    assert_eq!(status, 500, "body: {body}");
+    let doc = json(&body);
+    let err = doc
+        .get("result")
+        .unwrap()
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap();
+    assert!(err.contains("injected oracle fault"), "error: {err}");
+
+    // Neither the worker pool nor the connection pool died with the panic.
+    let (status, body) = request(addr, "POST", "/v1/optimize", &qasm);
+    assert_eq!(status, 500, "body: {body}");
+    let (status, _) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+
+    // A batch containing a failing job is a 500 whose report carries the
+    // per-job error and does NOT echo the input circuit as `qasm`.
+    let body = serde_json::to_string(&serde_json::json!({
+        "circuits": [{"label": "boom", "qasm": qasm}],
+    }))
+    .unwrap();
+    let (status, reply) = request(addr, "POST", "/v1/batch", &body);
+    assert_eq!(status, 500, "body: {reply}");
+    let report = json(&reply);
+    let job = &report.get("jobs").unwrap().as_array().unwrap()[0];
+    assert!(job
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("injected oracle fault"));
+    assert!(job.get("qasm").is_none(), "failed job must not echo input");
+
+    let (_, body) = request(addr, "GET", "/v1/stats", "");
+    assert_eq!(json(&body).get("failed").unwrap().as_u64(), Some(3));
 }
 
 #[test]

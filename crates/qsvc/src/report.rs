@@ -23,6 +23,7 @@ pub fn job_report(r: &JobResult) -> Value {
         "oracle_calls": r.stats.oracle_calls,
         "cache_hit": r.cache_hit,
         "coalesced": r.coalesced,
+        "error": r.error.as_deref(),
         "queue_seconds": r.queue_nanos as f64 / 1e9,
         "run_seconds": r.run_nanos as f64 / 1e9,
     })
@@ -74,6 +75,7 @@ pub fn stats_report(stats: &ServiceStats, workers: usize, threads_per_job: usize
         "completed": stats.completed,
         "cache_hits": stats.cache_hits,
         "coalesced": stats.coalesced,
+        "failed": stats.failed,
         "oracle_calls_issued": stats.oracle_calls_issued,
         "cache_entries": stats.cache.entries,
         "cache_evictions": stats.cache.evictions,

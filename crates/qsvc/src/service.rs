@@ -29,6 +29,10 @@
 //!   (per-key in-flight table) instead of each computing; the finishing
 //!   worker fulfils all of them. Coalesced jobs are flagged via
 //!   [`JobResult::coalesced`] and counted in [`ServiceStats::coalesced`].
+//! * **Fault isolation** — a panic in the oracle (a client-implemented
+//!   trait) is caught: the lead job completes with [`JobResult::error`]
+//!   set, coalesced waiters are re-enqueued as independent retries, and
+//!   the worker thread survives to take the next job.
 
 use crate::cache::{CacheStats, ShardedLruCache};
 use popqc_core::{optimize_circuit_observed, PopqcConfig, PopqcStats, RoundObserver, RoundRecord};
@@ -115,6 +119,11 @@ pub struct JobResult {
     /// already queued or running when this one was submitted (in-flight
     /// coalescing). Coalesced results are also counted as cache hits.
     pub coalesced: bool,
+    /// `Some` when the job failed instead of producing a result (the
+    /// oracle panicked mid-computation). `circuit` is then the *input*
+    /// circuit unchanged, `stats` is zeroed, and nothing was cached —
+    /// resubmitting retries the computation.
+    pub error: Option<String>,
     /// The memoization key the job ran (or hit) under.
     pub key: JobKey,
     /// Nanoseconds from submission to a worker picking the job up
@@ -278,6 +287,9 @@ pub struct ServiceStats {
     /// Jobs that attached as waiters to an identical in-flight job instead
     /// of computing (a subset of `cache_hits`).
     pub coalesced: u64,
+    /// Jobs that completed with [`JobResult::error`] set (oracle panic)
+    /// instead of an optimized circuit (a subset of `completed`).
+    pub failed: u64,
     /// Oracle calls issued by cache-missing jobs.
     pub oracle_calls_issued: u64,
     /// Cache-layer counters.
@@ -297,13 +309,14 @@ struct Waiter {
     attached_at: Instant,
 }
 
-/// Unwind protection for the in-flight entry: if the oracle (a public
+/// Failure protection for the in-flight entry: if the oracle (a public
 /// trait clients implement) panics mid-computation, the entry must not
 /// leak — a leaked entry would park every future submission of the same
-/// circuit as a waiter that is never fulfilled. On unwind the guard
-/// removes the entry and re-enqueues each waiter as an independent job
-/// (the pre-coalescing behaviour for duplicates); it is disarmed on the
-/// normal path, where `settle_waiters` removes the entry instead.
+/// circuit as a waiter that is never fulfilled. `run_job` catches the
+/// unwind and drops the still-armed guard, which removes the entry and
+/// re-enqueues each waiter as an independent job (the pre-coalescing
+/// behaviour for duplicates); the guard is disarmed on the normal path,
+/// where `settle_waiters` removes the entry instead.
 struct InflightGuard<'a> {
     inflight: &'a Mutex<HashMap<JobKey, Vec<Waiter>>>,
     queue: &'a Mutex<VecDeque<QueuedJob>>,
@@ -359,6 +372,7 @@ struct Inner<O> {
     completed: AtomicU64,
     cache_hits: AtomicU64,
     coalesced: AtomicU64,
+    failed: AtomicU64,
     oracle_calls_issued: AtomicU64,
 }
 
@@ -383,6 +397,18 @@ impl RoundObserver for SlotProgress<'_> {
                 }
             }
         }
+    }
+}
+
+/// Best-effort text from a caught panic payload (`&str` and `String`
+/// cover what `panic!` produces in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "unknown panic payload"
     }
 }
 
@@ -416,6 +442,7 @@ impl<O: SegmentOracle<Gate>> Inner<O> {
                     stats: stats.clone(),
                     cache_hit: true,
                     coalesced: true,
+                    error: None,
                     key: key.clone(),
                     queue_nanos: w.attached_at.elapsed().as_nanos() as u64,
                     run_nanos: 0,
@@ -439,6 +466,7 @@ impl<O: SegmentOracle<Gate>> Inner<O> {
                     stats: cached.stats.clone(),
                     cache_hit: true,
                     coalesced: false,
+                    error: None,
                     key: job.key,
                     queue_nanos,
                     run_nanos: 0,
@@ -461,9 +489,45 @@ impl<O: SegmentOracle<Gate>> Inner<O> {
             key: &job.key,
             armed: true,
         };
-        let (optimized, stats) = pool.install(|| {
-            optimize_circuit_observed(&job.circuit, &self.oracle, &job.key.config, &observer)
-        });
+        // The oracle is a public trait clients implement: a panic inside it
+        // must neither unwind through the worker thread (shrinking the
+        // fixed pool) nor leave the lead slot pending forever. Catch it,
+        // let the still-armed guard re-enqueue the coalesced waiters as
+        // independent retries, and fulfil the lead slot with an
+        // error-shaped result so its client unblocks.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                optimize_circuit_observed(&job.circuit, &self.oracle, &job.key.config, &observer)
+            })
+        }));
+        let (optimized, stats) = match outcome {
+            Ok(run) => run,
+            Err(payload) => {
+                drop(guard); // armed: removes the in-flight entry, re-enqueues waiters
+                let run_nanos = t0.elapsed().as_nanos() as u64;
+                self.failed.fetch_add(1, Relaxed);
+                self.complete(
+                    &job.slot,
+                    JobResult {
+                        circuit: job.circuit,
+                        stats: PopqcStats::default(),
+                        cache_hit: false,
+                        coalesced: false,
+                        // `&*payload`, not `&payload`: coercing the Box
+                        // itself to `&dyn Any` would make every downcast
+                        // miss.
+                        error: Some(format!(
+                            "optimization panicked: {}",
+                            panic_message(&*payload)
+                        )),
+                        key: job.key,
+                        queue_nanos,
+                        run_nanos,
+                    },
+                );
+                return;
+            }
+        };
         guard.armed = false;
         drop(guard); // release the borrows of `job` before it is moved below
         let run_nanos = t0.elapsed().as_nanos() as u64;
@@ -485,6 +549,7 @@ impl<O: SegmentOracle<Gate>> Inner<O> {
                 stats,
                 cache_hit: false,
                 coalesced: false,
+                error: None,
                 key: job.key,
                 queue_nanos,
                 run_nanos,
@@ -513,7 +578,11 @@ impl<O: SegmentOracle<Gate>> Inner<O> {
                     q = self.work_ready.wait(q).expect("job queue poisoned");
                 }
             };
-            self.run_job(job, &pool);
+            // `run_job` already converts oracle panics into error-shaped
+            // results; this is the last line of defence so no panic
+            // whatsoever can shrink the fixed worker pool.
+            let _ =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_job(job, &pool)));
         }
     }
 }
@@ -564,6 +633,7 @@ impl<O: SegmentOracle<Gate> + Send + Sync + 'static> OptimizationService<O> {
             completed: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
             oracle_calls_issued: AtomicU64::new(0),
         });
         let handles = (0..workers)
@@ -612,6 +682,7 @@ impl<O: SegmentOracle<Gate> + Send + Sync + 'static> OptimizationService<O> {
                     stats: cached.stats.clone(),
                     cache_hit: true,
                     coalesced: false,
+                    error: None,
                     key,
                     queue_nanos: 0,
                     run_nanos: 0,
@@ -670,6 +741,7 @@ impl<O: SegmentOracle<Gate> + Send + Sync + 'static> OptimizationService<O> {
             completed: self.inner.completed.load(Relaxed),
             cache_hits: self.inner.cache_hits.load(Relaxed),
             coalesced: self.inner.coalesced.load(Relaxed),
+            failed: self.inner.failed.load(Relaxed),
             oracle_calls_issued: self.inner.oracle_calls_issued.load(Relaxed),
             cache: self.inner.cache.stats(),
         }

@@ -338,12 +338,12 @@ fn oracle_panic_does_not_strand_coalesced_waiters() {
         released: Arc::clone(&released),
         panicked: AtomicBool::new(false),
     };
-    // Two workers: the one running the lead job dies with the panic; the
-    // survivor must pick up the re-enqueued waiters.
+    // ONE worker: the panic is caught, so the same thread must survive to
+    // run the re-enqueued waiters — with a dead worker the test would hang.
     let svc = OptimizationService::new(
         oracle,
         ServiceConfig {
-            workers: 2,
+            workers: 1,
             threads_per_job: 1,
             cache_capacity: 64,
             cache_shards: 4,
@@ -351,15 +351,27 @@ fn oracle_panic_does_not_strand_coalesced_waiters() {
     );
 
     // Lead job blocks inside the oracle; duplicates park as waiters.
-    let _lead = svc.submit(circuit.clone(), &cfg);
+    let lead = svc.submit(circuit.clone(), &cfg);
     let dups: Vec<_> = (0..DUPLICATES)
         .map(|_| svc.submit(circuit.clone(), &cfg))
         .collect();
     release(&released);
-    // (The lead handle itself is never fulfilled after a panic — that
-    // predates coalescing — but the waiters must not be stranded with it.)
 
+    // The lead handle is fulfilled with an error-shaped result: the input
+    // circuit unchanged, the panic message, and nothing cached under it.
+    let lead = lead.wait();
+    let err = lead
+        .error
+        .as_deref()
+        .expect("lead job must report the panic");
+    assert!(err.contains("injected oracle fault"), "error: {err}");
+    assert!(!lead.cache_hit && !lead.coalesced);
+    assert_eq!(lead.circuit, circuit, "failed job returns its input");
+
+    // The waiters were re-enqueued as independent retries and succeed
+    // (the oracle only panics once).
     let first = dups[0].wait();
+    assert!(first.error.is_none());
     for h in &dups[1..] {
         assert_eq!(h.wait().circuit, first.circuit);
     }
@@ -368,6 +380,10 @@ fn oracle_panic_does_not_strand_coalesced_waiters() {
     // circuit is a plain cache hit, not a stranded waiter.
     let again = svc.submit(circuit, &cfg).wait();
     assert!(again.cache_hit);
+
+    let stats = svc.stats();
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.completed, (DUPLICATES + 2) as u64);
 }
 
 #[test]

@@ -455,6 +455,15 @@ fn run_batches<O: SegmentOracle<Gate> + Send + Sync + 'static>(
     }
     let batch = last.expect("at least one pass");
 
+    // A failed job (oracle panic) carries its *input* circuit, not an
+    // optimized one — writing that under --out or exiting 0 would pass
+    // the input off as a result.
+    for (label, result) in labels.iter().zip(&batch.results) {
+        if let Some(err) = &result.error {
+            fail(format!("{label}: {err}"));
+        }
+    }
+
     // Write optimized QASM under --out, preserving file names.
     if let Some(out_dir) = &opts.out_dir {
         std::fs::create_dir_all(out_dir)
