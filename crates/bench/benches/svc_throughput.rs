@@ -23,8 +23,8 @@ fn batch() -> Vec<Circuit> {
         .collect()
 }
 
-fn service(workers: usize) -> OptimizationService<RuleBasedOptimizer> {
-    OptimizationService::new(
+fn service(workers: usize) -> OptimizationService {
+    OptimizationService::single(
         RuleBasedOptimizer::oracle(),
         ServiceConfig {
             workers,
@@ -117,11 +117,11 @@ fn write_service_report(path: &str) {
     assert_eq!(warm.oracle_calls_issued(), 0);
 
     let passes = vec![
-        batch_report(&labels, &cold, 1),
-        batch_report(&labels, &warm, 2),
+        batch_report(&labels, &cold, 1, false),
+        batch_report(&labels, &warm, 2, false),
     ];
     let report = service_report(passes, &svc.stats(), svc.workers(), svc.threads_per_job());
-    let text = serde_json::to_string_pretty(&report).expect("serialize report");
+    let text = serde_json::to_string_pretty(&report.to_json()).expect("serialize report");
     std::fs::write(path, text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     println!("svc report written to {path}");
 }

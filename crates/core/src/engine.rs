@@ -130,7 +130,7 @@ pub fn popqc_units<U, O>(
 ) -> (Vec<U>, PopqcStats)
 where
     U: Clone + Send + Sync,
-    O: SegmentOracle<U>,
+    O: SegmentOracle<U> + ?Sized,
 {
     popqc_units_observed(units, num_qubits, oracle, cfg, &())
 }
@@ -145,7 +145,7 @@ pub fn popqc_units_observed<U, O, Obs>(
 ) -> (Vec<U>, PopqcStats)
 where
     U: Clone + Send + Sync,
-    O: SegmentOracle<U>,
+    O: SegmentOracle<U> + ?Sized,
     Obs: RoundObserver + ?Sized,
 {
     assert!(cfg.omega >= 1, "Ω must be at least 1");
@@ -233,7 +233,7 @@ fn optimize_one_segment<U, O>(
 ) -> (Vec<usize>, Vec<Update<U>>)
 where
     U: Clone + Send + Sync,
-    O: SegmentOracle<U>,
+    O: SegmentOracle<U> + ?Sized,
 {
     let total = circuit.len();
     let pos = circuit.before(finger);
@@ -280,7 +280,7 @@ where
 }
 
 /// Gate-granularity POPQC over a [`Circuit`] (the paper's primary mode).
-pub fn optimize_circuit<O: SegmentOracle<Gate>>(
+pub fn optimize_circuit<O: SegmentOracle<Gate> + ?Sized>(
     c: &Circuit,
     oracle: &O,
     cfg: &PopqcConfig,
@@ -289,7 +289,7 @@ pub fn optimize_circuit<O: SegmentOracle<Gate>>(
 }
 
 /// [`optimize_circuit`] with a [`RoundObserver`] progress hook.
-pub fn optimize_circuit_observed<O: SegmentOracle<Gate>, Obs: RoundObserver + ?Sized>(
+pub fn optimize_circuit_observed<O: SegmentOracle<Gate> + ?Sized, Obs: RoundObserver + ?Sized>(
     c: &Circuit,
     oracle: &O,
     cfg: &PopqcConfig,
@@ -306,7 +306,7 @@ pub fn optimize_circuit_observed<O: SegmentOracle<Gate>, Obs: RoundObserver + ?S
 }
 
 /// Layer-granularity POPQC over a [`LayeredCircuit`] (Section 7.8 mode).
-pub fn optimize_layered<O: SegmentOracle<Layer>>(
+pub fn optimize_layered<O: SegmentOracle<Layer> + ?Sized>(
     lc: &LayeredCircuit,
     oracle: &O,
     cfg: &PopqcConfig,
@@ -333,7 +333,7 @@ pub fn verify_local_optimality<U, O>(
 ) -> Result<(), usize>
 where
     U: Clone + Send + Sync,
-    O: SegmentOracle<U>,
+    O: SegmentOracle<U> + ?Sized,
 {
     if units.len() < 2 {
         return Ok(());

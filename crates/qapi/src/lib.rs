@@ -1,0 +1,891 @@
+//! # popqc-api — the versioned public API surface
+//!
+//! One crate is the single source of truth for everything that crosses the
+//! process boundary: the v1 request/response DTOs, the structured
+//! [`ApiError`] taxonomy with its canonical HTTP-status mapping, and their
+//! JSON wire format. The batch service (`popqc-svc`), the HTTP frontend
+//! (`popqc-http`), and the `popqc` CLI all parse and emit **these** types,
+//! so the three surfaces cannot drift apart.
+//!
+//! Design rules:
+//!
+//! * **Versioned** — every top-level document carries
+//!   `"api_version": "v1"` ([`API_VERSION`]); decoders reject documents
+//!   from a different version instead of misreading them.
+//! * **Closed error taxonomy** — [`ApiError`] has exactly six variants,
+//!   each with one documented HTTP status
+//!   ([`ApiError::http_status`]). Transport-level conditions outside the
+//!   API taxonomy (unknown route, wrong method, oversized payload) share
+//!   the same wire shape via [`transport_error_json`].
+//! * **Explicit wire format** — (de)serialization is hand-written over the
+//!   workspace's `serde_json` [`Value`] tree; every DTO round-trips
+//!   (`to_json` → text → `from_json`) and the exact field layout is pinned
+//!   by snapshot tests in `tests/snapshots/`.
+//!
+//! This crate deliberately depends only on `serde_json`: circuits travel
+//! as QASM text and fingerprints as hex strings, so clients can speak the
+//! API without linking the whole workspace.
+
+#![deny(missing_docs)]
+
+use serde_json::{json, Value};
+
+/// The wire-format version every v1 document carries and decoders require.
+pub const API_VERSION: &str = "v1";
+
+/// The build version reported by `GET /v1/version` (the workspace package
+/// version of the binary serving the API).
+pub const BUILD_VERSION: &str = env!("CARGO_PKG_VERSION");
+
+// ---------------------------------------------------------------------------
+// Error taxonomy
+// ---------------------------------------------------------------------------
+
+/// The closed v1 error taxonomy. Every failure a client can cause or
+/// observe maps to exactly one variant, and every variant maps to one
+/// documented HTTP status — see [`http_status`](ApiError::http_status).
+///
+/// | variant | kind | HTTP | meaning |
+/// |---------|------|------|---------|
+/// | [`InvalidConfig`](ApiError::InvalidConfig) | `invalid_config` | 400 | malformed request: bad JSON, bad query/body parameters, out-of-range numbers |
+/// | [`UnknownOracle`](ApiError::UnknownOracle) | `unknown_oracle` | 404 | the requested oracle id is not in the registry |
+/// | [`InvalidQasm`](ApiError::InvalidQasm) | `invalid_qasm` | 422 | the request was well-formed but the circuit text does not parse |
+/// | [`Overloaded`](ApiError::Overloaded) | `overloaded` | 503 | the service refused new work (e.g. the polling registry is full of pending jobs) |
+/// | [`OracleFailure`](ApiError::OracleFailure) | `oracle_failure` | 500 | the oracle crashed while optimizing; the job failed, resubmitting retries |
+/// | [`Internal`](ApiError::Internal) | `internal` | 500 | a bug in the server itself |
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ApiError {
+    /// Well-formed transport, invalid QASM program text.
+    InvalidQasm(String),
+    /// The requested oracle id is not registered.
+    UnknownOracle(String),
+    /// Malformed request: bad JSON, bad parameters, out-of-range values.
+    InvalidConfig(String),
+    /// The service is refusing new work right now; retry later.
+    Overloaded(String),
+    /// The oracle failed (panicked) while optimizing the circuit.
+    OracleFailure(String),
+    /// A server-side bug; nothing the client sent explains it.
+    Internal(String),
+}
+
+impl ApiError {
+    /// Every variant's wire kind, in canonical order (for table-driven
+    /// tests over the full taxonomy).
+    pub const KINDS: [&'static str; 6] = [
+        "invalid_qasm",
+        "unknown_oracle",
+        "invalid_config",
+        "overloaded",
+        "oracle_failure",
+        "internal",
+    ];
+
+    /// One exemplar per variant, in [`KINDS`](Self::KINDS) order (for
+    /// table-driven tests over the full taxonomy).
+    pub fn exemplars() -> Vec<ApiError> {
+        vec![
+            ApiError::InvalidQasm("exemplar".into()),
+            ApiError::UnknownOracle("exemplar".into()),
+            ApiError::InvalidConfig("exemplar".into()),
+            ApiError::Overloaded("exemplar".into()),
+            ApiError::OracleFailure("exemplar".into()),
+            ApiError::Internal("exemplar".into()),
+        ]
+    }
+
+    /// The stable wire identifier of this variant.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ApiError::InvalidQasm(_) => "invalid_qasm",
+            ApiError::UnknownOracle(_) => "unknown_oracle",
+            ApiError::InvalidConfig(_) => "invalid_config",
+            ApiError::Overloaded(_) => "overloaded",
+            ApiError::OracleFailure(_) => "oracle_failure",
+            ApiError::Internal(_) => "internal",
+        }
+    }
+
+    /// The human-readable detail message.
+    pub fn message(&self) -> &str {
+        match self {
+            ApiError::InvalidQasm(m)
+            | ApiError::UnknownOracle(m)
+            | ApiError::InvalidConfig(m)
+            | ApiError::Overloaded(m)
+            | ApiError::OracleFailure(m)
+            | ApiError::Internal(m) => m,
+        }
+    }
+
+    /// The canonical HTTP status for this variant. This mapping is part of
+    /// the v1 contract: 400 / 404 / 422 / 503 / 500.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ApiError::InvalidConfig(_) => 400,
+            ApiError::UnknownOracle(_) => 404,
+            ApiError::InvalidQasm(_) => 422,
+            ApiError::Overloaded(_) => 503,
+            ApiError::OracleFailure(_) | ApiError::Internal(_) => 500,
+        }
+    }
+
+    /// The v1 error document:
+    /// `{"api_version":"v1","error":{"kind":…,"message":…}}`.
+    pub fn to_json(&self) -> Value {
+        transport_error_json(self.kind(), self.message())
+    }
+
+    /// Decodes an error document produced by [`to_json`](Self::to_json).
+    /// Transport-level kinds (which are outside the closed taxonomy)
+    /// decode as [`ApiError::Internal`] so clients never lose the message.
+    pub fn from_json(v: &Value) -> Result<ApiError, ApiError> {
+        de::check_version(v)?;
+        let err = v
+            .get("error")
+            .ok_or_else(|| de::malformed("error document: missing `error` object"))?;
+        let kind = de::req_str(err, "kind")?;
+        let message = de::req_str(err, "message")?;
+        Ok(match kind.as_str() {
+            "invalid_qasm" => ApiError::InvalidQasm(message),
+            "unknown_oracle" => ApiError::UnknownOracle(message),
+            "invalid_config" => ApiError::InvalidConfig(message),
+            "overloaded" => ApiError::Overloaded(message),
+            "oracle_failure" => ApiError::OracleFailure(message),
+            _ => ApiError::Internal(message),
+        })
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+/// Builds an error document in the v1 wire shape for a *transport-level*
+/// condition outside the [`ApiError`] taxonomy (e.g. `not_found`,
+/// `method_not_allowed`, `bad_request`, `payload_too_large`). API-level
+/// failures must use [`ApiError::to_json`] instead so the kind stays
+/// within the closed taxonomy.
+pub fn transport_error_json(kind: &str, message: &str) -> Value {
+    json!({
+        "api_version": API_VERSION,
+        "error": { "kind": kind, "message": message },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Version / oracle discovery
+// ---------------------------------------------------------------------------
+
+/// `GET /v1/version`: the served API version plus the server build.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VersionInfo {
+    /// The package version of the serving binary.
+    pub build_version: String,
+}
+
+impl VersionInfo {
+    /// The version document for this build.
+    pub fn current() -> VersionInfo {
+        VersionInfo {
+            build_version: BUILD_VERSION.to_string(),
+        }
+    }
+
+    /// Serializes to the v1 wire shape.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "api_version": API_VERSION,
+            "build_version": self.build_version.as_str(),
+        })
+    }
+
+    /// Decodes a document produced by [`to_json`](Self::to_json).
+    pub fn from_json(v: &Value) -> Result<VersionInfo, ApiError> {
+        de::check_version(v)?;
+        Ok(VersionInfo {
+            build_version: de::req_str(v, "build_version")?,
+        })
+    }
+}
+
+/// One registered oracle, as listed by `GET /v1/oracles`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OracleInfo {
+    /// Stable oracle id — the value requests pass as `oracle`.
+    pub id: String,
+    /// Human-readable description of the oracle's strategy.
+    pub description: String,
+    /// Whether this oracle is used when a request names none.
+    pub default: bool,
+}
+
+/// `GET /v1/oracles`: the oracle registry contents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OracleList {
+    /// All registered oracles, in registration order.
+    pub oracles: Vec<OracleInfo>,
+}
+
+impl OracleList {
+    /// Serializes to the v1 wire shape.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "api_version": API_VERSION,
+            "oracles": self
+                .oracles
+                .iter()
+                .map(|o| {
+                    json!({
+                        "id": o.id.as_str(),
+                        "description": o.description.as_str(),
+                        "default": o.default,
+                    })
+                })
+                .collect::<Vec<Value>>(),
+        })
+    }
+
+    /// Decodes a document produced by [`to_json`](Self::to_json).
+    pub fn from_json(v: &Value) -> Result<OracleList, ApiError> {
+        de::check_version(v)?;
+        let raw = de::req_array(v, "oracles")?;
+        let mut oracles = Vec::with_capacity(raw.len());
+        for o in raw {
+            oracles.push(OracleInfo {
+                id: de::req_str(o, "id")?,
+                description: de::req_str(o, "description")?,
+                default: de::req_bool(o, "default")?,
+            });
+        }
+        Ok(OracleList { oracles })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Optimize (single job)
+// ---------------------------------------------------------------------------
+
+/// `POST /v1/optimize` options. Over HTTP the QASM may be the raw request
+/// body with these options as query parameters, or the whole request may
+/// be this DTO as a JSON body (`{"qasm": …, "oracle": …, …}`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OptimizeRequest {
+    /// The circuit to optimize, as QASM program text.
+    pub qasm: String,
+    /// Oracle id from the registry; `None` selects the server default.
+    pub oracle: Option<String>,
+    /// Engine window Ω; `None` selects the server default.
+    pub omega: Option<u64>,
+    /// Client label echoed back in the job document.
+    pub label: Option<String>,
+    /// `false` submits and returns immediately for `/v1/jobs/{id}`
+    /// polling; `true` (the default) blocks until the result is ready.
+    pub wait: bool,
+}
+
+impl OptimizeRequest {
+    /// A blocking request for `qasm` with every option defaulted.
+    pub fn new(qasm: impl Into<String>) -> OptimizeRequest {
+        OptimizeRequest {
+            qasm: qasm.into(),
+            oracle: None,
+            omega: None,
+            label: None,
+            wait: true,
+        }
+    }
+
+    /// Serializes to the v1 wire shape.
+    pub fn to_json(&self) -> Value {
+        let mut pairs = vec![("qasm".to_string(), json!(self.qasm.as_str()))];
+        de::push_opt_str(&mut pairs, "oracle", &self.oracle);
+        if let Some(omega) = self.omega {
+            pairs.push(("omega".to_string(), json!(omega)));
+        }
+        de::push_opt_str(&mut pairs, "label", &self.label);
+        pairs.push(("wait".to_string(), json!(self.wait)));
+        Value::Object(pairs)
+    }
+
+    /// Decodes a JSON-body optimize request; failures are
+    /// [`ApiError::InvalidConfig`].
+    pub fn from_json(v: &Value) -> Result<OptimizeRequest, ApiError> {
+        de::request_shape(v)?;
+        let qasm = de::req_str(v, "qasm")
+            .map_err(|_| ApiError::InvalidConfig("missing `qasm` string".into()))?;
+        let omega = de::opt_u64(v, "omega")?;
+        let wait = match v.get("wait") {
+            None => true,
+            Some(w) => w.as_bool().ok_or_else(|| {
+                ApiError::InvalidConfig("bad `wait` (need true|false)".to_string())
+            })?,
+        };
+        Ok(OptimizeRequest {
+            qasm,
+            oracle: de::opt_str(v, "oracle")?,
+            omega,
+            label: de::opt_str(v, "label")?,
+            wait,
+        })
+    }
+}
+
+/// The per-job statistics fragment embedded in [`JobStatus::result`] and
+/// in [`BatchResponse::jobs`]. Not a top-level document, so it carries no
+/// `api_version` of its own.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobReport {
+    /// Client label (batch context only; `None` omits the field).
+    pub label: Option<String>,
+    /// Structural fingerprint of the *input* circuit, as 32 hex digits.
+    pub fingerprint: String,
+    /// The oracle id the job ran (and is cached) under.
+    pub oracle: String,
+    /// The engine window Ω the job ran with.
+    pub omega: u64,
+    /// Gate count before optimization.
+    pub input_gates: u64,
+    /// Gate count after optimization.
+    pub output_gates: u64,
+    /// `1 - output/input` gate reduction in `[0, 1]`.
+    pub reduction: f64,
+    /// Engine rounds the computation took.
+    pub rounds: u64,
+    /// Oracle calls the computation issued.
+    pub oracle_calls: u64,
+    /// Whether the result was served from the cache.
+    pub cache_hit: bool,
+    /// Whether the job attached to an identical in-flight computation.
+    pub coalesced: bool,
+    /// `Some` when the job failed (the oracle crashed); always emitted,
+    /// `null` on success.
+    pub error: Option<String>,
+    /// Seconds from submission to a worker picking the job up.
+    pub queue_seconds: f64,
+    /// Seconds the worker spent producing the result.
+    pub run_seconds: f64,
+    /// The optimized circuit as QASM; omitted for failed jobs and for
+    /// contexts that deliver circuits out of band (`None` omits the
+    /// field).
+    pub qasm: Option<String>,
+}
+
+impl JobReport {
+    /// Serializes to the v1 wire shape.
+    pub fn to_json(&self) -> Value {
+        let mut pairs = Vec::with_capacity(15);
+        de::push_opt_str(&mut pairs, "label", &self.label);
+        pairs.push(("fingerprint".to_string(), json!(self.fingerprint.as_str())));
+        pairs.push(("oracle".to_string(), json!(self.oracle.as_str())));
+        pairs.push(("omega".to_string(), json!(self.omega)));
+        pairs.push(("input_gates".to_string(), json!(self.input_gates)));
+        pairs.push(("output_gates".to_string(), json!(self.output_gates)));
+        pairs.push(("reduction".to_string(), json!(self.reduction)));
+        pairs.push(("rounds".to_string(), json!(self.rounds)));
+        pairs.push(("oracle_calls".to_string(), json!(self.oracle_calls)));
+        pairs.push(("cache_hit".to_string(), json!(self.cache_hit)));
+        pairs.push(("coalesced".to_string(), json!(self.coalesced)));
+        pairs.push((
+            "error".to_string(),
+            self.error.as_deref().map_or(Value::Null, |e| json!(e)),
+        ));
+        pairs.push(("queue_seconds".to_string(), json!(self.queue_seconds)));
+        pairs.push(("run_seconds".to_string(), json!(self.run_seconds)));
+        de::push_opt_str(&mut pairs, "qasm", &self.qasm);
+        Value::Object(pairs)
+    }
+
+    /// Decodes a fragment produced by [`to_json`](Self::to_json).
+    pub fn from_json(v: &Value) -> Result<JobReport, ApiError> {
+        Ok(JobReport {
+            label: de::opt_str(v, "label")?,
+            fingerprint: de::req_str(v, "fingerprint")?,
+            oracle: de::req_str(v, "oracle")?,
+            omega: de::req_u64(v, "omega")?,
+            input_gates: de::req_u64(v, "input_gates")?,
+            output_gates: de::req_u64(v, "output_gates")?,
+            reduction: de::req_f64(v, "reduction")?,
+            rounds: de::req_u64(v, "rounds")?,
+            oracle_calls: de::req_u64(v, "oracle_calls")?,
+            cache_hit: de::req_bool(v, "cache_hit")?,
+            coalesced: de::req_bool(v, "coalesced")?,
+            error: de::opt_str(v, "error")?,
+            queue_seconds: de::req_f64(v, "queue_seconds")?,
+            run_seconds: de::req_f64(v, "run_seconds")?,
+            qasm: de::opt_str(v, "qasm")?,
+        })
+    }
+}
+
+/// The job document: `POST /v1/optimize` responses, `GET /v1/jobs/{id}`
+/// polling, and the `popqc optimize --json` CLI output are all exactly
+/// this DTO, built by one shared adapter, so the three can never diverge.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobStatus {
+    /// Server-assigned job id (`/v1/jobs/{id}`).
+    pub job_id: u64,
+    /// Client label echoed back; always emitted, `null` when absent.
+    pub label: Option<String>,
+    /// Whether the result is available.
+    pub done: bool,
+    /// Engine rounds completed so far (live progress for pending jobs).
+    pub rounds_completed: u64,
+    /// The result once done; the field is omitted while pending.
+    pub result: Option<JobReport>,
+}
+
+/// `POST /v1/optimize` answers with the same job document the polling
+/// endpoint serves.
+pub type OptimizeResponse = JobStatus;
+
+impl JobStatus {
+    /// Serializes to the v1 wire shape.
+    pub fn to_json(&self) -> Value {
+        let mut pairs = vec![
+            ("api_version".to_string(), json!(API_VERSION)),
+            ("job_id".to_string(), json!(self.job_id)),
+            (
+                "label".to_string(),
+                self.label.as_deref().map_or(Value::Null, |l| json!(l)),
+            ),
+            ("done".to_string(), json!(self.done)),
+            ("rounds_completed".to_string(), json!(self.rounds_completed)),
+        ];
+        if let Some(r) = &self.result {
+            pairs.push(("result".to_string(), r.to_json()));
+        }
+        Value::Object(pairs)
+    }
+
+    /// Decodes a document produced by [`to_json`](Self::to_json).
+    pub fn from_json(v: &Value) -> Result<JobStatus, ApiError> {
+        de::check_version(v)?;
+        Ok(JobStatus {
+            job_id: de::req_u64(v, "job_id")?,
+            label: de::opt_str(v, "label")?,
+            done: de::req_bool(v, "done")?,
+            rounds_completed: de::req_u64(v, "rounds_completed")?,
+            result: match v.get("result") {
+                None | Some(Value::Null) => None,
+                Some(r) => Some(JobReport::from_json(r)?),
+            },
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch
+// ---------------------------------------------------------------------------
+
+/// One circuit inside a [`BatchRequest`], with optional per-job overrides
+/// — this is what makes mixed-oracle batches expressible.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchCircuit {
+    /// Client label echoed back per job; defaults to `job-{index}`.
+    pub label: Option<String>,
+    /// The circuit as QASM program text.
+    pub qasm: String,
+    /// Per-job oracle id; `None` inherits the batch (then server) default.
+    pub oracle: Option<String>,
+    /// Per-job Ω; `None` inherits the batch (then server) default.
+    pub omega: Option<u64>,
+}
+
+impl BatchCircuit {
+    /// A batch member with every override defaulted.
+    pub fn new(qasm: impl Into<String>) -> BatchCircuit {
+        BatchCircuit {
+            label: None,
+            qasm: qasm.into(),
+            oracle: None,
+            omega: None,
+        }
+    }
+}
+
+/// `POST /v1/batch`: a set of circuits optimized as one batch, with
+/// batch-level defaults and per-circuit overrides.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchRequest {
+    /// The circuits to optimize, in submission order.
+    pub circuits: Vec<BatchCircuit>,
+    /// Batch-default Ω; `None` uses the server default.
+    pub omega: Option<u64>,
+    /// Batch-default oracle id; `None` uses the server default.
+    pub oracle: Option<String>,
+}
+
+impl BatchRequest {
+    /// Serializes to the v1 wire shape.
+    pub fn to_json(&self) -> Value {
+        let circuits: Vec<Value> = self
+            .circuits
+            .iter()
+            .map(|c| {
+                let mut pairs = Vec::new();
+                de::push_opt_str(&mut pairs, "label", &c.label);
+                pairs.push(("qasm".to_string(), json!(c.qasm.as_str())));
+                de::push_opt_str(&mut pairs, "oracle", &c.oracle);
+                if let Some(omega) = c.omega {
+                    pairs.push(("omega".to_string(), json!(omega)));
+                }
+                Value::Object(pairs)
+            })
+            .collect();
+        let mut pairs = vec![("circuits".to_string(), Value::Array(circuits))];
+        if let Some(omega) = self.omega {
+            pairs.push(("omega".to_string(), json!(omega)));
+        }
+        de::push_opt_str(&mut pairs, "oracle", &self.oracle);
+        Value::Object(pairs)
+    }
+
+    /// Decodes a batch request; failures are [`ApiError::InvalidConfig`].
+    /// A member may be a bare QASM string (shorthand for an entry with
+    /// every override defaulted) or a full [`BatchCircuit`] object.
+    pub fn from_json(v: &Value) -> Result<BatchRequest, ApiError> {
+        de::request_shape(v)?;
+        let entries = match v.get("circuits") {
+            Some(Value::Array(a)) => a,
+            _ => return Err(ApiError::InvalidConfig("missing `circuits` array".into())),
+        };
+        if entries.is_empty() {
+            return Err(ApiError::InvalidConfig("`circuits` is empty".into()));
+        }
+        let mut circuits = Vec::with_capacity(entries.len());
+        for (i, entry) in entries.iter().enumerate() {
+            circuits.push(match entry {
+                Value::String(s) => BatchCircuit::new(s.as_str()),
+                Value::Object(_) => BatchCircuit {
+                    label: de::opt_str(entry, "label")?,
+                    qasm: de::req_str(entry, "qasm").map_err(|_| {
+                        ApiError::InvalidConfig(format!("circuits[{i}]: missing `qasm` string"))
+                    })?,
+                    oracle: de::opt_str(entry, "oracle")?,
+                    omega: de::opt_u64(entry, "omega")?,
+                },
+                _ => {
+                    return Err(ApiError::InvalidConfig(format!(
+                        "circuits[{i}]: expected a QASM string or an object"
+                    )))
+                }
+            });
+        }
+        Ok(BatchRequest {
+            circuits,
+            omega: de::opt_u64(v, "omega")?,
+            oracle: de::opt_str(v, "oracle")?,
+        })
+    }
+}
+
+/// `POST /v1/batch` response, and one pass of the CLI report: per-job
+/// documents plus batch aggregates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchResponse {
+    /// 1-based pass number (the CLI's `--repeat` resubmits the batch).
+    pub pass: u64,
+    /// One report per job, in submission order.
+    pub jobs: Vec<JobReport>,
+    /// Jobs in the batch.
+    pub job_count: u64,
+    /// Jobs answered from the cache (including coalesced waiters).
+    pub cache_hits: u64,
+    /// Oracle calls actually issued by this batch (cache hits are free).
+    pub oracle_calls_issued: u64,
+    /// Total input gates across the batch.
+    pub gates_in: u64,
+    /// Total output gates across the batch.
+    pub gates_out: u64,
+    /// Submission-to-last-completion wall time.
+    pub wall_seconds: f64,
+    /// Completed jobs per second of batch wall time.
+    pub jobs_per_sec: f64,
+}
+
+impl BatchResponse {
+    /// Serializes to the v1 wire shape.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "api_version": API_VERSION,
+            "pass": self.pass,
+            "jobs": self.jobs.iter().map(JobReport::to_json).collect::<Vec<Value>>(),
+            "job_count": self.job_count,
+            "cache_hits": self.cache_hits,
+            "oracle_calls_issued": self.oracle_calls_issued,
+            "gates_in": self.gates_in,
+            "gates_out": self.gates_out,
+            "wall_seconds": self.wall_seconds,
+            "jobs_per_sec": self.jobs_per_sec,
+        })
+    }
+
+    /// Decodes a document produced by [`to_json`](Self::to_json).
+    pub fn from_json(v: &Value) -> Result<BatchResponse, ApiError> {
+        de::check_version(v)?;
+        let jobs = de::req_array(v, "jobs")?
+            .iter()
+            .map(JobReport::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BatchResponse {
+            pass: de::req_u64(v, "pass")?,
+            jobs,
+            job_count: de::req_u64(v, "job_count")?,
+            cache_hits: de::req_u64(v, "cache_hits")?,
+            oracle_calls_issued: de::req_u64(v, "oracle_calls_issued")?,
+            gates_in: de::req_u64(v, "gates_in")?,
+            gates_out: de::req_u64(v, "gates_out")?,
+            wall_seconds: de::req_f64(v, "wall_seconds")?,
+            jobs_per_sec: de::req_f64(v, "jobs_per_sec")?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stats / full service report
+// ---------------------------------------------------------------------------
+
+/// `GET /v1/stats`, the CLI report's `service` section, and the bench
+/// report all derive from this one DTO, so their counters cannot drift.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct StatsReport {
+    /// Worker threads (concurrent jobs).
+    pub workers: u64,
+    /// Engine threads each job runs with.
+    pub threads_per_job: u64,
+    /// Jobs accepted.
+    pub submitted: u64,
+    /// Jobs completed (including cache hits and failures).
+    pub completed: u64,
+    /// Jobs answered from the cache or by coalescing.
+    pub cache_hits: u64,
+    /// Jobs that attached to an identical in-flight computation
+    /// (a subset of `cache_hits`).
+    pub coalesced: u64,
+    /// Jobs that completed with an error (a subset of `completed`).
+    pub failed: u64,
+    /// Oracle calls issued by cache-missing jobs.
+    pub oracle_calls_issued: u64,
+    /// Live result-cache entries.
+    pub cache_entries: u64,
+    /// Result-cache LRU evictions.
+    pub cache_evictions: u64,
+    /// Jobs retained for `/v1/jobs/{id}` polling (HTTP frontend only;
+    /// `None` omits the field).
+    pub jobs_tracked: Option<u64>,
+}
+
+impl StatsReport {
+    /// Serializes to the v1 wire shape.
+    pub fn to_json(&self) -> Value {
+        let mut pairs = vec![
+            ("api_version".to_string(), json!(API_VERSION)),
+            ("workers".to_string(), json!(self.workers)),
+            ("threads_per_job".to_string(), json!(self.threads_per_job)),
+            ("submitted".to_string(), json!(self.submitted)),
+            ("completed".to_string(), json!(self.completed)),
+            ("cache_hits".to_string(), json!(self.cache_hits)),
+            ("coalesced".to_string(), json!(self.coalesced)),
+            ("failed".to_string(), json!(self.failed)),
+            (
+                "oracle_calls_issued".to_string(),
+                json!(self.oracle_calls_issued),
+            ),
+            ("cache_entries".to_string(), json!(self.cache_entries)),
+            ("cache_evictions".to_string(), json!(self.cache_evictions)),
+        ];
+        if let Some(tracked) = self.jobs_tracked {
+            pairs.push(("jobs_tracked".to_string(), json!(tracked)));
+        }
+        Value::Object(pairs)
+    }
+
+    /// Decodes a document produced by [`to_json`](Self::to_json).
+    pub fn from_json(v: &Value) -> Result<StatsReport, ApiError> {
+        de::check_version(v)?;
+        Ok(StatsReport {
+            workers: de::req_u64(v, "workers")?,
+            threads_per_job: de::req_u64(v, "threads_per_job")?,
+            submitted: de::req_u64(v, "submitted")?,
+            completed: de::req_u64(v, "completed")?,
+            cache_hits: de::req_u64(v, "cache_hits")?,
+            coalesced: de::req_u64(v, "coalesced")?,
+            failed: de::req_u64(v, "failed")?,
+            oracle_calls_issued: de::req_u64(v, "oracle_calls_issued")?,
+            cache_entries: de::req_u64(v, "cache_entries")?,
+            cache_evictions: de::req_u64(v, "cache_evictions")?,
+            jobs_tracked: de::opt_u64(v, "jobs_tracked")?,
+        })
+    }
+}
+
+/// The full CLI report: every pass plus the service's cumulative counters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceReport {
+    /// One [`BatchResponse`] per `--repeat` pass, in order.
+    pub passes: Vec<BatchResponse>,
+    /// Cumulative service counters after the last pass.
+    pub service: StatsReport,
+}
+
+impl ServiceReport {
+    /// Serializes to the v1 wire shape.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "api_version": API_VERSION,
+            "passes": self.passes.iter().map(BatchResponse::to_json).collect::<Vec<Value>>(),
+            "service": self.service.to_json(),
+        })
+    }
+
+    /// Decodes a document produced by [`to_json`](Self::to_json).
+    pub fn from_json(v: &Value) -> Result<ServiceReport, ApiError> {
+        de::check_version(v)?;
+        let passes = de::req_array(v, "passes")?
+            .iter()
+            .map(BatchResponse::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let service = StatsReport::from_json(
+            v.get("service")
+                .ok_or_else(|| de::malformed("missing `service` object"))?,
+        )?;
+        Ok(ServiceReport { passes, service })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decode helpers
+// ---------------------------------------------------------------------------
+
+mod de {
+    use super::{ApiError, API_VERSION};
+    use serde_json::{json, Value};
+
+    pub(super) fn malformed(msg: impl Into<String>) -> ApiError {
+        ApiError::Internal(format!("malformed v1 document: {}", msg.into()))
+    }
+
+    /// Top-level response documents must be objects carrying the exact
+    /// `api_version` this crate speaks.
+    pub(super) fn check_version(v: &Value) -> Result<(), ApiError> {
+        if !matches!(v, Value::Object(_)) {
+            return Err(malformed("expected a JSON object"));
+        }
+        match v.get("api_version").and_then(Value::as_str) {
+            Some(API_VERSION) => Ok(()),
+            Some(other) => Err(malformed(format!(
+                "api_version `{other}` (this client speaks `{API_VERSION}`)"
+            ))),
+            None => Err(malformed("missing `api_version`")),
+        }
+    }
+
+    /// Request documents must be objects; `api_version` is optional but
+    /// must match when present.
+    pub(super) fn request_shape(v: &Value) -> Result<(), ApiError> {
+        if !matches!(v, Value::Object(_)) {
+            return Err(ApiError::InvalidConfig(
+                "request body must be a JSON object".into(),
+            ));
+        }
+        match v.get("api_version").and_then(Value::as_str) {
+            None | Some(API_VERSION) => Ok(()),
+            Some(other) => Err(ApiError::InvalidConfig(format!(
+                "api_version `{other}` is not supported (use `{API_VERSION}`)"
+            ))),
+        }
+    }
+
+    pub(super) fn req_str(v: &Value, key: &str) -> Result<String, ApiError> {
+        v.get(key)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| malformed(format!("missing string `{key}`")))
+    }
+
+    pub(super) fn opt_str(v: &Value, key: &str) -> Result<Option<String>, ApiError> {
+        match v.get(key) {
+            None | Some(Value::Null) => Ok(None),
+            Some(Value::String(s)) => Ok(Some(s.clone())),
+            Some(_) => Err(ApiError::InvalidConfig(format!(
+                "bad `{key}` (need a string)"
+            ))),
+        }
+    }
+
+    pub(super) fn req_u64(v: &Value, key: &str) -> Result<u64, ApiError> {
+        v.get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| malformed(format!("missing integer `{key}`")))
+    }
+
+    pub(super) fn opt_u64(v: &Value, key: &str) -> Result<Option<u64>, ApiError> {
+        match v.get(key) {
+            None | Some(Value::Null) => Ok(None),
+            Some(n) => n.as_u64().map(Some).ok_or_else(|| {
+                ApiError::InvalidConfig(format!("bad `{key}` (need a non-negative integer)"))
+            }),
+        }
+    }
+
+    pub(super) fn req_f64(v: &Value, key: &str) -> Result<f64, ApiError> {
+        v.get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| malformed(format!("missing number `{key}`")))
+    }
+
+    pub(super) fn req_bool(v: &Value, key: &str) -> Result<bool, ApiError> {
+        v.get(key)
+            .and_then(Value::as_bool)
+            .ok_or_else(|| malformed(format!("missing boolean `{key}`")))
+    }
+
+    pub(super) fn req_array<'v>(v: &'v Value, key: &str) -> Result<&'v Vec<Value>, ApiError> {
+        v.get(key)
+            .and_then(Value::as_array)
+            .ok_or_else(|| malformed(format!("missing array `{key}`")))
+    }
+
+    /// Pushes `key` only when the value is present — the wire format omits
+    /// optional string fields instead of emitting `null` for them.
+    pub(super) fn push_opt_str(
+        pairs: &mut Vec<(String, Value)>,
+        key: &str,
+        value: &Option<String>,
+    ) {
+        if let Some(s) = value {
+            pairs.push((key.to_string(), json!(s.as_str())));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_status_mapping_is_canonical() {
+        let expected = [422, 404, 400, 503, 500, 500];
+        for (e, (kind, status)) in ApiError::exemplars()
+            .iter()
+            .zip(ApiError::KINDS.iter().zip(expected))
+        {
+            assert_eq!(e.kind(), *kind);
+            assert_eq!(e.http_status(), status, "{kind}");
+        }
+    }
+
+    #[test]
+    fn version_check_rejects_foreign_documents() {
+        let v2 = serde_json::from_str(r#"{"api_version":"v2","build_version":"9.9.9"}"#).unwrap();
+        assert!(VersionInfo::from_json(&v2).is_err());
+        let none = serde_json::from_str(r#"{"build_version":"9.9.9"}"#).unwrap();
+        assert!(VersionInfo::from_json(&none).is_err());
+        assert!(VersionInfo::from_json(&VersionInfo::current().to_json()).is_ok());
+    }
+}

@@ -1,0 +1,255 @@
+//! Serde round-trip tests for every v1 DTO: `to_json` → text → parse →
+//! `from_json` must reproduce the value exactly, for both the fully
+//! populated and the fully defaulted shape of each document.
+
+use qapi::{
+    ApiError, BatchCircuit, BatchRequest, BatchResponse, JobReport, JobStatus, OptimizeRequest,
+    OracleInfo, OracleList, ServiceReport, StatsReport, VersionInfo,
+};
+use serde_json::Value;
+
+fn reserialize(v: &Value) -> Value {
+    let text = serde_json::to_string(v).expect("serialize");
+    serde_json::from_str(&text).expect("reparse")
+}
+
+/// One fully populated job report.
+pub fn full_job_report() -> JobReport {
+    JobReport {
+        label: Some("vqe-12".into()),
+        fingerprint: "0123456789abcdef0123456789abcdef".into(),
+        oracle: "rule_based".into(),
+        omega: 200,
+        input_gates: 2799,
+        output_gates: 1615,
+        reduction: 0.423,
+        rounds: 15,
+        oracle_calls: 59,
+        cache_hit: false,
+        coalesced: false,
+        error: None,
+        queue_seconds: 0.000125,
+        run_seconds: 0.25,
+        qasm: Some("OPENQASM 2.0;\nqreg q[2];\nh q[0];\n".into()),
+    }
+}
+
+#[test]
+fn job_report_round_trips() {
+    for report in [
+        full_job_report(),
+        JobReport {
+            label: None,
+            qasm: None,
+            error: Some("oracle_failure: optimization panicked: boom".into()),
+            cache_hit: true,
+            coalesced: true,
+            ..full_job_report()
+        },
+    ] {
+        let back = JobReport::from_json(&reserialize(&report.to_json())).unwrap();
+        assert_eq!(back, report);
+    }
+}
+
+#[test]
+fn job_status_round_trips() {
+    for status in [
+        JobStatus {
+            job_id: 7,
+            label: Some("bg".into()),
+            done: true,
+            rounds_completed: 15,
+            result: Some(full_job_report()),
+        },
+        JobStatus {
+            job_id: 8,
+            label: None,
+            done: false,
+            rounds_completed: 3,
+            result: None,
+        },
+    ] {
+        let back = JobStatus::from_json(&reserialize(&status.to_json())).unwrap();
+        assert_eq!(back, status);
+    }
+}
+
+#[test]
+fn optimize_request_round_trips() {
+    for req in [
+        OptimizeRequest {
+            qasm: "OPENQASM 2.0;\nqreg q[1];\nh q[0];\n".into(),
+            oracle: Some("search".into()),
+            omega: Some(64),
+            label: Some("probe".into()),
+            wait: false,
+        },
+        OptimizeRequest::new("OPENQASM 2.0;\nqreg q[1];\n"),
+    ] {
+        let back = OptimizeRequest::from_json(&reserialize(&req.to_json())).unwrap();
+        assert_eq!(back, req);
+    }
+}
+
+#[test]
+fn batch_request_round_trips_and_accepts_string_shorthand() {
+    let req = BatchRequest {
+        circuits: vec![
+            BatchCircuit {
+                label: Some("a".into()),
+                qasm: "OPENQASM 2.0;\nqreg q[1];\n".into(),
+                oracle: Some("rule_based".into()),
+                omega: Some(32),
+            },
+            BatchCircuit::new("OPENQASM 2.0;\nqreg q[2];\n"),
+        ],
+        omega: Some(100),
+        oracle: Some("search".into()),
+    };
+    let back = BatchRequest::from_json(&reserialize(&req.to_json())).unwrap();
+    assert_eq!(back, req);
+
+    // A bare string member is shorthand for a defaulted entry.
+    let shorthand =
+        serde_json::from_str(r#"{"circuits":["OPENQASM 2.0;\nqreg q[1];\n"]}"#).unwrap();
+    let parsed = BatchRequest::from_json(&shorthand).unwrap();
+    assert_eq!(
+        parsed.circuits,
+        vec![BatchCircuit::new("OPENQASM 2.0;\nqreg q[1];\n")]
+    );
+}
+
+#[test]
+fn batch_request_rejects_malformed_shapes_as_invalid_config() {
+    for (text, needle) in [
+        (r#"{"omega": 3}"#, "circuits"),
+        (r#"{"circuits": []}"#, "empty"),
+        (r#"{"circuits": [{"label": "x"}]}"#, "qasm"),
+        (r#"{"circuits": [42]}"#, "circuits[0]"),
+        (r#"{"circuits": ["ok"], "omega": -1}"#, "omega"),
+        (r#"{"circuits": ["ok"], "oracle": 9}"#, "oracle"),
+        (
+            r#"{"circuits": ["ok"], "api_version": "v0"}"#,
+            "api_version",
+        ),
+    ] {
+        let doc = serde_json::from_str(text).unwrap();
+        let err = BatchRequest::from_json(&doc).expect_err(text);
+        assert!(
+            matches!(err, ApiError::InvalidConfig(_)),
+            "{text}: got {err:?}"
+        );
+        assert!(err.message().contains(needle), "{text}: got {err}");
+    }
+}
+
+#[test]
+fn batch_response_round_trips() {
+    let resp = BatchResponse {
+        pass: 2,
+        jobs: vec![full_job_report()],
+        job_count: 1,
+        cache_hits: 1,
+        oracle_calls_issued: 0,
+        gates_in: 2799,
+        gates_out: 1615,
+        wall_seconds: 0.125,
+        jobs_per_sec: 8.0,
+    };
+    let back = BatchResponse::from_json(&reserialize(&resp.to_json())).unwrap();
+    assert_eq!(back, resp);
+}
+
+#[test]
+fn stats_and_service_report_round_trip() {
+    let stats = StatsReport {
+        workers: 4,
+        threads_per_job: 2,
+        submitted: 10,
+        completed: 10,
+        cache_hits: 6,
+        coalesced: 2,
+        failed: 1,
+        oracle_calls_issued: 321,
+        cache_entries: 4,
+        cache_evictions: 0,
+        jobs_tracked: Some(3),
+    };
+    let back = StatsReport::from_json(&reserialize(&stats.to_json())).unwrap();
+    assert_eq!(back, stats);
+
+    // The CLI shape omits `jobs_tracked` entirely.
+    let cli = StatsReport {
+        jobs_tracked: None,
+        ..stats.clone()
+    };
+    assert!(cli.to_json().get("jobs_tracked").is_none());
+    assert_eq!(
+        StatsReport::from_json(&reserialize(&cli.to_json())).unwrap(),
+        cli
+    );
+
+    let report = ServiceReport {
+        passes: vec![BatchResponse {
+            pass: 1,
+            jobs: vec![full_job_report()],
+            job_count: 1,
+            cache_hits: 0,
+            oracle_calls_issued: 59,
+            gates_in: 2799,
+            gates_out: 1615,
+            wall_seconds: 0.25,
+            jobs_per_sec: 4.0,
+        }],
+        service: cli,
+    };
+    let back = ServiceReport::from_json(&reserialize(&report.to_json())).unwrap();
+    assert_eq!(back, report);
+}
+
+#[test]
+fn version_and_oracle_list_round_trip() {
+    let version = VersionInfo::current();
+    assert_eq!(
+        VersionInfo::from_json(&reserialize(&version.to_json())).unwrap(),
+        version
+    );
+
+    let list = OracleList {
+        oracles: vec![
+            OracleInfo {
+                id: "rule_based".into(),
+                description: "rule pipeline to fixpoint".into(),
+                default: true,
+            },
+            OracleInfo {
+                id: "search".into(),
+                description: "bounded best-first search".into(),
+                default: false,
+            },
+        ],
+    };
+    assert_eq!(
+        OracleList::from_json(&reserialize(&list.to_json())).unwrap(),
+        list
+    );
+}
+
+#[test]
+fn api_error_round_trips_every_variant() {
+    for err in ApiError::exemplars() {
+        let doc = reserialize(&err.to_json());
+        assert_eq!(
+            doc.get("api_version").unwrap().as_str(),
+            Some(qapi::API_VERSION)
+        );
+        assert_eq!(ApiError::from_json(&doc).unwrap(), err);
+    }
+    // Transport kinds decode as Internal without losing the message.
+    let transport = qapi::transport_error_json("not_found", "no such job 9");
+    assert_eq!(
+        ApiError::from_json(&reserialize(&transport)).unwrap(),
+        ApiError::Internal("no such job 9".into())
+    );
+}

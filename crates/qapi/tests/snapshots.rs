@@ -1,0 +1,230 @@
+//! Wire-format snapshot tests: one exemplar of every v1 DTO is serialized
+//! (pretty, deterministic field order) and diffed against the committed
+//! files under `tests/snapshots/`. An accidental wire-format change —
+//! renamed field, reordered object, altered number formatting — fails
+//! here before it can break a deployed client.
+//!
+//! To bless an *intentional* format change:
+//!
+//! ```sh
+//! POPQC_BLESS=1 cargo test -p popqc-api --test snapshots
+//! ```
+//!
+//! and commit the rewritten snapshot files with the API change.
+
+use qapi::{
+    ApiError, BatchCircuit, BatchRequest, BatchResponse, JobReport, JobStatus, OptimizeRequest,
+    OracleInfo, OracleList, ServiceReport, StatsReport, VersionInfo,
+};
+use serde_json::Value;
+use std::path::PathBuf;
+
+fn snapshot_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("snapshots")
+}
+
+fn check(name: &str, doc: &Value) {
+    let path = snapshot_dir().join(format!("{name}.json"));
+    let mut rendered = serde_json::to_string_pretty(doc).expect("serialize snapshot");
+    rendered.push('\n');
+    if std::env::var_os("POPQC_BLESS").is_some() {
+        std::fs::create_dir_all(snapshot_dir()).expect("create snapshot dir");
+        std::fs::write(&path, &rendered)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read snapshot {} ({e}); run with POPQC_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, expected,
+        "wire format of `{name}` changed; if intentional, re-bless with \
+         POPQC_BLESS=1 cargo test -p popqc-api --test snapshots"
+    );
+}
+
+fn exemplar_report(label: Option<&str>, qasm: bool) -> JobReport {
+    JobReport {
+        label: label.map(str::to_string),
+        fingerprint: "0123456789abcdef0123456789abcdef".into(),
+        oracle: "rule_based".into(),
+        omega: 200,
+        input_gates: 2799,
+        output_gates: 1615,
+        reduction: 0.423,
+        rounds: 15,
+        oracle_calls: 59,
+        cache_hit: false,
+        coalesced: false,
+        error: None,
+        queue_seconds: 0.000125,
+        run_seconds: 0.25,
+        qasm: qasm.then(|| "OPENQASM 2.0;\nqreg q[2];\nh q[0];\n".into()),
+    }
+}
+
+#[test]
+fn optimize_request_snapshot() {
+    check(
+        "optimize_request",
+        &OptimizeRequest {
+            qasm: "OPENQASM 2.0;\nqreg q[2];\nh q[0];\nh q[0];\n".into(),
+            oracle: Some("search".into()),
+            omega: Some(64),
+            label: Some("probe".into()),
+            wait: false,
+        }
+        .to_json(),
+    );
+}
+
+#[test]
+fn job_status_snapshot() {
+    check(
+        "job_status",
+        &JobStatus {
+            job_id: 1,
+            label: Some("vqe-12".into()),
+            done: true,
+            rounds_completed: 15,
+            result: Some(exemplar_report(None, true)),
+        }
+        .to_json(),
+    );
+}
+
+#[test]
+fn batch_request_snapshot() {
+    check(
+        "batch_request",
+        &BatchRequest {
+            circuits: vec![
+                BatchCircuit {
+                    label: Some("a".into()),
+                    qasm: "OPENQASM 2.0;\nqreg q[1];\n".into(),
+                    oracle: Some("search".into()),
+                    omega: Some(32),
+                },
+                BatchCircuit::new("OPENQASM 2.0;\nqreg q[2];\n"),
+            ],
+            omega: Some(100),
+            oracle: Some("rule_based".into()),
+        }
+        .to_json(),
+    );
+}
+
+#[test]
+fn batch_response_snapshot() {
+    check(
+        "batch_response",
+        &BatchResponse {
+            pass: 1,
+            jobs: vec![exemplar_report(Some("vqe-12"), true)],
+            job_count: 1,
+            cache_hits: 0,
+            oracle_calls_issued: 59,
+            gates_in: 2799,
+            gates_out: 1615,
+            wall_seconds: 0.25,
+            jobs_per_sec: 4.0,
+        }
+        .to_json(),
+    );
+}
+
+#[test]
+fn stats_report_snapshot() {
+    check(
+        "stats_report",
+        &StatsReport {
+            workers: 4,
+            threads_per_job: 2,
+            submitted: 10,
+            completed: 10,
+            cache_hits: 6,
+            coalesced: 2,
+            failed: 1,
+            oracle_calls_issued: 321,
+            cache_entries: 4,
+            cache_evictions: 0,
+            jobs_tracked: Some(3),
+        }
+        .to_json(),
+    );
+}
+
+#[test]
+fn service_report_snapshot() {
+    check(
+        "service_report",
+        &ServiceReport {
+            passes: vec![BatchResponse {
+                pass: 1,
+                jobs: vec![exemplar_report(Some("vqe-12"), false)],
+                job_count: 1,
+                cache_hits: 0,
+                oracle_calls_issued: 59,
+                gates_in: 2799,
+                gates_out: 1615,
+                wall_seconds: 0.25,
+                jobs_per_sec: 4.0,
+            }],
+            service: StatsReport {
+                workers: 2,
+                threads_per_job: 1,
+                submitted: 1,
+                completed: 1,
+                oracle_calls_issued: 59,
+                cache_entries: 1,
+                ..StatsReport::default()
+            },
+        }
+        .to_json(),
+    );
+}
+
+#[test]
+fn version_snapshot() {
+    check(
+        "version",
+        &VersionInfo {
+            build_version: "0.2.0".into(),
+        }
+        .to_json(),
+    );
+}
+
+#[test]
+fn oracle_list_snapshot() {
+    check(
+        "oracle_list",
+        &OracleList {
+            oracles: vec![
+                OracleInfo {
+                    id: "rule_based".into(),
+                    description: "rule pipeline to fixpoint".into(),
+                    default: true,
+                },
+                OracleInfo {
+                    id: "search".into(),
+                    description: "bounded best-first search".into(),
+                    default: false,
+                },
+            ],
+        }
+        .to_json(),
+    );
+}
+
+#[test]
+fn api_error_snapshots() {
+    for err in ApiError::exemplars() {
+        check(&format!("error_{}", err.kind()), &err.to_json());
+    }
+}

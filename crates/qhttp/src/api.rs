@@ -1,36 +1,45 @@
-//! The JSON API over the optimization service.
+//! The v1 JSON API over the optimization service.
+//!
+//! Every request and response body is a `popqc-api` DTO — this module
+//! contains no JSON schema of its own, only routing and the translation
+//! between HTTP mechanics (bodies, query strings, status codes) and the
+//! typed API:
 //!
 //! | route | method | body | reply |
 //! |-------|--------|------|-------|
-//! | `/healthz` | GET | — | `{"status":"ok"}` |
-//! | `/v1/stats` | GET | — | service counters (see [`qsvc::report::stats_report`]) |
-//! | `/v1/optimize` | POST | QASM text | job document (blocks; `?wait=false` returns 202 + job id) |
-//! | `/v1/batch` | POST | `{"circuits":[{"label","qasm"},…],"omega":N}` | batch report (see [`qsvc::report::batch_report`]) |
-//! | `/v1/jobs/{id}` | GET | — | job status/progress, result when done |
+//! | `/healthz` | GET | — | `{"api_version":"v1","status":"ok"}` |
+//! | `/v1/version` | GET | — | [`qapi::VersionInfo`] |
+//! | `/v1/oracles` | GET | — | [`qapi::OracleList`] (the registry) |
+//! | `/v1/stats` | GET | — | [`qapi::StatsReport`] |
+//! | `/v1/optimize` | POST | QASM text or [`qapi::OptimizeRequest`] JSON | [`qapi::JobStatus`] |
+//! | `/v1/batch` | POST | [`qapi::BatchRequest`] | [`qapi::BatchResponse`] |
+//! | `/v1/jobs/{id}` | GET | — | [`qapi::JobStatus`] |
 //!
-//! `POST /v1/optimize` options are query parameters: `omega` (engine
-//! window, defaults to the server's `--omega`), `label` (echoed in the job
-//! document), `wait=false` (submit-and-poll instead of blocking). Only
-//! `wait=false` submissions are retained for `/v1/jobs/{id}` polling —
-//! blocking requests get their result inline and are not kept around. The
-//! polling registry is bounded: when it is full of still-pending jobs, new
-//! `wait=false` submissions are refused with 503 instead of growing the
-//! queue without limit. A job whose oracle run failed reports the failure
-//! in its `result.error` field (and a 500 status when blocking); a batch
-//! with any failed job is a 500 whose report carries per-job `error`
-//! fields, with `qasm` omitted for the failed entries.
-//! Malformed input — unparseable QASM, bad JSON, unknown fields of the
-//! wrong type, out-of-range numbers — is a 400 with an `error` message,
+//! `POST /v1/optimize` accepts either the raw QASM program as the body
+//! with options as query parameters — `oracle` (registry id), `omega`
+//! (engine window), `label` (echoed back), `wait=false` (submit-and-poll)
+//! — or a single [`qapi::OptimizeRequest`] JSON object carrying the same
+//! options (the two forms must not be mixed). Only `wait=false`
+//! submissions are retained for `/v1/jobs/{id}` polling; the polling
+//! registry is bounded, and when it is full of still-pending jobs new
+//! `wait=false` submissions are refused with [`qapi::ApiError::Overloaded`].
+//!
+//! Failures map through the closed [`qapi::ApiError`] taxonomy and its
+//! canonical statuses: malformed parameters/JSON are `invalid_config`
+//! (400), an unregistered oracle id is `unknown_oracle` (404),
+//! unparseable QASM is `invalid_qasm` (422), a full pending registry is
+//! `overloaded` (503), and an oracle crash is `oracle_failure` (500, with
+//! the failed job's document carrying `result.error`). Malformed input is
 //! never a dropped connection.
 
 use crate::http::{Request, Response};
 use crate::server::Handler;
 use popqc_core::PopqcConfig;
-use qcir::{qasm, Gate};
-use qoracle::SegmentOracle;
-use qsvc::report::{batch_report, job_report, stats_report};
-use qsvc::service::{JobHandle, JobResult, OptimizationService};
-use serde_json::{json, Value};
+use qapi::ApiError;
+use qcir::qasm;
+use qsvc::report::{batch_report, job_status, stats_report};
+use qsvc::service::{JobHandle, JobRequest, OptimizationService};
+use serde_json::json;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex};
@@ -39,10 +48,10 @@ use std::sync::{Arc, Mutex};
 /// evicted oldest-first; a pending job is never evicted (its client may
 /// still be polling toward a live handle), so when eviction cannot bring
 /// the registry under the cap, new `wait=false` submissions are refused
-/// with 503 — otherwise a flood of distinct circuits would grow the
-/// registry and the service queue (each entry holding a full circuit)
-/// without bound. Blocking submissions are never stored and are bounded
-/// by the connection-thread count instead.
+/// with `overloaded` (503) — otherwise a flood of distinct circuits would
+/// grow the registry and the service queue (each entry holding a full
+/// circuit) without bound. Blocking submissions are never stored and are
+/// bounded by the connection-thread count instead.
 const JOB_HISTORY_CAP: usize = 4096;
 
 struct StoredJob {
@@ -52,20 +61,21 @@ struct StoredJob {
 
 /// Shared server state: the service plus the polling-job registry.
 ///
-/// Generic over the oracle like the service itself; the `popqc serve` CLI
-/// monomorphizes one per `--oracle` choice.
-pub struct AppState<O: SegmentOracle<Gate> + Send + Sync + 'static> {
-    svc: OptimizationService<O>,
+/// The service is dynamically dispatched over its oracle registry, so one
+/// `AppState` (and one `popqc serve` process) answers requests for every
+/// registered oracle.
+pub struct AppState {
+    svc: OptimizationService,
     default_omega: usize,
     jobs: Mutex<BTreeMap<u64, StoredJob>>,
     job_cap: usize,
     next_job_id: AtomicU64,
 }
 
-impl<O: SegmentOracle<Gate> + Send + Sync + 'static> AppState<O> {
+impl AppState {
     /// Wraps a running service. `default_omega` applies when a request
-    /// does not pass `?omega=`.
-    pub fn new(svc: OptimizationService<O>, default_omega: usize) -> AppState<O> {
+    /// does not pass `omega`.
+    pub fn new(svc: OptimizationService, default_omega: usize) -> AppState {
         AppState::with_job_cap(svc, default_omega, JOB_HISTORY_CAP)
     }
 
@@ -75,10 +85,10 @@ impl<O: SegmentOracle<Gate> + Send + Sync + 'static> AppState<O> {
     /// submissions are refused with 503. Mainly for tests and
     /// memory-constrained deployments.
     pub fn with_job_cap(
-        svc: OptimizationService<O>,
+        svc: OptimizationService,
         default_omega: usize,
         job_cap: usize,
-    ) -> AppState<O> {
+    ) -> AppState {
         AppState {
             svc,
             default_omega,
@@ -89,7 +99,7 @@ impl<O: SegmentOracle<Gate> + Send + Sync + 'static> AppState<O> {
     }
 
     /// The wrapped service (e.g. for shutdown-time stats logging).
-    pub fn service(&self) -> &OptimizationService<O> {
+    pub fn service(&self) -> &OptimizationService {
         &self.svc
     }
 
@@ -107,47 +117,118 @@ impl<O: SegmentOracle<Gate> + Send + Sync + 'static> AppState<O> {
         }
     }
 
-    fn handle_optimize(&self, req: &Request) -> Response {
-        let qasm_src = match req.body_utf8() {
-            Ok(s) => s,
-            Err(e) => return error(400, e.to_string()),
-        };
-        if qasm_src.trim().is_empty() {
-            return error(400, "empty request body; POST the QASM program text");
+    /// Parses the two accepted `POST /v1/optimize` forms into the one
+    /// typed request: a JSON [`qapi::OptimizeRequest`] body (options in
+    /// the document, query options rejected), or raw QASM text with
+    /// options as query parameters.
+    fn parse_optimize(&self, req: &Request) -> Result<qapi::OptimizeRequest, ApiError> {
+        let body = req
+            .body_utf8()
+            .map_err(|e| ApiError::InvalidQasm(e.to_string()))?;
+        if body.trim().is_empty() {
+            return Err(ApiError::InvalidQasm(
+                "empty request body; POST the QASM program text or an OptimizeRequest JSON object"
+                    .to_string(),
+            ));
         }
-        let circuit = match qasm::parse(qasm_src) {
-            Ok(c) => c,
-            Err(e) => return error(400, e.to_string()),
-        };
+        if body.trim_start().starts_with('{') {
+            // A QASM program can never start with `{`, so this is
+            // unambiguously the JSON form.
+            for param in ["oracle", "omega", "label", "wait"] {
+                if req.query_param(param).is_some() {
+                    return Err(ApiError::InvalidConfig(format!(
+                        "`{param}` must be inside the JSON request body, not a query parameter"
+                    )));
+                }
+            }
+            let doc = serde_json::from_str(body).map_err(|e| {
+                ApiError::InvalidConfig(format!("request body is not valid JSON: {e}"))
+            })?;
+            return qapi::OptimizeRequest::from_json(&doc);
+        }
+
         let omega = match req.query_param("omega") {
-            None => self.default_omega,
-            Some(v) => match v.parse::<usize>() {
-                Ok(n) if n > 0 => n,
-                _ => return error(400, format!("bad omega `{v}` (need a positive integer)")),
+            None => None,
+            Some(v) => match v.parse::<u64>() {
+                Ok(n) => Some(n),
+                Err(_) => {
+                    return Err(ApiError::InvalidConfig(format!(
+                        "bad omega `{v}` (need a positive integer)"
+                    )))
+                }
             },
         };
         let wait = match req.query_param("wait") {
             None => true,
             Some("true") | Some("1") => true,
             Some("false") | Some("0") => false,
-            Some(v) => return error(400, format!("bad wait `{v}` (need true|false)")),
+            Some(v) => {
+                return Err(ApiError::InvalidConfig(format!(
+                    "bad wait `{v}` (need true|false)"
+                )))
+            }
         };
-        let label = req.query_param("label").map(str::to_string);
+        Ok(qapi::OptimizeRequest {
+            qasm: body.to_string(),
+            oracle: req.query_param("oracle").map(str::to_string),
+            omega,
+            label: req.query_param("label").map(str::to_string),
+            wait,
+        })
+    }
 
-        let cfg = PopqcConfig::with_omega(omega);
-        if wait {
+    /// Resolves the request's omega override against the server default.
+    /// `0` and values beyond the platform word size are refused rather
+    /// than wrapped (an `as` cast would silently truncate on 32-bit).
+    fn resolve_omega(&self, omega: Option<u64>) -> Result<usize, ApiError> {
+        match omega {
+            None => Ok(self.default_omega),
+            Some(n) => match usize::try_from(n) {
+                Ok(n) if n > 0 => Ok(n),
+                _ => Err(ApiError::InvalidConfig(format!(
+                    "bad omega `{n}` (need a positive integer within the platform's word size)"
+                ))),
+            },
+        }
+    }
+
+    fn handle_optimize(&self, req: &Request) -> Response {
+        let parsed = match self.parse_optimize(req) {
+            Ok(p) => p,
+            Err(e) => return error(&e),
+        };
+        let omega = match self.resolve_omega(parsed.omega) {
+            Ok(n) => n,
+            Err(e) => return error(&e),
+        };
+        let circuit = match qasm::parse(&parsed.qasm) {
+            Ok(c) => c,
+            Err(e) => return error(&ApiError::InvalidQasm(e.to_string())),
+        };
+        let job = JobRequest {
+            circuit,
+            oracle: parsed.oracle.clone(),
+            config: PopqcConfig::with_omega(omega),
+        };
+        let label = parsed.label.as_deref();
+
+        if parsed.wait {
             // Blocking requests deliver their result inline and are not
             // retained: every JobResult holds a full circuit, so keeping
             // jobs nobody will poll would turn the registry cap into an
             // unbounded-bytes cache.
-            let handle = self.svc.submit(circuit, &cfg);
+            let handle = match self.svc.submit_request(job) {
+                Ok(h) => h,
+                Err(e) => return error(&e.to_api_error()),
+            };
             let id = self.next_job_id.fetch_add(1, Relaxed);
             let result = handle.wait();
-            let status = if result.error.is_some() { 500 } else { 200 };
-            Response::json(
-                status,
-                &job_json(id, label.as_deref(), Some(&result), &handle),
-            )
+            let status = match &result.error {
+                Some(e) => e.to_api_error().http_status(),
+                None => 200,
+            };
+            let doc = job_status(id, label, handle.rounds_completed(), Some(&result));
+            Response::json(status, &doc.to_json())
         } else {
             // Capacity check, submission, and registration form ONE
             // critical section: releasing the lock between the check and
@@ -159,18 +240,21 @@ impl<O: SegmentOracle<Gate> + Send + Sync + 'static> AppState<O> {
             let mut jobs = self.jobs.lock().expect("job registry poisoned");
             self.evict_completed(&mut jobs);
             if jobs.len() >= self.job_cap {
-                return error(
-                    503,
-                    "job registry is full of pending jobs; retry later or use wait=true",
-                );
+                return error(&ApiError::Overloaded(
+                    "job registry is full of pending jobs; retry later or use wait=true"
+                        .to_string(),
+                ));
             }
-            let handle = Arc::new(self.svc.submit(circuit, &cfg));
+            let handle = match self.svc.submit_request(job) {
+                Ok(h) => Arc::new(h),
+                Err(e) => return error(&e.to_api_error()),
+            };
             let id = self.next_job_id.fetch_add(1, Relaxed);
             jobs.insert(
                 id,
                 StoredJob {
                     handle: Arc::clone(&handle),
-                    label: label.clone(),
+                    label: parsed.label.clone(),
                 },
             );
             drop(jobs);
@@ -179,94 +263,70 @@ impl<O: SegmentOracle<Gate> + Send + Sync + 'static> AppState<O> {
             // client must poll.
             let result = handle.try_result();
             let status = if result.is_some() { 200 } else { 202 };
-            Response::json(
-                status,
-                &job_json(id, label.as_deref(), result.as_deref(), &handle),
-            )
+            let doc = job_status(id, label, handle.rounds_completed(), result.as_deref());
+            Response::json(status, &doc.to_json())
         }
     }
 
     fn handle_batch(&self, req: &Request) -> Response {
         let body = match req.body_utf8() {
             Ok(s) => s,
-            Err(e) => return error(400, e.to_string()),
+            Err(e) => return error(&ApiError::InvalidConfig(e.to_string())),
         };
         let doc = match serde_json::from_str(body) {
             Ok(v) => v,
-            Err(e) => return error(400, format!("request body is not valid JSON: {e}")),
+            Err(e) => {
+                return error(&ApiError::InvalidConfig(format!(
+                    "request body is not valid JSON: {e}"
+                )))
+            }
         };
-        let Some(entries) = doc.get("circuits").and_then(Value::as_array) else {
-            return error(400, "missing `circuits` array");
-        };
-        if entries.is_empty() {
-            return error(400, "`circuits` is empty");
-        }
-        let omega = match doc.get("omega") {
-            None => self.default_omega,
-            Some(v) => match v.as_u64() {
-                Some(n) if n > 0 => n as usize,
-                _ => return error(400, "bad `omega` (need a positive integer)"),
-            },
+        let batch_req = match qapi::BatchRequest::from_json(&doc) {
+            Ok(b) => b,
+            Err(e) => return error(&e),
         };
 
-        let mut labels = Vec::with_capacity(entries.len());
-        let mut circuits = Vec::with_capacity(entries.len());
-        for (i, entry) in entries.iter().enumerate() {
-            let (label, src) = match entry {
-                Value::String(s) => (format!("job-{i}"), s.as_str()),
-                obj => {
-                    let Some(src) = obj.get("qasm").and_then(Value::as_str) else {
-                        return error(400, format!("circuits[{i}]: missing `qasm` string"));
-                    };
-                    let label = obj
-                        .get("label")
-                        .and_then(Value::as_str)
-                        .map(str::to_string)
-                        .unwrap_or_else(|| format!("job-{i}"));
-                    (label, src)
-                }
+        let mut labels = Vec::with_capacity(batch_req.circuits.len());
+        let mut jobs = Vec::with_capacity(batch_req.circuits.len());
+        for (i, entry) in batch_req.circuits.iter().enumerate() {
+            let label = entry.label.clone().unwrap_or_else(|| format!("job-{i}"));
+            let omega = match self.resolve_omega(entry.omega.or(batch_req.omega)) {
+                Ok(n) => n,
+                Err(e) => return error(&e),
             };
-            match qasm::parse(src) {
-                Ok(c) => {
-                    labels.push(label);
-                    circuits.push(c);
-                }
-                Err(e) => return error(400, format!("{label}: {e}")),
-            }
+            let circuit = match qasm::parse(&entry.qasm) {
+                Ok(c) => c,
+                Err(e) => return error(&ApiError::InvalidQasm(format!("{label}: {e}"))),
+            };
+            jobs.push(JobRequest {
+                circuit,
+                // Per-circuit override, else the batch default, else the
+                // server's registry default.
+                oracle: entry.oracle.clone().or_else(|| batch_req.oracle.clone()),
+                config: PopqcConfig::with_omega(omega),
+            });
+            labels.push(label);
         }
 
-        let cfg = PopqcConfig::with_omega(omega);
-        let batch = self.svc.submit_batch(circuits, &cfg).wait();
-        let mut report = batch_report(&labels, &batch, 1);
-        if let Value::Object(pairs) = &mut report {
-            // The batch report carries stats, not circuits; attach the
-            // optimized QASM per job so the endpoint is self-contained.
-            // A failed job (oracle panic) holds its *input* circuit, so no
-            // `qasm` is attached there — only its `error` field — and the
-            // whole response is a 500 so a client checking the status code
-            // alone can never mistake an input echo for an optimization.
-            if let Some(jobs) = pairs
-                .iter_mut()
-                .find(|(k, _)| k == "jobs")
-                .and_then(|(_, v)| match v {
-                    Value::Array(a) => Some(a),
-                    _ => None,
-                })
-            {
-                for (job, result) in jobs.iter_mut().zip(&batch.results) {
-                    if let (Value::Object(fields), None) = (job, &result.error) {
-                        fields.push(("qasm".to_string(), json!(qasm::to_qasm(&result.circuit))));
-                    }
-                }
-            }
-        }
+        // Oracle ids are validated atomically before anything is enqueued.
+        let batch = match self.svc.submit_batch_requests(jobs) {
+            Ok(handle) => handle.wait(),
+            Err(e) => return error(&e.to_api_error()),
+        };
+        // The batch report carries stats; the optimized QASM is attached
+        // per successful job so the endpoint is self-contained. A failed
+        // job (oracle crash) holds its *input* circuit, so no `qasm` is
+        // attached there — only its `error` field — and the whole response
+        // is a 500 so a client checking the status code alone can never
+        // mistake an input echo for an optimization.
+        let report = batch_report(&labels, &batch, 1, true);
         let any_failed = batch.results.iter().any(|r| r.error.is_some());
-        Response::json(if any_failed { 500 } else { 200 }, &report)
+        Response::json(if any_failed { 500 } else { 200 }, &report.to_json())
     }
 
     fn handle_job_get(&self, id_str: &str) -> Response {
         let Ok(id) = id_str.parse::<u64>() else {
-            return error(400, format!("bad job id `{id_str}`"));
+            return error(&ApiError::InvalidConfig(format!("bad job id `{id_str}`")));
         };
         let job = {
             let jobs = self.jobs.lock().expect("job registry poisoned");
@@ -274,13 +334,16 @@ impl<O: SegmentOracle<Gate> + Send + Sync + 'static> AppState<O> {
                 .map(|j| (Arc::clone(&j.handle), j.label.clone()))
         };
         let Some((handle, label)) = job else {
-            return error(404, format!("no such job {id}"));
+            return transport_error(404, "not_found", &format!("no such job {id}"));
         };
         let result = handle.try_result();
-        Response::json(
-            200,
-            &job_json(id, label.as_deref(), result.as_deref(), &handle),
-        )
+        let doc = job_status(
+            id,
+            label.as_deref(),
+            handle.rounds_completed(),
+            result.as_deref(),
+        );
+        Response::json(200, &doc.to_json())
     }
 
     fn handle_stats(&self) -> Response {
@@ -289,61 +352,61 @@ impl<O: SegmentOracle<Gate> + Send + Sync + 'static> AppState<O> {
             self.svc.workers(),
             self.svc.threads_per_job(),
         );
-        if let Value::Object(pairs) = &mut stats {
-            pairs.push((
-                "jobs_tracked".to_string(),
-                json!(self.jobs.lock().expect("job registry poisoned").len()),
-            ));
-        }
-        Response::json(200, &stats)
+        stats.jobs_tracked = Some(self.jobs.lock().expect("job registry poisoned").len() as u64);
+        Response::json(200, &stats.to_json())
+    }
+
+    fn handle_oracles(&self) -> Response {
+        let list = qapi::OracleList {
+            oracles: self.svc.registry().infos(),
+        };
+        Response::json(200, &list.to_json())
     }
 }
 
-impl<O: SegmentOracle<Gate> + Send + Sync + 'static> Handler for AppState<O> {
+impl Handler for AppState {
     fn handle(&self, req: &Request) -> Response {
         let method = req.method.as_str();
         let path = req.path.as_str();
         match (method, path) {
-            ("GET", "/healthz") => Response::json(200, &json!({ "status": "ok" })),
+            ("GET", "/healthz") => Response::json(
+                200,
+                &json!({ "api_version": qapi::API_VERSION, "status": "ok" }),
+            ),
+            ("GET", "/v1/version") => Response::json(200, &qapi::VersionInfo::current().to_json()),
+            ("GET", "/v1/oracles") => self.handle_oracles(),
             ("GET", "/v1/stats") => self.handle_stats(),
             ("POST", "/v1/optimize") => self.handle_optimize(req),
             ("POST", "/v1/batch") => self.handle_batch(req),
-            (_, "/healthz") | (_, "/v1/stats") => method_not_allowed("GET"),
+            (_, "/healthz") | (_, "/v1/version") | (_, "/v1/oracles") | (_, "/v1/stats") => {
+                method_not_allowed("GET")
+            }
             (_, "/v1/optimize") | (_, "/v1/batch") => method_not_allowed("POST"),
             _ => match path.strip_prefix("/v1/jobs/") {
                 Some(id) if method == "GET" => self.handle_job_get(id),
                 Some(_) => method_not_allowed("GET"),
-                None => error(404, format!("no route for {path}")),
+                None => transport_error(404, "not_found", &format!("no route for {path}")),
             },
         }
     }
 }
 
-fn error(status: u16, msg: impl Into<String>) -> Response {
-    Response::json(status, &json!({ "error": msg.into() }))
+/// An API-taxonomy failure: the variant's canonical status plus its wire
+/// document.
+fn error(e: &ApiError) -> Response {
+    Response::json(e.http_status(), &e.to_json())
+}
+
+/// A transport-level failure outside the API taxonomy (routing, method),
+/// in the same wire shape.
+fn transport_error(status: u16, kind: &str, message: &str) -> Response {
+    Response::json(status, &qapi::transport_error_json(kind, message))
 }
 
 fn method_not_allowed(allowed: &str) -> Response {
-    error(405, format!("method not allowed (use {allowed})"))
-}
-
-/// The job document: status + progress always, stats + optimized QASM once
-/// the result exists. One schema for `/v1/optimize` and `/v1/jobs/{id}`;
-/// the stats fields come from [`job_report`] (same schema as the CLI's
-/// batch report), with the optimized QASM appended.
-fn job_json(id: u64, label: Option<&str>, result: Option<&JobResult>, handle: &JobHandle) -> Value {
-    let mut doc = json!({
-        "job_id": id,
-        "label": label,
-        "done": result.is_some(),
-        "rounds_completed": handle.rounds_completed(),
-    });
-    if let (Some(r), Value::Object(pairs)) = (result, &mut doc) {
-        let mut stats = job_report(r);
-        if let Value::Object(fields) = &mut stats {
-            fields.push(("qasm".to_string(), json!(qasm::to_qasm(&r.circuit))));
-        }
-        pairs.push(("result".to_string(), stats));
-    }
-    doc
+    transport_error(
+        405,
+        "method_not_allowed",
+        &format!("method not allowed (use {allowed})"),
+    )
 }

@@ -15,26 +15,30 @@
 //! * [`server`] — a threaded acceptor over one `TcpListener`; each
 //!   connection thread runs a keep-alive loop and dispatches to a
 //!   [`Handler`].
-//! * [`api`] — the JSON routes (`POST /v1/optimize`, `POST /v1/batch`,
-//!   `GET /v1/jobs/{id}`, `GET /v1/stats`, `GET /healthz`) over an
-//!   [`AppState`] holding the service and the job registry.
+//! * [`api`] — the v1 JSON routes (`POST /v1/optimize`, `POST /v1/batch`,
+//!   `GET /v1/jobs/{id}`, `GET /v1/oracles`, `GET /v1/stats`,
+//!   `GET /v1/version`, `GET /healthz`) over an [`AppState`] holding the
+//!   service and the job registry. Every request and response body is a
+//!   `popqc-api` DTO; failures map through the closed `qapi::ApiError`
+//!   taxonomy and its canonical HTTP statuses.
 //!
 //! Concurrent identical submissions are deduplicated by the service's
 //! in-flight coalescing (one computation, N waiters) and completed
 //! duplicates by its result cache — both visible per job (`cache_hit`,
-//! `coalesced`) and in `/v1/stats`.
+//! `coalesced`) and in `/v1/stats`. The service dispatches over its
+//! [`qsvc::OracleRegistry`] per request (`?oracle=`), so one server
+//! answers mixed-oracle traffic.
 //!
 //! ## Example
 //!
 //! ```no_run
 //! use qhttp::api::AppState;
 //! use qhttp::server::{HttpServer, ServerConfig};
-//! use qoracle::RuleBasedOptimizer;
-//! use qsvc::{OptimizationService, ServiceConfig};
+//! use qsvc::{OptimizationService, OracleRegistry, ServiceConfig};
 //! use std::sync::Arc;
 //!
 //! let svc = OptimizationService::new(
-//!     RuleBasedOptimizer::oracle(),
+//!     OracleRegistry::builtin(),
 //!     ServiceConfig::default(),
 //! );
 //! let state = Arc::new(AppState::new(svc, 200));

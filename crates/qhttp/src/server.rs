@@ -10,7 +10,6 @@
 //! they cannot pin threads forever.
 
 use crate::http::{read_request, HttpError, Request, Response};
-use serde_json::json;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
@@ -171,7 +170,11 @@ fn handle_connection<H: Handler>(stream: TcpStream, handler: &H, stop: &AtomicBo
                     // Stop keeping the connection alive once shutdown begins.
                     Ok(r) => (r, req.keep_alive && !stop.load(SeqCst)),
                     Err(_) => (
-                        Response::json(500, &json!({ "error": "internal server error" })),
+                        Response::json(
+                            500,
+                            &qapi::ApiError::Internal("internal server error".to_string())
+                                .to_json(),
+                        ),
                         false,
                     ),
                 };
@@ -183,10 +186,13 @@ fn handle_connection<H: Handler>(stream: TcpStream, handler: &H, stop: &AtomicBo
                 // Protocol errors get a response when possible; the
                 // connection is not reusable afterwards (framing is lost).
                 let response = match e {
-                    HttpError::BadRequest(msg) => Response::json(400, &json!({ "error": msg })),
-                    HttpError::PayloadTooLarge => {
-                        Response::json(413, &json!({ "error": "request body too large" }))
+                    HttpError::BadRequest(msg) => {
+                        Response::json(400, &qapi::transport_error_json("bad_request", &msg))
                     }
+                    HttpError::PayloadTooLarge => Response::json(
+                        413,
+                        &qapi::transport_error_json("payload_too_large", "request body too large"),
+                    ),
                     HttpError::Io(_) => return, // timeout/reset: nothing to say
                 };
                 let _ = response.write_to(&mut writer, false);

@@ -1,23 +1,26 @@
 //! Loopback integration tests: a real server on an ephemeral port, driven
 //! by a raw `TcpStream` client (no HTTP library on either side), proving
 //! the acceptance properties end to end — serving, cache-hit accounting,
-//! concurrent-duplicate deduplication, job polling, and clean 4xx behaviour
-//! on malformed input.
+//! concurrent-duplicate deduplication, per-request oracle selection over
+//! the registry, job polling, the full `ApiError` status taxonomy, and
+//! clean 4xx behaviour on malformed input.
 
 use benchgen::Family;
 use qcir::Gate;
 use qhttp::api::AppState;
 use qhttp::server::{HttpServer, ServerConfig};
 use qoracle::{RuleBasedOptimizer, SegmentOracle};
-use qsvc::{OptimizationService, ServiceConfig};
+use qsvc::{OptimizationService, OracleRegistry, ServiceConfig};
 use serde_json::Value;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::{Arc, Condvar, Mutex};
 
+/// The full built-in registry (`rule_based` default + `rule_single_pass`
+/// + `search`) behind one server — the shape `popqc serve` deploys.
 fn start_server(workers: usize) -> HttpServer {
     let svc = OptimizationService::new(
-        RuleBasedOptimizer::oracle(),
+        OracleRegistry::builtin(),
         ServiceConfig {
             workers,
             threads_per_job: 1,
@@ -285,76 +288,96 @@ fn batch_endpoint_reports_per_job_and_aggregate_counters() {
     }
 }
 
+/// Every error body — API-taxonomy or transport-level — has the one v1
+/// wire shape: `api_version` plus an `error` object with kind + message.
+fn assert_error_body(body: &str, kind: &str) {
+    let doc = json(body);
+    assert_eq!(
+        doc.get("api_version").unwrap().as_str(),
+        Some("v1"),
+        "body: {body}"
+    );
+    let err = doc.get("error").expect("error object");
+    assert_eq!(
+        err.get("kind").unwrap().as_str(),
+        Some(kind),
+        "body: {body}"
+    );
+    assert!(err.get("message").unwrap().as_str().is_some());
+}
+
 #[test]
 fn malformed_requests_get_clean_4xx_responses() {
     let server = start_server(1);
     let addr = server.local_addr();
 
-    // Unparseable QASM: 400 with the parser's message, not a panic.
+    // Unparseable QASM: 422 invalid_qasm with the parser's message, not a
+    // panic (the transport was fine, the program text was not).
     let (status, body) = request(
         addr,
         "POST",
         "/v1/optimize",
         "OPENQASM 2.0;\nqreg q]0[;\nh q[0];\n",
     );
-    assert_eq!(status, 400);
-    assert!(json(&body)
-        .get("error")
-        .unwrap()
-        .as_str()
-        .unwrap()
-        .contains("qreg"));
+    assert_eq!(status, 422);
+    assert_error_body(&body, "invalid_qasm");
+    assert!(body.contains("qreg"), "body: {body}");
 
     // Empty body.
-    let (status, _) = request(addr, "POST", "/v1/optimize", "");
-    assert_eq!(status, 400);
+    let (status, body) = request(addr, "POST", "/v1/optimize", "");
+    assert_eq!(status, 422);
+    assert_error_body(&body, "invalid_qasm");
 
-    // Bad query parameter values.
+    // Bad query parameter values: 400 invalid_config.
     let qasm = sample_qasm();
-    let (status, _) = request(addr, "POST", "/v1/optimize?omega=zero", &qasm);
-    assert_eq!(status, 400);
-    let (status, _) = request(addr, "POST", "/v1/optimize?wait=maybe", &qasm);
-    assert_eq!(status, 400);
+    for target in [
+        "/v1/optimize?omega=zero",
+        "/v1/optimize?omega=0",
+        "/v1/optimize?wait=maybe",
+    ] {
+        let (status, body) = request(addr, "POST", target, &qasm);
+        assert_eq!(status, 400, "{target}: body: {body}");
+        assert_error_body(&body, "invalid_config");
+    }
 
-    // Batch body that is not JSON / missing fields / bad member QASM.
+    // Batch body that is not JSON / missing fields: 400 invalid_config.
     let (status, body) = request(addr, "POST", "/v1/batch", "this is not json");
     assert_eq!(status, 400);
-    assert!(json(&body)
-        .get("error")
-        .unwrap()
-        .as_str()
-        .unwrap()
-        .contains("JSON"));
-    let (status, _) = request(addr, "POST", "/v1/batch", "{\"circuits\": []}");
+    assert_error_body(&body, "invalid_config");
+    assert!(body.contains("JSON"), "body: {body}");
+    let (status, body) = request(addr, "POST", "/v1/batch", "{\"circuits\": []}");
     assert_eq!(status, 400);
+    assert_error_body(&body, "invalid_config");
+
+    // A well-formed batch whose member QASM does not parse: 422.
     let (status, body) = request(
         addr,
         "POST",
         "/v1/batch",
         "{\"circuits\": [{\"label\": \"bad\", \"qasm\": \"qreg q[1]; zz q[0];\"}]}",
     );
-    assert_eq!(status, 400);
-    assert!(json(&body)
-        .get("error")
-        .unwrap()
-        .as_str()
-        .unwrap()
-        .contains("bad"));
+    assert_eq!(status, 422);
+    assert_error_body(&body, "invalid_qasm");
+    assert!(body.contains("bad"), "body: {body}");
 
-    // Routing errors.
-    let (status, _) = request(addr, "GET", "/v1/nope", "");
+    // Routing errors, in the same wire shape.
+    let (status, body) = request(addr, "GET", "/v1/nope", "");
     assert_eq!(status, 404);
-    let (status, _) = request(addr, "GET", "/v1/optimize", "");
+    assert_error_body(&body, "not_found");
+    let (status, body) = request(addr, "GET", "/v1/optimize", "");
     assert_eq!(status, 405);
-    let (status, _) = request(addr, "DELETE", "/healthz", "");
+    assert_error_body(&body, "method_not_allowed");
+    let (status, body) = request(addr, "DELETE", "/healthz", "");
     assert_eq!(status, 405);
+    assert_error_body(&body, "method_not_allowed");
 
     // A request that is not HTTP at all still gets a 400, then the
     // connection closes.
     let mut stream = TcpStream::connect(addr).unwrap();
     stream.write_all(b"SPEAK FRIEND AND ENTER\r\n\r\n").unwrap();
-    let (status, _) = read_response(&mut stream);
+    let (status, body) = read_response(&mut stream);
     assert_eq!(status, 400);
+    assert_error_body(&body, "bad_request");
 }
 
 #[test]
@@ -426,7 +449,7 @@ impl SegmentOracle<Gate> for GatedOracle {
 #[test]
 fn full_pending_registry_rejects_new_async_jobs_with_503() {
     let released = Arc::new((Mutex::new(false), Condvar::new()));
-    let svc = OptimizationService::new(
+    let svc = OptimizationService::single(
         GatedOracle {
             inner: RuleBasedOptimizer::oracle(),
             released: Arc::clone(&released),
@@ -461,12 +484,8 @@ fn full_pending_registry_rejects_new_async_jobs_with_503() {
     // next submission must be refused before it reaches the queue.
     let (status, body) = request(addr, "POST", "/v1/optimize?wait=false", &circuits[2]);
     assert_eq!(status, 503, "body: {body}");
-    assert!(json(&body)
-        .get("error")
-        .unwrap()
-        .as_str()
-        .unwrap()
-        .contains("pending"));
+    assert_error_body(&body, "overloaded");
+    assert!(body.contains("pending"), "body: {body}");
 
     // Unblock the oracle, let both jobs finish, and the refused circuit is
     // accepted on retry (completed jobs are evicted to make room).
@@ -511,7 +530,7 @@ impl SegmentOracle<Gate> for PanicOracle {
 
 #[test]
 fn oracle_panic_surfaces_as_500_and_server_keeps_serving() {
-    let svc = OptimizationService::new(
+    let svc = OptimizationService::single(
         PanicOracle,
         ServiceConfig {
             workers: 1,
@@ -584,4 +603,258 @@ fn shutdown_is_clean_and_idempotent() {
             s.read_to_end(&mut buf).unwrap_or(0) == 0
         }
     );
+}
+
+#[test]
+fn version_and_oracles_endpoints_describe_the_api() {
+    let server = start_server(1);
+    let addr = server.local_addr();
+
+    let (status, body) = request(addr, "GET", "/v1/version", "");
+    assert_eq!(status, 200);
+    let version = qapi::VersionInfo::from_json(&json(&body)).expect("version DTO");
+    assert_eq!(version.build_version, qapi::BUILD_VERSION);
+
+    let (status, body) = request(addr, "GET", "/v1/oracles", "");
+    assert_eq!(status, 200);
+    let list = qapi::OracleList::from_json(&json(&body)).expect("oracle list DTO");
+    let ids: Vec<&str> = list.oracles.iter().map(|o| o.id.as_str()).collect();
+    assert_eq!(ids, ["rule_based", "rule_single_pass", "search"]);
+    let defaults: Vec<&str> = list
+        .oracles
+        .iter()
+        .filter(|o| o.default)
+        .map(|o| o.id.as_str())
+        .collect();
+    assert_eq!(defaults, ["rule_based"], "exactly one default oracle");
+}
+
+#[test]
+fn every_response_body_carries_api_version() {
+    let server = start_server(1);
+    let addr = server.local_addr();
+    let qasm = sample_qasm();
+    let batch = serde_json::to_string(&serde_json::json!({
+        "circuits": [{"label": "a", "qasm": qasm.clone()}],
+    }))
+    .unwrap();
+
+    let probes: Vec<(u16, String)> = vec![
+        request(addr, "GET", "/healthz", ""),
+        request(addr, "GET", "/v1/version", ""),
+        request(addr, "GET", "/v1/oracles", ""),
+        request(addr, "GET", "/v1/stats", ""),
+        request(addr, "POST", "/v1/optimize", &qasm),
+        request(addr, "POST", "/v1/batch", &batch),
+        request(addr, "GET", "/v1/jobs/999", ""), // transport 404
+        request(addr, "POST", "/v1/optimize", "not qasm"), // taxonomy 422
+        request(addr, "GET", "/nope", ""),        // transport 404
+        request(addr, "PUT", "/v1/stats", ""),    // transport 405
+    ];
+    for (status, body) in probes {
+        assert_eq!(
+            json(&body).get("api_version").and_then(Value::as_str),
+            Some("v1"),
+            "status {status}: body {body}"
+        );
+    }
+}
+
+/// The loopback half of the taxonomy table test: every `ApiError` variant
+/// that a remote client can trigger comes back over the wire with its
+/// documented kind and canonical status. (`internal` is unreachable
+/// through a correct server by construction; its mapping is pinned by the
+/// qapi unit table and the server-panic test in `qhttp::server`.)
+#[test]
+fn error_taxonomy_maps_to_documented_statuses_over_loopback() {
+    let released = Arc::new((Mutex::new(false), Condvar::new()));
+    let mut registry = OracleRegistry::single_with_id(
+        GatedOracle {
+            inner: RuleBasedOptimizer::oracle(),
+            released: Arc::clone(&released),
+        },
+        "gated",
+    );
+    registry
+        .register("boom", "panics on every call", Arc::new(PanicOracle))
+        .unwrap();
+    let svc = OptimizationService::new(
+        registry,
+        ServiceConfig {
+            workers: 1,
+            threads_per_job: 1,
+            cache_capacity: 64,
+            cache_shards: 4,
+        },
+    );
+    // Job cap 1 so a single gated pending job triggers `overloaded`.
+    let state = Arc::new(AppState::with_job_cap(svc, 80, 1));
+    let server =
+        HttpServer::serve("127.0.0.1:0", state, ServerConfig::default()).expect("bind loopback");
+    let addr = server.local_addr();
+    let qasm = sample_qasm();
+    let distinct = qcir::qasm::to_qasm(&Family::Grover.generate(Family::Grover.ladder(0)[0], 3));
+
+    // invalid_config -> 400.
+    let (status, body) = request(addr, "POST", "/v1/optimize?omega=0", &qasm);
+    assert_eq!(status, 400, "body: {body}");
+    assert_error_body(&body, "invalid_config");
+
+    // unknown_oracle -> 404, listing what IS available.
+    let (status, body) = request(addr, "POST", "/v1/optimize?oracle=nope", &qasm);
+    assert_eq!(status, 404, "body: {body}");
+    assert_error_body(&body, "unknown_oracle");
+    assert!(body.contains("gated"), "body: {body}");
+
+    // invalid_qasm -> 422.
+    let (status, body) = request(addr, "POST", "/v1/optimize", "qreg q]0[;");
+    assert_eq!(status, 422, "body: {body}");
+    assert_error_body(&body, "invalid_qasm");
+
+    // oracle_failure -> 500 (the job document carries the error).
+    let (status, body) = request(addr, "POST", "/v1/optimize?oracle=boom", &qasm);
+    assert_eq!(status, 500, "body: {body}");
+    let doc = qapi::JobStatus::from_json(&json(&body)).expect("job DTO");
+    assert!(doc.result.unwrap().error.unwrap().contains("panicked"));
+
+    // overloaded -> 503: one gated pending job fills the cap, the next
+    // wait=false submission is refused.
+    let (status, body) = request(addr, "POST", "/v1/optimize?wait=false", &qasm);
+    assert_eq!(status, 202, "body: {body}");
+    let (status, body) = request(addr, "POST", "/v1/optimize?wait=false", &distinct);
+    assert_eq!(status, 503, "body: {body}");
+    assert_error_body(&body, "overloaded");
+
+    // Drain the gated job so shutdown is not blocked on the oracle.
+    *released.0.lock().unwrap() = true;
+    released.1.notify_all();
+}
+
+/// The tentpole acceptance property: ONE server answers requests for two
+/// registered oracles selected per request via `?oracle=`, with distinct
+/// cache entries per oracle, coalescing *within* each oracle, and the
+/// registry visible at `GET /v1/oracles`.
+#[test]
+fn one_server_serves_two_oracles_with_distinct_cache_entries() {
+    let server = start_server(4);
+    let addr = server.local_addr();
+    let qasm = sample_qasm();
+
+    // Same circuit under the default (rule_based) and under an explicit
+    // second oracle: both compute (distinct cache entries)…
+    let (status, body) = request(addr, "POST", "/v1/optimize", &qasm);
+    assert_eq!(status, 200, "body: {body}");
+    let rule = qapi::JobStatus::from_json(&json(&body))
+        .unwrap()
+        .result
+        .unwrap();
+    assert_eq!(rule.oracle, "rule_based");
+    assert!(!rule.cache_hit);
+
+    let (status, body) = request(addr, "POST", "/v1/optimize?oracle=rule_single_pass", &qasm);
+    assert_eq!(status, 200, "body: {body}");
+    let single = qapi::JobStatus::from_json(&json(&body))
+        .unwrap()
+        .result
+        .unwrap();
+    assert_eq!(single.oracle, "rule_single_pass");
+    assert!(
+        !single.cache_hit,
+        "second oracle must be a fresh cache entry"
+    );
+    assert_eq!(single.fingerprint, rule.fingerprint, "same input circuit");
+
+    // …and each oracle's resubmission hits its own entry.
+    for (target, expect_oracle) in [
+        ("/v1/optimize", "rule_based"),
+        ("/v1/optimize?oracle=rule_single_pass", "rule_single_pass"),
+    ] {
+        let (status, body) = request(addr, "POST", target, &qasm);
+        assert_eq!(status, 200, "body: {body}");
+        let hit = qapi::JobStatus::from_json(&json(&body))
+            .unwrap()
+            .result
+            .unwrap();
+        assert_eq!(hit.oracle, expect_oracle);
+        assert!(hit.cache_hit, "{target} resubmission must hit");
+    }
+
+    // Mixed-oracle batch over the same circuit: per-request selection with
+    // one shared cache — both jobs are hits now.
+    let batch = serde_json::to_string(&serde_json::json!({
+        "circuits": [
+            {"label": "r", "qasm": qasm.clone(), "oracle": "rule_based"},
+            {"label": "s", "qasm": qasm.clone(), "oracle": "rule_single_pass"},
+        ],
+    }))
+    .unwrap();
+    let (status, body) = request(addr, "POST", "/v1/batch", &batch);
+    assert_eq!(status, 200, "body: {body}");
+    let report = qapi::BatchResponse::from_json(&json(&body)).expect("batch DTO");
+    assert_eq!(report.cache_hits, 2);
+    let oracles: Vec<&str> = report.jobs.iter().map(|j| j.oracle.as_str()).collect();
+    assert_eq!(oracles, ["rule_based", "rule_single_pass"]);
+
+    // Coalescing stays per-oracle: concurrent duplicates of a FRESH
+    // circuit under each oracle compute once per oracle, not once total
+    // and not once per request.
+    let fresh = qcir::qasm::to_qasm(&Family::Grover.generate(Family::Grover.ladder(0)[0], 9));
+    let responses: Vec<Value> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..6)
+            .map(|i| {
+                let fresh = &fresh;
+                s.spawn(move || {
+                    let target = if i % 2 == 0 {
+                        "/v1/optimize"
+                    } else {
+                        "/v1/optimize?oracle=rule_single_pass"
+                    };
+                    let (status, body) = request(addr, "POST", target, fresh);
+                    assert_eq!(status, 200, "body: {body}");
+                    json(&body)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut misses_per_oracle = std::collections::HashMap::new();
+    for r in &responses {
+        let result = qapi::JobStatus::from_json(r).unwrap().result.unwrap();
+        if !result.cache_hit {
+            *misses_per_oracle.entry(result.oracle.clone()).or_insert(0) += 1;
+        }
+    }
+    assert_eq!(
+        misses_per_oracle.get("rule_based"),
+        Some(&1),
+        "exactly one computation per oracle: {misses_per_oracle:?}"
+    );
+    assert_eq!(misses_per_oracle.get("rule_single_pass"), Some(&1));
+}
+
+#[test]
+fn optimize_accepts_the_json_request_form() {
+    let server = start_server(2);
+    let addr = server.local_addr();
+    let req = qapi::OptimizeRequest {
+        qasm: sample_qasm(),
+        oracle: Some("rule_single_pass".into()),
+        omega: Some(64),
+        label: Some("typed".into()),
+        wait: true,
+    };
+    let body = serde_json::to_string(&req.to_json()).unwrap();
+
+    let (status, reply) = request(addr, "POST", "/v1/optimize", &body);
+    assert_eq!(status, 200, "body: {reply}");
+    let doc = qapi::JobStatus::from_json(&json(&reply)).expect("job DTO");
+    assert_eq!(doc.label.as_deref(), Some("typed"));
+    let result = doc.result.unwrap();
+    assert_eq!(result.oracle, "rule_single_pass");
+    assert_eq!(result.omega, 64);
+
+    // Mixing the JSON form with query options is refused, not guessed at.
+    let (status, reply) = request(addr, "POST", "/v1/optimize?omega=32", &body);
+    assert_eq!(status, 400, "body: {reply}");
+    assert_error_body(&reply, "invalid_config");
 }

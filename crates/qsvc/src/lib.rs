@@ -2,22 +2,33 @@
 //!
 //! The POPQC paper parallelizes optimization *within* one circuit; this
 //! crate adds the orthogonal production axis: parallelism *across*
-//! circuits, with memoization and full accounting. It is the outer
-//! scheduling layer the ROADMAP's "serve heavy traffic" north star needs —
-//! each circuit-optimization is a job, the engine is the inner kernel.
+//! circuits, with memoization, per-request oracle selection, and full
+//! accounting. It is the outer scheduling layer the ROADMAP's "serve heavy
+//! traffic" north star needs — each circuit-optimization is a job, the
+//! engine is the inner kernel.
 //!
 //! * [`OptimizationService`] — fixed worker pool (outer parallelism) where
 //!   each job runs the engine under a bounded thread budget (inner
 //!   parallelism), so one huge circuit cannot starve the queue.
+//! * [`OracleRegistry`] — named, dynamically dispatched oracles
+//!   (`Arc<dyn SegmentOracle<Gate>>`); every submission selects its oracle
+//!   (and engine config) per job, so one running service answers
+//!   mixed-oracle traffic. [`OracleRegistry::builtin`] registers the
+//!   workspace oracles (`rule_based`, `rule_single_pass`, `search`).
 //! * [`ShardedLruCache`] — results memoized under
-//!   [`JobKey`] = (structural circuit fingerprint, oracle id, engine
-//!   config); identical resubmissions cost zero oracle calls. Identical
-//!   jobs submitted *concurrently* coalesce onto one in-flight computation
-//!   (see [`ServiceStats::coalesced`]).
+//!   [`JobKey`] = (structural circuit fingerprint, registry oracle id,
+//!   engine config); identical resubmissions cost zero oracle calls, and
+//!   mixed-oracle traffic shares one cache without cross-contamination.
+//!   Identical jobs submitted *concurrently* coalesce onto one in-flight
+//!   computation (see [`ServiceStats::coalesced`]).
+//! * [`ServiceError`] — the closed failure taxonomy (unknown oracle,
+//!   duplicate registration, oracle crash); no panic or stringly error
+//!   crosses this crate's API.
 //! * [`JobHandle`] / [`BatchHandle`] / [`BatchResult`] — completion,
 //!   live round-progress, and per-job + aggregate statistics with
 //!   cache-hit attribution.
-//! * [`report`] — the JSON stats schema the `popqc` CLI emits.
+//! * [`report`] — thin adapters from results to the versioned `popqc-api`
+//!   DTOs that the HTTP frontend and the `popqc` CLI both emit.
 //!
 //! Network-free by design: the HTTP frontend is the separate `popqc-http`
 //! crate, which wraps this API without this crate knowing about sockets.
@@ -25,13 +36,12 @@
 //! ## Example
 //!
 //! ```
-//! use qsvc::{OptimizationService, ServiceConfig};
+//! use qsvc::{OptimizationService, OracleRegistry, ServiceConfig};
 //! use popqc_core::PopqcConfig;
-//! use qoracle::RuleBasedOptimizer;
 //! use qcir::{Angle, Circuit};
 //!
 //! let svc = OptimizationService::new(
-//!     RuleBasedOptimizer::oracle(),
+//!     OracleRegistry::builtin(),
 //!     ServiceConfig { workers: 2, ..ServiceConfig::default() },
 //! );
 //! let mut c = Circuit::new(2);
@@ -42,9 +52,14 @@
 //! assert!(!first.cache_hit);
 //!
 //! // Resubmission: served from cache, zero new oracle calls.
-//! let again = svc.submit(c, &cfg).wait();
+//! let again = svc.submit(c.clone(), &cfg).wait();
 //! assert!(again.cache_hit);
 //! assert_eq!(again.circuit, first.circuit);
+//!
+//! // Same circuit through a different registered oracle: a distinct
+//! // cache entry, selected per request.
+//! let other = svc.submit_as("rule_single_pass", c, &cfg).unwrap().wait();
+//! # let _ = other;
 //! assert_eq!(svc.stats().cache_hits, 1);
 //! ```
 
@@ -54,6 +69,6 @@ pub mod service;
 
 pub use cache::{CacheStats, ShardedLruCache};
 pub use service::{
-    BatchHandle, BatchResult, JobHandle, JobKey, JobResult, OptimizationService, ServiceConfig,
-    ServiceStats,
+    BatchHandle, BatchResult, DynOracle, JobHandle, JobKey, JobRequest, JobResult,
+    OptimizationService, OracleRegistry, ServiceConfig, ServiceError, ServiceStats,
 };

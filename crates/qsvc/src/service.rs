@@ -1,17 +1,18 @@
 //! The batch optimization service: a fixed worker pool over the POPQC
-//! engine with memoization.
+//! engine with memoization and per-request oracle selection.
 //!
-//! Architecture (one process, no network — an HTTP frontend can wrap this
-//! API later without touching it):
+//! Architecture (one process, no network — the HTTP frontend wraps this
+//! API without this crate knowing about sockets):
 //!
 //! ```text
 //!  submit/submit_batch ──▶ FIFO queue ──▶ N worker threads
-//!        │                                   │  (each installs a
-//!        │ cache probe                       │   threads-per-job pool:
-//!        ▼                                   ▼   outer × inner parallelism)
-//!  ShardedLruCache ◀────── insert ────── optimize_circuit_observed
-//!        │                                   │
-//!        └────────▶ JobHandle::wait ◀────────┘
+//!        │     │                              │  (each installs a
+//!        │     └─ OracleRegistry lookup       │   threads-per-job pool:
+//!        │ cache probe                        ▼   outer × inner parallelism)
+//!        ▼                                 optimize_circuit_observed
+//!  ShardedLruCache ◀────── insert ────────────┘
+//!        │
+//!        └────────▶ JobHandle::wait
 //! ```
 //!
 //! * **Outer parallelism** — `workers` jobs run concurrently, one per
@@ -19,6 +20,10 @@
 //! * **Inner parallelism** — each worker installs a `threads_per_job`-wide
 //!   pool before entering the engine, so one huge circuit saturates its
 //!   budget instead of starving the queue.
+//! * **Per-request oracles** — the service owns an [`OracleRegistry`] of
+//!   named `Arc<dyn SegmentOracle<Gate>>` entries; every submission picks
+//!   an oracle (and engine config) per job, so one running service answers
+//!   mixed-oracle traffic. The registry id is the cache key's oracle id.
 //! * **Memoization** — results are cached under
 //!   `(circuit fingerprint, oracle id, engine config)`. Identical
 //!   resubmissions are answered from cache with zero oracle calls, and the
@@ -29,19 +34,279 @@
 //!   (per-key in-flight table) instead of each computing; the finishing
 //!   worker fulfils all of them. Coalesced jobs are flagged via
 //!   [`JobResult::coalesced`] and counted in [`ServiceStats::coalesced`].
-//! * **Fault isolation** — a panic in the oracle (a client-implemented
-//!   trait) is caught: the lead job completes with [`JobResult::error`]
-//!   set, coalesced waiters are re-enqueued as independent retries, and
-//!   the worker thread survives to take the next job.
+//! * **Structured failures** — every way a job can fail is a
+//!   [`ServiceError`] variant, not a panic or an ad-hoc string: unknown
+//!   oracle ids are refused at submission, and a panic in the oracle (a
+//!   client-implemented trait) is caught as
+//!   [`ServiceError::OracleFailure`] — the lead job completes with
+//!   [`JobResult::error`] set, coalesced waiters are re-enqueued as
+//!   independent retries, and the worker thread survives.
 
 use crate::cache::{CacheStats, ShardedLruCache};
 use popqc_core::{optimize_circuit_observed, PopqcConfig, PopqcStats, RoundObserver, RoundRecord};
 use qcir::{Circuit, Fingerprint, Gate};
-use qoracle::SegmentOracle;
+use qoracle::{GateCount, RuleBasedOptimizer, SearchOptimizer, SegmentOracle};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
+
+/// A shared, dynamically dispatched segment oracle — the unit the
+/// [`OracleRegistry`] stores and every queued job carries.
+pub type DynOracle = Arc<dyn SegmentOracle<Gate> + Send + Sync>;
+
+/// Everything that can go wrong in the service, as a closed enum instead
+/// of panics or ad-hoc strings. Convert to the wire taxonomy with
+/// [`to_api_error`](ServiceError::to_api_error).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The requested oracle id is not in the registry. Carries the
+    /// requested id and the ids that are available.
+    UnknownOracle {
+        /// The id the request asked for.
+        requested: String,
+        /// Every id the registry currently holds.
+        available: Vec<String>,
+    },
+    /// An oracle id was registered twice.
+    DuplicateOracle(String),
+    /// The oracle panicked while optimizing; the job failed and nothing
+    /// was cached — resubmitting retries the computation.
+    OracleFailure(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownOracle {
+                requested,
+                available,
+            } => write!(
+                f,
+                "unknown oracle `{requested}` (available: {})",
+                available.join(", ")
+            ),
+            ServiceError::DuplicateOracle(id) => {
+                write!(f, "oracle id `{id}` is already registered")
+            }
+            ServiceError::OracleFailure(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl ServiceError {
+    /// The canonical [`qapi::ApiError`] for this failure (which fixes the
+    /// HTTP status every frontend must answer with).
+    pub fn to_api_error(&self) -> qapi::ApiError {
+        match self {
+            ServiceError::UnknownOracle { .. } => qapi::ApiError::UnknownOracle(self.to_string()),
+            ServiceError::DuplicateOracle(_) => qapi::ApiError::InvalidConfig(self.to_string()),
+            ServiceError::OracleFailure(_) => qapi::ApiError::OracleFailure(self.to_string()),
+        }
+    }
+}
+
+struct RegisteredOracle {
+    id: String,
+    description: String,
+    oracle: DynOracle,
+}
+
+/// A named set of oracles the service dispatches over per request.
+///
+/// The registry id — not [`SegmentOracle::name`] — is the cache key's
+/// oracle id, so two entries may wrap the same oracle type with different
+/// parameters without sharing cache entries, and the ids are what
+/// `GET /v1/oracles` advertises to clients.
+pub struct OracleRegistry {
+    entries: Vec<RegisteredOracle>,
+    default_id: String,
+}
+
+impl OracleRegistry {
+    /// A registry holding only `oracle`, registered and defaulted under
+    /// its [`SegmentOracle::name`]. The smallest useful registry — what
+    /// single-oracle deployments and most tests want.
+    pub fn single(oracle: impl SegmentOracle<Gate> + Send + 'static) -> OracleRegistry {
+        let id = oracle.name().to_string();
+        OracleRegistry::single_with_id(oracle, id)
+    }
+
+    /// [`single`](Self::single) with an explicit registry id, for oracles
+    /// whose name does not pin their behaviour (custom-parameterized
+    /// pipelines).
+    pub fn single_with_id(
+        oracle: impl SegmentOracle<Gate> + Send + 'static,
+        id: impl Into<String>,
+    ) -> OracleRegistry {
+        let id = id.into();
+        OracleRegistry {
+            entries: vec![RegisteredOracle {
+                id: id.clone(),
+                description: "single-oracle registry".to_string(),
+                oracle: Arc::new(oracle),
+            }],
+            default_id: id,
+        }
+    }
+
+    /// The workspace's built-in oracles: `rule_based` (the paper's primary
+    /// VOQC-style configuration, the default), `rule_single_pass` (one
+    /// bounded pipeline pass — the whole-circuit baseline ablation), and
+    /// `search` (Quartz-style bounded best-first search on gate count).
+    pub fn builtin() -> OracleRegistry {
+        let mut registry =
+            OracleRegistry::single_with_id(RuleBasedOptimizer::oracle(), "rule_based");
+        registry.entries[0].description =
+            "Nam-style rule pipeline iterated to fixpoint (the paper's primary oracle)".to_string();
+        registry
+            .register(
+                "rule_single_pass",
+                "one bounded pass of the rule pipeline (whole-circuit baseline ablation)",
+                Arc::new(RuleBasedOptimizer::modern_baseline()),
+            )
+            .expect("builtin ids are distinct");
+        registry
+            .register(
+                "search",
+                "bounded best-first search over verified rewrites, minimizing gate count",
+                Arc::new(SearchOptimizer::new(GateCount, 2000)),
+            )
+            .expect("builtin ids are distinct");
+        registry
+    }
+
+    /// Registers `oracle` under `id`. Fails with
+    /// [`ServiceError::DuplicateOracle`] if the id is taken.
+    pub fn register(
+        &mut self,
+        id: impl Into<String>,
+        description: impl Into<String>,
+        oracle: DynOracle,
+    ) -> Result<(), ServiceError> {
+        let id = id.into();
+        if self.contains(&id) {
+            return Err(ServiceError::DuplicateOracle(id));
+        }
+        self.entries.push(RegisteredOracle {
+            id,
+            description: description.into(),
+            oracle,
+        });
+        Ok(())
+    }
+
+    /// Makes `id` the oracle used when a request names none. Fails with
+    /// [`ServiceError::UnknownOracle`] if `id` is not registered.
+    pub fn set_default(&mut self, id: &str) -> Result<(), ServiceError> {
+        if !self.contains(id) {
+            return Err(self.unknown(id));
+        }
+        self.default_id = id.to_string();
+        Ok(())
+    }
+
+    /// Resolves an optional request id (`None` = the default) to the
+    /// registry id plus the oracle itself.
+    pub fn resolve(&self, id: Option<&str>) -> Result<(String, DynOracle), ServiceError> {
+        let id = id.unwrap_or(&self.default_id);
+        self.entries
+            .iter()
+            .find(|e| e.id == id)
+            .map(|e| (e.id.clone(), Arc::clone(&e.oracle)))
+            .ok_or_else(|| self.unknown(id))
+    }
+
+    /// The oracle registered under `id`, if any.
+    pub fn get(&self, id: &str) -> Option<DynOracle> {
+        self.entries
+            .iter()
+            .find(|e| e.id == id)
+            .map(|e| Arc::clone(&e.oracle))
+    }
+
+    /// Whether `id` is registered.
+    pub fn contains(&self, id: &str) -> bool {
+        self.entries.iter().any(|e| e.id == id)
+    }
+
+    /// The id used when a request names no oracle.
+    pub fn default_id(&self) -> &str {
+        &self.default_id
+    }
+
+    /// Registered ids, in registration order.
+    pub fn ids(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.id.as_str()).collect()
+    }
+
+    /// Registered oracle count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty (never true for a constructed one).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The registry contents as the `GET /v1/oracles` DTO.
+    pub fn infos(&self) -> Vec<qapi::OracleInfo> {
+        self.entries
+            .iter()
+            .map(|e| qapi::OracleInfo {
+                id: e.id.clone(),
+                description: e.description.clone(),
+                default: e.id == self.default_id,
+            })
+            .collect()
+    }
+
+    fn unknown(&self, requested: &str) -> ServiceError {
+        ServiceError::UnknownOracle {
+            requested: requested.to_string(),
+            available: self.entries.iter().map(|e| e.id.clone()).collect(),
+        }
+    }
+}
+
+/// One typed submission: the circuit plus its per-job oracle selection
+/// and engine config. The `None` oracle means the registry default.
+#[derive(Clone)]
+pub struct JobRequest {
+    /// The circuit to optimize.
+    pub circuit: Circuit,
+    /// Oracle id from the registry; `None` selects the default.
+    pub oracle: Option<String>,
+    /// Engine parameters for this job.
+    pub config: PopqcConfig,
+}
+
+impl JobRequest {
+    /// A request for the registry's default oracle.
+    pub fn new(circuit: Circuit, config: PopqcConfig) -> JobRequest {
+        JobRequest {
+            circuit,
+            oracle: None,
+            config,
+        }
+    }
+
+    /// A request pinned to a specific oracle id.
+    pub fn with_oracle(
+        circuit: Circuit,
+        oracle: impl Into<String>,
+        config: PopqcConfig,
+    ) -> JobRequest {
+        JobRequest {
+            circuit,
+            oracle: Some(oracle.into()),
+            config,
+        }
+    }
+}
 
 /// The memoization key: everything that determines an optimization result.
 ///
@@ -52,9 +317,8 @@ use std::time::Instant;
 pub struct JobKey {
     /// Structural fingerprint of the input circuit.
     pub fingerprint: Fingerprint,
-    /// Stable oracle identifier (defaults to [`SegmentOracle::name`];
-    /// override via [`OptimizationService::with_oracle_id`] when running a
-    /// custom-parameterized oracle whose name does not pin its behaviour).
+    /// The registry id the job ran under (two registry entries never share
+    /// cache entries, even when they wrap the same oracle type).
     pub oracle_id: String,
     /// Engine parameters the result depends on.
     pub config: PopqcConfig,
@@ -123,7 +387,7 @@ pub struct JobResult {
     /// oracle panicked mid-computation). `circuit` is then the *input*
     /// circuit unchanged, `stats` is zeroed, and nothing was cached —
     /// resubmitting retries the computation.
-    pub error: Option<String>,
+    pub error: Option<ServiceError>,
     /// The memoization key the job ran (or hit) under.
     pub key: JobKey,
     /// Nanoseconds from submission to a worker picking the job up
@@ -299,6 +563,7 @@ pub struct ServiceStats {
 struct QueuedJob {
     circuit: Circuit,
     key: JobKey,
+    oracle: DynOracle,
     slot: Arc<JobSlot>,
     enqueued_at: Instant,
 }
@@ -323,6 +588,7 @@ struct InflightGuard<'a> {
     work_ready: &'a Condvar,
     circuit: &'a Circuit,
     key: &'a JobKey,
+    oracle: &'a DynOracle,
     armed: bool,
 }
 
@@ -347,6 +613,7 @@ impl Drop for InflightGuard<'_> {
             q.push_back(QueuedJob {
                 circuit: self.circuit.clone(),
                 key: self.key.clone(),
+                oracle: Arc::clone(self.oracle),
                 slot: w.slot,
                 enqueued_at: w.attached_at,
             });
@@ -355,9 +622,7 @@ impl Drop for InflightGuard<'_> {
     }
 }
 
-struct Inner<O> {
-    oracle: O,
-    oracle_id: String,
+struct Inner {
     threads_per_job: usize,
     cache: ShardedLruCache<JobKey, CachedRun>,
     queue: Mutex<VecDeque<QueuedJob>>,
@@ -412,7 +677,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     }
 }
 
-impl<O: SegmentOracle<Gate>> Inner<O> {
+impl Inner {
     fn complete(&self, slot: &JobSlot, result: JobResult) {
         if result.cache_hit {
             self.cache_hits.fetch_add(1, Relaxed);
@@ -487,6 +752,7 @@ impl<O: SegmentOracle<Gate>> Inner<O> {
             work_ready: &self.work_ready,
             circuit: &job.circuit,
             key: &job.key,
+            oracle: &job.oracle,
             armed: true,
         };
         // The oracle is a public trait clients implement: a panic inside it
@@ -497,7 +763,12 @@ impl<O: SegmentOracle<Gate>> Inner<O> {
         // error-shaped result so its client unblocks.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             pool.install(|| {
-                optimize_circuit_observed(&job.circuit, &self.oracle, &job.key.config, &observer)
+                optimize_circuit_observed(
+                    &job.circuit,
+                    job.oracle.as_ref(),
+                    &job.key.config,
+                    &observer,
+                )
             })
         }));
         let (optimized, stats) = match outcome {
@@ -516,10 +787,10 @@ impl<O: SegmentOracle<Gate>> Inner<O> {
                         // `&*payload`, not `&payload`: coercing the Box
                         // itself to `&dyn Any` would make every downcast
                         // miss.
-                        error: Some(format!(
+                        error: Some(ServiceError::OracleFailure(format!(
                             "optimization panicked: {}",
                             panic_message(&*payload)
-                        )),
+                        ))),
                         key: job.key,
                         queue_nanos,
                         run_nanos,
@@ -588,41 +859,35 @@ impl<O: SegmentOracle<Gate>> Inner<O> {
 }
 
 /// The in-process batch optimization service. See the module docs for the
-/// architecture; construct with [`OptimizationService::new`], submit with
-/// [`submit`](OptimizationService::submit) /
+/// architecture; construct with [`OptimizationService::new`] over an
+/// [`OracleRegistry`] (or [`single`](OptimizationService::single) for one
+/// oracle), submit with [`submit`](OptimizationService::submit) /
+/// [`submit_request`](OptimizationService::submit_request) /
 /// [`submit_batch`](OptimizationService::submit_batch), and audit with
 /// [`stats`](OptimizationService::stats).
 ///
 /// Dropping the service drains the queue (every outstanding
 /// [`JobHandle`] still completes) and joins the workers.
-pub struct OptimizationService<O: SegmentOracle<Gate> + Send + Sync + 'static> {
-    inner: Arc<Inner<O>>,
+pub struct OptimizationService {
+    inner: Arc<Inner>,
+    registry: OracleRegistry,
     workers: Vec<std::thread::JoinHandle<()>>,
     worker_count: usize,
     threads_per_job: usize,
 }
 
-impl<O: SegmentOracle<Gate> + Send + Sync + 'static> OptimizationService<O> {
-    /// Spawns the worker pool. The service owns `oracle`; its
-    /// [`SegmentOracle::name`] becomes the cache key's oracle id, so two
-    /// oracles with the same name MUST behave identically (the workspace's
-    /// named constructors guarantee this; for custom-parameterized oracles
-    /// use [`with_oracle_id`](Self::with_oracle_id)).
-    pub fn new(oracle: O, config: ServiceConfig) -> OptimizationService<O> {
-        let id = oracle.name().to_string();
-        OptimizationService::with_oracle_id(oracle, id, config)
-    }
-
-    /// [`new`](Self::new) with an explicit cache-key oracle id.
-    pub fn with_oracle_id(
-        oracle: O,
-        oracle_id: String,
-        config: ServiceConfig,
-    ) -> OptimizationService<O> {
+impl OptimizationService {
+    /// Spawns the worker pool over `registry`. Every submission resolves
+    /// its oracle in the registry per job, so one running service answers
+    /// mixed-oracle traffic; the registry ids are the cache keys' oracle
+    /// ids, so entries never cross-contaminate.
+    pub fn new(registry: OracleRegistry, config: ServiceConfig) -> OptimizationService {
+        assert!(
+            !registry.is_empty(),
+            "the oracle registry must hold at least the default oracle"
+        );
         let (workers, threads_per_job) = config.resolved();
         let inner = Arc::new(Inner {
-            oracle,
-            oracle_id,
             threads_per_job,
             cache: ShardedLruCache::new(config.cache_capacity, config.cache_shards),
             queue: Mutex::new(VecDeque::new()),
@@ -647,31 +912,109 @@ impl<O: SegmentOracle<Gate> + Send + Sync + 'static> OptimizationService<O> {
             .collect();
         OptimizationService {
             inner,
+            registry,
             workers: handles,
             worker_count: workers,
             threads_per_job,
         }
     }
 
-    /// With the default [`ServiceConfig`].
-    pub fn with_defaults(oracle: O) -> OptimizationService<O> {
-        OptimizationService::new(oracle, ServiceConfig::default())
+    /// A single-oracle service: [`new`](Self::new) over
+    /// [`OracleRegistry::single`]. The oracle's [`SegmentOracle::name`]
+    /// becomes the registry (and cache-key) id, so two oracles with the
+    /// same name MUST behave identically; for custom-parameterized oracles
+    /// use [`single_with_id`](Self::single_with_id).
+    pub fn single(
+        oracle: impl SegmentOracle<Gate> + Send + 'static,
+        config: ServiceConfig,
+    ) -> OptimizationService {
+        OptimizationService::new(OracleRegistry::single(oracle), config)
     }
 
-    /// The key `circuit` would be cached under with this service's oracle.
+    /// [`single`](Self::single) with an explicit registry id.
+    pub fn single_with_id(
+        oracle: impl SegmentOracle<Gate> + Send + 'static,
+        id: impl Into<String>,
+        config: ServiceConfig,
+    ) -> OptimizationService {
+        OptimizationService::new(OracleRegistry::single_with_id(oracle, id), config)
+    }
+
+    /// A single-oracle service with the default [`ServiceConfig`].
+    pub fn with_defaults(oracle: impl SegmentOracle<Gate> + Send + 'static) -> OptimizationService {
+        OptimizationService::single(oracle, ServiceConfig::default())
+    }
+
+    /// The oracle registry this service dispatches over.
+    pub fn registry(&self) -> &OracleRegistry {
+        &self.registry
+    }
+
+    /// The key `circuit` would be cached under with the default oracle.
     pub fn key_for(&self, circuit: &Circuit, cfg: &PopqcConfig) -> JobKey {
         JobKey {
             fingerprint: circuit.fingerprint(),
-            oracle_id: self.inner.oracle_id.clone(),
+            oracle_id: self.registry.default_id().to_string(),
             config: cfg.clone(),
         }
     }
 
-    /// Submits one circuit. Cache hits complete immediately (the handle is
-    /// already fulfilled); misses are queued for the worker pool.
+    /// The key `circuit` would be cached under with a specific oracle.
+    pub fn key_for_oracle(
+        &self,
+        oracle: &str,
+        circuit: &Circuit,
+        cfg: &PopqcConfig,
+    ) -> Result<JobKey, ServiceError> {
+        let (oracle_id, _) = self.registry.resolve(Some(oracle))?;
+        Ok(JobKey {
+            fingerprint: circuit.fingerprint(),
+            oracle_id,
+            config: cfg.clone(),
+        })
+    }
+
+    /// Submits one typed request (per-job oracle + config). Cache hits
+    /// complete immediately (the handle is already fulfilled); misses are
+    /// queued for the worker pool. Fails with
+    /// [`ServiceError::UnknownOracle`] without enqueueing anything.
+    pub fn submit_request(&self, req: JobRequest) -> Result<JobHandle, ServiceError> {
+        let (oracle_id, oracle) = self.registry.resolve(req.oracle.as_deref())?;
+        Ok(self.submit_resolved(oracle_id, oracle, req.circuit, &req.config))
+    }
+
+    /// Submits one circuit under the default oracle.
     pub fn submit(&self, circuit: Circuit, cfg: &PopqcConfig) -> JobHandle {
+        let (oracle_id, oracle) = self
+            .registry
+            .resolve(None)
+            .expect("registry default always resolves");
+        self.submit_resolved(oracle_id, oracle, circuit, cfg)
+    }
+
+    /// Submits one circuit under a named oracle.
+    pub fn submit_as(
+        &self,
+        oracle: &str,
+        circuit: Circuit,
+        cfg: &PopqcConfig,
+    ) -> Result<JobHandle, ServiceError> {
+        self.submit_request(JobRequest::with_oracle(circuit, oracle, cfg.clone()))
+    }
+
+    fn submit_resolved(
+        &self,
+        oracle_id: String,
+        oracle: DynOracle,
+        circuit: Circuit,
+        cfg: &PopqcConfig,
+    ) -> JobHandle {
         self.inner.submitted.fetch_add(1, Relaxed);
-        let key = self.key_for(&circuit, cfg);
+        let key = JobKey {
+            fingerprint: circuit.fingerprint(),
+            oracle_id,
+            config: cfg.clone(),
+        };
         let slot = JobSlot::new();
 
         if let Some(cached) = self.inner.cache.get(&key) {
@@ -709,6 +1052,7 @@ impl<O: SegmentOracle<Gate> + Send + Sync + 'static> OptimizationService<O> {
         let job = QueuedJob {
             circuit,
             key,
+            oracle,
             slot: Arc::clone(&slot),
             enqueued_at: Instant::now(),
         };
@@ -720,7 +1064,8 @@ impl<O: SegmentOracle<Gate> + Send + Sync + 'static> OptimizationService<O> {
         JobHandle { slot }
     }
 
-    /// Submits a homogeneous batch (one engine config for all circuits).
+    /// Submits a homogeneous batch (default oracle, one engine config for
+    /// all circuits).
     pub fn submit_batch(
         &self,
         circuits: impl IntoIterator<Item = Circuit>,
@@ -732,6 +1077,53 @@ impl<O: SegmentOracle<Gate> + Send + Sync + 'static> OptimizationService<O> {
             handles,
             submitted_at,
         }
+    }
+
+    /// Submits a homogeneous batch under a named oracle.
+    pub fn submit_batch_as(
+        &self,
+        oracle: &str,
+        circuits: impl IntoIterator<Item = Circuit>,
+        cfg: &PopqcConfig,
+    ) -> Result<BatchHandle, ServiceError> {
+        // Resolve once up front: an unknown oracle must refuse the whole
+        // batch before any job is enqueued.
+        let (oracle_id, resolved) = self.registry.resolve(Some(oracle))?;
+        let submitted_at = Instant::now();
+        let handles = circuits
+            .into_iter()
+            .map(|c| self.submit_resolved(oracle_id.clone(), Arc::clone(&resolved), c, cfg))
+            .collect();
+        Ok(BatchHandle {
+            handles,
+            submitted_at,
+        })
+    }
+
+    /// Submits a mixed batch: each [`JobRequest`] selects its own oracle
+    /// and engine config, all sharing this service's queue and cache.
+    /// Every oracle id is validated before anything is enqueued, so an
+    /// unknown id refuses the whole batch atomically.
+    pub fn submit_batch_requests(
+        &self,
+        requests: Vec<JobRequest>,
+    ) -> Result<BatchHandle, ServiceError> {
+        let mut resolved = Vec::with_capacity(requests.len());
+        for req in &requests {
+            resolved.push(self.registry.resolve(req.oracle.as_deref())?);
+        }
+        let submitted_at = Instant::now();
+        let handles = requests
+            .into_iter()
+            .zip(resolved)
+            .map(|(req, (oracle_id, oracle))| {
+                self.submit_resolved(oracle_id, oracle, req.circuit, &req.config)
+            })
+            .collect();
+        Ok(BatchHandle {
+            handles,
+            submitted_at,
+        })
     }
 
     /// Point-in-time service counters.
@@ -758,7 +1150,7 @@ impl<O: SegmentOracle<Gate> + Send + Sync + 'static> OptimizationService<O> {
     }
 }
 
-impl<O: SegmentOracle<Gate> + Send + Sync + 'static> Drop for OptimizationService<O> {
+impl Drop for OptimizationService {
     fn drop(&mut self) {
         // Set the flag while holding the queue lock: a worker is then either
         // before its shutdown check (and will see the flag) or already inside

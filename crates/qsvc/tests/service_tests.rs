@@ -7,12 +7,12 @@ use benchgen::Family;
 use popqc_core::{optimize_circuit, PopqcConfig};
 use qcir::{Circuit, Gate};
 use qoracle::{RuleBasedOptimizer, SegmentOracle};
-use qsvc::{OptimizationService, ServiceConfig};
+use qsvc::{OptimizationService, OracleRegistry, ServiceConfig, ServiceError};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-fn small_service(workers: usize) -> OptimizationService<RuleBasedOptimizer> {
-    OptimizationService::new(
+fn small_service(workers: usize) -> OptimizationService {
+    OptimizationService::single(
         RuleBasedOptimizer::oracle(),
         ServiceConfig {
             workers,
@@ -95,7 +95,7 @@ fn different_configs_and_oracles_do_not_share_cache_entries() {
     assert_ne!(a.key, b.key);
 
     // Same circuit through a differently-named oracle: fresh key space.
-    let baseline_svc = OptimizationService::new(
+    let baseline_svc = OptimizationService::single(
         RuleBasedOptimizer::voqc_baseline(),
         ServiceConfig {
             workers: 1,
@@ -117,7 +117,7 @@ fn eviction_forces_recomputation() {
     let cfg = PopqcConfig::with_omega(32);
     // Capacity 1 (single shard): the second distinct circuit evicts the
     // first.
-    let svc = OptimizationService::new(
+    let svc = OptimizationService::single(
         RuleBasedOptimizer::oracle(),
         ServiceConfig {
             workers: 1,
@@ -145,7 +145,7 @@ fn results_are_independent_of_worker_and_thread_budget() {
     let circuits = bench_circuits();
 
     let narrow = small_service(1);
-    let wide = OptimizationService::new(
+    let wide = OptimizationService::single(
         RuleBasedOptimizer::oracle(),
         ServiceConfig {
             workers: 4,
@@ -241,7 +241,7 @@ fn concurrent_duplicates_coalesce_onto_one_computation() {
 
     let (oracle, gate) = GatedOracle::new();
     // Plenty of workers: without coalescing the duplicates would all run.
-    let svc = OptimizationService::new(
+    let svc = OptimizationService::single(
         oracle,
         ServiceConfig {
             workers: 4,
@@ -340,7 +340,7 @@ fn oracle_panic_does_not_strand_coalesced_waiters() {
     };
     // ONE worker: the panic is caught, so the same thread must survive to
     // run the re-enqueued waiters — with a dead worker the test would hang.
-    let svc = OptimizationService::new(
+    let svc = OptimizationService::single(
         oracle,
         ServiceConfig {
             workers: 1,
@@ -362,8 +362,9 @@ fn oracle_panic_does_not_strand_coalesced_waiters() {
     let lead = lead.wait();
     let err = lead
         .error
-        .as_deref()
-        .expect("lead job must report the panic");
+        .as_ref()
+        .expect("lead job must report the panic")
+        .to_string();
     assert!(err.contains("injected oracle fault"), "error: {err}");
     assert!(!lead.cache_hit && !lead.coalesced);
     assert_eq!(lead.circuit, circuit, "failed job returns its input");
@@ -411,7 +412,7 @@ fn coalesced_batch_of_identical_circuits_computes_once() {
 }
 
 #[test]
-fn batch_report_json_schema() {
+fn batch_report_builds_the_versioned_dto() {
     let cfg = PopqcConfig::with_omega(32);
     let circuits = vec![
         Family::Vqe.generate(Family::Vqe.ladder(0)[0], 5),
@@ -421,29 +422,137 @@ fn batch_report_json_schema() {
     let svc = small_service(2);
     let batch = svc.submit_batch(circuits, &cfg).wait();
 
-    let pass = qsvc::report::batch_report(&labels, &batch, 1);
-    assert_eq!(pass.get("job_count").unwrap().as_u64(), Some(2));
-    assert_eq!(pass.get("cache_hits").unwrap().as_u64(), Some(0));
-    let jobs = pass.get("jobs").unwrap().as_array().unwrap();
-    assert_eq!(jobs[0].get("label").unwrap().as_str(), Some("vqe"));
-    assert_eq!(jobs[0].get("cache_hit").unwrap().as_bool(), Some(false));
-    assert_eq!(
-        jobs[0].get("fingerprint").unwrap().as_str().unwrap().len(),
-        32
-    );
+    let pass = qsvc::report::batch_report(&labels, &batch, 1, false);
+    assert_eq!(pass.job_count, 2);
+    assert_eq!(pass.cache_hits, 0);
+    assert_eq!(pass.jobs[0].label.as_deref(), Some("vqe"));
+    assert!(!pass.jobs[0].cache_hit);
+    assert_eq!(pass.jobs[0].fingerprint.len(), 32);
+    assert!(pass.jobs[0].qasm.is_none(), "CLI form omits qasm");
 
     let stats = svc.stats();
     let full =
         qsvc::report::service_report(vec![pass], &stats, svc.workers(), svc.threads_per_job());
-    // The document must survive a serialize/parse round trip.
-    let text = serde_json::to_string_pretty(&full).unwrap();
-    let back = serde_json::from_str(&text).unwrap();
-    assert_eq!(
-        back.get("service")
-            .unwrap()
-            .get("cache_hits")
-            .unwrap()
-            .as_u64(),
-        Some(0)
+    // The document must survive a serialize/parse round trip through the
+    // versioned DTO layer.
+    let text = serde_json::to_string_pretty(&full.to_json()).unwrap();
+    let back = qapi::ServiceReport::from_json(&serde_json::from_str(&text).unwrap()).unwrap();
+    assert_eq!(back, full);
+    assert_eq!(back.service.cache_hits, 0);
+}
+
+#[test]
+fn one_service_keeps_mixed_oracle_traffic_in_distinct_cache_entries() {
+    let cfg = PopqcConfig::with_omega(32);
+    let circuit = Family::Vqe.generate(Family::Vqe.ladder(0)[0], 5);
+    let svc = OptimizationService::new(
+        OracleRegistry::builtin(),
+        ServiceConfig {
+            workers: 2,
+            threads_per_job: 1,
+            cache_capacity: 64,
+            cache_shards: 4,
+        },
     );
+
+    // Same circuit per-request through two registered oracles: two
+    // computations, two cache entries, and the keys differ only in the
+    // oracle id.
+    let rule = svc.submit(circuit.clone(), &cfg).wait();
+    let single = svc
+        .submit_as("rule_single_pass", circuit.clone(), &cfg)
+        .expect("registered oracle")
+        .wait();
+    assert!(!rule.cache_hit && !single.cache_hit);
+    assert_eq!(rule.key.oracle_id, "rule_based");
+    assert_eq!(single.key.oracle_id, "rule_single_pass");
+    assert_eq!(rule.key.fingerprint, single.key.fingerprint);
+    assert_ne!(rule.key, single.key);
+
+    // The key-probing API predicts exactly the keys the jobs ran under,
+    // and resolves through the registry like submission does.
+    assert_eq!(svc.key_for(&circuit, &cfg), rule.key);
+    assert_eq!(
+        svc.key_for_oracle("rule_single_pass", &circuit, &cfg)
+            .expect("registered oracle"),
+        single.key
+    );
+    assert!(matches!(
+        svc.key_for_oracle("nope", &circuit, &cfg),
+        Err(ServiceError::UnknownOracle { .. })
+    ));
+
+    // Each oracle's resubmission hits its own entry.
+    assert!(svc.submit(circuit.clone(), &cfg).wait().cache_hit);
+    assert!(
+        svc.submit_as("rule_single_pass", circuit.clone(), &cfg)
+            .unwrap()
+            .wait()
+            .cache_hit
+    );
+
+    // A mixed typed batch goes through the same shared cache.
+    let batch = svc
+        .submit_batch_requests(vec![
+            qsvc::JobRequest::with_oracle(circuit.clone(), "rule_based", cfg.clone()),
+            qsvc::JobRequest::with_oracle(circuit.clone(), "rule_single_pass", cfg.clone()),
+        ])
+        .expect("both oracles registered")
+        .wait();
+    assert_eq!(batch.cache_hits(), 2);
+    assert_eq!(batch.oracle_calls_issued(), 0);
+}
+
+#[test]
+fn unknown_and_duplicate_oracles_are_structured_errors() {
+    let cfg = PopqcConfig::with_omega(32);
+    let circuit = Family::Vqe.generate(Family::Vqe.ladder(0)[0], 5);
+    let svc = OptimizationService::new(
+        OracleRegistry::builtin(),
+        ServiceConfig {
+            workers: 1,
+            threads_per_job: 1,
+            ..ServiceConfig::default()
+        },
+    );
+
+    // submit_as with an unregistered id refuses without enqueueing.
+    let Err(err) = svc.submit_as("nope", circuit.clone(), &cfg) else {
+        panic!("unknown oracle must refuse");
+    };
+    match &err {
+        ServiceError::UnknownOracle {
+            requested,
+            available,
+        } => {
+            assert_eq!(requested, "nope");
+            assert_eq!(available, &["rule_based", "rule_single_pass", "search"]);
+        }
+        other => panic!("expected UnknownOracle, got {other:?}"),
+    }
+    // The canonical wire mapping: unknown_oracle -> 404.
+    assert_eq!(err.to_api_error().http_status(), 404);
+    assert_eq!(svc.stats().submitted, 0, "nothing was enqueued");
+
+    // A mixed batch with one bad id refuses the WHOLE batch atomically.
+    let Err(err) = svc.submit_batch_requests(vec![
+        qsvc::JobRequest::new(circuit.clone(), cfg.clone()),
+        qsvc::JobRequest::with_oracle(circuit, "missing", cfg.clone()),
+    ]) else {
+        panic!("batch with unknown oracle must refuse");
+    };
+    assert!(matches!(err, ServiceError::UnknownOracle { .. }));
+    assert_eq!(svc.stats().submitted, 0, "atomic refusal");
+
+    // Duplicate registration is a structured error too.
+    let mut registry = OracleRegistry::builtin();
+    let err = registry
+        .register(
+            "rule_based",
+            "imposter",
+            std::sync::Arc::new(RuleBasedOptimizer::oracle()),
+        )
+        .expect_err("duplicate id must refuse");
+    assert!(matches!(err, ServiceError::DuplicateOracle(_)));
+    assert_eq!(err.to_api_error().http_status(), 400);
 }

@@ -1,5 +1,7 @@
-//! Batch optimization through the service: outer parallelism over circuits,
-//! memoized results, and cache-hit accounting.
+//! Batch optimization through the registry-based service: outer
+//! parallelism over circuits, memoized results with cache-hit accounting,
+//! and a mixed-oracle batch where each job selects its oracle per request
+//! while sharing one cache.
 //!
 //! ```sh
 //! cargo run --release --example batch_service
@@ -20,8 +22,10 @@ fn main() {
         total_gates
     );
 
+    // The built-in registry: rule_based (default), rule_single_pass,
+    // search — all live behind one service, selected per request.
     let svc = OptimizationService::new(
-        RuleBasedOptimizer::oracle(),
+        OracleRegistry::builtin(),
         ServiceConfig {
             workers: 4,
             threads_per_job: 1,
@@ -53,16 +57,44 @@ fn main() {
     assert_eq!(warm.cache_hits(), circuits.len());
     assert_eq!(warm.oracle_calls_issued(), 0);
 
-    // Per-job detail for the cold pass.
-    for (family, result) in Family::ALL.iter().zip(&cold.results) {
+    // Mixed-oracle batch: each request names its own oracle, all jobs
+    // share the service queue AND the result cache. The rule_based jobs
+    // are cache hits from the passes above (same circuit, same oracle id,
+    // same config); the rule_single_pass jobs are fresh cache entries.
+    let mixed: Vec<JobRequest> = circuits
+        .iter()
+        .flat_map(|c| {
+            [
+                JobRequest::with_oracle(c.clone(), "rule_based", cfg.clone()),
+                JobRequest::with_oracle(c.clone(), "rule_single_pass", cfg.clone()),
+            ]
+        })
+        .collect();
+    let mixed = svc
+        .submit_batch_requests(mixed)
+        .expect("both oracles are registered")
+        .wait();
+    let hits = mixed.cache_hits();
+    println!(
+        "mixed: {} jobs across 2 oracles, {} cache hits (the rule_based half), \
+         {} oracle calls",
+        mixed.results.len(),
+        hits,
+        mixed.oracle_calls_issued(),
+    );
+    assert_eq!(hits, circuits.len(), "rule_based half must hit the cache");
+
+    // Per-job detail for the mixed pass: same fingerprint, two oracle ids,
+    // two distinct cache entries.
+    for result in mixed.results.iter().take(4) {
         println!(
-            "  {:<8} {:>6} -> {:>6} gates  ({} rounds, {} oracle calls, key {})",
-            family.name(),
+            "  {:<16} {:>6} -> {:>6} gates  (cache_hit: {:<5} key {}/{})",
+            result.key.oracle_id,
             result.stats.initial_units,
             result.stats.final_units,
-            result.stats.rounds,
-            result.stats.oracle_calls,
+            result.cache_hit,
             &result.key.fingerprint.to_hex()[..12],
+            result.key.oracle_id,
         );
     }
 

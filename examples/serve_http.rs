@@ -1,7 +1,10 @@
-//! The HTTP frontend end to end in one process: start the server on an
-//! ephemeral port, then act as its own remote client over a plain
-//! `TcpStream` — optimize a circuit (cold), resubmit it (cache hit), race
-//! duplicate submissions (in-flight coalescing), and read `/v1/stats`.
+//! The HTTP frontend end to end in one process: start a registry-based
+//! server on an ephemeral port, then act as its own remote client over a
+//! plain `TcpStream` — discover the API (`/v1/version`, `/v1/oracles`),
+//! optimize a circuit (cold), resubmit it (cache hit), re-run it under a
+//! *different* oracle selected per request (`?oracle=`, a distinct cache
+//! entry), race duplicate submissions (in-flight coalescing), and read
+//! `/v1/stats`.
 //!
 //! ```sh
 //! cargo run --release --example serve_http
@@ -27,8 +30,10 @@ fn request(addr: SocketAddr, method: &str, target: &str, body: &str) -> String {
 }
 
 fn main() {
+    // The full built-in registry: every oracle stays selectable per
+    // request; `rule_based` answers requests that name none.
     let svc = OptimizationService::new(
-        RuleBasedOptimizer::oracle(),
+        OracleRegistry::builtin(),
         ServiceConfig {
             workers: 4,
             threads_per_job: 1,
@@ -44,15 +49,30 @@ fn main() {
     let addr = server.local_addr();
     println!("serving on http://{addr}");
 
+    // API discovery: version + the oracle registry.
+    println!(
+        "\nGET /v1/version -> {}",
+        request(addr, "GET", "/v1/version", "")
+    );
+    println!(
+        "\nGET /v1/oracles -> {}",
+        request(addr, "GET", "/v1/oracles", "")
+    );
+
     let qasm = popqc::ir::qasm::to_qasm(&Family::Vqe.generate(12, 42));
 
-    // Cold: the engine runs.
+    // Cold: the engine runs under the default oracle.
     let cold = request(addr, "POST", "/v1/optimize?label=vqe-12", &qasm);
     println!("\ncold POST /v1/optimize -> {cold}");
 
     // Warm: identical circuit, answered from the result cache.
     let warm = request(addr, "POST", "/v1/optimize", &qasm);
     println!("\nwarm POST /v1/optimize -> {warm}");
+
+    // Same circuit through a different oracle, selected per request: a
+    // distinct cache entry in the same shared cache (cache_hit:false).
+    let other = request(addr, "POST", "/v1/optimize?oracle=rule_single_pass", &qasm);
+    println!("\nPOST /v1/optimize?oracle=rule_single_pass -> {other}");
 
     // Concurrent duplicates: one computation, the rest coalesce (visible
     // in /v1/stats below as `coalesced`); a distinct circuit so it is not

@@ -2,39 +2,48 @@
 //! service.
 //!
 //! ```text
-//! popqc optimize <FILE|DIR>... [--out DIR] [--omega N] [--oracle rule|search]
+//! popqc optimize <FILE|DIR>... [--out DIR] [--omega N] [--oracle ID]
 //!                [--workers N] [--threads-per-job N] [--cache-capacity N]
-//!                [--repeat N] [--report FILE] [--verify] [--quiet]
+//!                [--repeat N] [--report FILE] [--json] [--verify] [--quiet]
 //! popqc serve [--addr HOST:PORT] [--workers N] [--threads-per-job N]
-//!             [--omega N] [--oracle rule|search] [--cache-capacity N]
+//!             [--omega N] [--oracle ID] [--cache-capacity N]
 //!             [--conn-threads N]
 //! popqc gen --family NAME --qubits N [--seed S] [--out FILE|DIR]
+//! popqc oracles
 //! popqc families
 //! ```
 //!
 //! `optimize` ingests `.qasm` files (directories are scanned for them),
 //! submits every circuit as a job to an in-process [`OptimizationService`],
-//! writes each optimized circuit as QASM under `--out`, and emits a JSON
-//! stats report with per-job and service-level cache/oracle accounting.
-//! `--repeat N` resubmits the same batch N times in-process — pass 2+ should
-//! be pure cache hits with zero new oracle calls, which the report makes
-//! auditable. `--verify` equivalence-checks outputs on small circuits via
-//! the state-vector simulator.
+//! writes each optimized circuit as QASM under `--out`, and emits the
+//! versioned `popqc-api` report with per-job and service-level
+//! cache/oracle accounting. `--json` prints one `JobStatus` document per
+//! job to stdout — the exact DTO the HTTP frontend serves, built by the
+//! same adapter, so the two surfaces are byte-identical for the same job.
+//! `--repeat N` resubmits the same batch N times in-process — pass 2+
+//! should be pure cache hits with zero new oracle calls, which the report
+//! makes auditable. `--verify` equivalence-checks outputs on small
+//! circuits via the state-vector simulator.
+//!
+//! `--oracle` names an [`OracleRegistry`] id (see `popqc oracles`); the
+//! server keeps every registered oracle live and uses `--oracle` only as
+//! the default for requests that do not select one.
 
 use popqc::prelude::*;
-use popqc::service::report::{batch_report, service_report};
+use popqc::service::report::{batch_report, job_status, service_report};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  \
-         popqc optimize <FILE|DIR>... [--out DIR] [--omega N] [--oracle rule|search]\n           \
+         popqc optimize <FILE|DIR>... [--out DIR] [--omega N] [--oracle ID]\n           \
          [--workers N] [--threads-per-job N] [--cache-capacity N]\n           \
-         [--repeat N] [--report FILE] [--verify] [--quiet]\n  \
+         [--repeat N] [--report FILE] [--json] [--verify] [--quiet]\n  \
          popqc serve [--addr HOST:PORT] [--workers N] [--threads-per-job N]\n           \
-         [--omega N] [--oracle rule|search] [--cache-capacity N] [--conn-threads N]\n  \
+         [--omega N] [--oracle ID] [--cache-capacity N] [--conn-threads N]\n  \
          popqc gen --family NAME --qubits N [--seed S] [--out FILE|DIR]\n  \
+         popqc oracles\n  \
          popqc families"
     );
     std::process::exit(2);
@@ -51,6 +60,7 @@ fn main() -> ExitCode {
         Some("optimize") => cmd_optimize(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
+        Some("oracles") => cmd_oracles(),
         Some("families") => cmd_families(),
         _ => usage(),
     }
@@ -61,6 +71,33 @@ fn cmd_families() -> ExitCode {
         println!("{}", f.name().to_lowercase());
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_oracles() -> ExitCode {
+    for info in OracleRegistry::builtin().infos() {
+        println!(
+            "{}{}  {}",
+            info.id,
+            if info.default { " (default)" } else { "" },
+            info.description
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// The built-in registry with `--oracle` applied as the default id.
+/// Accepts the legacy spellings `rule` and `rule-fixpoint` for
+/// `rule_based`. Unknown ids fail with the available list.
+fn registry_with_default(oracle: &str) -> OracleRegistry {
+    let canonical = match oracle {
+        "rule" | "rule-fixpoint" => "rule_based",
+        other => other,
+    };
+    let mut registry = OracleRegistry::builtin();
+    registry
+        .set_default(canonical)
+        .unwrap_or_else(|e| fail(format!("{e}; see `popqc oracles`")));
+    registry
 }
 
 fn parse_family(name: &str) -> Family {
@@ -150,7 +187,7 @@ fn cmd_gen(args: &[String]) -> ExitCode {
 fn cmd_serve(args: &[String]) -> ExitCode {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut omega: usize = 200;
-    let mut oracle = "rule".to_string();
+    let mut oracle = "rule_based".to_string();
     let mut svc_cfg = ServiceConfig::default();
     let mut http_cfg = popqc::http::ServerConfig::default();
     let mut i = 0;
@@ -191,33 +228,22 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         usage();
     }
 
-    match oracle.as_str() {
-        "rule" => run_server(
-            OptimizationService::new(RuleBasedOptimizer::oracle(), svc_cfg),
-            &addr,
-            omega,
-            http_cfg,
-        ),
-        "search" => run_server(
-            OptimizationService::new(SearchOptimizer::new(GateCount, 2000), svc_cfg),
-            &addr,
-            omega,
-            http_cfg,
-        ),
-        other => fail(format!("unknown oracle `{other}` (use rule|search)")),
-    }
-}
-
-fn run_server<O: SegmentOracle<Gate> + Send + Sync + 'static>(
-    svc: OptimizationService<O>,
-    addr: &str,
-    omega: usize,
-    http_cfg: popqc::http::ServerConfig,
-) -> ExitCode {
+    // One dynamically dispatched service over the whole registry: every
+    // oracle stays selectable per request, `--oracle` only picks the
+    // default for requests that name none.
+    let svc = OptimizationService::new(registry_with_default(&oracle), svc_cfg);
     let workers = svc.workers();
     let threads_per_job = svc.threads_per_job();
+    let oracle_ids = svc
+        .registry()
+        .ids()
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let default_oracle = svc.registry().default_id().to_string();
     let state = std::sync::Arc::new(popqc::http::AppState::new(svc, omega));
-    let server = popqc::http::HttpServer::serve(addr, state, http_cfg)
+    let server = popqc::http::HttpServer::serve(&addr, state, http_cfg)
         .unwrap_or_else(|e| fail(format!("cannot bind {addr}: {e}")));
     eprintln!(
         "popqc-svc listening on http://{} ({} workers x {} threads/job, default omega {omega})",
@@ -225,8 +251,10 @@ fn run_server<O: SegmentOracle<Gate> + Send + Sync + 'static>(
         workers,
         threads_per_job,
     );
+    eprintln!("oracles: {oracle_ids} (default {default_oracle})");
     eprintln!(
-        "endpoints: POST /v1/optimize  POST /v1/batch  GET /v1/jobs/{{id}}  GET /v1/stats  GET /healthz"
+        "endpoints: POST /v1/optimize  POST /v1/batch  GET /v1/jobs/{{id}}  \
+         GET /v1/oracles  GET /v1/stats  GET /v1/version  GET /healthz"
     );
     // Serve until the process is killed; the acceptor threads own the work.
     loop {
@@ -244,6 +272,7 @@ struct OptimizeOpts {
     cache_capacity: usize,
     repeat: usize,
     report: Option<PathBuf>,
+    json: bool,
     verify: bool,
     quiet: bool,
 }
@@ -253,12 +282,13 @@ fn parse_optimize_opts(args: &[String]) -> OptimizeOpts {
         inputs: Vec::new(),
         out_dir: None,
         omega: 200,
-        oracle: "rule".to_string(),
+        oracle: "rule_based".to_string(),
         workers: 0,
         threads_per_job: 0,
         cache_capacity: 1024,
         repeat: 1,
         report: None,
+        json: false,
         verify: false,
         quiet: false,
     };
@@ -296,6 +326,10 @@ fn parse_optimize_opts(args: &[String]) -> OptimizeOpts {
             "--report" => {
                 o.report = Some(PathBuf::from(args.get(i + 1).unwrap_or_else(|| usage())));
                 i += 2;
+            }
+            "--json" => {
+                o.json = true;
+                i += 1;
             }
             "--verify" => {
                 o.verify = true;
@@ -392,29 +426,13 @@ fn cmd_optimize(args: &[String]) -> ExitCode {
         ..ServiceConfig::default()
     };
 
-    // Dispatch on the oracle choice; each arm monomorphizes the service.
-    let report = match opts.oracle.as_str() {
-        "rule" => run_batches(
-            OptimizationService::new(RuleBasedOptimizer::oracle(), svc_cfg),
-            &labels,
-            &circuits,
-            &cfg,
-            &opts,
-            &files,
-        ),
-        "search" => run_batches(
-            OptimizationService::new(SearchOptimizer::new(GateCount, 2000), svc_cfg),
-            &labels,
-            &circuits,
-            &cfg,
-            &opts,
-            &files,
-        ),
-        other => fail(format!("unknown oracle `{other}` (use rule|search)")),
-    };
+    // One dynamically dispatched service; the oracle is a per-request
+    // registry id, with `--oracle` applied as the default.
+    let svc = OptimizationService::new(registry_with_default(&opts.oracle), svc_cfg);
+    let report = run_batches(svc, &labels, &circuits, &cfg, &opts, &files);
 
     if let Some(report_path) = &opts.report {
-        let text = serde_json::to_string_pretty(&report).expect("serialize report");
+        let text = serde_json::to_string_pretty(&report.to_json()).expect("serialize report");
         std::fs::write(report_path, text)
             .unwrap_or_else(|e| fail(format!("cannot write {}: {e}", report_path.display())));
         if !opts.quiet {
@@ -424,14 +442,14 @@ fn cmd_optimize(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn run_batches<O: SegmentOracle<Gate> + Send + Sync + 'static>(
-    svc: OptimizationService<O>,
+fn run_batches(
+    svc: OptimizationService,
     labels: &[String],
     circuits: &[Circuit],
     cfg: &PopqcConfig,
     opts: &OptimizeOpts,
     files: &[PathBuf],
-) -> serde_json::Value {
+) -> popqc::api::ServiceReport {
     let mut passes = Vec::new();
     let mut last: Option<BatchResult> = None;
     for pass in 1..=opts.repeat {
@@ -450,10 +468,23 @@ fn run_batches<O: SegmentOracle<Gate> + Send + Sync + 'static>(
                 gates_out,
             );
         }
-        passes.push(batch_report(labels, &batch, pass));
+        passes.push(batch_report(labels, &batch, pass, false));
         last = Some(batch);
     }
     let batch = last.expect("at least one pass");
+
+    // `--json`: one JobStatus document per job on stdout — the identical
+    // DTO (same adapter, same serializer) the HTTP frontend answers with
+    // for the same job, ids assigned in submission order like the server.
+    if opts.json {
+        for (i, (label, result)) in labels.iter().zip(&batch.results).enumerate() {
+            let doc = job_status(i as u64 + 1, Some(label), result.stats.rounds, Some(result));
+            println!(
+                "{}",
+                serde_json::to_string(&doc.to_json()).expect("serialize job document")
+            );
+        }
+    }
 
     // A failed job (oracle panic) carries its *input* circuit, not an
     // optimized one — writing that under --out or exiting 0 would pass

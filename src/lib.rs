@@ -20,8 +20,9 @@
 //! | [`core`] | `popqc-core` | index tree, sparse circuit, finger engine |
 //! | [`baseline`] | `oac` | sequential cut-meld-compress baseline |
 //! | [`benchmarks`] | `benchgen` | the eight benchmark circuit families |
-//! | [`service`] | `popqc-svc` | batch optimization service: job scheduling + result cache + coalescing |
-//! | [`http`] | `popqc-http` | HTTP/1.1 frontend: optimize/batch/jobs/stats JSON endpoints |
+//! | [`api`] | `popqc-api` | versioned public API: v1 DTOs, `ApiError` taxonomy, wire format |
+//! | [`service`] | `popqc-svc` | batch optimization service: oracle registry + job scheduling + result cache + coalescing |
+//! | [`http`] | `popqc-http` | HTTP/1.1 frontend: the v1 JSON endpoints over the service |
 //!
 //! ## Quick start
 //!
@@ -43,6 +44,7 @@
 pub use benchgen as benchmarks;
 pub use oac as baseline;
 pub use popqc_core as core;
+pub use qapi as api;
 pub use qcir as ir;
 pub use qhttp as http;
 pub use qoracle as oracles;
@@ -56,13 +58,14 @@ pub mod prelude {
     pub use popqc_core::{
         optimize_circuit, optimize_layered, verify_local_optimality, PopqcConfig, PopqcStats,
     };
+    pub use qapi::ApiError;
     pub use qcir::{Angle, Circuit, Fingerprint, Gate, Layer, LayeredCircuit, Qubit};
     pub use qoracle::{
         CostFn, GateCount, LayerSearchOracle, MixedDepthGates, RuleBasedOptimizer, SearchOptimizer,
         SegmentOracle,
     };
     pub use qsvc::{
-        BatchHandle, BatchResult, JobHandle, JobKey, JobResult, OptimizationService, ServiceConfig,
-        ServiceStats,
+        BatchHandle, BatchResult, JobHandle, JobKey, JobRequest, JobResult, OptimizationService,
+        OracleRegistry, ServiceConfig, ServiceError, ServiceStats,
     };
 }

@@ -272,3 +272,87 @@ impl Drop for Cleanup<'_> {
         let _ = std::fs::remove_dir_all(self.0);
     }
 }
+
+#[test]
+fn cli_oracles_lists_the_builtin_registry_with_default() {
+    let out = run(&["oracles"]);
+    assert_success(&out, "oracles");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for id in ["rule_based", "rule_single_pass", "search"] {
+        assert!(stdout.contains(id), "missing {id}: {stdout}");
+    }
+    assert!(
+        stdout.contains("rule_based (default)"),
+        "default not marked: {stdout}"
+    );
+}
+
+#[test]
+fn cli_json_emits_v1_job_status_documents() {
+    let tmp = std::env::temp_dir().join(format!("popqc-json-test-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).unwrap();
+    let _cleanup = Cleanup(&tmp);
+
+    let a = tmp.join("a.qasm");
+    let b = tmp.join("b.qasm");
+    std::fs::write(
+        &a,
+        "OPENQASM 2.0;\nqreg q[2];\nh q[0];\nh q[0];\ncx q[0],q[1];\n",
+    )
+    .unwrap();
+    std::fs::write(&b, "OPENQASM 2.0;\nqreg q[3];\nx q[2];\nx q[2];\nh q[1];\n").unwrap();
+
+    let out = run(&[
+        "optimize",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--omega",
+        "32",
+        "--oracle",
+        "rule_based",
+        "--json",
+        "--quiet",
+    ]);
+    assert_success(&out, "optimize --json");
+
+    // One JobStatus document per job, parseable by the shared DTO layer,
+    // ids in submission order like the HTTP frontend assigns them.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let docs: Vec<qapi::JobStatus> = stdout
+        .lines()
+        .map(|line| {
+            let v = serde_json::from_str(line)
+                .unwrap_or_else(|e| panic!("line is not JSON: {e}\n{line}"));
+            qapi::JobStatus::from_json(&v)
+                .unwrap_or_else(|e| panic!("line is not a v1 JobStatus: {e}\n{line}"))
+        })
+        .collect();
+    assert_eq!(docs.len(), 2);
+    for (i, doc) in docs.iter().enumerate() {
+        assert_eq!(doc.job_id, i as u64 + 1);
+        assert!(doc.done);
+        let report = doc.result.as_ref().expect("completed job");
+        assert_eq!(report.oracle, "rule_based");
+        assert_eq!(report.omega, 32);
+        assert!(report.qasm.is_some(), "job document carries the circuit");
+    }
+    assert_eq!(docs[0].label.as_deref(), Some("a.qasm"));
+    assert_eq!(docs[1].label.as_deref(), Some("b.qasm"));
+}
+
+#[test]
+fn cli_rejects_unknown_oracle_with_available_list() {
+    let tmp = std::env::temp_dir().join(format!("popqc-badoracle-test-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).unwrap();
+    let _cleanup = Cleanup(&tmp);
+    let a = tmp.join("a.qasm");
+    std::fs::write(&a, "OPENQASM 2.0;\nqreg q[1];\nh q[0];\n").unwrap();
+
+    let out = run(&["optimize", a.to_str().unwrap(), "--oracle", "nope"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown oracle") && stderr.contains("rule_based"),
+        "diagnostic must list available oracles: {stderr}"
+    );
+}
