@@ -1,11 +1,16 @@
 //! Batch-service throughput: jobs/sec through the worker pool, cold cache
 //! vs warm cache, over the benchgen families. The warm numbers bound the
 //! service overhead (fingerprint + cache probe + handle plumbing) per job;
-//! the cold/warm gap is the memoization win.
+//! the cold/warm gap is the memoization win. The warm group runs once per
+//! store backend — `memory`, `tiered` (memory front over disk), and
+//! `disk` (every hit deserializes from the cache directory) — so the
+//! tiers' hit latencies sit side by side in one report.
 //!
 //! Setting `POPQC_SVC_REPORT=<path>` additionally runs one cold and one
-//! warm pass through a fresh service and writes the JSON batch report
-//! there, so CI can archive the cache-hit/oracle-call counters per PR
+//! warm pass through a fresh memory-backed service *and* a fresh
+//! tiered-backed one, and writes both JSON reports there
+//! (`{"memory": …, "tiered": …}`), so CI can archive the per-backend
+//! cache-hit/oracle-call counters per PR
 //! (`cargo bench --bench svc_throughput -- --test` for the smoke run).
 
 use benchgen::Family;
@@ -14,7 +19,8 @@ use popqc_core::PopqcConfig;
 use qcir::Circuit;
 use qoracle::RuleBasedOptimizer;
 use qsvc::report::{batch_report, service_report};
-use qsvc::{OptimizationService, ServiceConfig};
+use qsvc::{build_store, OptimizationService, OracleRegistry, ServiceConfig, StoreTier};
+use std::path::PathBuf;
 
 fn batch() -> Vec<Circuit> {
     Family::ALL
@@ -23,15 +29,44 @@ fn batch() -> Vec<Circuit> {
         .collect()
 }
 
+fn svc_config(workers: usize) -> ServiceConfig {
+    ServiceConfig {
+        workers,
+        threads_per_job: 1,
+        cache_capacity: 256,
+        cache_shards: 8,
+    }
+}
+
 fn service(workers: usize) -> OptimizationService {
-    OptimizationService::single(
-        RuleBasedOptimizer::oracle(),
-        ServiceConfig {
-            workers,
-            threads_per_job: 1,
-            cache_capacity: 256,
-            cache_shards: 8,
-        },
+    OptimizationService::single(RuleBasedOptimizer::oracle(), svc_config(workers))
+}
+
+/// A scratch cache directory for the persistent tiers, removed on drop.
+struct BenchCacheDir(PathBuf);
+
+impl BenchCacheDir {
+    fn new(tag: &str) -> BenchCacheDir {
+        let dir = std::env::temp_dir().join(format!("popqc-bench-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        BenchCacheDir(dir)
+    }
+}
+
+impl Drop for BenchCacheDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A service over an explicit store tier (the same seam `--cache-tier`
+/// swaps), rooted at `dir` for the persistent tiers.
+fn service_with_tier(workers: usize, tier: StoreTier, dir: &BenchCacheDir) -> OptimizationService {
+    let store = build_store(tier, Some(&dir.0), 256, 8).expect("build bench store");
+    OptimizationService::with_store(
+        OracleRegistry::single(RuleBasedOptimizer::oracle()),
+        svc_config(workers),
+        store,
     )
 }
 
@@ -70,17 +105,30 @@ fn bench_warm(c: &mut Criterion) {
     let circuits = batch();
     let cfg = PopqcConfig::with_omega(100);
     g.throughput(Throughput::Elements(circuits.len() as u64));
-    let svc = service(2);
-    // Pre-warm: one cold pass populates the cache.
-    let cold = svc.submit_batch(circuits.iter().cloned(), &cfg).wait();
-    assert_eq!(cold.cache_hits(), 0);
-    g.bench_function("hits", |b| {
-        b.iter(|| {
-            let warm = svc.submit_batch(circuits.iter().cloned(), &cfg).wait();
-            debug_assert_eq!(warm.cache_hits(), circuits.len());
-            warm
-        })
-    });
+
+    // One warm benchmark per store backend, side by side: `memory` bounds
+    // the pure service overhead, `tiered` adds the write-through front
+    // (hits still answer from RAM), `disk` pays a full deserialize per
+    // hit — the restart-path latency.
+    let dir = BenchCacheDir::new("warm");
+    let backends: [(&str, OptimizationService); 3] = [
+        ("memory", service(2)),
+        ("tiered", service_with_tier(2, StoreTier::Tiered, &dir)),
+        ("disk", service_with_tier(2, StoreTier::Disk, &dir)),
+    ];
+    for (name, svc) in &backends {
+        // Pre-warm: one pass populates the store (the tiered pass already
+        // filled the shared disk directory, so the disk service may start
+        // warm — all that matters is that the measured passes are hits).
+        svc.submit_batch(circuits.iter().cloned(), &cfg).wait();
+        g.bench_function(BenchmarkId::new("hits", name), |b| {
+            b.iter(|| {
+                let warm = svc.submit_batch(circuits.iter().cloned(), &cfg).wait();
+                debug_assert_eq!(warm.cache_hits(), circuits.len());
+                warm
+            })
+        });
+    }
     g.finish();
 }
 
@@ -97,14 +145,12 @@ criterion_group! {
     targets = bench_cold, bench_warm
 }
 
-/// Writes the cold-vs-warm JSON batch report to `path`. Pass 1 must be all
-/// misses and pass 2 all hits with zero oracle calls; the report makes the
-/// counters inspectable without re-running.
-fn write_service_report(path: &str) {
+/// One cold pass + one warm pass through `svc`, as a `ServiceReport`.
+/// Pass 1 must be all misses and pass 2 all hits with zero oracle calls.
+fn cold_warm_report(svc: &OptimizationService) -> qapi::ServiceReport {
     let circuits = batch();
     let labels: Vec<String> = Family::ALL.iter().map(|f| f.name().to_string()).collect();
     let cfg = PopqcConfig::with_omega(100);
-    let svc = service(2);
 
     let cold = svc.submit_batch(circuits.iter().cloned(), &cfg).wait();
     let warm = svc.submit_batch(circuits.iter().cloned(), &cfg).wait();
@@ -120,8 +166,22 @@ fn write_service_report(path: &str) {
         batch_report(&labels, &cold, 1, false),
         batch_report(&labels, &warm, 2, false),
     ];
-    let report = service_report(passes, &svc.stats(), svc.workers(), svc.threads_per_job());
-    let text = serde_json::to_string_pretty(&report.to_json()).expect("serialize report");
+    service_report(passes, &svc.stats(), svc.workers(), svc.threads_per_job())
+}
+
+/// Writes the cold-vs-warm JSON reports for the memory and tiered
+/// backends side by side, so CI archives both hit profiles (including the
+/// tiered report's per-tier `cache_tiers` counters) per PR.
+fn write_service_report(path: &str) {
+    let dir = BenchCacheDir::new("report");
+    let memory = cold_warm_report(&service(2));
+    let tiered = cold_warm_report(&service_with_tier(2, StoreTier::Tiered, &dir));
+    let doc = serde_json::json!({
+        "api_version": qapi::API_VERSION,
+        "memory": memory.to_json(),
+        "tiered": tiered.to_json(),
+    });
+    let text = serde_json::to_string_pretty(&doc).expect("serialize report");
     std::fs::write(path, text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     println!("svc report written to {path}");
 }

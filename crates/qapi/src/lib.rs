@@ -647,6 +647,141 @@ impl BatchResponse {
 }
 
 // ---------------------------------------------------------------------------
+// Cache admin (`/v1/cache`)
+// ---------------------------------------------------------------------------
+
+/// One tier of the result store, as embedded in [`CacheReport`] and
+/// [`StatsReport`]. Not a top-level document, so it carries no
+/// `api_version` of its own.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct CacheTierReport {
+    /// Tier name (`memory`, `disk`, `null`).
+    pub tier: String,
+    /// Entries currently resident in this tier.
+    pub entries: u64,
+    /// Lookups this tier answered.
+    pub hits: u64,
+    /// Lookups this tier could not answer.
+    pub misses: u64,
+    /// Entries this tier evicted or invalidated.
+    pub evictions: u64,
+    /// Resident bytes (exact file bytes for the disk tier, an
+    /// approximation for memory tiers).
+    pub bytes: u64,
+}
+
+impl CacheTierReport {
+    /// Serializes to the v1 wire shape.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "tier": self.tier.as_str(),
+            "entries": self.entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "bytes": self.bytes,
+        })
+    }
+
+    /// Decodes a fragment produced by [`to_json`](Self::to_json).
+    pub fn from_json(v: &Value) -> Result<CacheTierReport, ApiError> {
+        Ok(CacheTierReport {
+            tier: de::req_str(v, "tier")?,
+            entries: de::req_u64(v, "entries")?,
+            hits: de::req_u64(v, "hits")?,
+            misses: de::req_u64(v, "misses")?,
+            evictions: de::req_u64(v, "evictions")?,
+            bytes: de::req_u64(v, "bytes")?,
+        })
+    }
+}
+
+/// `GET /v1/cache`: the result store's backend, aggregate counters, and
+/// per-tier breakdown (front tier first).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct CacheReport {
+    /// Backend name (`memory`, `disk`, `tiered`, `null`).
+    pub backend: String,
+    /// Entries in the authoritative tier.
+    pub entries: u64,
+    /// Logical hits (a lookup any tier answered).
+    pub hits: u64,
+    /// Logical misses (lookups no tier answered).
+    pub misses: u64,
+    /// Evictions/invalidations summed across tiers.
+    pub evictions: u64,
+    /// Resident bytes summed across tiers.
+    pub bytes: u64,
+    /// Per-tier counters, front tier first.
+    pub tiers: Vec<CacheTierReport>,
+}
+
+impl CacheReport {
+    /// Serializes to the v1 wire shape.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "api_version": API_VERSION,
+            "backend": self.backend.as_str(),
+            "entries": self.entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "bytes": self.bytes,
+            "tiers": self.tiers.iter().map(CacheTierReport::to_json).collect::<Vec<Value>>(),
+        })
+    }
+
+    /// Decodes a document produced by [`to_json`](Self::to_json).
+    pub fn from_json(v: &Value) -> Result<CacheReport, ApiError> {
+        de::check_version(v)?;
+        let tiers = de::req_array(v, "tiers")?
+            .iter()
+            .map(CacheTierReport::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CacheReport {
+            backend: de::req_str(v, "backend")?,
+            entries: de::req_u64(v, "entries")?,
+            hits: de::req_u64(v, "hits")?,
+            misses: de::req_u64(v, "misses")?,
+            evictions: de::req_u64(v, "evictions")?,
+            bytes: de::req_u64(v, "bytes")?,
+            tiers,
+        })
+    }
+}
+
+/// `DELETE /v1/cache` (and `popqc cache clear`): the result of dropping
+/// every stored entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct CacheClearResponse {
+    /// Whether the clear ran (always `true` in v1; reserved for future
+    /// partial-failure reporting).
+    pub cleared: bool,
+    /// Distinct entries removed from the authoritative tier.
+    pub entries_removed: u64,
+}
+
+impl CacheClearResponse {
+    /// Serializes to the v1 wire shape.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "api_version": API_VERSION,
+            "cleared": self.cleared,
+            "entries_removed": self.entries_removed,
+        })
+    }
+
+    /// Decodes a document produced by [`to_json`](Self::to_json).
+    pub fn from_json(v: &Value) -> Result<CacheClearResponse, ApiError> {
+        de::check_version(v)?;
+        Ok(CacheClearResponse {
+            cleared: de::req_bool(v, "cleared")?,
+            entries_removed: de::req_u64(v, "entries_removed")?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Stats / full service report
 // ---------------------------------------------------------------------------
 
@@ -675,6 +810,11 @@ pub struct StatsReport {
     pub cache_entries: u64,
     /// Result-cache LRU evictions.
     pub cache_evictions: u64,
+    /// Result-store backend name (`memory`, `disk`, `tiered`, `null`).
+    pub cache_backend: String,
+    /// Per-tier store counters, front tier first (one entry for
+    /// single-tier backends).
+    pub cache_tiers: Vec<CacheTierReport>,
     /// Jobs retained for `/v1/jobs/{id}` polling (HTTP frontend only;
     /// `None` omits the field).
     pub jobs_tracked: Option<u64>,
@@ -698,6 +838,19 @@ impl StatsReport {
             ),
             ("cache_entries".to_string(), json!(self.cache_entries)),
             ("cache_evictions".to_string(), json!(self.cache_evictions)),
+            (
+                "cache_backend".to_string(),
+                json!(self.cache_backend.as_str()),
+            ),
+            (
+                "cache_tiers".to_string(),
+                Value::Array(
+                    self.cache_tiers
+                        .iter()
+                        .map(CacheTierReport::to_json)
+                        .collect(),
+                ),
+            ),
         ];
         if let Some(tracked) = self.jobs_tracked {
             pairs.push(("jobs_tracked".to_string(), json!(tracked)));
@@ -719,6 +872,11 @@ impl StatsReport {
             oracle_calls_issued: de::req_u64(v, "oracle_calls_issued")?,
             cache_entries: de::req_u64(v, "cache_entries")?,
             cache_evictions: de::req_u64(v, "cache_evictions")?,
+            cache_backend: de::req_str(v, "cache_backend")?,
+            cache_tiers: de::req_array(v, "cache_tiers")?
+                .iter()
+                .map(CacheTierReport::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
             jobs_tracked: de::opt_u64(v, "jobs_tracked")?,
         })
     }

@@ -3,8 +3,9 @@
 //! populated and the fully defaulted shape of each document.
 
 use qapi::{
-    ApiError, BatchCircuit, BatchRequest, BatchResponse, JobReport, JobStatus, OptimizeRequest,
-    OracleInfo, OracleList, ServiceReport, StatsReport, VersionInfo,
+    ApiError, BatchCircuit, BatchRequest, BatchResponse, CacheClearResponse, CacheReport,
+    CacheTierReport, JobReport, JobStatus, OptimizeRequest, OracleInfo, OracleList, ServiceReport,
+    StatsReport, VersionInfo,
 };
 use serde_json::Value;
 
@@ -174,6 +175,25 @@ fn stats_and_service_report_round_trip() {
         oracle_calls_issued: 321,
         cache_entries: 4,
         cache_evictions: 0,
+        cache_backend: "tiered".into(),
+        cache_tiers: vec![
+            CacheTierReport {
+                tier: "memory".into(),
+                entries: 4,
+                hits: 5,
+                misses: 5,
+                evictions: 0,
+                bytes: 4096,
+            },
+            CacheTierReport {
+                tier: "disk".into(),
+                entries: 4,
+                hits: 1,
+                misses: 4,
+                evictions: 0,
+                bytes: 65536,
+            },
+        ],
         jobs_tracked: Some(3),
     };
     let back = StatsReport::from_json(&reserialize(&stats.to_json())).unwrap();
@@ -206,6 +226,65 @@ fn stats_and_service_report_round_trip() {
     };
     let back = ServiceReport::from_json(&reserialize(&report.to_json())).unwrap();
     assert_eq!(back, report);
+}
+
+#[test]
+fn cache_report_round_trips() {
+    for report in [
+        // Tiered shape: two tiers, aggregates distinct from either.
+        CacheReport {
+            backend: "tiered".into(),
+            entries: 12,
+            hits: 40,
+            misses: 9,
+            evictions: 3,
+            bytes: 70_000,
+            tiers: vec![
+                CacheTierReport {
+                    tier: "memory".into(),
+                    entries: 8,
+                    hits: 33,
+                    misses: 16,
+                    evictions: 3,
+                    bytes: 4_464,
+                },
+                CacheTierReport {
+                    tier: "disk".into(),
+                    entries: 12,
+                    hits: 7,
+                    misses: 9,
+                    evictions: 0,
+                    bytes: 65_536,
+                },
+            ],
+        },
+        // Degenerate shape: a fresh single-tier store.
+        CacheReport {
+            backend: "memory".into(),
+            tiers: vec![CacheTierReport {
+                tier: "memory".into(),
+                ..CacheTierReport::default()
+            }],
+            ..CacheReport::default()
+        },
+    ] {
+        let back = CacheReport::from_json(&reserialize(&report.to_json())).unwrap();
+        assert_eq!(back, report);
+    }
+}
+
+#[test]
+fn cache_clear_response_round_trips() {
+    for resp in [
+        CacheClearResponse {
+            cleared: true,
+            entries_removed: 12,
+        },
+        CacheClearResponse::default(),
+    ] {
+        let back = CacheClearResponse::from_json(&reserialize(&resp.to_json())).unwrap();
+        assert_eq!(back, resp);
+    }
 }
 
 #[test]

@@ -13,8 +13,9 @@
 //! and commit the rewritten snapshot files with the API change.
 
 use qapi::{
-    ApiError, BatchCircuit, BatchRequest, BatchResponse, JobReport, JobStatus, OptimizeRequest,
-    OracleInfo, OracleList, ServiceReport, StatsReport, VersionInfo,
+    ApiError, BatchCircuit, BatchRequest, BatchResponse, CacheClearResponse, CacheReport,
+    CacheTierReport, JobReport, JobStatus, OptimizeRequest, OracleInfo, OracleList, ServiceReport,
+    StatsReport, VersionInfo,
 };
 use serde_json::Value;
 use std::path::PathBuf;
@@ -138,6 +139,28 @@ fn batch_response_snapshot() {
     );
 }
 
+/// The two-tier exemplar shared by the stats and cache snapshots.
+fn exemplar_tiers() -> Vec<CacheTierReport> {
+    vec![
+        CacheTierReport {
+            tier: "memory".into(),
+            entries: 4,
+            hits: 5,
+            misses: 5,
+            evictions: 0,
+            bytes: 4464,
+        },
+        CacheTierReport {
+            tier: "disk".into(),
+            entries: 4,
+            hits: 1,
+            misses: 4,
+            evictions: 0,
+            bytes: 65536,
+        },
+    ]
+}
+
 #[test]
 fn stats_report_snapshot() {
     check(
@@ -153,7 +176,38 @@ fn stats_report_snapshot() {
             oracle_calls_issued: 321,
             cache_entries: 4,
             cache_evictions: 0,
+            cache_backend: "tiered".into(),
+            cache_tiers: exemplar_tiers(),
             jobs_tracked: Some(3),
+        }
+        .to_json(),
+    );
+}
+
+#[test]
+fn cache_report_snapshot() {
+    check(
+        "cache_report",
+        &CacheReport {
+            backend: "tiered".into(),
+            entries: 4,
+            hits: 6,
+            misses: 4,
+            evictions: 0,
+            bytes: 70000,
+            tiers: exemplar_tiers(),
+        }
+        .to_json(),
+    );
+}
+
+#[test]
+fn cache_clear_snapshot() {
+    check(
+        "cache_clear",
+        &CacheClearResponse {
+            cleared: true,
+            entries_removed: 4,
         }
         .to_json(),
     );
@@ -182,6 +236,15 @@ fn service_report_snapshot() {
                 completed: 1,
                 oracle_calls_issued: 59,
                 cache_entries: 1,
+                cache_backend: "memory".into(),
+                cache_tiers: vec![CacheTierReport {
+                    tier: "memory".into(),
+                    entries: 1,
+                    hits: 0,
+                    misses: 1,
+                    evictions: 0,
+                    bytes: 1116,
+                }],
                 ..StatsReport::default()
             },
         }

@@ -11,6 +11,8 @@
 //! | `/v1/version` | GET | — | [`qapi::VersionInfo`] |
 //! | `/v1/oracles` | GET | — | [`qapi::OracleList`] (the registry) |
 //! | `/v1/stats` | GET | — | [`qapi::StatsReport`] |
+//! | `/v1/cache` | GET | — | [`qapi::CacheReport`] (per-tier store counters) |
+//! | `/v1/cache` | DELETE | — | [`qapi::CacheClearResponse`] (drops every stored result) |
 //! | `/v1/optimize` | POST | QASM text or [`qapi::OptimizeRequest`] JSON | [`qapi::JobStatus`] |
 //! | `/v1/batch` | POST | [`qapi::BatchRequest`] | [`qapi::BatchResponse`] |
 //! | `/v1/jobs/{id}` | GET | — | [`qapi::JobStatus`] |
@@ -37,7 +39,7 @@ use crate::server::Handler;
 use popqc_core::PopqcConfig;
 use qapi::ApiError;
 use qcir::qasm;
-use qsvc::report::{batch_report, job_status, stats_report};
+use qsvc::report::{batch_report, cache_report, job_status, stats_report};
 use qsvc::service::{JobHandle, JobRequest, OptimizationService};
 use serde_json::json;
 use std::collections::BTreeMap;
@@ -362,6 +364,19 @@ impl AppState {
         };
         Response::json(200, &list.to_json())
     }
+
+    fn handle_cache_get(&self) -> Response {
+        Response::json(200, &cache_report(&self.svc.store().stats()).to_json())
+    }
+
+    fn handle_cache_clear(&self) -> Response {
+        let removed = self.svc.clear_cache();
+        let doc = qapi::CacheClearResponse {
+            cleared: true,
+            entries_removed: removed,
+        };
+        Response::json(200, &doc.to_json())
+    }
 }
 
 impl Handler for AppState {
@@ -376,11 +391,14 @@ impl Handler for AppState {
             ("GET", "/v1/version") => Response::json(200, &qapi::VersionInfo::current().to_json()),
             ("GET", "/v1/oracles") => self.handle_oracles(),
             ("GET", "/v1/stats") => self.handle_stats(),
+            ("GET", "/v1/cache") => self.handle_cache_get(),
+            ("DELETE", "/v1/cache") => self.handle_cache_clear(),
             ("POST", "/v1/optimize") => self.handle_optimize(req),
             ("POST", "/v1/batch") => self.handle_batch(req),
             (_, "/healthz") | (_, "/v1/version") | (_, "/v1/oracles") | (_, "/v1/stats") => {
                 method_not_allowed("GET")
             }
+            (_, "/v1/cache") => method_not_allowed("GET or DELETE"),
             (_, "/v1/optimize") | (_, "/v1/batch") => method_not_allowed("POST"),
             _ => match path.strip_prefix("/v1/jobs/") {
                 Some(id) if method == "GET" => self.handle_job_get(id),

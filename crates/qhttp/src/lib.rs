@@ -17,10 +17,10 @@
 //!   [`Handler`].
 //! * [`api`] — the v1 JSON routes (`POST /v1/optimize`, `POST /v1/batch`,
 //!   `GET /v1/jobs/{id}`, `GET /v1/oracles`, `GET /v1/stats`,
-//!   `GET /v1/version`, `GET /healthz`) over an [`AppState`] holding the
-//!   service and the job registry. Every request and response body is a
-//!   `popqc-api` DTO; failures map through the closed `qapi::ApiError`
-//!   taxonomy and its canonical HTTP statuses.
+//!   `GET|DELETE /v1/cache`, `GET /v1/version`, `GET /healthz`) over an
+//!   [`AppState`] holding the service and the job registry. Every request
+//!   and response body is a `popqc-api` DTO; failures map through the
+//!   closed `qapi::ApiError` taxonomy and its canonical HTTP statuses.
 //!
 //! Concurrent identical submissions are deduplicated by the service's
 //! in-flight coalescing (one computation, N waiters) and completed

@@ -858,3 +858,151 @@ fn optimize_accepts_the_json_request_form() {
     assert_eq!(status, 400, "body: {reply}");
     assert_error_body(&reply, "invalid_config");
 }
+
+// ---------------------------------------------------------------------------
+// /v1/cache admin surface
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cache_endpoint_reflects_hits_and_delete_forces_recompute() {
+    let server = start_server(2);
+    let addr = server.local_addr();
+    let qasm = sample_qasm();
+
+    // Fresh server: an empty single-tier memory store.
+    let (status, body) = request(addr, "GET", "/v1/cache", "");
+    assert_eq!(status, 200, "body: {body}");
+    let report = qapi::CacheReport::from_json(&json(&body)).expect("cache DTO");
+    assert_eq!(report.backend, "memory");
+    assert_eq!((report.entries, report.hits), (0, 0));
+    assert_eq!(report.tiers.len(), 1);
+    assert_eq!(report.tiers[0].tier, "memory");
+
+    // Double POST: the second answers from the store, and /v1/cache says so.
+    let (status, _) = request(addr, "POST", "/v1/optimize", &qasm);
+    assert_eq!(status, 200);
+    let (status, body) = request(addr, "POST", "/v1/optimize", &qasm);
+    assert_eq!(status, 200);
+    assert_eq!(
+        json(&body)
+            .get("result")
+            .unwrap()
+            .get("cache_hit")
+            .unwrap()
+            .as_bool(),
+        Some(true)
+    );
+    let (_, body) = request(addr, "GET", "/v1/cache", "");
+    let report = qapi::CacheReport::from_json(&json(&body)).unwrap();
+    assert_eq!(report.hits, 1, "the double-POST hit must be visible");
+    assert_eq!(report.entries, 1);
+    assert!(report.bytes > 0);
+
+    // /v1/stats carries the same per-tier breakdown.
+    let stats = qapi::StatsReport::from_json(&get_stats(addr)).expect("stats DTO");
+    assert_eq!(stats.cache_backend, "memory");
+    assert_eq!(stats.cache_tiers.len(), 1);
+    assert_eq!(stats.cache_tiers[0].hits, 1);
+
+    // DELETE /v1/cache drops the entry; the next identical POST recomputes.
+    let calls_before = stats.oracle_calls_issued;
+    let (status, body) = request(addr, "DELETE", "/v1/cache", "");
+    assert_eq!(status, 200, "body: {body}");
+    let cleared = qapi::CacheClearResponse::from_json(&json(&body)).expect("clear DTO");
+    assert!(cleared.cleared);
+    assert_eq!(cleared.entries_removed, 1);
+
+    let (status, body) = request(addr, "POST", "/v1/optimize", &qasm);
+    assert_eq!(status, 200);
+    assert_eq!(
+        json(&body)
+            .get("result")
+            .unwrap()
+            .get("cache_hit")
+            .unwrap()
+            .as_bool(),
+        Some(false),
+        "a cleared cache must recompute"
+    );
+    let stats = qapi::StatsReport::from_json(&get_stats(addr)).unwrap();
+    assert!(
+        stats.oracle_calls_issued > calls_before,
+        "the recompute must have paid real oracle calls"
+    );
+
+    // Unsupported methods on the admin route answer 405, not a guess.
+    let (status, body) = request(addr, "POST", "/v1/cache", "");
+    assert_eq!(status, 405, "body: {body}");
+}
+
+#[test]
+fn restarted_server_over_a_disk_store_answers_from_the_disk_tier() {
+    let dir = std::env::temp_dir().join(format!("popqc-http-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    struct Cleanup(std::path::PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+    let _cleanup = Cleanup(dir.clone());
+    let qasm = sample_qasm();
+
+    let serve_tiered = || {
+        let store = qsvc::build_store(qsvc::StoreTier::Tiered, Some(&dir), 64, 4).unwrap();
+        let svc = OptimizationService::with_store(
+            OracleRegistry::builtin(),
+            ServiceConfig {
+                workers: 1,
+                threads_per_job: 1,
+                cache_capacity: 64,
+                cache_shards: 4,
+            },
+            store,
+        );
+        HttpServer::serve(
+            "127.0.0.1:0",
+            Arc::new(AppState::new(svc, 80)),
+            ServerConfig::default(),
+        )
+        .expect("bind loopback")
+    };
+
+    // Server one computes, persists, and is torn down.
+    let optimized = {
+        let server = serve_tiered();
+        let (status, body) = request(server.local_addr(), "POST", "/v1/optimize", &qasm);
+        assert_eq!(status, 200, "body: {body}");
+        let doc = json(&body);
+        let result = doc.get("result").unwrap();
+        assert_eq!(result.get("cache_hit").unwrap().as_bool(), Some(false));
+        result.get("qasm").unwrap().as_str().unwrap().to_string()
+    };
+
+    // Server two — a new service, new memory tier, same directory. The
+    // identical POST must be a cache hit served from disk with zero new
+    // oracle calls, and the disk tier's hit counter must show it.
+    let server = serve_tiered();
+    let addr = server.local_addr();
+    let (status, body) = request(addr, "POST", "/v1/optimize", &qasm);
+    assert_eq!(status, 200, "body: {body}");
+    let doc = json(&body);
+    let result = doc.get("result").unwrap();
+    assert_eq!(
+        result.get("cache_hit").unwrap().as_bool(),
+        Some(true),
+        "restart must answer from the disk tier"
+    );
+    assert_eq!(
+        result.get("qasm").unwrap().as_str().unwrap(),
+        optimized,
+        "the restored circuit must be identical"
+    );
+    let stats = qapi::StatsReport::from_json(&get_stats(addr)).unwrap();
+    assert_eq!(stats.oracle_calls_issued, 0, "no recompute after restart");
+    let (_, body) = request(addr, "GET", "/v1/cache", "");
+    let report = qapi::CacheReport::from_json(&json(&body)).unwrap();
+    assert_eq!(report.backend, "tiered");
+    let disk = report.tiers.iter().find(|t| t.tier == "disk").unwrap();
+    assert_eq!(disk.hits, 1, "the hit must be attributed to the disk tier");
+}

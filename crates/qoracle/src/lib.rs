@@ -59,6 +59,17 @@ pub trait SegmentOracle<U>: Sync {
     fn name(&self) -> &'static str {
         "oracle"
     }
+
+    /// Version tag for *persisted* result caches: an on-disk entry written
+    /// under a different version than the running code is invalidated
+    /// rather than trusted. The default ties the tag to this crate's
+    /// package version plus the oracle's [`name`](Self::name), so bumping
+    /// `qoracle` (where the built-in rewrite code lives) retires every
+    /// persisted entry; oracles whose behaviour can change independently
+    /// of a crate release should override this.
+    fn version(&self) -> String {
+        format!("{}+{}", env!("CARGO_PKG_VERSION"), self.name())
+    }
 }
 
 /// A trivial oracle that never changes its input. Useful as a control in

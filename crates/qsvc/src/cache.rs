@@ -86,9 +86,23 @@ pub struct ShardedLruCache<K, V> {
 }
 
 impl<K: Hash + Eq + Clone, V> ShardedLruCache<K, V> {
-    /// `capacity` is the total entry budget, split evenly across `shards`
-    /// (each shard holds at least one entry). Capacity `0` disables the
-    /// cache: every lookup misses and inserts are dropped.
+    /// `capacity` is the total entry budget, split evenly across `shards`.
+    ///
+    /// **Capacity `0` is the null cache**: every lookup misses, inserts are
+    /// dropped, and no operation panics — including the `shards == 0` and
+    /// `new(0, 0)` corners, where the shard count is clamped to one empty
+    /// shard. This is what [`ServiceConfig::cache_capacity`]
+    /// `= 0` (and the `null` store tier) rely on.
+    ///
+    /// **Capacity rounding**: the shard count is clamped to
+    /// `1..=capacity`, then each shard gets `max(1, capacity / shards)`
+    /// slots. The *effective* total is therefore
+    /// `per_shard × shards`, which rounds the requested capacity **down**
+    /// when `shards` does not divide it (e.g. `new(10, 4)` holds at most
+    /// 8 entries) and never rounds it up. Callers that need an exact
+    /// budget should pass a capacity divisible by the shard count.
+    ///
+    /// [`ServiceConfig::cache_capacity`]: crate::ServiceConfig
     pub fn new(capacity: usize, shards: usize) -> ShardedLruCache<K, V> {
         let shards = shards.clamp(1, capacity.max(1));
         let per_shard = if capacity == 0 {
@@ -158,6 +172,44 @@ impl<K: Hash + Eq + Clone, V> ShardedLruCache<K, V> {
         }
     }
 
+    /// Removes `key` if present; returns whether an entry was dropped.
+    pub fn remove(&self, key: &K) -> bool {
+        let mut shard = self.shard_for(key).lock().expect("cache shard poisoned");
+        match shard.map.remove(key) {
+            Some((stamp, _)) => {
+                shard.order.remove(&stamp);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops every entry; returns how many were removed. The monotonic
+    /// hit/miss/eviction counters are preserved (a clear is an admin
+    /// action, not an eviction).
+    pub fn clear(&self) -> u64 {
+        let mut removed = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("cache shard poisoned");
+            removed += shard.map.len() as u64;
+            shard.map.clear();
+            shard.order.clear();
+        }
+        removed
+    }
+
+    /// Folds `f` over every live value (e.g. approximate byte accounting).
+    /// Takes each shard lock once; O(n) and not atomic across shards.
+    pub fn sum_values(&self, f: impl Fn(&V) -> u64) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock().expect("cache shard poisoned");
+                shard.map.values().map(|(_, v)| f(v)).sum::<u64>()
+            })
+            .sum()
+    }
+
     /// Number of live entries across all shards.
     pub fn len(&self) -> usize {
         self.shards
@@ -221,6 +273,61 @@ mod tests {
         assert!(cache.get(&1).is_none());
         assert!(cache.is_empty());
         assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn zero_capacity_zero_shards_is_a_null_cache_never_a_panic() {
+        // The degenerate corner: both knobs zero. Must behave exactly like
+        // the null store — always miss, count misses, never panic — for
+        // every operation the store layer forwards.
+        let cache: ShardedLruCache<u64, u64> = ShardedLruCache::new(0, 0);
+        cache.insert(7, Arc::new(7));
+        assert!(cache.get(&7).is_none());
+        assert!(!cache.remove(&7));
+        assert_eq!(cache.clear(), 0);
+        assert_eq!(cache.sum_values(|v| *v), 0);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries, s.evictions), (0, 1, 0, 0));
+
+        // Zero shards with a real capacity clamps to one shard.
+        let cache: ShardedLruCache<u64, u64> = ShardedLruCache::new(4, 0);
+        cache.insert(1, Arc::new(10));
+        assert_eq!(cache.get(&1).as_deref(), Some(&10));
+    }
+
+    #[test]
+    fn capacity_rounds_down_across_shards() {
+        // 10 entries over 4 shards = 2 per shard = 8 effective: the
+        // documented round-down. Overfilling one shard evicts within it,
+        // so the total can never exceed per_shard * shards.
+        let cache: ShardedLruCache<u64, u64> = ShardedLruCache::new(10, 4);
+        for k in 0..100u64 {
+            cache.insert(k, Arc::new(k));
+        }
+        assert!(
+            cache.len() <= 8,
+            "effective capacity is 8, got {}",
+            cache.len()
+        );
+        assert!(cache.stats().evictions >= 92);
+    }
+
+    #[test]
+    fn remove_and_clear_drop_entries() {
+        let cache: ShardedLruCache<u64, u64> = ShardedLruCache::new(8, 2);
+        for k in 0..4u64 {
+            cache.insert(k, Arc::new(k * 10));
+        }
+        assert!(cache.remove(&2));
+        assert!(!cache.remove(&2), "second remove finds nothing");
+        assert!(cache.get(&2).is_none());
+        assert_eq!(cache.len(), 3);
+        // Removing must not corrupt the LRU order index.
+        cache.insert(2, Arc::new(20));
+        assert_eq!(cache.sum_values(|v| *v), 60); // values 0 + 10 + 20 + 30
+        assert_eq!(cache.clear(), 4);
+        assert!(cache.is_empty());
+        assert!(cache.get(&1).is_none());
     }
 
     #[test]

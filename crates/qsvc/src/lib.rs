@@ -15,12 +15,17 @@
 //!   (and engine config) per job, so one running service answers
 //!   mixed-oracle traffic. [`OracleRegistry::builtin`] registers the
 //!   workspace oracles (`rule_based`, `rule_single_pass`, `search`).
-//! * [`ShardedLruCache`] — results memoized under
-//!   [`JobKey`] = (structural circuit fingerprint, registry oracle id,
-//!   engine config); identical resubmissions cost zero oracle calls, and
-//!   mixed-oracle traffic shares one cache without cross-contamination.
-//!   Identical jobs submitted *concurrently* coalesce onto one in-flight
-//!   computation (see [`ServiceStats::coalesced`]).
+//! * [`ResultStore`] — the pluggable memoization backend the service owns
+//!   as `Arc<dyn ResultStore>`: [`MemoryStore`] (the [`ShardedLruCache`]
+//!   LRU, the default), [`DiskStore`] (one versioned file per entry; warm
+//!   starts survive restarts), [`TieredStore`] (memory in front of disk,
+//!   write-through + promote-on-hit), and [`NullStore`] (benchmark
+//!   baseline). Results are keyed by [`JobKey`] = (structural circuit
+//!   fingerprint, registry oracle id, engine config); identical
+//!   resubmissions cost zero oracle calls, and mixed-oracle traffic
+//!   shares one store without cross-contamination. Identical jobs
+//!   submitted *concurrently* coalesce onto one in-flight computation
+//!   (see [`ServiceStats::coalesced`]).
 //! * [`ServiceError`] — the closed failure taxonomy (unknown oracle,
 //!   duplicate registration, oracle crash); no panic or stringly error
 //!   crosses this crate's API.
@@ -66,9 +71,14 @@
 pub mod cache;
 pub mod report;
 pub mod service;
+pub mod store;
 
 pub use cache::{CacheStats, ShardedLruCache};
 pub use service::{
     BatchHandle, BatchResult, DynOracle, JobHandle, JobKey, JobRequest, JobResult,
     OptimizationService, OracleRegistry, ServiceConfig, ServiceError, ServiceStats,
+};
+pub use store::{
+    build_store, CachedRun, DiskStore, MemoryStore, NullStore, ResultStore, StoreStats, StoreTier,
+    TierStats, TieredStore,
 };

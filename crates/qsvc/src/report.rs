@@ -8,6 +8,34 @@
 //! surfaces emit byte-identical documents for the same job.
 
 use crate::service::{BatchResult, JobResult, ServiceStats};
+use crate::store::StoreStats;
+
+/// One tier of a [`StoreStats`] as the shared wire fragment.
+fn tier_report(t: &crate::store::TierStats) -> qapi::CacheTierReport {
+    qapi::CacheTierReport {
+        tier: t.tier.clone(),
+        entries: t.entries,
+        hits: t.hits,
+        misses: t.misses,
+        evictions: t.evictions,
+        bytes: t.bytes,
+    }
+}
+
+/// The store's per-tier counters as the `GET /v1/cache` document (and the
+/// `popqc cache stats` output) — one adapter for both, so the admin
+/// surfaces cannot drift.
+pub fn cache_report(store: &StoreStats) -> qapi::CacheReport {
+    qapi::CacheReport {
+        backend: store.backend.clone(),
+        entries: store.entries(),
+        hits: store.hits(),
+        misses: store.misses(),
+        evictions: store.evictions(),
+        bytes: store.bytes(),
+        tiers: store.tiers.iter().map(tier_report).collect(),
+    }
+}
 
 /// The per-job stats fragment for `r`, without `label`/`qasm` (contexts
 /// attach those: [`batch_report`] sets the label, [`job_status`] attaches
@@ -122,6 +150,8 @@ pub fn stats_report(
         oracle_calls_issued: stats.oracle_calls_issued,
         cache_entries: stats.cache.entries as u64,
         cache_evictions: stats.cache.evictions,
+        cache_backend: stats.store.backend.clone(),
+        cache_tiers: stats.store.tiers.iter().map(tier_report).collect(),
         jobs_tracked: None,
     }
 }

@@ -8,9 +8,10 @@
 //!  submit/submit_batch ──▶ FIFO queue ──▶ N worker threads
 //!        │     │                              │  (each installs a
 //!        │     └─ OracleRegistry lookup       │   threads-per-job pool:
-//!        │ cache probe                        ▼   outer × inner parallelism)
+//!        │ store probe                        ▼   outer × inner parallelism)
 //!        ▼                                 optimize_circuit_observed
-//!  ShardedLruCache ◀────── insert ────────────┘
+//!  Arc<dyn ResultStore> ◀──── put ────────────┘
+//!   (memory │ disk │ tiered │ null)
 //!        │
 //!        └────────▶ JobHandle::wait
 //! ```
@@ -24,7 +25,9 @@
 //!   named `Arc<dyn SegmentOracle<Gate>>` entries; every submission picks
 //!   an oracle (and engine config) per job, so one running service answers
 //!   mixed-oracle traffic. The registry id is the cache key's oracle id.
-//! * **Memoization** — results are cached under
+//! * **Memoization** — results live in a pluggable
+//!   [`ResultStore`] (memory LRU by default;
+//!   disk and tiered backends survive restarts) keyed by
 //!   `(circuit fingerprint, oracle id, engine config)`. Identical
 //!   resubmissions are answered from cache with zero oracle calls, and the
 //!   per-job [`JobResult::cache_hit`] flag plus the service-level counters
@@ -42,7 +45,8 @@
 //!   [`JobResult::error`] set, coalesced waiters are re-enqueued as
 //!   independent retries, and the worker thread survives.
 
-use crate::cache::{CacheStats, ShardedLruCache};
+use crate::cache::CacheStats;
+use crate::store::{CachedRun, MemoryStore, ResultStore, StoreStats};
 use popqc_core::{optimize_circuit_observed, PopqcConfig, PopqcStats, RoundObserver, RoundRecord};
 use qcir::{Circuit, Fingerprint, Gate};
 use qoracle::{GateCount, RuleBasedOptimizer, SearchOptimizer, SegmentOracle};
@@ -111,6 +115,11 @@ impl ServiceError {
 struct RegisteredOracle {
     id: String,
     description: String,
+    /// The oracle's persistence-invalidation tag
+    /// ([`SegmentOracle::version`]), captured once at registration so the
+    /// disk tier can stamp (and later verify) entries without re-asking
+    /// the oracle on every probe.
+    version: String,
     oracle: DynOracle,
 }
 
@@ -146,6 +155,7 @@ impl OracleRegistry {
             entries: vec![RegisteredOracle {
                 id: id.clone(),
                 description: "single-oracle registry".to_string(),
+                version: oracle.version(),
                 oracle: Arc::new(oracle),
             }],
             default_id: id,
@@ -193,6 +203,7 @@ impl OracleRegistry {
         self.entries.push(RegisteredOracle {
             id,
             description: description.into(),
+            version: oracle.version(),
             oracle,
         });
         Ok(())
@@ -211,11 +222,21 @@ impl OracleRegistry {
     /// Resolves an optional request id (`None` = the default) to the
     /// registry id plus the oracle itself.
     pub fn resolve(&self, id: Option<&str>) -> Result<(String, DynOracle), ServiceError> {
+        self.resolve_versioned(id)
+            .map(|(id, _version, oracle)| (id, oracle))
+    }
+
+    /// [`resolve`](Self::resolve) plus the oracle's persistence version
+    /// tag — what the store layer stamps disk entries with.
+    pub fn resolve_versioned(
+        &self,
+        id: Option<&str>,
+    ) -> Result<(String, String, DynOracle), ServiceError> {
         let id = id.unwrap_or(&self.default_id);
         self.entries
             .iter()
             .find(|e| e.id == id)
-            .map(|e| (e.id.clone(), Arc::clone(&e.oracle)))
+            .map(|e| (e.id.clone(), e.version.clone(), Arc::clone(&e.oracle)))
             .ok_or_else(|| self.unknown(id))
     }
 
@@ -398,12 +419,6 @@ pub struct JobResult {
     pub run_nanos: u64,
 }
 
-/// What the cache stores: the output half of a [`JobResult`].
-struct CachedRun {
-    circuit: Circuit,
-    stats: PopqcStats,
-}
-
 enum SlotState {
     Pending,
     Done(Arc<JobResult>),
@@ -539,7 +554,7 @@ impl BatchResult {
 }
 
 /// Monotonic service-wide counters.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ServiceStats {
     /// Jobs accepted by `submit`/`submit_batch`.
     pub submitted: u64,
@@ -556,14 +571,21 @@ pub struct ServiceStats {
     pub failed: u64,
     /// Oracle calls issued by cache-missing jobs.
     pub oracle_calls_issued: u64,
-    /// Cache-layer counters.
+    /// Store-layer counters aggregated across tiers (logical hits and
+    /// misses; entries in the authoritative tier). Kept for callers that
+    /// predate tiering — `store` has the per-tier breakdown.
     pub cache: CacheStats,
+    /// Per-tier store counters (backend name + one entry per tier).
+    pub store: StoreStats,
 }
 
 struct QueuedJob {
     circuit: Circuit,
     key: JobKey,
     oracle: DynOracle,
+    /// The oracle's persistence version tag; stamps disk-tier writes and
+    /// gates disk-tier reads (see [`ResultStore`]).
+    oracle_version: String,
     slot: Arc<JobSlot>,
     enqueued_at: Instant,
 }
@@ -589,6 +611,7 @@ struct InflightGuard<'a> {
     circuit: &'a Circuit,
     key: &'a JobKey,
     oracle: &'a DynOracle,
+    oracle_version: &'a str,
     armed: bool,
 }
 
@@ -614,6 +637,7 @@ impl Drop for InflightGuard<'_> {
                 circuit: self.circuit.clone(),
                 key: self.key.clone(),
                 oracle: Arc::clone(self.oracle),
+                oracle_version: self.oracle_version.to_string(),
                 slot: w.slot,
                 enqueued_at: w.attached_at,
             });
@@ -624,7 +648,7 @@ impl Drop for InflightGuard<'_> {
 
 struct Inner {
     threads_per_job: usize,
-    cache: ShardedLruCache<JobKey, CachedRun>,
+    store: Arc<dyn ResultStore>,
     queue: Mutex<VecDeque<QueuedJob>>,
     work_ready: Condvar,
     /// In-flight table: one entry per key that is queued or running, holding
@@ -722,7 +746,7 @@ impl Inner {
         // completed while this one sat in the queue (possible when the
         // earlier job's in-flight entry was removed between this job's
         // submit-time cache probe and its in-flight check).
-        if let Some(cached) = self.cache.get(&job.key) {
+        if let Some(cached) = self.store.get(&job.key, &job.oracle_version) {
             self.settle_waiters(&job.key, &cached.circuit, &cached.stats);
             self.complete(
                 &job.slot,
@@ -753,6 +777,7 @@ impl Inner {
             circuit: &job.circuit,
             key: &job.key,
             oracle: &job.oracle,
+            oracle_version: &job.oracle_version,
             armed: true,
         };
         // The oracle is a public trait clients implement: a panic inside it
@@ -805,8 +830,9 @@ impl Inner {
 
         self.oracle_calls_issued
             .fetch_add(stats.oracle_calls, Relaxed);
-        self.cache.insert(
-            job.key.clone(),
+        self.store.put(
+            &job.key,
+            &job.oracle_version,
             Arc::new(CachedRun {
                 circuit: optimized.clone(),
                 stats: stats.clone(),
@@ -877,11 +903,27 @@ pub struct OptimizationService {
 }
 
 impl OptimizationService {
-    /// Spawns the worker pool over `registry`. Every submission resolves
-    /// its oracle in the registry per job, so one running service answers
+    /// Spawns the worker pool over `registry` with the default
+    /// process-local [`MemoryStore`] sized by the config's
+    /// `cache_capacity`/`cache_shards`. Every submission resolves its
+    /// oracle in the registry per job, so one running service answers
     /// mixed-oracle traffic; the registry ids are the cache keys' oracle
     /// ids, so entries never cross-contaminate.
     pub fn new(registry: OracleRegistry, config: ServiceConfig) -> OptimizationService {
+        let store: Arc<dyn ResultStore> =
+            Arc::new(MemoryStore::new(config.cache_capacity, config.cache_shards));
+        OptimizationService::with_store(registry, config, store)
+    }
+
+    /// [`new`](Self::new) over an explicit [`ResultStore`] backend — the
+    /// pluggable seam. Swapping memory / disk / tiered / null (or any
+    /// future backend) changes nothing but this argument; the scheduling,
+    /// coalescing, and accounting layers above see only the trait.
+    pub fn with_store(
+        registry: OracleRegistry,
+        config: ServiceConfig,
+        store: Arc<dyn ResultStore>,
+    ) -> OptimizationService {
         assert!(
             !registry.is_empty(),
             "the oracle registry must hold at least the default oracle"
@@ -889,7 +931,7 @@ impl OptimizationService {
         let (workers, threads_per_job) = config.resolved();
         let inner = Arc::new(Inner {
             threads_per_job,
-            cache: ShardedLruCache::new(config.cache_capacity, config.cache_shards),
+            store,
             queue: Mutex::new(VecDeque::new()),
             work_ready: Condvar::new(),
             inflight: Mutex::new(HashMap::new()),
@@ -979,17 +1021,18 @@ impl OptimizationService {
     /// queued for the worker pool. Fails with
     /// [`ServiceError::UnknownOracle`] without enqueueing anything.
     pub fn submit_request(&self, req: JobRequest) -> Result<JobHandle, ServiceError> {
-        let (oracle_id, oracle) = self.registry.resolve(req.oracle.as_deref())?;
-        Ok(self.submit_resolved(oracle_id, oracle, req.circuit, &req.config))
+        let (oracle_id, version, oracle) =
+            self.registry.resolve_versioned(req.oracle.as_deref())?;
+        Ok(self.submit_resolved(oracle_id, version, oracle, req.circuit, &req.config))
     }
 
     /// Submits one circuit under the default oracle.
     pub fn submit(&self, circuit: Circuit, cfg: &PopqcConfig) -> JobHandle {
-        let (oracle_id, oracle) = self
+        let (oracle_id, version, oracle) = self
             .registry
-            .resolve(None)
+            .resolve_versioned(None)
             .expect("registry default always resolves");
-        self.submit_resolved(oracle_id, oracle, circuit, cfg)
+        self.submit_resolved(oracle_id, version, oracle, circuit, cfg)
     }
 
     /// Submits one circuit under a named oracle.
@@ -1005,6 +1048,7 @@ impl OptimizationService {
     fn submit_resolved(
         &self,
         oracle_id: String,
+        oracle_version: String,
         oracle: DynOracle,
         circuit: Circuit,
         cfg: &PopqcConfig,
@@ -1017,7 +1061,7 @@ impl OptimizationService {
         };
         let slot = JobSlot::new();
 
-        if let Some(cached) = self.inner.cache.get(&key) {
+        if let Some(cached) = self.inner.store.get(&key, &oracle_version) {
             self.inner.complete(
                 &slot,
                 JobResult {
@@ -1053,6 +1097,7 @@ impl OptimizationService {
             circuit,
             key,
             oracle,
+            oracle_version,
             slot: Arc::clone(&slot),
             enqueued_at: Instant::now(),
         };
@@ -1088,11 +1133,19 @@ impl OptimizationService {
     ) -> Result<BatchHandle, ServiceError> {
         // Resolve once up front: an unknown oracle must refuse the whole
         // batch before any job is enqueued.
-        let (oracle_id, resolved) = self.registry.resolve(Some(oracle))?;
+        let (oracle_id, version, resolved) = self.registry.resolve_versioned(Some(oracle))?;
         let submitted_at = Instant::now();
         let handles = circuits
             .into_iter()
-            .map(|c| self.submit_resolved(oracle_id.clone(), Arc::clone(&resolved), c, cfg))
+            .map(|c| {
+                self.submit_resolved(
+                    oracle_id.clone(),
+                    version.clone(),
+                    Arc::clone(&resolved),
+                    c,
+                    cfg,
+                )
+            })
             .collect();
         Ok(BatchHandle {
             handles,
@@ -1110,14 +1163,14 @@ impl OptimizationService {
     ) -> Result<BatchHandle, ServiceError> {
         let mut resolved = Vec::with_capacity(requests.len());
         for req in &requests {
-            resolved.push(self.registry.resolve(req.oracle.as_deref())?);
+            resolved.push(self.registry.resolve_versioned(req.oracle.as_deref())?);
         }
         let submitted_at = Instant::now();
         let handles = requests
             .into_iter()
             .zip(resolved)
-            .map(|(req, (oracle_id, oracle))| {
-                self.submit_resolved(oracle_id, oracle, req.circuit, &req.config)
+            .map(|(req, (oracle_id, version, oracle))| {
+                self.submit_resolved(oracle_id, version, oracle, req.circuit, &req.config)
             })
             .collect();
         Ok(BatchHandle {
@@ -1128,6 +1181,7 @@ impl OptimizationService {
 
     /// Point-in-time service counters.
     pub fn stats(&self) -> ServiceStats {
+        let store = self.inner.store.stats();
         ServiceStats {
             submitted: self.inner.submitted.load(Relaxed),
             completed: self.inner.completed.load(Relaxed),
@@ -1135,8 +1189,26 @@ impl OptimizationService {
             coalesced: self.inner.coalesced.load(Relaxed),
             failed: self.inner.failed.load(Relaxed),
             oracle_calls_issued: self.inner.oracle_calls_issued.load(Relaxed),
-            cache: self.inner.cache.stats(),
+            cache: CacheStats {
+                hits: store.hits(),
+                misses: store.misses(),
+                evictions: store.evictions(),
+                entries: store.entries() as usize,
+            },
+            store,
         }
+    }
+
+    /// The result store this service memoizes into.
+    pub fn store(&self) -> &Arc<dyn ResultStore> {
+        &self.inner.store
+    }
+
+    /// Drops every stored result (all tiers); returns how many entries
+    /// were removed. In-flight jobs are unaffected — they re-populate the
+    /// store as they finish.
+    pub fn clear_cache(&self) -> u64 {
+        self.inner.store.clear()
     }
 
     /// Worker pool width.
@@ -1165,5 +1237,8 @@ impl Drop for OptimizationService {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        // Every queued job has completed; give buffering backends their
+        // durability point before the store is dropped.
+        self.inner.store.flush();
     }
 }

@@ -1,0 +1,844 @@
+//! The pluggable result-store layer: where finished optimizations live.
+//!
+//! The service's speedup on repeated traffic comes from never re-proving
+//! a result it already holds; this module makes *where* those results are
+//! held a seam instead of a hard-coded LRU. [`ResultStore`] is the
+//! object-safe backend trait the service owns as `Arc<dyn ResultStore>`,
+//! with four shipped implementations:
+//!
+//! * [`MemoryStore`] — the process-local sharded LRU
+//!   ([`ShardedLruCache`]) behind the trait; what every deployment used
+//!   before this seam existed, and still the default.
+//! * [`DiskStore`] — one file per entry under a cache directory, so warm
+//!   starts survive restarts. Entries carry a versioned header (store
+//!   format version + the oracle's [`version`](qoracle::SegmentOracle::version)
+//!   tag); stale or foreign entries are invalidated, and corrupt or
+//!   truncated files read as misses and are quarantined, never trusted
+//!   and never an error.
+//! * [`TieredStore`] — any store in front of any other (memory in front
+//!   of disk in practice): write-through on put, promote-on-hit on get.
+//! * [`NullStore`] — always misses; isolates raw engine throughput in
+//!   benchmarks.
+//!
+//! [`StoreTier`] + [`build_store`] are the one construction seam the CLI
+//! and tests share: swapping `--cache-tier memory|disk|tiered` changes
+//! nothing outside this function.
+//!
+//! ## On-disk layout (format version 1)
+//!
+//! ```text
+//! <cache_dir>/
+//!   <fingerprint:032x>-<confighash:016x>.entry   # one JSON document per result
+//!   quarantine/<same name>.<nanos>               # corrupt files, moved aside
+//! ```
+//!
+//! Each `.entry` file is a single JSON object:
+//!
+//! ```json
+//! {
+//!   "store_format": 1,
+//!   "fingerprint": "<32 hex digits>",
+//!   "oracle_id": "rule_based",
+//!   "oracle_version": "0.2.0+rule-fixpoint",
+//!   "omega": 200,
+//!   "max_rounds": 18446744073709551615,
+//!   "qasm": "OPENQASM 2.0;...",
+//!   "stats": { "rounds": 15, "oracle_calls": 59, ... }
+//! }
+//! ```
+//!
+//! Reads validate before trusting: the header's key fields (input
+//! fingerprint, oracle id, config) must match the key being looked up,
+//! the QASM body must parse, and the parsed gate count must equal the
+//! recorded `final_units`. Writes go to a temp file and `rename` into
+//! place, so a crash mid-write leaves at worst a stray temp file, never a
+//! half-entry under a live name.
+//! Invalidation rules, in order:
+//!
+//! | condition | action |
+//! |-----------|--------|
+//! | file absent | plain miss |
+//! | unreadable / not JSON / truncated | miss + **quarantine** |
+//! | `store_format` ≠ 1 | miss + remove (stale format) |
+//! | key fields or `oracle_version` mismatch | miss + remove (stale code) |
+//! | QASM unparseable or fingerprint ≠ key | miss + **quarantine** |
+
+use crate::cache::ShardedLruCache;
+use crate::service::JobKey;
+use popqc_core::PopqcStats;
+use qcir::{qasm, Circuit, Gate};
+use serde_json::{json, Value};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// The on-disk entry format version. Bump on any layout change; readers
+/// discard entries from any other version.
+pub const STORE_FORMAT_VERSION: u64 = 1;
+
+/// What the store holds per key: the output half of a job.
+#[derive(Clone, Debug)]
+pub struct CachedRun {
+    /// The optimized circuit.
+    pub circuit: Circuit,
+    /// The original run's engine statistics. Entries restored from disk
+    /// carry an empty [`PopqcStats::rounds_detail`] (the per-round
+    /// breakdown is not persisted).
+    pub stats: PopqcStats,
+}
+
+impl CachedRun {
+    /// Approximate resident size, for the per-tier `bytes` gauge. Counts
+    /// the gate array and the per-round detail, not allocator overhead.
+    pub fn approx_bytes(&self) -> u64 {
+        (std::mem::size_of::<CachedRun>()
+            + self.circuit.gates.len() * std::mem::size_of::<Gate>()
+            + self.stats.rounds_detail.len() * std::mem::size_of::<popqc_core::RoundRecord>())
+            as u64
+    }
+}
+
+/// Point-in-time counters for one tier of a store.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Tier name (`memory`, `disk`, `null`).
+    pub tier: String,
+    /// Entries currently resident in this tier.
+    pub entries: u64,
+    /// Lookups this tier answered.
+    pub hits: u64,
+    /// Lookups this tier could not answer.
+    pub misses: u64,
+    /// Entries this tier evicted to make room.
+    pub evictions: u64,
+    /// Approximate resident bytes (exact file bytes for the disk tier).
+    pub bytes: u64,
+}
+
+/// A store's full report: the backend name plus one [`TierStats`] per
+/// tier, front first. Single-tier stores report exactly one tier.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Backend name (`memory`, `disk`, `tiered`, `null`).
+    pub backend: String,
+    /// Per-tier counters, front tier first.
+    pub tiers: Vec<TierStats>,
+}
+
+impl StoreStats {
+    fn single(backend: &str, tier: TierStats) -> StoreStats {
+        StoreStats {
+            backend: backend.to_string(),
+            tiers: vec![tier],
+        }
+    }
+
+    /// Logical hits: a lookup that any tier answered.
+    pub fn hits(&self) -> u64 {
+        self.tiers.iter().map(|t| t.hits).sum()
+    }
+
+    /// Logical misses: lookups no tier answered. Front-tier misses that a
+    /// later tier absorbed are not logical misses, so this reads the
+    /// *last* tier (every logical miss reaches it).
+    pub fn misses(&self) -> u64 {
+        self.tiers.last().map_or(0, |t| t.misses)
+    }
+
+    /// Entries in the authoritative (last) tier. With write-through
+    /// tiering the front tier holds a subset of the back, so the back
+    /// count is the store's population.
+    pub fn entries(&self) -> u64 {
+        self.tiers.last().map_or(0, |t| t.entries)
+    }
+
+    /// Evictions summed across tiers.
+    pub fn evictions(&self) -> u64 {
+        self.tiers.iter().map(|t| t.evictions).sum()
+    }
+
+    /// Resident bytes summed across tiers.
+    pub fn bytes(&self) -> u64 {
+        self.tiers.iter().map(|t| t.bytes).sum()
+    }
+}
+
+/// The pluggable result-store backend. Object-safe and `Send + Sync`: the
+/// service owns one as `Arc<dyn ResultStore>` and never names a concrete
+/// type past construction.
+///
+/// `oracle_version` on the read/write path is the invalidation token for
+/// *persistent* tiers: a stored entry whose recorded version differs from
+/// the one passed in must read as a miss (the oracle code changed, the
+/// cached result may no longer be what the oracle would produce).
+/// Process-local tiers may ignore it — within one process the registry is
+/// fixed, so an id never maps to two versions.
+pub trait ResultStore: Send + Sync {
+    /// Looks up `key`; `None` is a miss. Never an error: a persistent tier
+    /// that finds a corrupt or stale entry must self-heal and miss.
+    fn get(&self, key: &JobKey, oracle_version: &str) -> Option<Arc<CachedRun>>;
+
+    /// Stores `value` under `key`, tagged with `oracle_version`.
+    fn put(&self, key: &JobKey, oracle_version: &str, value: Arc<CachedRun>);
+
+    /// Removes one entry; returns whether it existed.
+    fn remove(&self, key: &JobKey) -> bool;
+
+    /// Drops every entry; returns how many were removed.
+    fn clear(&self) -> u64;
+
+    /// Entries currently resident (the authoritative tier's count).
+    fn len(&self) -> usize;
+
+    /// Whether the store holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Point-in-time per-tier counters.
+    fn stats(&self) -> StoreStats;
+
+    /// Blocks until previously written entries are durable. In-memory
+    /// tiers are trivially durable-for-their-lifetime; [`DiskStore`]
+    /// writes each entry with rename-into-place at `put` time, so this is
+    /// a no-op hook kept for backends with real write buffers.
+    fn flush(&self);
+}
+
+// ---------------------------------------------------------------------------
+// MemoryStore
+// ---------------------------------------------------------------------------
+
+/// The process-local tier: [`ShardedLruCache`] behind the trait.
+///
+/// Capacity `0` is the null-cache edge: every lookup misses and puts are
+/// dropped (see [`ShardedLruCache::new`] for the exact rounding rules).
+/// `oracle_version` is ignored — within one process the registry binds
+/// each oracle id to exactly one version for the store's whole lifetime.
+pub struct MemoryStore {
+    cache: ShardedLruCache<JobKey, CachedRun>,
+}
+
+impl MemoryStore {
+    /// A store holding at most `capacity` entries over `shards` locks.
+    pub fn new(capacity: usize, shards: usize) -> MemoryStore {
+        MemoryStore {
+            cache: ShardedLruCache::new(capacity, shards),
+        }
+    }
+}
+
+impl ResultStore for MemoryStore {
+    fn get(&self, key: &JobKey, _oracle_version: &str) -> Option<Arc<CachedRun>> {
+        self.cache.get(key)
+    }
+
+    fn put(&self, key: &JobKey, _oracle_version: &str, value: Arc<CachedRun>) {
+        self.cache.insert(key.clone(), value);
+    }
+
+    fn remove(&self, key: &JobKey) -> bool {
+        self.cache.remove(key)
+    }
+
+    fn clear(&self) -> u64 {
+        self.cache.clear()
+    }
+
+    fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    fn stats(&self) -> StoreStats {
+        let c = self.cache.stats();
+        StoreStats::single(
+            "memory",
+            TierStats {
+                tier: "memory".to_string(),
+                entries: c.entries as u64,
+                hits: c.hits,
+                misses: c.misses,
+                evictions: c.evictions,
+                bytes: self.cache.sum_values(CachedRun::approx_bytes),
+            },
+        )
+    }
+
+    fn flush(&self) {}
+}
+
+// ---------------------------------------------------------------------------
+// DiskStore
+// ---------------------------------------------------------------------------
+
+/// The persistent tier: one file per entry under a cache directory (see
+/// the module docs for the exact layout and invalidation table). Safe for
+/// concurrent use from many threads *and* many processes sharing the
+/// directory: writes are rename-into-place, reads validate before
+/// trusting.
+pub struct DiskStore {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidated: AtomicU64,
+    quarantined: AtomicU64,
+    tmp_counter: AtomicU64,
+    /// Entry/byte gauges, initialized by one directory scan at `open` and
+    /// maintained incrementally, so `stats()`/`len()` never walk the
+    /// directory on the serving path. They track *this handle's* view:
+    /// entries written by other processes sharing the directory are
+    /// picked up on the next `open` (or after a `clear`, which rescans).
+    entries: AtomicU64,
+    bytes: AtomicU64,
+}
+
+/// Saturating decrement for a gauge (concurrent cross-process mutation
+/// can make decrements over-approximate; a floor of zero beats wrapping
+/// to 2^64 in a report).
+fn gauge_sub(gauge: &AtomicU64, amount: u64) {
+    let _ = gauge.fetch_update(Relaxed, Relaxed, |v| Some(v.saturating_sub(amount)));
+}
+
+/// FNV-1a over the non-fingerprint half of the key; disambiguates two
+/// entries for the same circuit under different oracles/configs in the
+/// file name. Collisions are harmless — the body repeats the full key and
+/// a mismatch reads as a stale miss.
+fn config_hash(key: &JobKey) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut absorb = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    absorb(key.oracle_id.as_bytes());
+    absorb(&[0]);
+    absorb(&(key.config.omega as u64).to_le_bytes());
+    absorb(&(key.config.max_rounds as u64).to_le_bytes());
+    h
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) a store rooted at `dir`. Scans the
+    /// directory once to seed the entry/byte gauges.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<DiskStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let store = DiskStore {
+            dir,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            tmp_counter: AtomicU64::new(0),
+            entries: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        };
+        store.resync();
+        Ok(store)
+    }
+
+    /// Re-seeds the entry/byte gauges from a directory scan (open time,
+    /// and after `clear`, when the incremental view has been reset).
+    fn resync(&self) {
+        let (entries, bytes) = self.scan();
+        self.entries.store(entries as u64, Relaxed);
+        self.bytes.store(bytes, Relaxed);
+    }
+
+    /// The directory this store persists under.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Entries this store discarded as stale (wrong format or oracle
+    /// version) since it was opened.
+    pub fn invalidated(&self) -> u64 {
+        self.invalidated.load(Relaxed)
+    }
+
+    /// Corrupt files this store moved into `quarantine/` since it was
+    /// opened.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Relaxed)
+    }
+
+    fn entry_path(&self, key: &JobKey) -> PathBuf {
+        self.dir.join(format!(
+            "{}-{:016x}.entry",
+            key.fingerprint,
+            config_hash(key)
+        ))
+    }
+
+    /// Moves a corrupt file into `quarantine/` (best effort — a racing
+    /// process may have moved or deleted it first). `size` is the body
+    /// length just read, for the byte gauge.
+    fn quarantine(&self, path: &Path, size: u64) {
+        let qdir = self.dir.join("quarantine");
+        let _ = std::fs::create_dir_all(&qdir);
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "entry".to_string());
+        let unique = self.tmp_counter.fetch_add(1, Relaxed);
+        let dest = qdir.join(format!("{name}.{}-{unique}", std::process::id()));
+        if std::fs::rename(path, &dest).is_err() {
+            let _ = std::fs::remove_file(path);
+        }
+        self.quarantined.fetch_add(1, Relaxed);
+        gauge_sub(&self.entries, 1);
+        gauge_sub(&self.bytes, size);
+    }
+
+    /// Discards a well-formed but stale file (old format or oracle code).
+    fn invalidate(&self, path: &Path, size: u64) {
+        let _ = std::fs::remove_file(path);
+        self.invalidated.fetch_add(1, Relaxed);
+        gauge_sub(&self.entries, 1);
+        gauge_sub(&self.bytes, size);
+    }
+
+    fn serialize(key: &JobKey, oracle_version: &str, run: &CachedRun) -> String {
+        let doc = json!({
+            "store_format": STORE_FORMAT_VERSION,
+            "fingerprint": key.fingerprint.to_hex().as_str(),
+            "oracle_id": key.oracle_id.as_str(),
+            "oracle_version": oracle_version,
+            "omega": key.config.omega as u64,
+            "max_rounds": key.config.max_rounds as u64,
+            "qasm": qasm::to_qasm(&run.circuit).as_str(),
+            "stats": {
+                "rounds": run.stats.rounds as u64,
+                "oracle_calls": run.stats.oracle_calls,
+                "accepted": run.stats.accepted,
+                "oracle_nanos": run.stats.oracle_nanos,
+                "total_nanos": run.stats.total_nanos,
+                "initial_units": run.stats.initial_units as u64,
+                "final_units": run.stats.final_units as u64,
+            },
+        });
+        serde_json::to_string(&doc).expect("serialize cache entry")
+    }
+
+    /// Parses and fully validates one entry body against the key it was
+    /// looked up under. `Err(quarantine?)` distinguishes corrupt bodies
+    /// (quarantine) from merely stale ones (silent removal).
+    fn deserialize(
+        key: &JobKey,
+        oracle_version: &str,
+        text: &str,
+    ) -> Result<CachedRun, EntryRejection> {
+        let doc: Value = serde_json::from_str(text).map_err(|_| EntryRejection::Corrupt)?;
+        let num = |field: &str| doc.get(field).and_then(Value::as_u64);
+        // A parseable document with the wrong format version is *stale*,
+        // not corrupt — whatever wrote it knew what it was doing.
+        match num("store_format") {
+            Some(STORE_FORMAT_VERSION) => {}
+            Some(_) => return Err(EntryRejection::Stale),
+            None => return Err(EntryRejection::Corrupt),
+        }
+        let field = |name: &str| doc.get(name).and_then(Value::as_str);
+        let matches_key = field("fingerprint") == Some(key.fingerprint.to_hex().as_str())
+            && field("oracle_id") == Some(key.oracle_id.as_str())
+            && num("omega") == Some(key.config.omega as u64)
+            && num("max_rounds") == Some(key.config.max_rounds as u64);
+        if !matches_key || field("oracle_version") != Some(oracle_version) {
+            return Err(EntryRejection::Stale);
+        }
+        let qasm_text = field("qasm").ok_or(EntryRejection::Corrupt)?;
+        let circuit = qasm::parse(qasm_text).map_err(|_| EntryRejection::Corrupt)?;
+        let stats_doc = doc.get("stats").ok_or(EntryRejection::Corrupt)?;
+        let stat = |name: &str| {
+            stats_doc
+                .get(name)
+                .and_then(Value::as_u64)
+                .ok_or(EntryRejection::Corrupt)
+        };
+        let stats = PopqcStats {
+            rounds: stat("rounds")? as usize,
+            oracle_calls: stat("oracle_calls")?,
+            accepted: stat("accepted")?,
+            oracle_nanos: stat("oracle_nanos")?,
+            total_nanos: stat("total_nanos")?,
+            initial_units: stat("initial_units")? as usize,
+            final_units: stat("final_units")? as usize,
+            rounds_detail: Vec::new(),
+        };
+        // Cross-field consistency: the parsed body must be the circuit the
+        // stats describe. Catches a truncation that still happens to end
+        // on a QASM statement boundary.
+        if stats.final_units != circuit.gates.len() {
+            return Err(EntryRejection::Corrupt);
+        }
+        Ok(CachedRun { circuit, stats })
+    }
+}
+
+enum EntryRejection {
+    /// Unreadable, truncated, or internally inconsistent: quarantine it.
+    Corrupt,
+    /// Well-formed but written by different code (format or oracle
+    /// version) or for a different key: remove it.
+    Stale,
+}
+
+impl ResultStore for DiskStore {
+    fn get(&self, key: &JobKey, oracle_version: &str) -> Option<Arc<CachedRun>> {
+        let path = self.entry_path(key);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(_) => {
+                self.misses.fetch_add(1, Relaxed);
+                return None;
+            }
+        };
+        match DiskStore::deserialize(key, oracle_version, &text) {
+            Ok(run) => {
+                self.hits.fetch_add(1, Relaxed);
+                Some(Arc::new(run))
+            }
+            Err(EntryRejection::Corrupt) => {
+                self.quarantine(&path, text.len() as u64);
+                self.misses.fetch_add(1, Relaxed);
+                None
+            }
+            Err(EntryRejection::Stale) => {
+                self.invalidate(&path, text.len() as u64);
+                self.misses.fetch_add(1, Relaxed);
+                None
+            }
+        }
+    }
+
+    fn put(&self, key: &JobKey, oracle_version: &str, value: Arc<CachedRun>) {
+        let path = self.entry_path(key);
+        let unique = self.tmp_counter.fetch_add(1, Relaxed);
+        let tmp = self
+            .dir
+            .join(format!(".tmp-{}-{unique}", std::process::id()));
+        let body = DiskStore::serialize(key, oracle_version, &value);
+        let body_len = body.len() as u64;
+        // Whatever this put replaces, for the gauges (`None` = fresh key).
+        let replaced = std::fs::metadata(&path).map(|m| m.len()).ok();
+        // Write-then-rename: a crash mid-write leaves a stray temp file,
+        // never a truncated entry under a live name. Failures are silent
+        // by design — a full disk degrades the cache, not the service —
+        // but the temp file is always cleaned up on the failure paths.
+        match std::fs::write(&tmp, body) {
+            Ok(()) => {
+                if std::fs::rename(&tmp, &path).is_ok() {
+                    if replaced.is_none() {
+                        self.entries.fetch_add(1, Relaxed);
+                    }
+                    gauge_sub(&self.bytes, replaced.unwrap_or(0));
+                    self.bytes.fetch_add(body_len, Relaxed);
+                } else {
+                    let _ = std::fs::remove_file(&tmp);
+                }
+            }
+            Err(_) => {
+                // A failed write can still have created (and partially
+                // filled) the file — e.g. on a full disk.
+                let _ = std::fs::remove_file(&tmp);
+            }
+        }
+    }
+
+    fn remove(&self, key: &JobKey) -> bool {
+        let path = self.entry_path(key);
+        let size = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let removed = std::fs::remove_file(path).is_ok();
+        if removed {
+            gauge_sub(&self.entries, 1);
+            gauge_sub(&self.bytes, size);
+        }
+        removed
+    }
+
+    fn clear(&self) -> u64 {
+        let mut removed = 0;
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.extension().is_some_and(|x| x == "entry") {
+                    if std::fs::remove_file(&path).is_ok() {
+                        removed += 1;
+                    }
+                } else if path
+                    .file_name()
+                    .is_some_and(|n| n.to_string_lossy().starts_with(".tmp-"))
+                {
+                    // Admin sweep: temp files orphaned by a crashed writer.
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
+        }
+        // Re-seed the gauges from disk rather than zeroing them: entries
+        // written by concurrent processes mid-clear stay counted.
+        self.resync();
+        removed
+    }
+
+    fn len(&self) -> usize {
+        self.entries.load(Relaxed) as usize
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats::single(
+            "disk",
+            TierStats {
+                tier: "disk".to_string(),
+                entries: self.entries.load(Relaxed),
+                hits: self.hits.load(Relaxed),
+                misses: self.misses.load(Relaxed),
+                // Stale entries discarded on read are this tier's eviction
+                // analogue; quarantined files are counted separately but
+                // also no longer serve hits.
+                evictions: self.invalidated.load(Relaxed) + self.quarantined.load(Relaxed),
+                bytes: self.bytes.load(Relaxed),
+            },
+        )
+    }
+
+    fn flush(&self) {}
+}
+
+impl DiskStore {
+    /// Walks the directory once: (entry count, total entry bytes).
+    fn scan(&self) -> (usize, u64) {
+        let mut count = 0;
+        let mut bytes = 0;
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.extension().is_some_and(|x| x == "entry") {
+                    count += 1;
+                    bytes += entry.metadata().map(|m| m.len()).unwrap_or(0);
+                }
+            }
+        }
+        (count, bytes)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TieredStore
+// ---------------------------------------------------------------------------
+
+/// A fast tier in front of an authoritative one. Reads probe the front
+/// first and **promote on hit** (a back-tier hit is re-inserted into the
+/// front, so hot keys migrate forward); writes go **through** to both, so
+/// the front always holds a subset of the back and clearing the back
+/// clears the truth.
+pub struct TieredStore {
+    front: Arc<dyn ResultStore>,
+    back: Arc<dyn ResultStore>,
+    /// Serializes promotions against `clear`/`remove`: without it, a
+    /// back-tier read racing an admin clear could re-insert its entry
+    /// into the front *after* both tiers were emptied, breaking the
+    /// front ⊆ back invariant (a "cleared" cache would keep serving the
+    /// key from memory). Reads share the lock; the rare admin ops take it
+    /// exclusively.
+    admin_gate: std::sync::RwLock<()>,
+}
+
+impl TieredStore {
+    /// `front` answers first; `back` is authoritative.
+    pub fn new(front: Arc<dyn ResultStore>, back: Arc<dyn ResultStore>) -> TieredStore {
+        TieredStore {
+            front,
+            back,
+            admin_gate: std::sync::RwLock::new(()),
+        }
+    }
+}
+
+impl ResultStore for TieredStore {
+    fn get(&self, key: &JobKey, oracle_version: &str) -> Option<Arc<CachedRun>> {
+        if let Some(run) = self.front.get(key, oracle_version) {
+            return Some(run);
+        }
+        // Hold the (shared) gate across probe + promote so an admin
+        // clear/remove cannot interleave between them.
+        let _gate = self.admin_gate.read().expect("tiered admin gate poisoned");
+        let run = self.back.get(key, oracle_version)?;
+        // Promote: the next lookup for this key answers from the front.
+        self.front.put(key, oracle_version, Arc::clone(&run));
+        Some(run)
+    }
+
+    fn put(&self, key: &JobKey, oracle_version: &str, value: Arc<CachedRun>) {
+        self.front.put(key, oracle_version, Arc::clone(&value));
+        self.back.put(key, oracle_version, value);
+    }
+
+    fn remove(&self, key: &JobKey) -> bool {
+        let _gate = self.admin_gate.write().expect("tiered admin gate poisoned");
+        let front = self.front.remove(key);
+        self.back.remove(key) || front
+    }
+
+    fn clear(&self) -> u64 {
+        // Exclusive: in-flight promotions finish (or wait) before both
+        // tiers drop, so no promote can resurrect a cleared entry.
+        let _gate = self.admin_gate.write().expect("tiered admin gate poisoned");
+        self.front.clear();
+        // Write-through keeps front ⊆ back, so the back count is the
+        // number of distinct entries dropped.
+        self.back.clear()
+    }
+
+    fn len(&self) -> usize {
+        self.back.len()
+    }
+
+    fn stats(&self) -> StoreStats {
+        let mut tiers = self.front.stats().tiers;
+        tiers.extend(self.back.stats().tiers);
+        StoreStats {
+            backend: "tiered".to_string(),
+            tiers,
+        }
+    }
+
+    fn flush(&self) {
+        self.front.flush();
+        self.back.flush();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NullStore
+// ---------------------------------------------------------------------------
+
+/// The store that never remembers: every get misses, every put is
+/// dropped. Benchmarks use it to measure raw engine throughput with the
+/// memoization layer provably out of the picture.
+#[derive(Default)]
+pub struct NullStore {
+    misses: AtomicU64,
+}
+
+impl NullStore {
+    /// A fresh null store.
+    pub fn new() -> NullStore {
+        NullStore::default()
+    }
+}
+
+impl ResultStore for NullStore {
+    fn get(&self, _key: &JobKey, _oracle_version: &str) -> Option<Arc<CachedRun>> {
+        self.misses.fetch_add(1, Relaxed);
+        None
+    }
+
+    fn put(&self, _key: &JobKey, _oracle_version: &str, _value: Arc<CachedRun>) {}
+
+    fn remove(&self, _key: &JobKey) -> bool {
+        false
+    }
+
+    fn clear(&self) -> u64 {
+        0
+    }
+
+    fn len(&self) -> usize {
+        0
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats::single(
+            "null",
+            TierStats {
+                tier: "null".to_string(),
+                misses: self.misses.load(Relaxed),
+                ..TierStats::default()
+            },
+        )
+    }
+
+    fn flush(&self) {}
+}
+
+// ---------------------------------------------------------------------------
+// Construction seam
+// ---------------------------------------------------------------------------
+
+/// The backend selector the CLI's `--cache-tier` flag names. Everything
+/// downstream of [`build_store`] is `Arc<dyn ResultStore>`, so adding a
+/// tier here is the *only* code change a new backend needs outside its
+/// own implementation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreTier {
+    /// Process-local LRU only (the default; no persistence).
+    Memory,
+    /// Disk only: every probe and write goes to the cache directory.
+    Disk,
+    /// Memory in front of disk: RAM-speed hits, restart-surviving truth.
+    Tiered,
+    /// No caching at all (benchmark baseline).
+    Null,
+}
+
+impl StoreTier {
+    /// Every tier name `--cache-tier` accepts, in documentation order.
+    pub const NAMES: [&'static str; 4] = ["memory", "disk", "tiered", "null"];
+}
+
+impl std::str::FromStr for StoreTier {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<StoreTier, String> {
+        match s {
+            "memory" => Ok(StoreTier::Memory),
+            "disk" => Ok(StoreTier::Disk),
+            "tiered" => Ok(StoreTier::Tiered),
+            "null" => Ok(StoreTier::Null),
+            other => Err(format!(
+                "unknown cache tier `{other}` (expected one of: {})",
+                StoreTier::NAMES.join(", ")
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for StoreTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StoreTier::Memory => "memory",
+            StoreTier::Disk => "disk",
+            StoreTier::Tiered => "tiered",
+            StoreTier::Null => "null",
+        })
+    }
+}
+
+/// Builds the store a service (or the `popqc cache` admin commands) will
+/// own. `cache_dir` is required for the persistent tiers; `capacity` and
+/// `shards` size the memory tier where one exists.
+pub fn build_store(
+    tier: StoreTier,
+    cache_dir: Option<&Path>,
+    capacity: usize,
+    shards: usize,
+) -> Result<Arc<dyn ResultStore>, String> {
+    let disk = |dir: &Path| -> Result<Arc<DiskStore>, String> {
+        DiskStore::open(dir)
+            .map(Arc::new)
+            .map_err(|e| format!("cannot open cache dir {}: {e}", dir.display()))
+    };
+    let need_dir = || format!("cache tier `{tier}` requires --cache-dir");
+    Ok(match tier {
+        StoreTier::Memory => Arc::new(MemoryStore::new(capacity, shards)),
+        StoreTier::Null => Arc::new(NullStore::new()),
+        StoreTier::Disk => disk(cache_dir.ok_or_else(need_dir)?)?,
+        StoreTier::Tiered => {
+            let back = disk(cache_dir.ok_or_else(need_dir)?)?;
+            Arc::new(TieredStore::new(
+                Arc::new(MemoryStore::new(capacity, shards)),
+                back,
+            ))
+        }
+    })
+}

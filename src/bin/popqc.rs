@@ -4,10 +4,15 @@
 //! ```text
 //! popqc optimize <FILE|DIR>... [--out DIR] [--omega N] [--oracle ID]
 //!                [--workers N] [--threads-per-job N] [--cache-capacity N]
+//!                [--cache-tier memory|disk|tiered|null] [--cache-dir DIR]
 //!                [--repeat N] [--report FILE] [--json] [--verify] [--quiet]
 //! popqc serve [--addr HOST:PORT] [--workers N] [--threads-per-job N]
 //!             [--omega N] [--oracle ID] [--cache-capacity N]
 //!             [--conn-threads N]
+//!             [--cache-tier memory|disk|tiered|null] [--cache-dir DIR]
+//! popqc cache stats --cache-dir DIR
+//! popqc cache clear --cache-dir DIR
+//! popqc cache warm <FILE|DIR>... --cache-dir DIR [--omega N] [--oracle ID]
 //! popqc gen --family NAME --qubits N [--seed S] [--out FILE|DIR]
 //! popqc oracles
 //! popqc families
@@ -28,9 +33,14 @@
 //! `--oracle` names an [`OracleRegistry`] id (see `popqc oracles`); the
 //! server keeps every registered oracle live and uses `--oracle` only as
 //! the default for requests that do not select one.
+//!
+//! `--cache-tier`/`--cache-dir` pick the result-store backend (see
+//! `qsvc::store`): `tiered` or `disk` over a directory makes warm starts
+//! survive process restarts, and `popqc cache {stats,clear,warm}`
+//! administers such a directory offline.
 
 use popqc::prelude::*;
-use popqc::service::report::{batch_report, job_status, service_report};
+use popqc::service::report::{batch_report, cache_report, job_status, service_report};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -39,9 +49,15 @@ fn usage() -> ! {
         "usage:\n  \
          popqc optimize <FILE|DIR>... [--out DIR] [--omega N] [--oracle ID]\n           \
          [--workers N] [--threads-per-job N] [--cache-capacity N]\n           \
+         [--cache-tier memory|disk|tiered|null] [--cache-dir DIR]\n           \
          [--repeat N] [--report FILE] [--json] [--verify] [--quiet]\n  \
          popqc serve [--addr HOST:PORT] [--workers N] [--threads-per-job N]\n           \
-         [--omega N] [--oracle ID] [--cache-capacity N] [--conn-threads N]\n  \
+         [--omega N] [--oracle ID] [--cache-capacity N] [--conn-threads N]\n           \
+         [--cache-tier memory|disk|tiered|null] [--cache-dir DIR]\n  \
+         popqc cache stats --cache-dir DIR\n  \
+         popqc cache clear --cache-dir DIR\n  \
+         popqc cache warm <FILE|DIR>... --cache-dir DIR [--omega N] [--oracle ID]\n           \
+         [--workers N] [--threads-per-job N]\n  \
          popqc gen --family NAME --qubits N [--seed S] [--out FILE|DIR]\n  \
          popqc oracles\n  \
          popqc families"
@@ -59,11 +75,39 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("optimize") => cmd_optimize(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("cache") => cmd_cache(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("oracles") => cmd_oracles(),
         Some("families") => cmd_families(),
         _ => usage(),
     }
+}
+
+/// Resolves `--cache-tier`/`--cache-dir` into a built store. An explicit
+/// `--cache-dir` without a tier implies `tiered` (the obvious intent:
+/// memory-speed hits backed by restart-surviving disk). Every
+/// misconfiguration is a diagnostic and exit 1, never a panic or a
+/// silent ignore: unknown tier names, a persistent tier without a
+/// directory, and a directory paired with a tier that cannot persist
+/// into it (the user asked for persistence they would not get).
+fn build_cli_store(
+    tier: Option<&str>,
+    dir: Option<&std::path::Path>,
+    capacity: usize,
+    shards: usize,
+) -> std::sync::Arc<dyn ResultStore> {
+    let tier: StoreTier = match tier {
+        Some(name) => name.parse().unwrap_or_else(|e: String| fail(e)),
+        None if dir.is_some() => StoreTier::Tiered,
+        None => StoreTier::Memory,
+    };
+    if dir.is_some() && matches!(tier, StoreTier::Memory | StoreTier::Null) {
+        fail(format!(
+            "cache tier `{tier}` does not persist to --cache-dir (use `disk` or `tiered`, \
+             or drop --cache-dir)"
+        ));
+    }
+    build_store(tier, dir, capacity, shards).unwrap_or_else(|e| fail(e))
 }
 
 fn cmd_families() -> ExitCode {
@@ -190,9 +234,19 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     let mut oracle = "rule_based".to_string();
     let mut svc_cfg = ServiceConfig::default();
     let mut http_cfg = popqc::http::ServerConfig::default();
+    let mut cache_tier: Option<String> = None;
+    let mut cache_dir: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--cache-tier" => {
+                cache_tier = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
+                i += 2;
+            }
+            "--cache-dir" => {
+                cache_dir = Some(PathBuf::from(args.get(i + 1).unwrap_or_else(|| usage())));
+                i += 2;
+            }
             "--addr" => {
                 addr = args.get(i + 1).unwrap_or_else(|| usage()).clone();
                 i += 2;
@@ -230,8 +284,17 @@ fn cmd_serve(args: &[String]) -> ExitCode {
 
     // One dynamically dispatched service over the whole registry: every
     // oracle stays selectable per request, `--oracle` only picks the
-    // default for requests that name none.
-    let svc = OptimizationService::new(registry_with_default(&oracle), svc_cfg);
+    // default for requests that name none. The result store is the one
+    // seam `--cache-tier` swaps; nothing else changes between memory,
+    // disk, and tiered deployments.
+    let store = build_cli_store(
+        cache_tier.as_deref(),
+        cache_dir.as_deref(),
+        svc_cfg.cache_capacity,
+        svc_cfg.cache_shards,
+    );
+    let backend = store.stats().backend;
+    let svc = OptimizationService::with_store(registry_with_default(&oracle), svc_cfg, store);
     let workers = svc.workers();
     let threads_per_job = svc.threads_per_job();
     let oracle_ids = svc
@@ -252,14 +315,161 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         threads_per_job,
     );
     eprintln!("oracles: {oracle_ids} (default {default_oracle})");
+    match &cache_dir {
+        Some(dir) => eprintln!("result store: {backend} (dir {})", dir.display()),
+        None => eprintln!("result store: {backend}"),
+    }
     eprintln!(
         "endpoints: POST /v1/optimize  POST /v1/batch  GET /v1/jobs/{{id}}  \
-         GET /v1/oracles  GET /v1/stats  GET /v1/version  GET /healthz"
+         GET /v1/oracles  GET /v1/stats  GET|DELETE /v1/cache  GET /v1/version  GET /healthz"
     );
     // Serve until the process is killed; the acceptor threads own the work.
     loop {
         std::thread::park();
     }
+}
+
+/// `popqc cache {stats,clear,warm}` — admin access to the *persistent*
+/// tier. `stats` and `clear` open the disk store at `--cache-dir`
+/// directly (the memory tiers of running services are per-process and
+/// reachable over `GET /v1/cache` instead); `warm` pre-populates the disk
+/// tier by optimizing a directory of circuits through a service backed by
+/// it.
+fn cmd_cache(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("stats") => cmd_cache_stats(&args[1..]),
+        Some("clear") => cmd_cache_clear(&args[1..]),
+        Some("warm") => cmd_cache_warm(&args[1..]),
+        _ => usage(),
+    }
+}
+
+/// Parses the one flag `stats`/`clear` take and opens the disk store.
+fn open_disk_store(args: &[String]) -> DiskStore {
+    let mut dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--cache-dir" => {
+                dir = Some(PathBuf::from(args.get(i + 1).unwrap_or_else(|| usage())));
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    let Some(dir) = dir else {
+        fail("--cache-dir is required");
+    };
+    if !dir.is_dir() {
+        fail(format!("cache dir {} does not exist", dir.display()));
+    }
+    DiskStore::open(&dir).unwrap_or_else(|e| fail(format!("cannot open {}: {e}", dir.display())))
+}
+
+fn cmd_cache_stats(args: &[String]) -> ExitCode {
+    let store = open_disk_store(args);
+    let doc = cache_report(&store.stats()).to_json();
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&doc).expect("serialize cache report")
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_cache_clear(args: &[String]) -> ExitCode {
+    let store = open_disk_store(args);
+    let removed = ResultStore::clear(&store);
+    let doc = popqc::api::CacheClearResponse {
+        cleared: true,
+        entries_removed: removed,
+    };
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&doc.to_json()).expect("serialize clear response")
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_cache_warm(args: &[String]) -> ExitCode {
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut omega: usize = 200;
+    let mut oracle = "rule_based".to_string();
+    let mut svc_cfg = ServiceConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--cache-dir" => {
+                cache_dir = Some(PathBuf::from(args.get(i + 1).unwrap_or_else(|| usage())));
+                i += 2;
+            }
+            "--omega" => {
+                omega = parse_num("--omega", args.get(i + 1));
+                i += 2;
+            }
+            "--oracle" => {
+                oracle = args.get(i + 1).unwrap_or_else(|| usage()).clone();
+                i += 2;
+            }
+            "--workers" => {
+                svc_cfg.workers = parse_num("--workers", args.get(i + 1));
+                i += 2;
+            }
+            "--threads-per-job" => {
+                svc_cfg.threads_per_job = parse_num("--threads-per-job", args.get(i + 1));
+                i += 2;
+            }
+            flag if flag.starts_with("--") => usage(),
+            path => {
+                inputs.push(PathBuf::from(path));
+                i += 1;
+            }
+        }
+    }
+    if inputs.is_empty() || omega == 0 {
+        usage();
+    }
+    let Some(cache_dir) = cache_dir else {
+        fail("--cache-dir is required");
+    };
+
+    let files = collect_qasm_files(&inputs);
+    let mut circuits = Vec::new();
+    for path in &files {
+        let src = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(format!("cannot read {}: {e}", path.display())));
+        circuits.push(
+            popqc::ir::qasm::parse(&src)
+                .unwrap_or_else(|e| fail(format!("{}: {e}", path.display()))),
+        );
+    }
+
+    // Warm straight into the persistent tier: disk-only, so every entry
+    // lands in the directory (a memory front would only help this
+    // short-lived process).
+    let store = build_store(StoreTier::Disk, Some(&cache_dir), 0, 0).unwrap_or_else(|e| fail(e));
+    let svc = OptimizationService::with_store(registry_with_default(&oracle), svc_cfg, store);
+    let batch = svc
+        .submit_batch(circuits, &PopqcConfig::with_omega(omega))
+        .wait();
+    for (path, result) in files.iter().zip(&batch.results) {
+        if let Some(err) = &result.error {
+            fail(format!("{}: {err}", path.display()));
+        }
+    }
+    eprintln!(
+        "warmed {} circuits into {} ({} oracle calls, {} already cached)",
+        batch.results.len(),
+        cache_dir.display(),
+        batch.oracle_calls_issued(),
+        batch.cache_hits(),
+    );
+    let doc = cache_report(&svc.store().stats()).to_json();
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&doc).expect("serialize cache report")
+    );
+    ExitCode::SUCCESS
 }
 
 struct OptimizeOpts {
@@ -270,6 +480,8 @@ struct OptimizeOpts {
     workers: usize,
     threads_per_job: usize,
     cache_capacity: usize,
+    cache_tier: Option<String>,
+    cache_dir: Option<PathBuf>,
     repeat: usize,
     report: Option<PathBuf>,
     json: bool,
@@ -286,6 +498,8 @@ fn parse_optimize_opts(args: &[String]) -> OptimizeOpts {
         workers: 0,
         threads_per_job: 0,
         cache_capacity: 1024,
+        cache_tier: None,
+        cache_dir: None,
         repeat: 1,
         report: None,
         json: false,
@@ -317,6 +531,14 @@ fn parse_optimize_opts(args: &[String]) -> OptimizeOpts {
             }
             "--cache-capacity" => {
                 o.cache_capacity = parse_num("--cache-capacity", args.get(i + 1));
+                i += 2;
+            }
+            "--cache-tier" => {
+                o.cache_tier = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
+                i += 2;
+            }
+            "--cache-dir" => {
+                o.cache_dir = Some(PathBuf::from(args.get(i + 1).unwrap_or_else(|| usage())));
                 i += 2;
             }
             "--repeat" => {
@@ -427,8 +649,16 @@ fn cmd_optimize(args: &[String]) -> ExitCode {
     };
 
     // One dynamically dispatched service; the oracle is a per-request
-    // registry id, with `--oracle` applied as the default.
-    let svc = OptimizationService::new(registry_with_default(&opts.oracle), svc_cfg);
+    // registry id, with `--oracle` applied as the default, and the result
+    // store chosen by `--cache-tier`/`--cache-dir` (a disk or tiered
+    // store makes `--repeat`-style warm passes survive across runs).
+    let store = build_cli_store(
+        opts.cache_tier.as_deref(),
+        opts.cache_dir.as_deref(),
+        svc_cfg.cache_capacity,
+        svc_cfg.cache_shards,
+    );
+    let svc = OptimizationService::with_store(registry_with_default(&opts.oracle), svc_cfg, store);
     let report = run_batches(svc, &labels, &circuits, &cfg, &opts, &files);
 
     if let Some(report_path) = &opts.report {

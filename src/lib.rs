@@ -65,7 +65,8 @@ pub mod prelude {
         SegmentOracle,
     };
     pub use qsvc::{
-        BatchHandle, BatchResult, JobHandle, JobKey, JobRequest, JobResult, OptimizationService,
-        OracleRegistry, ServiceConfig, ServiceError, ServiceStats,
+        build_store, BatchHandle, BatchResult, DiskStore, JobHandle, JobKey, JobRequest, JobResult,
+        MemoryStore, NullStore, OptimizationService, OracleRegistry, ResultStore, ServiceConfig,
+        ServiceError, ServiceStats, StoreTier, TieredStore,
     };
 }

@@ -356,3 +356,339 @@ fn cli_rejects_unknown_oracle_with_available_list() {
         "diagnostic must list available oracles: {stderr}"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Result-store persistence (`--cache-tier` / `--cache-dir` / `popqc cache`)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cli_unknown_cache_tier_exits_1_with_diagnostic() {
+    let tmp = std::env::temp_dir().join(format!("popqc-badtier-test-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).unwrap();
+    let _cleanup = Cleanup(&tmp);
+    let a = tmp.join("a.qasm");
+    std::fs::write(&a, "OPENQASM 2.0;\nqreg q[1];\nh q[0];\n").unwrap();
+
+    for subcommand in [
+        vec!["optimize", a.to_str().unwrap(), "--cache-tier", "floppy"],
+        vec!["serve", "--addr", "127.0.0.1:0", "--cache-tier", "floppy"],
+    ] {
+        let out = run(&subcommand);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{subcommand:?}: expected exit 1, got {:?}",
+            out.status
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("unknown cache tier `floppy`")
+                && stderr.contains("memory, disk, tiered, null"),
+            "{subcommand:?}: diagnostic must name the tier and the valid set, got: {stderr}"
+        );
+    }
+
+    // A persistent tier without a directory is the same class of error.
+    let out = run(&["optimize", a.to_str().unwrap(), "--cache-tier", "disk"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("requires --cache-dir"),
+        "must explain the missing directory"
+    );
+
+    // ...as is a directory paired with a tier that cannot persist into it
+    // (silently ignoring --cache-dir would fake the persistence the user
+    // asked for).
+    let cache = tmp.join("cache");
+    for tier in ["memory", "null"] {
+        let out = run(&[
+            "optimize",
+            a.to_str().unwrap(),
+            "--cache-tier",
+            tier,
+            "--cache-dir",
+            cache.to_str().unwrap(),
+        ]);
+        assert_eq!(out.status.code(), Some(1), "{tier} + --cache-dir");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("does not persist to --cache-dir"),
+            "{tier}: must refuse the unused directory"
+        );
+    }
+}
+
+#[test]
+fn cli_cache_dir_persists_across_two_processes() {
+    let tmp = std::env::temp_dir().join(format!("popqc-persist-test-{}", std::process::id()));
+    let in_dir = tmp.join("in");
+    let cache_dir = tmp.join("cache");
+    std::fs::create_dir_all(&in_dir).unwrap();
+    let _cleanup = Cleanup(&tmp);
+
+    for (family, qubits) in [("vqe", "8"), ("grover", "6")] {
+        let out = run(&[
+            "gen",
+            "--family",
+            family,
+            "--qubits",
+            qubits,
+            "--seed",
+            "3",
+            "--out",
+            in_dir.to_str().unwrap(),
+        ]);
+        assert_success(&out, &format!("gen {family}"));
+    }
+
+    let optimize = |report: &std::path::Path| {
+        let out = run(&[
+            "optimize",
+            in_dir.to_str().unwrap(),
+            "--omega",
+            "64",
+            "--workers",
+            "2",
+            "--cache-tier",
+            "tiered",
+            "--cache-dir",
+            cache_dir.to_str().unwrap(),
+            "--report",
+            report.to_str().unwrap(),
+            "--quiet",
+        ]);
+        assert_success(&out, "optimize with cache dir");
+        serde_json::from_str(&std::fs::read_to_string(report).unwrap()).expect("report JSON")
+    };
+
+    // Process one: cold. Process two: an entirely new process over the
+    // same directory must be all hits with zero oracle calls.
+    let cold = optimize(&tmp.join("cold.json"));
+    let cold_pass = &cold.get("passes").unwrap().as_array().unwrap()[0];
+    assert_eq!(cold_pass.get("cache_hits").unwrap().as_u64(), Some(0));
+    assert!(
+        cold_pass
+            .get("oracle_calls_issued")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            > 0
+    );
+
+    let warm = optimize(&tmp.join("warm.json"));
+    let warm_pass = &warm.get("passes").unwrap().as_array().unwrap()[0];
+    assert_eq!(warm_pass.get("cache_hits").unwrap().as_u64(), Some(2));
+    assert_eq!(
+        warm_pass.get("oracle_calls_issued").unwrap().as_u64(),
+        Some(0),
+        "second process must answer entirely from the disk tier"
+    );
+    let service = warm.get("service").unwrap();
+    assert_eq!(
+        service.get("cache_backend").unwrap().as_str(),
+        Some("tiered")
+    );
+    assert_eq!(
+        service.get("oracle_calls_issued").unwrap().as_u64(),
+        Some(0)
+    );
+}
+
+#[test]
+fn cli_cache_warm_stats_clear_cycle() {
+    let tmp = std::env::temp_dir().join(format!("popqc-cachecmd-test-{}", std::process::id()));
+    let in_dir = tmp.join("in");
+    let cache_dir = tmp.join("cache");
+    std::fs::create_dir_all(&in_dir).unwrap();
+    let _cleanup = Cleanup(&tmp);
+
+    for (family, qubits) in [("vqe", "8"), ("statevec", "5")] {
+        let out = run(&[
+            "gen",
+            "--family",
+            family,
+            "--qubits",
+            qubits,
+            "--seed",
+            "5",
+            "--out",
+            in_dir.to_str().unwrap(),
+        ]);
+        assert_success(&out, &format!("gen {family}"));
+    }
+
+    // warm: pre-populates the disk tier and prints a CacheReport.
+    let out = run(&[
+        "cache",
+        "warm",
+        in_dir.to_str().unwrap(),
+        "--cache-dir",
+        cache_dir.to_str().unwrap(),
+        "--omega",
+        "64",
+    ]);
+    assert_success(&out, "cache warm");
+    let report = qapi::CacheReport::from_json(
+        &serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("warm JSON"),
+    )
+    .expect("warm CacheReport");
+    assert_eq!(report.backend, "disk");
+    assert_eq!(report.entries, 2);
+
+    // A warmed directory serves an `optimize` run with zero oracle calls.
+    let report_path = tmp.join("report.json");
+    let out = run(&[
+        "optimize",
+        in_dir.to_str().unwrap(),
+        "--omega",
+        "64",
+        "--cache-dir",
+        cache_dir.to_str().unwrap(),
+        "--report",
+        report_path.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert_success(&out, "optimize over warmed cache");
+    let report_doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&report_path).unwrap()).unwrap();
+    let pass = &report_doc.get("passes").unwrap().as_array().unwrap()[0];
+    assert_eq!(pass.get("oracle_calls_issued").unwrap().as_u64(), Some(0));
+    assert_eq!(pass.get("cache_hits").unwrap().as_u64(), Some(2));
+
+    // stats: sees the persisted entries from a fresh process.
+    let out = run(&["cache", "stats", "--cache-dir", cache_dir.to_str().unwrap()]);
+    assert_success(&out, "cache stats");
+    let stats = qapi::CacheReport::from_json(
+        &serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("stats JSON"),
+    )
+    .expect("stats CacheReport");
+    assert_eq!(stats.entries, 2);
+    assert!(stats.bytes > 0);
+
+    // clear: removes them and reports the count.
+    let out = run(&["cache", "clear", "--cache-dir", cache_dir.to_str().unwrap()]);
+    assert_success(&out, "cache clear");
+    let cleared = qapi::CacheClearResponse::from_json(
+        &serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("clear JSON"),
+    )
+    .expect("CacheClearResponse");
+    assert!(cleared.cleared);
+    assert_eq!(cleared.entries_removed, 2);
+
+    let out = run(&["cache", "stats", "--cache-dir", cache_dir.to_str().unwrap()]);
+    assert_success(&out, "cache stats after clear");
+    let stats = qapi::CacheReport::from_json(
+        &serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(stats.entries, 0);
+
+    // A missing directory is a diagnostic, not a panic.
+    let out = run(&[
+        "cache",
+        "stats",
+        "--cache-dir",
+        tmp.join("nope").to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("does not exist"));
+}
+
+/// The PR's acceptance property, end to end over real processes: a
+/// `popqc serve --cache-tier tiered --cache-dir …` process is killed and
+/// restarted, and the repeated POST answers from the disk tier with
+/// `cache_hit == true` and zero new oracle calls.
+#[test]
+fn cli_serve_killed_and_restarted_answers_from_the_disk_tier() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let tmp = std::env::temp_dir().join(format!("popqc-serverestart-test-{}", std::process::id()));
+    let cache_dir = tmp.join("cache");
+    std::fs::create_dir_all(&tmp).unwrap();
+    let _cleanup = Cleanup(&tmp);
+
+    let spawn_serve = || {
+        let mut child = Command::new(popqc_bin())
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "1",
+                "--threads-per-job",
+                "1",
+                "--omega",
+                "64",
+                "--cache-tier",
+                "tiered",
+                "--cache-dir",
+                cache_dir.to_str().unwrap(),
+            ])
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn popqc serve");
+        let stderr = child.stderr.take().expect("piped stderr");
+        let mut lines = BufReader::new(stderr).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("serve exited before announcing its address")
+                .unwrap();
+            if let Some(rest) = line.split("http://").nth(1) {
+                break rest.split_whitespace().next().unwrap().to_string();
+            }
+        };
+        (child, addr)
+    };
+
+    let send = |addr: &str, method: &str, target: &str, body: &str| -> String {
+        let mut s = std::net::TcpStream::connect(addr).expect("connect to serve");
+        write!(
+            s,
+            "{method} {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut reply = String::new();
+        s.read_to_string(&mut reply).unwrap();
+        reply
+    };
+
+    let qasm = "OPENQASM 2.0;\nqreg q[3];\nh q[0];\nh q[0];\ncx q[0],q[1];\nx q[2];\nx q[2];\n";
+
+    // Process one: compute and persist, then die.
+    {
+        let (mut child, addr) = spawn_serve();
+        let _guard = KillOnDrop(&mut child);
+        let reply = send(&addr, "POST", "/v1/optimize", qasm);
+        assert!(reply.starts_with("HTTP/1.1 200"), "got: {reply}");
+        assert!(reply.contains("\"cache_hit\":false"), "got: {reply}");
+        // KillOnDrop kills the process here — an abrupt death, no
+        // graceful shutdown path.
+    }
+
+    // Process two over the same directory: the identical POST is a hit
+    // served from the disk tier, with zero oracle calls ever issued by
+    // this process.
+    let (mut child, addr) = spawn_serve();
+    let _guard = KillOnDrop(&mut child);
+    let reply = send(&addr, "POST", "/v1/optimize", qasm);
+    assert!(reply.starts_with("HTTP/1.1 200"), "got: {reply}");
+    assert!(
+        reply.contains("\"cache_hit\":true"),
+        "restarted server must answer from disk: {reply}"
+    );
+    let stats = send(&addr, "GET", "/v1/stats", "");
+    assert!(
+        stats.contains("\"oracle_calls_issued\":0"),
+        "restart must not recompute: {stats}"
+    );
+    assert!(
+        stats.contains("\"cache_backend\":\"tiered\""),
+        "got: {stats}"
+    );
+    let cache = send(&addr, "GET", "/v1/cache", "");
+    assert!(
+        cache.contains("\"tier\":\"disk\""),
+        "per-tier report must include the disk tier: {cache}"
+    );
+}
