@@ -23,7 +23,7 @@ use qsvc::{build_store, OptimizationService, OracleRegistry, ServiceConfig, Stor
 use std::path::PathBuf;
 
 fn batch() -> Vec<Circuit> {
-    Family::ALL
+    Family::PAPER
         .iter()
         .map(|f| f.generate(f.ladder(0)[0], 42))
         .collect()
@@ -149,7 +149,7 @@ criterion_group! {
 /// Pass 1 must be all misses and pass 2 all hits with zero oracle calls.
 fn cold_warm_report(svc: &OptimizationService) -> qapi::ServiceReport {
     let circuits = batch();
-    let labels: Vec<String> = Family::ALL.iter().map(|f| f.name().to_string()).collect();
+    let labels: Vec<String> = Family::PAPER.iter().map(|f| f.name().to_string()).collect();
     let cfg = PopqcConfig::with_omega(100);
 
     let cold = svc.submit_batch(circuits.iter().cloned(), &cfg).wait();

@@ -128,7 +128,7 @@ pub fn fig6(opts: &Opts) {
     );
     let mut rows = Vec::new();
     let mut records = Vec::new();
-    for family in benchgen::Family::ALL {
+    for family in benchgen::Family::PAPER {
         // Average over the two smallest instances (search oracles are slow —
         // that asymmetry is the point of Section 7.8).
         let mut acc = [[0.0f64; 2]; 2]; // [arm][gate_red, depth_red]
@@ -265,7 +265,7 @@ pub fn fig9(opts: &Opts) {
         let mut red = 0.0;
         let mut secs = 0.0;
         let mut count = 0u32;
-        for family in benchgen::Family::ALL {
+        for family in benchgen::Family::PAPER {
             // Mid-size instance (second rung of the ladder).
             let qubits = family.ladder(opts.scale)[1];
             let c = family.generate(qubits, opts.seed);

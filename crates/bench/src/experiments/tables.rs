@@ -181,7 +181,7 @@ pub fn table4(opts: &Opts) {
     );
     let mut rows = Vec::new();
     let mut records = Vec::new();
-    for family in benchgen::Family::ALL {
+    for family in benchgen::Family::PAPER {
         let mut sums = [0.0f64; 3];
         let mut count = 0u32;
         for qubits in family.ladder(opts.scale) {

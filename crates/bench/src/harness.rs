@@ -70,9 +70,11 @@ impl Instance {
     }
 }
 
-/// The full 8×4 instance grid at the given scale.
+/// The paper's full 8×4 instance grid at the given scale (the `Skewed`
+/// executor workload is deliberately excluded — it has no paper
+/// counterpart; the exec bench references it directly).
 pub fn instances(opts: &Opts) -> Vec<Instance> {
-    Family::ALL
+    Family::PAPER
         .iter()
         .flat_map(|&family| {
             family
@@ -90,7 +92,7 @@ pub fn instances(opts: &Opts) -> Vec<Instance> {
 
 /// Smallest and largest instance per family (Figure 4's pairs).
 pub fn extreme_instances(opts: &Opts) -> Vec<(Instance, Instance)> {
-    Family::ALL
+    Family::PAPER
         .iter()
         .map(|&family| {
             let ladder = family.ladder(opts.scale);

@@ -1,4 +1,5 @@
-//! The eight benchmark families of Section 7.2.
+//! The benchmark families: the eight of the paper's Section 7.2 plus the
+//! `Skewed` executor workload (a reproduction extension).
 //!
 //! The paper draws its circuits from PennyLane, Qiskit, and NWQBench as QASM
 //! files; this reproduction generates structurally equivalent circuits from
@@ -13,6 +14,7 @@ mod bwt;
 mod grover;
 mod hhl;
 mod shor;
+mod skewed;
 mod sqrt;
 mod statevec;
 mod vqe;
@@ -21,7 +23,8 @@ use qcir::Circuit;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-/// One benchmark family from the paper's Table 1.
+/// One benchmark family: the paper's Table 1 families plus the
+/// [`Skewed`](Family::Skewed) reproduction-extension workload.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Family {
     /// Boolean satisfiability via Grover-style amplitude amplification.
@@ -41,11 +44,19 @@ pub enum Family {
     StateVec,
     /// Variational Quantum Eigensolver hardware-efficient ansatz.
     Vqe,
+    /// Zipf-skewed segment-cost workload (reproduction extension, not in
+    /// the paper): rare, enormous hot blocks among cheap filler — the
+    /// worst case for contiguous-chunk parallel scheduling and the
+    /// workload of the `exec_scaling` executor bench.
+    Skewed,
 }
 
 impl Family {
-    /// All eight families, in the paper's table order.
-    pub const ALL: [Family; 8] = [
+    /// The paper's eight families, in its table order — what the
+    /// paper-reproduction experiments (tables, figures, instance grids)
+    /// iterate, so their artifacts keep a row-for-row correspondence
+    /// with the paper's.
+    pub const PAPER: [Family; 8] = [
         Family::BoolSat,
         Family::Bwt,
         Family::Grover,
@@ -54,6 +65,20 @@ impl Family {
         Family::Sqrt,
         Family::StateVec,
         Family::Vqe,
+    ];
+
+    /// Every family: [`PAPER`](Self::PAPER) plus the
+    /// reproduction-extension [`Skewed`](Family::Skewed) workload.
+    pub const ALL: [Family; 9] = [
+        Family::BoolSat,
+        Family::Bwt,
+        Family::Grover,
+        Family::Hhl,
+        Family::Shor,
+        Family::Sqrt,
+        Family::StateVec,
+        Family::Vqe,
+        Family::Skewed,
     ];
 
     /// Display name matching the paper's tables.
@@ -67,6 +92,7 @@ impl Family {
             Family::Sqrt => "Sqrt",
             Family::StateVec => "StateVec",
             Family::Vqe => "VQE",
+            Family::Skewed => "Skewed",
         }
     }
 
@@ -88,6 +114,9 @@ impl Family {
             Family::Sqrt => [42, 48, 54, 60],
             Family::StateVec => [5, 6, 7, 8],
             Family::Vqe => [18, 22, 26, 30],
+            // Not a paper family; sized so its gate counts land in the
+            // same range as the paper instances'.
+            Family::Skewed => [16, 20, 24, 28],
         }
     }
 
@@ -106,6 +135,7 @@ impl Family {
             Family::Sqrt => bump([14, 20, 26, 32], 4 * scale),
             Family::StateVec => bump([5, 6, 7, 8], scale),
             Family::Vqe => bump([12, 16, 20, 24], 2 * scale),
+            Family::Skewed => bump([10, 14, 18, 22], 2 * scale),
         }
     }
 
@@ -121,6 +151,7 @@ impl Family {
             Family::Sqrt => 11,
             Family::StateVec => 2,
             Family::Vqe => 4,
+            Family::Skewed => 4,
         }
     }
 
@@ -137,6 +168,7 @@ impl Family {
             Family::Sqrt => sqrt::generate(qubits, &mut rng),
             Family::StateVec => statevec::generate(qubits, &mut rng),
             Family::Vqe => vqe::generate(qubits, &mut rng),
+            Family::Skewed => skewed::generate(qubits, &mut rng),
         };
         debug_assert_eq!(c.validate(), Ok(()));
         c

@@ -782,6 +782,60 @@ impl CacheClearResponse {
 }
 
 // ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+/// The work-stealing executor's counters, as embedded in
+/// [`StatsReport::executor`]. Not a top-level document, so it carries no
+/// `api_version` of its own.
+///
+/// All counters are monotonic over the server process lifetime (the
+/// executor pool is process-wide and persistent); rates come from
+/// differencing two reports.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ExecutorReport {
+    /// Executor worker threads spawned so far (0 until the first parallel
+    /// operation; the pool grows toward the widest parallelism requested).
+    pub workers: u64,
+    /// Configured leaf grain size (`0` = adaptive splitting).
+    pub grain: u64,
+    /// Parallel map operations that actually went parallel.
+    pub parallel_ops: u64,
+    /// Forked (stealable) tasks executed.
+    pub tasks_executed: u64,
+    /// Fork points that made a task half stealable.
+    pub splits: u64,
+    /// Tasks taken from another worker's deque.
+    pub steals: u64,
+}
+
+impl ExecutorReport {
+    /// Serializes to the v1 wire shape.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "workers": self.workers,
+            "grain": self.grain,
+            "parallel_ops": self.parallel_ops,
+            "tasks_executed": self.tasks_executed,
+            "splits": self.splits,
+            "steals": self.steals,
+        })
+    }
+
+    /// Decodes a fragment produced by [`to_json`](Self::to_json).
+    pub fn from_json(v: &Value) -> Result<ExecutorReport, ApiError> {
+        Ok(ExecutorReport {
+            workers: de::req_u64(v, "workers")?,
+            grain: de::req_u64(v, "grain")?,
+            parallel_ops: de::req_u64(v, "parallel_ops")?,
+            tasks_executed: de::req_u64(v, "tasks_executed")?,
+            splits: de::req_u64(v, "splits")?,
+            steals: de::req_u64(v, "steals")?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Stats / full service report
 // ---------------------------------------------------------------------------
 
@@ -815,6 +869,9 @@ pub struct StatsReport {
     /// Per-tier store counters, front tier first (one entry for
     /// single-tier backends).
     pub cache_tiers: Vec<CacheTierReport>,
+    /// Work-stealing executor counters (the process-wide pool every
+    /// parallel engine round runs on).
+    pub executor: ExecutorReport,
     /// Jobs retained for `/v1/jobs/{id}` polling (HTTP frontend only;
     /// `None` omits the field).
     pub jobs_tracked: Option<u64>,
@@ -851,6 +908,7 @@ impl StatsReport {
                         .collect(),
                 ),
             ),
+            ("executor".to_string(), self.executor.to_json()),
         ];
         if let Some(tracked) = self.jobs_tracked {
             pairs.push(("jobs_tracked".to_string(), json!(tracked)));
@@ -877,6 +935,10 @@ impl StatsReport {
                 .iter()
                 .map(CacheTierReport::from_json)
                 .collect::<Result<Vec<_>, _>>()?,
+            executor: ExecutorReport::from_json(
+                v.get("executor")
+                    .ok_or_else(|| de::malformed("missing `executor` object"))?,
+            )?,
             jobs_tracked: de::opt_u64(v, "jobs_tracked")?,
         })
     }

@@ -4,8 +4,8 @@
 
 use qapi::{
     ApiError, BatchCircuit, BatchRequest, BatchResponse, CacheClearResponse, CacheReport,
-    CacheTierReport, JobReport, JobStatus, OptimizeRequest, OracleInfo, OracleList, ServiceReport,
-    StatsReport, VersionInfo,
+    CacheTierReport, ExecutorReport, JobReport, JobStatus, OptimizeRequest, OracleInfo, OracleList,
+    ServiceReport, StatsReport, VersionInfo,
 };
 use serde_json::Value;
 
@@ -194,6 +194,14 @@ fn stats_and_service_report_round_trip() {
                 bytes: 65536,
             },
         ],
+        executor: ExecutorReport {
+            workers: 4,
+            grain: 128,
+            parallel_ops: 45,
+            tasks_executed: 1440,
+            splits: 1395,
+            steals: 612,
+        },
         jobs_tracked: Some(3),
     };
     let back = StatsReport::from_json(&reserialize(&stats.to_json())).unwrap();

@@ -14,8 +14,8 @@
 
 use qapi::{
     ApiError, BatchCircuit, BatchRequest, BatchResponse, CacheClearResponse, CacheReport,
-    CacheTierReport, JobReport, JobStatus, OptimizeRequest, OracleInfo, OracleList, ServiceReport,
-    StatsReport, VersionInfo,
+    CacheTierReport, ExecutorReport, JobReport, JobStatus, OptimizeRequest, OracleInfo, OracleList,
+    ServiceReport, StatsReport, VersionInfo,
 };
 use serde_json::Value;
 use std::path::PathBuf;
@@ -139,6 +139,18 @@ fn batch_response_snapshot() {
     );
 }
 
+/// The executor exemplar embedded in the stats snapshot.
+fn exemplar_executor() -> ExecutorReport {
+    ExecutorReport {
+        workers: 4,
+        grain: 0,
+        parallel_ops: 45,
+        tasks_executed: 1440,
+        splits: 1395,
+        steals: 612,
+    }
+}
+
 /// The two-tier exemplar shared by the stats and cache snapshots.
 fn exemplar_tiers() -> Vec<CacheTierReport> {
     vec![
@@ -178,6 +190,7 @@ fn stats_report_snapshot() {
             cache_evictions: 0,
             cache_backend: "tiered".into(),
             cache_tiers: exemplar_tiers(),
+            executor: exemplar_executor(),
             jobs_tracked: Some(3),
         }
         .to_json(),

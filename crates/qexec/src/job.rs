@@ -1,0 +1,162 @@
+//! Lifetime-erased stack jobs and the completion latch they signal.
+//!
+//! A parallel operation keeps its closures (and everything they borrow) on
+//! the *caller's* stack; what travels through the scheduler is a [`JobRef`]
+//! — a raw pointer plus an execute function. This is sound for exactly one
+//! reason, upheld by every caller in this crate: **the frame that created a
+//! [`StackJob`] never returns before the job's latch is set**, either by
+//! executing the job inline or by waiting on the latch. The unsafe surface
+//! is confined to this module and `pool.rs`'s execute sites.
+
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A one-shot completion flag with both lock-free probing (for helping
+/// loops) and blocking waits (for external callers).
+pub(crate) struct Latch {
+    done: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Latch {
+    pub(crate) fn new() -> Latch {
+        Latch {
+            done: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Whether the latch has been set. `Acquire` pairs with the `Release`
+    /// in [`set`](Self::set), so a `true` probe also publishes the job's
+    /// result write.
+    #[inline]
+    pub(crate) fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Sets the latch and wakes every waiter. Taking the lock before
+    /// notifying closes the probe-then-wait window: a waiter that saw
+    /// `false` either still holds the lock (the notify queues behind it)
+    /// or is already parked (the notify reaches it).
+    pub(crate) fn set(&self) {
+        self.done.store(true, Ordering::Release);
+        let _guard = self.lock.lock().expect("latch lock poisoned");
+        self.cv.notify_all();
+    }
+
+    /// Parks briefly (or until set). Helping loops call this between
+    /// steal attempts so an idle waiter neither spins hot nor sleeps
+    /// through new work: the timeout guarantees the loop re-checks the
+    /// deques even if it misses a wakeup.
+    pub(crate) fn wait_brief(&self) {
+        let guard = self.lock.lock().expect("latch lock poisoned");
+        if !self.probe() {
+            let _ = self
+                .cv
+                .wait_timeout(guard, Duration::from_micros(200))
+                .expect("latch lock poisoned");
+        }
+    }
+}
+
+/// A type-erased, `Send`-able handle to a [`StackJob`] living in some
+/// caller's stack frame. Executing it is `unsafe` because the pointer's
+/// validity rests on the stack-frame discipline documented at module level.
+pub(crate) struct JobRef {
+    data: *const (),
+    exec: unsafe fn(*const ()),
+}
+
+// SAFETY: a JobRef is only a pointer to a StackJob whose closure is
+// `Send`; the job executes on exactly one thread, and the creating frame
+// outlives the execution (it waits on the latch).
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Identity of the underlying job, used to recognize one's own task
+    /// when popping it back before it was stolen.
+    #[inline]
+    pub(crate) fn data_ptr(&self) -> *const () {
+        self.data
+    }
+
+    /// Runs the job. Never unwinds: the closure runs under
+    /// `catch_unwind` and panics are delivered through the job's result
+    /// slot, so a panicking task cannot poison the worker that executes it.
+    ///
+    /// # Safety
+    ///
+    /// The [`StackJob`] this was created from must still be alive and not
+    /// yet executed.
+    pub(crate) unsafe fn execute(self) {
+        (self.exec)(self.data)
+    }
+}
+
+/// A fork-join task whose closure, result slot, and latch all live in the
+/// forking caller's stack frame.
+pub(crate) struct StackJob<F, R> {
+    f: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    pub(crate) latch: Latch,
+    /// Parallel width the spawning computation ran under; installed on the
+    /// executing thread for the job's duration so nested parallel calls
+    /// inherit their ancestor's budget across steals.
+    width: usize,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(f: F, width: usize) -> StackJob<F, R> {
+        StackJob {
+            f: UnsafeCell::new(Some(f)),
+            result: UnsafeCell::new(None),
+            latch: Latch::new(),
+            width,
+        }
+    }
+
+    /// Type-erases this job for the scheduler.
+    ///
+    /// # Safety
+    ///
+    /// The caller must keep `self` alive and its frame blocked until
+    /// `self.latch` is set, and must hand the returned ref to the
+    /// scheduler at most once.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: self as *const StackJob<F, R> as *const (),
+            exec: Self::execute_erased,
+        }
+    }
+
+    unsafe fn execute_erased(ptr: *const ()) {
+        let this = &*(ptr as *const StackJob<F, R>);
+        let f = (*this.f.get()).take().expect("stack job executed twice");
+        let width = this.width;
+        let result =
+            crate::pool::with_installed_width(width, || panic::catch_unwind(AssertUnwindSafe(f)));
+        *this.result.get() = Some(result);
+        this.latch.set();
+    }
+
+    /// Takes the result after the latch was observed set.
+    ///
+    /// # Safety
+    ///
+    /// Only after `self.latch.probe()` returned `true` (the Acquire probe
+    /// publishes the executor's result write), and at most once.
+    pub(crate) unsafe fn take_result(&self) -> std::thread::Result<R> {
+        (*self.result.get())
+            .take()
+            .expect("stack job result taken before completion")
+    }
+}

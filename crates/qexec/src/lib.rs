@@ -1,0 +1,97 @@
+//! # popqc-exec — the work-stealing executor behind every parallel hot path
+//!
+//! POPQC's round-based `parmap` is only as fast as its slowest chunk: a
+//! `search`-oracle call on one 2Ω-segment can cost orders of magnitude
+//! more than a `rule_based` call on another, so splitting a round into one
+//! contiguous chunk per thread (what the scoped-thread rayon shim did)
+//! serializes the whole round behind the hot chunk and flattens the
+//! paper's Figure 3-style scaling curves. This crate replaces that model
+//! with a proper executor subsystem:
+//!
+//! * **a persistent global worker pool** — created lazily on the first
+//!   parallel operation, sized by the documented precedence
+//!   `POPQC_NUM_THREADS` > installed width > available parallelism
+//!   ([`resolve_threads`]), and grown (never shrunk) toward the widest
+//!   parallelism requested, so no `par_iter`/`join` call site ever spawns
+//!   per-call OS threads again;
+//! * **per-worker deques with a shared injector** — Chase–Lev discipline
+//!   (owner LIFO at the bottom, thieves FIFO from the top), external
+//!   threads submitting through the injector and helping while they wait;
+//! * **recursive fork-join splitting** — [`par_map_vec`] halves the index
+//!   range down to a tunable grain ([`set_grain`], `POPQC_GRAIN`,
+//!   `popqc --grain`; default adaptive, ~8 leaves per worker), and a
+//!   stolen half re-splits on the thief, so skewed per-item costs
+//!   rebalance instead of stranding a round behind one chunk;
+//! * **panic capture across steals** — a panic in a stolen task is
+//!   re-raised on the forking caller with its original payload and leaves
+//!   the pool fully operational;
+//! * **observability** — [`stats`] snapshots the executor's counters
+//!   ([`ExecStats`]), surfaced end to end through `ServiceStats`,
+//!   `GET /v1/stats`, and the bench reports.
+//!
+//! Results are deterministic: [`par_map_vec`] writes each result at its
+//! item's index, so output is bit-identical to sequential execution for
+//! every pool width and steal schedule.
+//!
+//! The workspace's rayon shim (`crates/shims/rayon`) is a thin facade over
+//! this crate, so every existing `par_iter`/`into_par_iter`/
+//! `par_chunks_mut`/`join`/`ThreadPool::install` call site gets
+//! work-stealing with zero source changes; when the workspace moves to the
+//! real crates.io rayon, this crate's role is played by rayon's own pool
+//! and only the shim manifest changes.
+
+#![deny(missing_docs)]
+
+mod job;
+mod pool;
+
+pub use pool::{
+    configured_grain, current_width, join, par_map_vec, reserve_workers, resolve_threads,
+    set_grain, with_width,
+};
+
+/// A point-in-time snapshot of the executor's process-wide counters.
+///
+/// All counters are monotonic over the process lifetime (the pool is
+/// global and persistent); rates come from differencing two snapshots.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Worker threads spawned so far (0 until the first parallel
+    /// operation; grows toward the widest parallelism requested).
+    pub workers: u64,
+    /// Configured leaf grain size (`0` = adaptive, see [`set_grain`]).
+    pub grain: u64,
+    /// Order-preserving parallel map/for_each operations that actually
+    /// went parallel (sequential fast paths are not counted).
+    pub parallel_ops: u64,
+    /// Forked (stealable) tasks executed; first halves run inline on
+    /// their forker and are not counted.
+    pub tasks_executed: u64,
+    /// Fork points: `join` calls that made their second half stealable.
+    pub splits: u64,
+    /// Tasks a worker took from another worker's deque (the injector is
+    /// not counted: taking submitted work is not stealing).
+    pub steals: u64,
+}
+
+/// Snapshots the executor counters. Never forces the pool (or its worker
+/// threads) into existence: before the first parallel operation every
+/// counter is zero and only `grain` reflects configuration.
+pub fn stats() -> ExecStats {
+    use std::sync::atomic::Ordering::Relaxed;
+    let grain = configured_grain() as u64;
+    match pool::global_if_started() {
+        None => ExecStats {
+            grain,
+            ..ExecStats::default()
+        },
+        Some(pool) => ExecStats {
+            workers: pool.started_workers() as u64,
+            grain,
+            parallel_ops: pool.parallel_ops.load(Relaxed),
+            tasks_executed: pool.tasks_executed.load(Relaxed),
+            splits: pool.splits.load(Relaxed),
+            steals: pool.steals.load(Relaxed),
+        },
+    }
+}

@@ -1,0 +1,606 @@
+//! The global work-stealing pool: per-worker deques, a shared injector,
+//! persistent worker threads, and the fork-join scheduler built on them.
+//!
+//! ## Scheduling discipline
+//!
+//! Each worker owns a deque in Chase–Lev discipline: the owner pushes and
+//! pops at the *bottom* (LIFO, keeping the hot, recently-split tasks
+//! cache-local), thieves steal from the *top* (FIFO, taking the oldest —
+//! and therefore largest — unsplit half, which they then re-split
+//! themselves). The deques here are mutex-backed rather than lock-free:
+//! POPQC's unit of work is a segment-oracle call (microseconds to
+//! milliseconds), so a sub-microsecond uncontended lock is noise, and the
+//! mutex keeps the stealing protocol obviously correct. Threads that are
+//! not pool workers (CLI main, `qsvc` job workers, HTTP handlers) submit
+//! through the shared injector and then *help*: while waiting for their
+//! own tasks they pop and execute other runnable work, so a blocked
+//! submitter never idles the machine.
+//!
+//! ## Why waiting always helps
+//!
+//! A thread waiting on a stolen task's latch never parks unconditionally:
+//! it alternates between probing the latch, executing any runnable task it
+//! can find, and a *bounded* park. The bound matters for deadlock freedom —
+//! if every waiter parked indefinitely while a runnable task sat in the
+//! injector, no thread would remain to execute it. The 200 µs re-check
+//! bound makes that scenario transient instead of fatal. (Workers with
+//! nothing in flight are different: they park *untimed* in `idle_wait`,
+//! whose push/park handshake guarantees a wakeup, so an idle pool costs
+//! zero CPU.)
+
+use crate::job::{JobRef, Latch, StackJob};
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Hard ceiling on pool width. The pool grows lazily toward the widest
+/// parallelism ever requested (so explicit widths beyond the core count
+/// oversubscribe, as the scoped-thread shim did, instead of silently
+/// capping); this bounds that growth against runaway width requests.
+pub(crate) const MAX_WORKERS: usize = 256;
+
+/// Split factor for the adaptive grain: a width-`w` operation over `n`
+/// items splits down to about `8·w` leaf tasks, so even when one leaf
+/// costs orders of magnitude more than another, the remaining leaves
+/// redistribute across the other workers.
+const SPLIT_FACTOR: usize = 8;
+
+thread_local! {
+    /// Index of the pool worker running on this thread (`None` on
+    /// external threads).
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Width installed by `with_width` (or inherited from the job being
+    /// executed); `None` means "the process default".
+    static INSTALLED_WIDTH: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// `POPQC_NUM_THREADS`, parsed once per process (`> 0` to count).
+fn env_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("POPQC_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+/// `POPQC_GRAIN`, parsed once per process (`> 0` to count).
+fn env_grain() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("POPQC_GRAIN")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0)
+    })
+}
+
+/// Cached like the env knobs: `current_width()` runs on every fork
+/// point, and `available_parallelism` is a syscall on most platforms.
+fn available_parallelism() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// The one documented thread-count precedence, shared by this crate, the
+/// rayon shim facade, and `qsvc`'s worker budgets:
+///
+/// 1. `POPQC_NUM_THREADS` (set and positive) pins the width outright;
+/// 2. else an explicitly requested width (installed pool width,
+///    `--threads-per-job`, …) wins;
+/// 3. else `std::thread::available_parallelism()`.
+pub fn resolve_threads(requested: Option<usize>) -> usize {
+    resolve_threads_from(env_threads(), requested)
+}
+
+/// [`resolve_threads`] over an explicit environment value (separated so
+/// the precedence is testable without mutating process-global state).
+pub(crate) fn resolve_threads_from(env: Option<usize>, requested: Option<usize>) -> usize {
+    env.or(requested.filter(|&n| n > 0))
+        .unwrap_or_else(available_parallelism)
+        .clamp(1, MAX_WORKERS)
+}
+
+/// Width parallel operations started from this thread will run at.
+pub fn current_width() -> usize {
+    resolve_threads(INSTALLED_WIDTH.with(|c| c.get()))
+}
+
+/// Runs `f` with `width` installed as the parallelism level for every
+/// parallel operation it performs (directly or through the rayon shim).
+/// `width == 0` clears the override back to the process default. Note
+/// `POPQC_NUM_THREADS` still outranks the installed width — see
+/// [`resolve_threads`].
+pub fn with_width<R>(width: usize, f: impl FnOnce() -> R) -> R {
+    with_installed_width(width, f)
+}
+
+/// Internal form shared with job execution (which installs the *job's*
+/// width so nested parallelism inherits its ancestor's budget across
+/// steals).
+pub(crate) fn with_installed_width<R>(width: usize, f: impl FnOnce() -> R) -> R {
+    let value = if width == 0 { None } else { Some(width) };
+    let prev = INSTALLED_WIDTH.with(|c| c.replace(value));
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            INSTALLED_WIDTH.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Explicit grain override (`popqc --grain`); `0` defers to `POPQC_GRAIN`,
+/// then to the adaptive per-operation default.
+static GRAIN_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the global leaf-task grain size: recursive splitting stops once a
+/// subrange holds at most this many items. `0` restores the default
+/// (`POPQC_GRAIN` if set, else adaptive: about 8 leaf tasks per worker
+/// of the operation's width).
+pub fn set_grain(grain: usize) {
+    GRAIN_OVERRIDE.store(grain, Relaxed);
+}
+
+/// The configured grain size (`0` = adaptive).
+pub fn configured_grain() -> usize {
+    let explicit = GRAIN_OVERRIDE.load(Relaxed);
+    if explicit > 0 {
+        explicit
+    } else {
+        env_grain()
+    }
+}
+
+/// The grain an `n`-item operation at `width` will split down to.
+pub(crate) fn effective_grain(n: usize, width: usize) -> usize {
+    let configured = configured_grain();
+    if configured > 0 {
+        configured
+    } else {
+        n.div_ceil(width.max(1) * SPLIT_FACTOR).max(1)
+    }
+}
+
+struct Worker {
+    deque: Mutex<VecDeque<JobRef>>,
+}
+
+pub(crate) struct Pool {
+    /// Fixed-capacity worker slots; only `started` of them have a live
+    /// thread, but pre-allocating all slots keeps the deque addresses
+    /// stable while the pool grows.
+    workers: Vec<Worker>,
+    injector: Mutex<VecDeque<JobRef>>,
+    /// Worker threads spawned so far (pool grows lazily toward the widest
+    /// requested parallelism).
+    started: AtomicUsize,
+    grow_lock: Mutex<()>,
+    /// Workers parked (or about to park) in `idle_wait` — the pusher
+    /// side of the park/wake handshake reads it, see `idle_wait`.
+    idle: AtomicUsize,
+    sleep_lock: Mutex<()>,
+    sleep_cv: Condvar,
+    // --- statistics (monotonic, relaxed: they are telemetry, not sync) ---
+    pub(crate) parallel_ops: AtomicU64,
+    pub(crate) tasks_executed: AtomicU64,
+    pub(crate) splits: AtomicU64,
+    pub(crate) steals: AtomicU64,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+/// The process-wide pool, created on first use (no threads are spawned
+/// until the first parallel operation asks for them).
+pub(crate) fn global() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let mut workers = Vec::with_capacity(MAX_WORKERS);
+        workers.resize_with(MAX_WORKERS, || Worker {
+            deque: Mutex::new(VecDeque::new()),
+        });
+        Pool {
+            workers,
+            injector: Mutex::new(VecDeque::new()),
+            started: AtomicUsize::new(0),
+            grow_lock: Mutex::new(()),
+            idle: AtomicUsize::new(0),
+            sleep_lock: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            parallel_ops: AtomicU64::new(0),
+            tasks_executed: AtomicU64::new(0),
+            splits: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+        }
+    })
+}
+
+/// The pool if any parallel operation has created it yet (stats probes
+/// must not force worker threads into existence).
+pub(crate) fn global_if_started() -> Option<&'static Pool> {
+    POOL.get()
+}
+
+/// Pre-grows the pool to at least `workers` threads (capped at the
+/// pool's hard ceiling of 256).
+///
+/// Individual operations only grow the pool to their own width, so a
+/// service expecting `J` concurrent jobs of width `w` each should
+/// reserve `J·w` up front — otherwise total pool capacity would stay at
+/// `w` and concurrent jobs would share it (the pool is work-conserving,
+/// not partitioned: any worker may execute any job's tasks).
+pub fn reserve_workers(workers: usize) {
+    if workers > 1 {
+        global().ensure_workers(workers);
+    }
+}
+
+impl Pool {
+    /// Grows the pool to at least `width` worker threads (capped at
+    /// [`MAX_WORKERS`]). Threads persist for the process lifetime — this
+    /// is what makes consecutive parallel operations land on stable
+    /// thread ids instead of spawning per call.
+    pub(crate) fn ensure_workers(&'static self, width: usize) {
+        let want = width.min(MAX_WORKERS);
+        if self.started.load(Relaxed) >= want {
+            return;
+        }
+        let _guard = self.grow_lock.lock().expect("pool grow lock poisoned");
+        let have = self.started.load(Relaxed);
+        for index in have..want {
+            std::thread::Builder::new()
+                .name(format!("qexec-{index}"))
+                .spawn(move || self.worker_main(index))
+                .expect("spawn qexec worker");
+        }
+        if want > have {
+            self.started.store(want, Relaxed);
+        }
+    }
+
+    pub(crate) fn started_workers(&self) -> usize {
+        self.started.load(Relaxed)
+    }
+
+    fn worker_main(&'static self, index: usize) {
+        WORKER_INDEX.with(|c| c.set(Some(index)));
+        loop {
+            while let Some(job) = self.find_work(Some(index)) {
+                self.execute(job);
+            }
+            self.idle_wait(index);
+        }
+    }
+
+    /// Executes one scheduler-owned job. Panics inside the job are
+    /// captured into its result slot (see `StackJob`), so this never
+    /// unwinds and the pool cannot be poisoned by a task panic.
+    fn execute(&self, job: JobRef) {
+        self.tasks_executed.fetch_add(1, Relaxed);
+        // SAFETY: every JobRef in the scheduler came from a StackJob whose
+        // frame is blocked until the job's latch sets, and each is
+        // executed exactly once (popped or stolen from exactly one place).
+        unsafe { job.execute() }
+    }
+
+    /// Pops/steals one runnable job: own deque bottom first (LIFO), then
+    /// the injector, then the top of the other workers' deques.
+    fn find_work(&self, me: Option<usize>) -> Option<JobRef> {
+        if let Some(i) = me {
+            if let Some(job) = self.workers[i]
+                .deque
+                .lock()
+                .expect("deque poisoned")
+                .pop_back()
+            {
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.lock().expect("injector poisoned").pop_front() {
+            return Some(job);
+        }
+        let n = self.started.load(Relaxed);
+        if n == 0 {
+            return None;
+        }
+        // Rotate the first victim so thieves do not convoy on worker 0.
+        static NEXT_VICTIM: AtomicUsize = AtomicUsize::new(0);
+        let start = NEXT_VICTIM.fetch_add(1, Relaxed);
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if Some(victim) == me {
+                continue;
+            }
+            if let Some(job) = self.workers[victim]
+                .deque
+                .lock()
+                .expect("deque poisoned")
+                .pop_front()
+            {
+                self.steals.fetch_add(1, Relaxed);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Makes `job` available to the pool: bottom of the local deque for
+    /// workers, the shared injector for external threads.
+    fn push(&self, me: Option<usize>, job: JobRef) {
+        match me {
+            Some(i) => self.workers[i]
+                .deque
+                .lock()
+                .expect("deque poisoned")
+                .push_back(job),
+            None => self
+                .injector
+                .lock()
+                .expect("injector poisoned")
+                .push_back(job),
+        }
+        self.wake_one();
+    }
+
+    /// Reclaims the just-pushed job from the bottom of our deque iff it
+    /// was not stolen meanwhile. By the fork-join discipline everything a
+    /// completed first half pushed above it has already been consumed, so
+    /// the bottom is either this job or (if stolen) an outer pending one
+    /// that must stay put.
+    fn try_pop_exact(&self, i: usize, ptr: *const ()) -> Option<JobRef> {
+        let mut deque = self.workers[i].deque.lock().expect("deque poisoned");
+        if deque.back().map(JobRef::data_ptr) == Some(ptr) {
+            deque.pop_back()
+        } else {
+            None
+        }
+    }
+
+    /// External-thread counterpart of `try_pop_exact`: removes the job
+    /// from the injector by identity if no worker picked it up yet.
+    fn take_from_injector(&self, ptr: *const ()) -> Option<JobRef> {
+        let mut injector = self.injector.lock().expect("injector poisoned");
+        let pos = injector.iter().position(|j| j.data_ptr() == ptr)?;
+        injector.remove(pos)
+    }
+
+    /// Blocks until `latch` sets, executing any other runnable work in the
+    /// meantime (see the module docs for why waiting must keep helping).
+    fn wait_for(&self, latch: &Latch, me: Option<usize>) {
+        let mut idle_rounds = 0u32;
+        while !latch.probe() {
+            if let Some(job) = self.find_work(me) {
+                self.execute(job);
+                idle_rounds = 0;
+            } else {
+                idle_rounds += 1;
+                if idle_rounds < 4 {
+                    std::thread::yield_now();
+                } else {
+                    latch.wait_brief();
+                }
+            }
+        }
+    }
+
+    /// Parks an idle worker — untimed, so an idle pool burns zero CPU —
+    /// until new work is pushed.
+    ///
+    /// The lost-wakeup race is closed by a Dekker-style handshake with
+    /// [`wake_one`](Self::wake_one): the worker advertises itself idle
+    /// (SeqCst) *before* its final work re-check, while a pusher
+    /// publishes its job *before* reading the idle count (SeqCst). In
+    /// every interleaving either the re-check sees the job (pusher's
+    /// deque unlock happens-before our lock of the same deque) or the
+    /// pusher sees the idle count and notifies under `sleep_lock` —
+    /// which it cannot acquire between our re-check and our wait, since
+    /// we hold it across both. An untimed park therefore never strands
+    /// runnable work.
+    fn idle_wait(&self, me: usize) {
+        use std::sync::atomic::Ordering::SeqCst;
+        let guard = self.sleep_lock.lock().expect("sleep lock poisoned");
+        self.idle.fetch_add(1, SeqCst);
+        if self.has_visible_work(me) {
+            self.idle.fetch_sub(1, SeqCst);
+            return;
+        }
+        let _guard = self.sleep_cv.wait(guard).expect("sleep lock poisoned");
+        self.idle.fetch_sub(1, SeqCst);
+    }
+
+    /// Whether any deque or the injector holds work this worker could
+    /// take. Its own deque is skipped: only the owner pushes there, and
+    /// the owner is the one asking.
+    fn has_visible_work(&self, me: usize) -> bool {
+        if !self.injector.lock().expect("injector poisoned").is_empty() {
+            return true;
+        }
+        let n = self.started.load(Relaxed);
+        (0..n).any(|i| {
+            i != me
+                && !self.workers[i]
+                    .deque
+                    .lock()
+                    .expect("deque poisoned")
+                    .is_empty()
+        })
+    }
+
+    fn wake_one(&self) {
+        use std::sync::atomic::Ordering::SeqCst;
+        // The job was pushed (and its deque mutex released) before this
+        // SeqCst read — see the handshake note on `idle_wait`.
+        if self.idle.load(SeqCst) > 0 {
+            let _guard = self.sleep_lock.lock().expect("sleep lock poisoned");
+            self.sleep_cv.notify_one();
+        }
+    }
+}
+
+/// Runs `a` and `b`, potentially in parallel, and returns both results.
+///
+/// `b` is made stealable while the calling thread runs `a`; if nobody
+/// stole it the caller reclaims and runs it inline (the common, zero-sync
+/// fast path), otherwise the caller *helps* — executing other runnable
+/// tasks — until the thief finishes. A panic in either closure (including
+/// a stolen `b` running on another worker) is re-raised on the calling
+/// thread with its original payload, after both closures have settled, and
+/// leaves the pool fully operational.
+///
+/// At an effective width of 1 ([`current_width`]) this degenerates to
+/// strictly sequential `a(); b()` on the calling thread.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let width = current_width();
+    if width <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    let pool = global();
+    pool.ensure_workers(width);
+    pool.splits.fetch_add(1, Relaxed);
+
+    let b_job = StackJob::new(b, width);
+    // SAFETY: this frame stays alive (and this function does not return)
+    // until b_job's latch is set — the job is executed inline below or
+    // waited for; the ref enters the scheduler exactly once.
+    let b_ref = unsafe { b_job.as_job_ref() };
+    let b_ptr = b_ref.data_ptr();
+    let me = WORKER_INDEX.with(|c| c.get());
+    pool.push(me, b_ref);
+
+    let ra = panic::catch_unwind(AssertUnwindSafe(a));
+
+    let reclaimed = match me {
+        Some(i) => pool.try_pop_exact(i, b_ptr),
+        None => pool.take_from_injector(b_ptr),
+    };
+    match reclaimed {
+        Some(job) => pool.execute(job),
+        None => pool.wait_for(&b_job.latch, me),
+    }
+    // SAFETY: the latch is set (inline execution sets it synchronously;
+    // wait_for returns only after probing it true), exactly one take.
+    let rb = unsafe { b_job.take_result() };
+
+    match (ra, rb) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(payload), _) => panic::resume_unwind(payload),
+        (Ok(_), Err(payload)) => panic::resume_unwind(payload),
+    }
+}
+
+/// Applies `f` to every item in parallel, preserving order.
+///
+/// The index range splits in half recursively down to the effective grain
+/// (see [`set_grain`]); each half becomes a stealable task, and a stolen
+/// half re-splits on the thief, so an expensive prefix cannot strand the
+/// rest of the items on one worker the way contiguous per-thread chunking
+/// does. Results land at their item's index, so output order (and
+/// therefore every consumer's result) is identical to sequential
+/// execution regardless of the steal schedule.
+pub fn par_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let width = current_width();
+    if n <= 1 || width <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let grain = effective_grain(n, width);
+    if grain >= n {
+        return items.into_iter().map(f).collect();
+    }
+    let pool = global();
+    pool.ensure_workers(width);
+    pool.parallel_ops.fetch_add(1, Relaxed);
+
+    let mut src: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut dst: Vec<Option<R>> = Vec::with_capacity(n);
+    dst.resize_with(n, || None);
+    map_rec(&mut src, &mut dst, &f, grain);
+    dst.into_iter()
+        .map(|slot| slot.expect("parallel map result missing"))
+        .collect()
+}
+
+fn map_rec<T, R, F>(src: &mut [Option<T>], dst: &mut [Option<R>], f: &F, grain: usize)
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    debug_assert_eq!(src.len(), dst.len());
+    if src.len() <= grain {
+        for (s, d) in src.iter_mut().zip(dst.iter_mut()) {
+            *d = Some(f(s.take().expect("parallel map item consumed twice")));
+        }
+        return;
+    }
+    let mid = src.len() / 2;
+    let (s1, s2) = src.split_at_mut(mid);
+    let (d1, d2) = dst.split_at_mut(mid);
+    join(|| map_rec(s1, d1, f, grain), || map_rec(s2, d2, f, grain));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence_env_then_requested_then_available() {
+        // Env always wins.
+        assert_eq!(resolve_threads_from(Some(3), Some(8)), 3);
+        assert_eq!(resolve_threads_from(Some(3), None), 3);
+        // Then the explicit request.
+        assert_eq!(resolve_threads_from(None, Some(8)), 8);
+        // A zero request means "default", not zero threads.
+        let avail = available_parallelism();
+        assert_eq!(resolve_threads_from(None, Some(0)), avail);
+        assert_eq!(resolve_threads_from(None, None), avail);
+        // Runaway widths clamp to the worker ceiling.
+        assert_eq!(resolve_threads_from(None, Some(100_000)), MAX_WORKERS);
+    }
+
+    #[test]
+    fn adaptive_grain_scales_with_width() {
+        // ~SPLIT_FACTOR leaves per worker, never below one item.
+        assert_eq!(effective_grain(1024, 4), 1024_usize.div_ceil(32));
+        assert_eq!(effective_grain(3, 8), 1);
+    }
+
+    #[test]
+    fn width_guard_nests_and_restores() {
+        // POPQC_NUM_THREADS outranks the installed width by design, so
+        // these exact-width assertions only hold without it.
+        if std::env::var_os("POPQC_NUM_THREADS").is_some() {
+            eprintln!("skipping width-pinned assertions: POPQC_NUM_THREADS is set");
+            return;
+        }
+        let outer = current_width();
+        with_width(5, || {
+            assert_eq!(current_width(), 5);
+            with_width(2, || assert_eq!(current_width(), 2));
+            assert_eq!(current_width(), 5);
+            // 0 clears back to the process default.
+            with_width(0, || assert_eq!(current_width(), resolve_threads(None)));
+        });
+        assert_eq!(current_width(), outer);
+    }
+}

@@ -1,0 +1,233 @@
+//! Executor correctness under stealing: nested fork-join, order
+//! preservation, panic propagation across steals, sequential degeneration
+//! at width 1, and persistent-pool thread reuse.
+
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+use std::sync::Mutex;
+use std::thread::ThreadId;
+use std::time::Duration;
+
+/// Restores the process-global grain override on drop, so a failing
+/// assertion cannot leak a test's grain into the rest of the binary.
+struct GrainGuard;
+impl GrainGuard {
+    fn set(grain: usize) -> GrainGuard {
+        qexec::set_grain(grain);
+        GrainGuard
+    }
+}
+impl Drop for GrainGuard {
+    fn drop(&mut self) {
+        qexec::set_grain(0);
+    }
+}
+
+/// `POPQC_NUM_THREADS` deliberately outranks `with_width` (the documented
+/// precedence), so tests that pin exact widths cannot hold under it —
+/// they skip rather than fail when the suite runs with the variable set.
+fn env_pins_width() -> bool {
+    if std::env::var_os("POPQC_NUM_THREADS").is_some() {
+        eprintln!("skipping width-pinned assertions: POPQC_NUM_THREADS is set");
+        return true;
+    }
+    false
+}
+
+/// Recursive fork-join sum over a slice — every level of the recursion is
+/// a `join`, so deep nesting (stolen halves re-splitting on thieves)
+/// is exercised end to end.
+fn join_sum(xs: &[u64]) -> u64 {
+    if xs.len() <= 3 {
+        return xs.iter().sum();
+    }
+    let (lo, hi) = xs.split_at(xs.len() / 2);
+    let (a, b) = qexec::join(|| join_sum(lo), || join_sum(hi));
+    a + b
+}
+
+#[test]
+fn nested_join_computes_correctly() {
+    let xs: Vec<u64> = (0..10_000).collect();
+    let expect: u64 = xs.iter().sum();
+    // Deep nesting at several widths, including widths beyond the host's
+    // core count (the pool oversubscribes rather than capping).
+    for width in [2, 3, 8] {
+        let got = qexec::with_width(width, || join_sum(&xs));
+        assert_eq!(got, expect, "width {width}");
+    }
+}
+
+#[test]
+fn join_returns_both_results_in_order() {
+    let (a, b) = qexec::with_width(4, || qexec::join(|| "first", || 2));
+    assert_eq!((a, b), ("first", 2));
+}
+
+#[test]
+fn par_map_preserves_order_at_grain_one() {
+    // Grain 1 maximizes the task count and therefore steal opportunities;
+    // the result must still be index-exact.
+    let _grain = GrainGuard::set(1);
+    let out = qexec::with_width(4, || qexec::par_map_vec((0..2_000u64).collect(), |x| x * x));
+    assert_eq!(out.len(), 2_000);
+    assert!(out.iter().enumerate().all(|(i, &v)| v == (i * i) as u64));
+}
+
+#[test]
+fn panic_in_stolen_task_propagates_and_pool_survives() {
+    // The panicking closure is the *forked* (stealable) half; the caller
+    // stalls briefly so a pool worker has every chance to steal it. The
+    // panic must surface on the caller with its original payload, and the
+    // pool must keep executing work afterwards — no poisoned worker, no
+    // wedged deque.
+    for round in 0..20 {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            qexec::with_width(4, || {
+                qexec::join(
+                    || std::thread::sleep(Duration::from_micros(200)),
+                    || panic!("injected task fault {round}"),
+                )
+            })
+        }));
+        let payload = result.expect_err("the forked panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("original payload type");
+        assert_eq!(msg, &format!("injected task fault {round}"));
+    }
+    // Pool still fully operational.
+    let out = qexec::with_width(4, || qexec::par_map_vec((0..512u64).collect(), |x| x + 1));
+    assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
+}
+
+#[test]
+fn panic_in_first_half_still_settles_second() {
+    // When the caller's own half panics, the forked half may be running
+    // on a thief; the join must wait for it to settle before re-raising,
+    // so the thief never touches a dead stack frame. (At width 1 the
+    // second half legitimately never starts, so this needs width > 1.)
+    if env_pins_width() {
+        return;
+    }
+    let second_ran = AtomicUsize::new(0);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        qexec::with_width(4, || {
+            qexec::join(
+                || panic!("first half fault"),
+                || {
+                    std::thread::sleep(Duration::from_micros(200));
+                    second_ran.fetch_add(1, SeqCst);
+                },
+            )
+        })
+    }));
+    assert!(result.is_err());
+    assert_eq!(second_ran.load(SeqCst), 1);
+}
+
+#[test]
+fn width_one_degenerates_to_sequential() {
+    // At width 1 everything runs inline on the calling thread, in program
+    // order, with no pool interaction at all.
+    if env_pins_width() {
+        return;
+    }
+    let caller = std::thread::current().id();
+    let order = Mutex::new(Vec::new());
+    qexec::with_width(1, || {
+        qexec::join(
+            || {
+                order
+                    .lock()
+                    .unwrap()
+                    .push(("a", std::thread::current().id()))
+            },
+            || {
+                order
+                    .lock()
+                    .unwrap()
+                    .push(("b", std::thread::current().id()))
+            },
+        );
+        let out = qexec::par_map_vec((0..64u32).collect(), |x| {
+            order
+                .lock()
+                .unwrap()
+                .push(("item", std::thread::current().id()));
+            x
+        });
+        assert_eq!(out, (0..64).collect::<Vec<u32>>());
+    });
+    let order = order.lock().unwrap();
+    assert_eq!(order.len(), 2 + 64);
+    assert_eq!((order[0].0, order[1].0), ("a", "b"), "sequential order");
+    assert!(order.iter().all(|&(_, id)| id == caller), "caller only");
+}
+
+#[test]
+fn consecutive_ops_run_on_stable_pool_threads() {
+    // The pool is persistent: many consecutive parallel operations must
+    // land on a bounded, stable set of worker threads (per-call spawning
+    // would mint fresh thread ids every operation).
+    let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+    for _ in 0..12 {
+        qexec::with_width(4, || {
+            qexec::par_map_vec((0..256usize).collect(), |i| {
+                // A dash of per-item latency so sleeping workers reliably
+                // wake up and take part in each operation.
+                std::thread::sleep(Duration::from_micros(10));
+                // Only count pool workers (by their `qexec-N` thread
+                // name): the caller — and any concurrently-running
+                // test's thread helping while it waits — may legally
+                // execute leaves too, and those ids are not the pool's.
+                let on_pool_worker = std::thread::current()
+                    .name()
+                    .is_some_and(|n| n.starts_with("qexec-"));
+                if on_pool_worker {
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                }
+                i
+            })
+        });
+    }
+    // Every pool-worker id must belong to the one persistent pool, whose
+    // total thread count the stats report (other tests in this binary
+    // share — and may have grown — the same pool; Rust never reuses a
+    // ThreadId within a process). Per-call thread spawning would mint
+    // fresh ids every operation, far exceeding the pool's census.
+    let distinct = seen.lock().unwrap().len();
+    let pool_threads = qexec::stats().workers as usize;
+    assert!(
+        distinct <= pool_threads,
+        "expected ids within the {pool_threads}-thread pool, saw {distinct}"
+    );
+}
+
+#[test]
+fn stats_counters_advance_under_parallel_work() {
+    if env_pins_width() {
+        return;
+    }
+    let before = qexec::stats();
+    qexec::with_width(4, || {
+        qexec::par_map_vec((0..4_096u64).collect(), |x| x.wrapping_mul(3))
+    });
+    let after = qexec::stats();
+    assert!(after.workers >= 1, "pool must have spawned workers");
+    assert!(after.parallel_ops > before.parallel_ops);
+    assert!(after.splits > before.splits);
+    assert!(after.tasks_executed > before.tasks_executed);
+    // Steals are schedule-dependent (may be zero on an idle machine), but
+    // the counter must never run backwards.
+    assert!(after.steals >= before.steals);
+}
+
+#[test]
+fn empty_and_singleton_inputs() {
+    let empty: Vec<u64> = qexec::with_width(4, || qexec::par_map_vec(Vec::<u64>::new(), |x| x));
+    assert!(empty.is_empty());
+    let one = qexec::with_width(4, || qexec::par_map_vec(vec![41u64], |x| x + 1));
+    assert_eq!(one, vec![42]);
+}

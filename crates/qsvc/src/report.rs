@@ -131,6 +131,18 @@ pub fn batch_report(
     }
 }
 
+/// The executor counters as the shared wire fragment.
+fn executor_report(e: &qexec::ExecStats) -> qapi::ExecutorReport {
+    qapi::ExecutorReport {
+        workers: e.workers,
+        grain: e.grain,
+        parallel_ops: e.parallel_ops,
+        tasks_executed: e.tasks_executed,
+        splits: e.splits,
+        steals: e.steals,
+    }
+}
+
 /// The service's cumulative counters as the shared [`qapi::StatsReport`]
 /// DTO. `GET /v1/stats`, the CLI report, and the bench report all derive
 /// from this one function, so their fields can never drift.
@@ -152,6 +164,7 @@ pub fn stats_report(
         cache_evictions: stats.cache.evictions,
         cache_backend: stats.store.backend.clone(),
         cache_tiers: stats.store.tiers.iter().map(tier_report).collect(),
+        executor: executor_report(&stats.executor),
         jobs_tracked: None,
     }
 }

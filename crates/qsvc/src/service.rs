@@ -6,9 +6,9 @@
 //!
 //! ```text
 //!  submit/submit_batch ──▶ FIFO queue ──▶ N worker threads
-//!        │     │                              │  (each installs a
-//!        │     └─ OracleRegistry lookup       │   threads-per-job pool:
-//!        │ store probe                        ▼   outer × inner parallelism)
+//!        │     │                              │  (each scopes a
+//!        │     └─ OracleRegistry lookup       │   threads-per-job width on
+//!        │ store probe                        ▼   the shared qexec pool)
 //!        ▼                                 optimize_circuit_observed
 //!  Arc<dyn ResultStore> ◀──── put ────────────┘
 //!   (memory │ disk │ tiered │ null)
@@ -18,9 +18,18 @@
 //!
 //! * **Outer parallelism** — `workers` jobs run concurrently, one per
 //!   worker thread.
-//! * **Inner parallelism** — each worker installs a `threads_per_job`-wide
-//!   pool before entering the engine, so one huge circuit saturates its
-//!   budget instead of starving the queue.
+//! * **Inner parallelism** — each worker enters the engine under a
+//!   [`qexec::with_width`] scope of `threads_per_job`. The engine's
+//!   parallel operations all run on the shared `popqc-exec`
+//!   work-stealing pool (persistent threads, no per-operation
+//!   spawning), which the service pre-grows to `workers ×
+//!   threads_per_job` at construction so every job's budget is
+//!   provisioned even when all workers run at once. The width scopes a
+//!   job's *splitting granularity* (how many leaf tasks its rounds
+//!   produce), not a hard thread partition: the pool is
+//!   work-conserving, so capacity idle in one job's rounds is lent to
+//!   another's instead of sitting parked. The pool's counters are
+//!   surfaced via [`ServiceStats::executor`].
 //! * **Per-request oracles** — the service owns an [`OracleRegistry`] of
 //!   named `Arc<dyn SegmentOracle<Gate>>` entries; every submission picks
 //!   an oracle (and engine config) per job, so one running service answers
@@ -346,12 +355,21 @@ pub struct JobKey {
 }
 
 /// Service sizing knobs.
+///
+/// Defaults (`0`) resolve through the workspace-wide thread-count
+/// precedence ([`qexec::resolve_threads`]): `POPQC_NUM_THREADS` >
+/// explicit config > available parallelism.
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
-    /// Worker threads (concurrent jobs). `0` = available parallelism.
+    /// Worker threads (concurrent jobs). `0` = the resolved core budget.
     pub workers: usize,
-    /// Engine threads each job may use. `0` = `max(1, cores / workers)`,
-    /// so a fully loaded service oversubscribes at most 1×.
+    /// Engine parallelism each job runs at (a `qexec` width scope on the
+    /// shared pool, provisioned as `workers × threads_per_job` pool
+    /// threads). `0` = `max(1, cores / workers)`, dividing the resolved
+    /// core budget across the workers. Note `POPQC_NUM_THREADS` pins
+    /// each *per-operation width* (it outranks this knob, like every
+    /// explicit width — see [`qexec::resolve_threads`]); it does not cap
+    /// the `workers ×` product, which is the `workers` knob's job.
     pub threads_per_job: usize,
     /// Total result-cache entries before LRU eviction.
     pub cache_capacity: usize,
@@ -372,9 +390,11 @@ impl Default for ServiceConfig {
 
 impl ServiceConfig {
     fn resolved(&self) -> (usize, usize) {
-        let cores = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
+        // The one documented precedence, shared with qexec and the rayon
+        // shim facade: POPQC_NUM_THREADS > explicit width > available
+        // parallelism. Before this lived in qexec, every call site decided
+        // "available threads" ad hoc.
+        let cores = qexec::resolve_threads(None);
         let workers = if self.workers == 0 {
             cores
         } else {
@@ -577,6 +597,9 @@ pub struct ServiceStats {
     pub cache: CacheStats,
     /// Per-tier store counters (backend name + one entry per tier).
     pub store: StoreStats,
+    /// Work-stealing executor counters (process-wide `popqc-exec` pool
+    /// the engine's parallel rounds run on).
+    pub executor: qexec::ExecStats,
 }
 
 struct QueuedJob {
@@ -740,7 +763,7 @@ impl Inner {
         }
     }
 
-    fn run_job(&self, job: QueuedJob, pool: &rayon::ThreadPool) {
+    fn run_job(&self, job: QueuedJob) {
         let queue_nanos = job.enqueued_at.elapsed().as_nanos() as u64;
         // Second probe: an identical job submitted earlier may have
         // completed while this one sat in the queue (possible when the
@@ -787,7 +810,11 @@ impl Inner {
         // independent retries, and fulfil the lead slot with an
         // error-shaped result so its client unblocks.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            pool.install(|| {
+            // The per-job thread budget is a width scope on the shared
+            // qexec work-stealing pool: the engine's parallel rounds run
+            // at `threads_per_job` width on persistent pool threads
+            // instead of spawning scoped threads per round.
+            qexec::with_width(self.threads_per_job, || {
                 optimize_circuit_observed(
                     &job.circuit,
                     job.oracle.as_ref(),
@@ -855,13 +882,6 @@ impl Inner {
     }
 
     fn worker_loop(&self) {
-        // One engine pool per worker, reused across jobs: with a real
-        // thread-pool implementation, building per job would spawn and tear
-        // down OS threads on the hot path.
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(self.threads_per_job)
-            .build()
-            .expect("per-worker thread pool");
         loop {
             let job = {
                 let mut q = self.queue.lock().expect("job queue poisoned");
@@ -878,8 +898,7 @@ impl Inner {
             // `run_job` already converts oracle panics into error-shaped
             // results; this is the last line of defence so no panic
             // whatsoever can shrink the fixed worker pool.
-            let _ =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_job(job, &pool)));
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_job(job)));
         }
     }
 }
@@ -929,6 +948,13 @@ impl OptimizationService {
             "the oracle registry must hold at least the default oracle"
         );
         let (workers, threads_per_job) = config.resolved();
+        // Provision the shared executor for the full service: individual
+        // jobs only grow the pool to their own width, so without this a
+        // multi-worker service would run all its concurrent jobs on one
+        // job's worth of pool threads.
+        if threads_per_job > 1 {
+            qexec::reserve_workers(workers.saturating_mul(threads_per_job));
+        }
         let inner = Arc::new(Inner {
             threads_per_job,
             store,
@@ -1196,6 +1222,7 @@ impl OptimizationService {
                 entries: store.entries() as usize,
             },
             store,
+            executor: qexec::stats(),
         }
     }
 

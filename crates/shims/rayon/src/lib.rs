@@ -5,34 +5,30 @@
 //! * `par_iter()` / `into_par_iter()` / `par_chunks_mut()` with the adapter
 //!   chains the workspace uses (`map`, `zip`, `enumerate`, `filter_map`,
 //!   `for_each`, `collect`);
-//! * `ThreadPoolBuilder` / `ThreadPool::install` / `current_num_threads`.
+//! * `ThreadPoolBuilder` / `ThreadPool::install` / `current_num_threads`;
+//! * `join`.
 //!
-//! Execution is genuinely parallel: every closure-applying adapter splits its
-//! items into one contiguous chunk per available thread and runs the chunks
-//! under `std::thread::scope`, preserving item order. "Available threads" is
-//! the installed pool width (a thread-local set by [`ThreadPool::install`]),
-//! defaulting to `std::thread::available_parallelism()`. Unlike real rayon
-//! there is no work-stealing, so irregular workloads balance worse — but
-//! results are bit-identical and the scaling experiments still scale.
+//! Execution is a thin facade over the `popqc-exec` work-stealing executor
+//! (`qexec`): every closure-applying adapter forwards to
+//! [`qexec::par_map_vec`], which splits the items recursively down to a
+//! tunable grain on a **persistent global worker pool** — no per-call
+//! thread spawning, and irregular per-item costs rebalance across workers
+//! via stealing instead of serializing behind one contiguous chunk.
+//! Results are bit-identical to sequential execution (order is preserved
+//! by index) for every pool width and steal schedule.
+//!
+//! Like real rayon, a [`ThreadPool`] scopes a parallelism *width* rather
+//! than owning threads of its own: [`ThreadPool::install`] pins
+//! [`current_num_threads`] for the closure's duration and the closure's
+//! parallel operations run on the shared qexec pool at that width. The
+//! effective width follows the workspace-wide precedence documented at
+//! [`qexec::resolve_threads`]: `POPQC_NUM_THREADS` > installed pool width
+//! > available parallelism.
 
-use std::cell::Cell;
-
-thread_local! {
-    /// Width installed by [`ThreadPool::install`] for the current thread.
-    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
-}
-
-fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
-/// Number of threads parallel operations on this thread will use.
+/// Number of threads parallel operations on this thread will use
+/// (`POPQC_NUM_THREADS` > installed pool width > available parallelism).
 pub fn current_num_threads() -> usize {
-    INSTALLED_THREADS
-        .with(|c| c.get())
-        .unwrap_or_else(default_threads)
+    qexec::current_width()
 }
 
 /// Error from [`ThreadPoolBuilder::build`] (never produced by this shim).
@@ -66,16 +62,18 @@ impl ThreadPoolBuilder {
 
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let n = match self.num_threads {
-            Some(0) | None => default_threads(),
+            Some(0) | None => qexec::resolve_threads(None),
             Some(n) => n,
         };
         Ok(ThreadPool { num_threads: n })
     }
 }
 
-/// A "pool" that scopes a parallelism width rather than owning threads:
+/// A "pool" that scopes a parallelism width on the shared qexec executor:
 /// [`ThreadPool::install`] pins [`current_num_threads`] for the closure's
-/// duration, and parallel operations spawn scoped threads on demand.
+/// duration, and the closure's parallel operations run on the global
+/// work-stealing pool at that width (which grows its persistent workers to
+/// match; it never spawns per-operation threads).
 pub struct ThreadPool {
     num_threads: usize,
 }
@@ -83,15 +81,7 @@ pub struct ThreadPool {
 impl ThreadPool {
     /// Runs `f` with this pool's width installed as the parallelism level.
     pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        let prev = INSTALLED_THREADS.with(|c| c.replace(Some(self.num_threads)));
-        struct Restore(Option<usize>);
-        impl Drop for Restore {
-            fn drop(&mut self) {
-                INSTALLED_THREADS.with(|c| c.set(self.0));
-            }
-        }
-        let _restore = Restore(prev);
-        f()
+        qexec::with_width(self.num_threads, f)
     }
 
     pub fn current_num_threads(&self) -> usize {
@@ -101,33 +91,7 @@ impl ThreadPool {
 
 /// Applies `f` to every item, in parallel, preserving order.
 fn run_parallel<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
-    let threads = current_num_threads();
-    let n = items.len();
-    if threads <= 1 || n <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let chunk = n.div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::new();
-    let mut it = items.into_iter();
-    loop {
-        let c: Vec<T> = it.by_ref().take(chunk).collect();
-        if c.is_empty() {
-            break;
-        }
-        chunks.push(c);
-    }
-    let f = &f;
-    let mut out = Vec::with_capacity(n);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        for h in handles {
-            out.extend(h.join().expect("parallel worker panicked"));
-        }
-    });
-    out
+    qexec::par_map_vec(items, f)
 }
 
 /// An eager parallel iterator: closure-applying adapters execute immediately
@@ -237,6 +201,10 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
 }
 
 /// Runs two closures, potentially in parallel, returning both results.
+/// Forwards to [`qexec::join`]: the second closure is made stealable on
+/// the shared pool while the caller runs the first, and a panic in either
+/// (including a stolen one) is re-raised on the caller with its original
+/// payload.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -244,16 +212,7 @@ where
     RA: Send,
     RB: Send,
 {
-    if current_num_threads() <= 1 {
-        let ra = a();
-        let rb = b();
-        return (ra, rb);
-    }
-    std::thread::scope(|s| {
-        let hb = s.spawn(b);
-        let ra = a();
-        (ra, hb.join().expect("join worker panicked"))
-    })
+    qexec::join(a, b)
 }
 
 pub mod prelude {
@@ -264,6 +223,10 @@ pub mod prelude {
 mod tests {
     use super::prelude::*;
     use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    use std::thread::ThreadId;
 
     #[test]
     fn map_collect_preserves_order() {
@@ -272,10 +235,23 @@ mod tests {
         assert!(doubled.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
     }
 
+    /// `POPQC_NUM_THREADS` deliberately outranks an installed width, so
+    /// exact-width assertions cannot hold when the suite runs with the
+    /// variable set — those tests skip instead of failing.
+    fn env_pins_width() -> bool {
+        if std::env::var_os("POPQC_NUM_THREADS").is_some() {
+            eprintln!("skipping width-pinned assertions: POPQC_NUM_THREADS is set");
+            return true;
+        }
+        false
+    }
+
     #[test]
     fn chunks_mut_and_install() {
         let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
-        assert_eq!(pool.install(current_num_threads), 3);
+        if !env_pins_width() {
+            assert_eq!(pool.install(current_num_threads), 3);
+        }
         let mut v = vec![1u32; 4096];
         v.par_chunks_mut(64).enumerate().for_each(|(i, c)| {
             for x in c.iter_mut() {
@@ -297,5 +273,71 @@ mod tests {
             .filter_map(|&x| (x % 2 == 1).then_some(x))
             .collect();
         assert_eq!(odd, vec![1, 3]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Order preservation under stealing: whatever the steal schedule,
+        /// `par_iter().map().collect()` must equal the sequential map.
+        /// Width 4 with grain 1 maximizes task count (and therefore steal
+        /// opportunities) even on a single-core host.
+        #[test]
+        fn par_map_matches_sequential(xs in prop::collection::vec(0u64..1_000_000, 0..600)) {
+            // Drop-guard so a failing case cannot leak grain=1 into the
+            // rest of the binary.
+            struct GrainGuard;
+            impl Drop for GrainGuard {
+                fn drop(&mut self) {
+                    qexec::set_grain(0);
+                }
+            }
+            let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+            qexec::set_grain(1);
+            let _restore = GrainGuard;
+            let par: Vec<u64> = pool.install(|| xs.par_iter().map(|&x| x.wrapping_mul(2654435761) >> 7).collect());
+            let seq: Vec<u64> = xs.iter().map(|&x| x.wrapping_mul(2654435761) >> 7).collect();
+            prop_assert_eq!(par, seq);
+        }
+    }
+
+    /// The acceptance property for the executor rewire: consecutive
+    /// parallel operations reuse the same persistent pool threads. The
+    /// old shim spawned fresh scoped threads per call, so the set of
+    /// observed worker thread ids grew with every operation; on the qexec
+    /// pool it is bounded by the pool size no matter how many operations
+    /// run.
+    #[test]
+    fn consecutive_ops_reuse_pool_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        for _ in 0..16 {
+            pool.install(|| {
+                (0..256usize).into_par_iter().for_each(|_| {
+                    // Only count pool workers (by their `qexec-N` thread
+                    // name): the caller — and any concurrent test's
+                    // thread helping while it waits — may legally
+                    // execute leaves too, and those ids are not the
+                    // pool's.
+                    let on_pool_worker = std::thread::current()
+                        .name()
+                        .is_some_and(|n| n.starts_with("qexec-"));
+                    if on_pool_worker {
+                        seen.lock().unwrap().insert(std::thread::current().id());
+                    }
+                });
+            });
+        }
+        let distinct = seen.lock().unwrap().len();
+        // Every pool-worker id must belong to the one persistent pool,
+        // whose total thread count qexec reports (other tests in this
+        // process may have grown it beyond our 4). Per-call thread
+        // spawning would mint fresh ids every operation, far exceeding
+        // the pool's census.
+        let pool_threads = qexec::stats().workers as usize;
+        assert!(
+            distinct <= pool_threads,
+            "expected ids within the {pool_threads}-thread persistent pool, \
+             saw {distinct} distinct thread ids"
+        );
     }
 }

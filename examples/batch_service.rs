@@ -11,7 +11,7 @@ use popqc::prelude::*;
 
 fn main() {
     // One job per benchmark family at its smallest laptop-scale width.
-    let circuits: Vec<Circuit> = Family::ALL
+    let circuits: Vec<Circuit> = Family::PAPER
         .iter()
         .map(|f| f.generate(f.ladder(0)[0], 42))
         .collect();

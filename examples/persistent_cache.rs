@@ -14,7 +14,7 @@ fn main() {
     let cache_dir = std::env::temp_dir().join("popqc-persistent-cache-example");
     let _ = std::fs::remove_dir_all(&cache_dir);
 
-    let circuits: Vec<Circuit> = Family::ALL
+    let circuits: Vec<Circuit> = Family::PAPER
         .iter()
         .map(|f| f.generate(f.ladder(0)[0], 7))
         .collect();

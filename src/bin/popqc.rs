@@ -3,12 +3,13 @@
 //!
 //! ```text
 //! popqc optimize <FILE|DIR>... [--out DIR] [--omega N] [--oracle ID]
-//!                [--workers N] [--threads-per-job N] [--cache-capacity N]
+//!                [--workers N] [--threads-per-job N] [--grain N]
+//!                [--cache-capacity N]
 //!                [--cache-tier memory|disk|tiered|null] [--cache-dir DIR]
 //!                [--repeat N] [--report FILE] [--json] [--verify] [--quiet]
 //! popqc serve [--addr HOST:PORT] [--workers N] [--threads-per-job N]
 //!             [--omega N] [--oracle ID] [--cache-capacity N]
-//!             [--conn-threads N]
+//!             [--conn-threads N] [--grain N]
 //!             [--cache-tier memory|disk|tiered|null] [--cache-dir DIR]
 //! popqc cache stats --cache-dir DIR
 //! popqc cache clear --cache-dir DIR
@@ -38,6 +39,13 @@
 //! `qsvc::store`): `tiered` or `disk` over a directory makes warm starts
 //! survive process restarts, and `popqc cache {stats,clear,warm}`
 //! administers such a directory offline.
+//!
+//! Parallelism runs on the shared `popqc-exec` work-stealing pool.
+//! `POPQC_NUM_THREADS` pins every parallel width (it outranks `--workers`
+//! and `--threads-per-job` defaults — see `qexec::resolve_threads`), and
+//! `--grain` (or `POPQC_GRAIN`) fixes the executor's leaf-task size in
+//! items, `0`/unset meaning adaptive splitting. The executor's counters
+//! are reported in `GET /v1/stats` and the `--report` document.
 
 use popqc::prelude::*;
 use popqc::service::report::{batch_report, cache_report, job_status, service_report};
@@ -48,12 +56,12 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  \
          popqc optimize <FILE|DIR>... [--out DIR] [--omega N] [--oracle ID]\n           \
-         [--workers N] [--threads-per-job N] [--cache-capacity N]\n           \
+         [--workers N] [--threads-per-job N] [--grain N] [--cache-capacity N]\n           \
          [--cache-tier memory|disk|tiered|null] [--cache-dir DIR]\n           \
          [--repeat N] [--report FILE] [--json] [--verify] [--quiet]\n  \
          popqc serve [--addr HOST:PORT] [--workers N] [--threads-per-job N]\n           \
          [--omega N] [--oracle ID] [--cache-capacity N] [--conn-threads N]\n           \
-         [--cache-tier memory|disk|tiered|null] [--cache-dir DIR]\n  \
+         [--grain N] [--cache-tier memory|disk|tiered|null] [--cache-dir DIR]\n  \
          popqc cache stats --cache-dir DIR\n  \
          popqc cache clear --cache-dir DIR\n  \
          popqc cache warm <FILE|DIR>... --cache-dir DIR [--omega N] [--oracle ID]\n           \
@@ -231,6 +239,7 @@ fn cmd_gen(args: &[String]) -> ExitCode {
 fn cmd_serve(args: &[String]) -> ExitCode {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut omega: usize = 200;
+    let mut grain: usize = 0;
     let mut oracle = "rule_based".to_string();
     let mut svc_cfg = ServiceConfig::default();
     let mut http_cfg = popqc::http::ServerConfig::default();
@@ -271,6 +280,10 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 omega = parse_num("--omega", args.get(i + 1));
                 i += 2;
             }
+            "--grain" => {
+                grain = parse_num("--grain", args.get(i + 1));
+                i += 2;
+            }
             "--oracle" => {
                 oracle = args.get(i + 1).unwrap_or_else(|| usage()).clone();
                 i += 2;
@@ -281,6 +294,9 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     if omega == 0 || http_cfg.conn_threads == 0 {
         usage();
     }
+    // Executor tuning before any parallel work runs: 0 keeps the
+    // adaptive default (or POPQC_GRAIN).
+    qexec::set_grain(grain);
 
     // One dynamically dispatched service over the whole registry: every
     // oracle stays selectable per request, `--oracle` only picks the
@@ -318,6 +334,10 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     match &cache_dir {
         Some(dir) => eprintln!("result store: {backend} (dir {})", dir.display()),
         None => eprintln!("result store: {backend}"),
+    }
+    match qexec::configured_grain() {
+        0 => eprintln!("executor: shared work-stealing pool, adaptive grain"),
+        g => eprintln!("executor: shared work-stealing pool, grain {g}"),
     }
     eprintln!(
         "endpoints: POST /v1/optimize  POST /v1/batch  GET /v1/jobs/{{id}}  \
@@ -479,6 +499,7 @@ struct OptimizeOpts {
     oracle: String,
     workers: usize,
     threads_per_job: usize,
+    grain: usize,
     cache_capacity: usize,
     cache_tier: Option<String>,
     cache_dir: Option<PathBuf>,
@@ -497,6 +518,7 @@ fn parse_optimize_opts(args: &[String]) -> OptimizeOpts {
         oracle: "rule_based".to_string(),
         workers: 0,
         threads_per_job: 0,
+        grain: 0,
         cache_capacity: 1024,
         cache_tier: None,
         cache_dir: None,
@@ -527,6 +549,10 @@ fn parse_optimize_opts(args: &[String]) -> OptimizeOpts {
             }
             "--threads-per-job" => {
                 o.threads_per_job = parse_num("--threads-per-job", args.get(i + 1));
+                i += 2;
+            }
+            "--grain" => {
+                o.grain = parse_num("--grain", args.get(i + 1));
                 i += 2;
             }
             "--cache-capacity" => {
@@ -603,6 +629,7 @@ fn collect_qasm_files(inputs: &[PathBuf]) -> Vec<PathBuf> {
 
 fn cmd_optimize(args: &[String]) -> ExitCode {
     let opts = parse_optimize_opts(args);
+    qexec::set_grain(opts.grain);
     let files = collect_qasm_files(&opts.inputs);
 
     // Outputs are written under --out by basename; two inputs sharing one

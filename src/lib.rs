@@ -19,8 +19,9 @@
 //! | [`oracles`] | `qoracle` | rule-based (VOQC-style) and search (Quartz-style) oracles |
 //! | [`core`] | `popqc-core` | index tree, sparse circuit, finger engine |
 //! | [`baseline`] | `oac` | sequential cut-meld-compress baseline |
-//! | [`benchmarks`] | `benchgen` | the eight benchmark circuit families |
+//! | [`benchmarks`] | `benchgen` | the paper's eight benchmark families + the `skewed` executor workload |
 //! | [`api`] | `popqc-api` | versioned public API: v1 DTOs, `ApiError` taxonomy, wire format |
+//! | [`exec`] | `popqc-exec` | work-stealing executor: the global pool every parallel hot path runs on |
 //! | [`service`] | `popqc-svc` | batch optimization service: oracle registry + job scheduling + result cache + coalescing |
 //! | [`http`] | `popqc-http` | HTTP/1.1 frontend: the v1 JSON endpoints over the service |
 //!
@@ -46,6 +47,7 @@ pub use oac as baseline;
 pub use popqc_core as core;
 pub use qapi as api;
 pub use qcir as ir;
+pub use qexec as exec;
 pub use qhttp as http;
 pub use qoracle as oracles;
 pub use qsim as sim;

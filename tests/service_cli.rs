@@ -4,6 +4,7 @@
 //! equivalent, and the warm pass is pure cache hits with zero new oracle
 //! calls (via the report's counters).
 
+use popqc::prelude::Family;
 use std::path::Path;
 use std::process::Command;
 
@@ -71,6 +72,8 @@ fn cli_round_trips_a_directory_with_warm_cache_second_pass() {
         "2",
         "--threads-per-job",
         "1",
+        "--grain",
+        "4",
         "--repeat",
         "2",
         "--verify",
@@ -124,16 +127,21 @@ fn cli_round_trips_a_directory_with_warm_cache_second_pass() {
     let service = report.get("service").unwrap();
     assert_eq!(service.get("cache_hits").unwrap().as_u64(), Some(4));
     assert_eq!(service.get("submitted").unwrap().as_u64(), Some(8));
+    // The executor block surfaces the work-stealing pool end to end,
+    // with the CLI's --grain override visible in it.
+    let executor = service.get("executor").expect("executor block in report");
+    assert_eq!(executor.get("grain").unwrap().as_u64(), Some(4));
 }
 
 #[test]
-fn cli_families_lists_all_eight() {
+fn cli_families_lists_every_family() {
     let out = run(&["families"]);
     assert_success(&out, "families");
     let stdout = String::from_utf8_lossy(&out.stdout);
     let listed: Vec<&str> = stdout.lines().collect();
-    assert_eq!(listed.len(), 8);
-    assert!(listed.contains(&"vqe") && listed.contains(&"shor"));
+    // The paper's eight plus the skewed executor workload.
+    assert_eq!(listed.len(), Family::ALL.len());
+    assert!(listed.contains(&"vqe") && listed.contains(&"shor") && listed.contains(&"skewed"));
 }
 
 #[test]
