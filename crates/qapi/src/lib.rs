@@ -182,7 +182,9 @@ pub fn transport_error_json(kind: &str, message: &str) -> Value {
 // ---------------------------------------------------------------------------
 
 /// `GET /v1/version`: the served API version plus the server build.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// Also embedded as a fragment in [`StatsReport`], so a stats scrape
+/// identifies the build that produced it.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct VersionInfo {
     /// The package version of the serving binary.
     pub build_version: String,
@@ -207,6 +209,20 @@ impl VersionInfo {
     /// Decodes a document produced by [`to_json`](Self::to_json).
     pub fn from_json(v: &Value) -> Result<VersionInfo, ApiError> {
         de::check_version(v)?;
+        Ok(VersionInfo {
+            build_version: de::req_str(v, "build_version")?,
+        })
+    }
+
+    /// Serializes as a nested fragment (no `api_version` — the enclosing
+    /// document carries it).
+    pub fn to_json_fragment(&self) -> Value {
+        json!({ "build_version": self.build_version.as_str() })
+    }
+
+    /// Decodes a fragment produced by
+    /// [`to_json_fragment`](Self::to_json_fragment).
+    pub fn from_json_fragment(v: &Value) -> Result<VersionInfo, ApiError> {
         Ok(VersionInfo {
             build_version: de::req_str(v, "build_version")?,
         })
@@ -841,12 +857,22 @@ impl ExecutorReport {
 
 /// `GET /v1/stats`, the CLI report's `service` section, and the bench
 /// report all derive from this one DTO, so their counters cannot drift.
-#[derive(Clone, Debug, PartialEq, Eq, Default)]
+///
+/// The `executor` counters are **process-global and monotonic** (the
+/// work-stealing pool is one per process, shared by every job): two
+/// jobs in, the report holds their cumulative totals. Interval figures
+/// come from differencing two reports (`qexec::ExecStats::delta_since`
+/// server-side, or plain field subtraction on the wire shape).
+#[derive(Clone, Debug, PartialEq, Default)]
 pub struct StatsReport {
     /// Worker threads (concurrent jobs).
     pub workers: u64,
     /// Engine threads each job runs with.
     pub threads_per_job: u64,
+    /// Seconds the service has been up.
+    pub uptime_seconds: f64,
+    /// The build serving this report.
+    pub version: VersionInfo,
     /// Jobs accepted.
     pub submitted: u64,
     /// Jobs completed (including cache hits and failures).
@@ -884,6 +910,8 @@ impl StatsReport {
             ("api_version".to_string(), json!(API_VERSION)),
             ("workers".to_string(), json!(self.workers)),
             ("threads_per_job".to_string(), json!(self.threads_per_job)),
+            ("uptime_seconds".to_string(), json!(self.uptime_seconds)),
+            ("version".to_string(), self.version.to_json_fragment()),
             ("submitted".to_string(), json!(self.submitted)),
             ("completed".to_string(), json!(self.completed)),
             ("cache_hits".to_string(), json!(self.cache_hits)),
@@ -922,6 +950,11 @@ impl StatsReport {
         Ok(StatsReport {
             workers: de::req_u64(v, "workers")?,
             threads_per_job: de::req_u64(v, "threads_per_job")?,
+            uptime_seconds: de::req_f64(v, "uptime_seconds")?,
+            version: VersionInfo::from_json_fragment(
+                v.get("version")
+                    .ok_or_else(|| de::malformed("missing `version` object"))?,
+            )?,
             submitted: de::req_u64(v, "submitted")?,
             completed: de::req_u64(v, "completed")?,
             cache_hits: de::req_u64(v, "cache_hits")?,

@@ -167,6 +167,10 @@ fn stats_and_service_report_round_trip() {
     let stats = StatsReport {
         workers: 4,
         threads_per_job: 2,
+        uptime_seconds: 12.5,
+        version: VersionInfo {
+            build_version: "0.2.0".to_string(),
+        },
         submitted: 10,
         completed: 10,
         cache_hits: 6,

@@ -180,6 +180,10 @@ fn stats_report_snapshot() {
         &StatsReport {
             workers: 4,
             threads_per_job: 2,
+            uptime_seconds: 12.5,
+            version: VersionInfo {
+                build_version: "0.2.0".to_string(),
+            },
             submitted: 10,
             completed: 10,
             cache_hits: 6,
@@ -245,6 +249,10 @@ fn service_report_snapshot() {
             service: StatsReport {
                 workers: 2,
                 threads_per_job: 1,
+                uptime_seconds: 3.25,
+                version: VersionInfo {
+                    build_version: "0.2.0".to_string(),
+                },
                 submitted: 1,
                 completed: 1,
                 oracle_calls_issued: 59,

@@ -43,8 +43,10 @@
 #![deny(missing_docs)]
 
 mod job;
+mod metrics;
 mod pool;
 
+pub use metrics::describe_metrics;
 pub use pool::{
     configured_grain, current_width, join, par_map_vec, reserve_workers, resolve_threads,
     set_grain, with_width,
@@ -52,8 +54,13 @@ pub use pool::{
 
 /// A point-in-time snapshot of the executor's process-wide counters.
 ///
-/// All counters are monotonic over the process lifetime (the pool is
-/// global and persistent); rates come from differencing two snapshots.
+/// All counters are monotonic over the **process lifetime** — the pool is
+/// global and persistent, so a snapshot taken after two jobs holds the
+/// cumulative totals of both, never per-job figures. To attribute work to
+/// one interval (a job, a request, a benchmark pass), take a snapshot
+/// before and after and diff them with
+/// [`delta_since`](ExecStats::delta_since); rates come from the same
+/// differencing.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// Worker threads spawned so far (0 until the first parallel
@@ -72,6 +79,24 @@ pub struct ExecStats {
     /// Tasks a worker took from another worker's deque (the injector is
     /// not counted: taking submitted work is not stealing).
     pub steals: u64,
+}
+
+impl ExecStats {
+    /// The work done since `baseline` (an earlier [`snapshot`]): the four
+    /// monotonic counters are differenced (saturating, so snapshots
+    /// passed in the wrong order read as zero instead of wrapping), while
+    /// `workers` and `grain` — instantaneous configuration, not work —
+    /// carry over from `self`, the later snapshot.
+    pub fn delta_since(&self, baseline: &ExecStats) -> ExecStats {
+        ExecStats {
+            workers: self.workers,
+            grain: self.grain,
+            parallel_ops: self.parallel_ops.saturating_sub(baseline.parallel_ops),
+            tasks_executed: self.tasks_executed.saturating_sub(baseline.tasks_executed),
+            splits: self.splits.saturating_sub(baseline.splits),
+            steals: self.steals.saturating_sub(baseline.steals),
+        }
+    }
 }
 
 /// Snapshots the executor counters. Never forces the pool (or its worker
@@ -93,5 +118,62 @@ pub fn stats() -> ExecStats {
             splits: pool.splits.load(Relaxed),
             steals: pool.steals.load(Relaxed),
         },
+    }
+}
+
+/// Alias for [`stats`], named for how it should be used: as one end of a
+/// [`ExecStats::delta_since`] pair bounding the interval of interest.
+pub fn snapshot() -> ExecStats {
+    stats()
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+
+    #[test]
+    fn delta_since_diffs_counters_and_keeps_gauges() {
+        let before = ExecStats {
+            workers: 4,
+            grain: 0,
+            parallel_ops: 10,
+            tasks_executed: 100,
+            splits: 50,
+            steals: 7,
+        };
+        let after = ExecStats {
+            workers: 8, // pool grew between the snapshots
+            grain: 16,
+            parallel_ops: 12,
+            tasks_executed: 180,
+            splits: 90,
+            steals: 9,
+        };
+        let delta = after.delta_since(&before);
+        assert_eq!(
+            delta,
+            ExecStats {
+                workers: 8,
+                grain: 16,
+                parallel_ops: 2,
+                tasks_executed: 80,
+                splits: 40,
+                steals: 2,
+            }
+        );
+        // Reversed arguments saturate to zero work, not wrap-around.
+        let reversed = before.delta_since(&after);
+        assert_eq!(reversed.tasks_executed, 0);
+        assert_eq!(reversed.parallel_ops, 0);
+    }
+
+    #[test]
+    fn snapshot_is_stats() {
+        // Both entry points read the same cells; the counters are
+        // monotonic so a later snapshot can only be >=.
+        let a = snapshot();
+        let b = stats();
+        assert!(b.tasks_executed >= a.tasks_executed);
+        assert_eq!(a.grain, b.grain);
     }
 }

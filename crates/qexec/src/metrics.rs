@@ -1,0 +1,68 @@
+//! The executor's `popqc-obs` instruments. Counters mirror the
+//! [`ExecStats`](crate::ExecStats) cells (both are maintained at the
+//! same points in `pool.rs`), so a Prometheus scrape and `GET /v1/stats`
+//! can never disagree about what the pool did.
+
+/// Forked tasks executed (inline first halves excluded) — mirrors
+/// `ExecStats::tasks_executed`.
+pub(crate) fn tasks_total() -> &'static qobs::Counter {
+    qobs::static_counter!(
+        "popqc_exec_tasks_total",
+        "Forked (stealable) tasks executed by the work-stealing pool.",
+    )
+}
+
+/// Tasks taken from another worker's deque — mirrors `ExecStats::steals`.
+pub(crate) fn steals_total() -> &'static qobs::Counter {
+    qobs::static_counter!(
+        "popqc_exec_steals_total",
+        "Tasks a pool worker stole from another worker's deque.",
+    )
+}
+
+/// Fork points — mirrors `ExecStats::splits`.
+pub(crate) fn splits_total() -> &'static qobs::Counter {
+    qobs::static_counter!(
+        "popqc_exec_splits_total",
+        "Fork points: join calls that made their second half stealable.",
+    )
+}
+
+/// Parallel operations that actually went parallel — mirrors
+/// `ExecStats::parallel_ops`.
+pub(crate) fn parallel_ops_total() -> &'static qobs::Counter {
+    qobs::static_counter!(
+        "popqc_exec_parallel_ops_total",
+        "Parallel map operations that went parallel (sequential fast paths excluded).",
+    )
+}
+
+/// Worker threads spawned so far — mirrors `ExecStats::workers`.
+pub(crate) fn pool_workers() -> &'static qobs::Gauge {
+    qobs::static_gauge!(
+        "popqc_exec_pool_workers",
+        "Worker threads the global pool has spawned (persistent; grows, never shrinks).",
+    )
+}
+
+/// Wall-clock duration of each parallel map operation, as seen by the
+/// submitting thread.
+pub(crate) fn parallel_op_duration() -> &'static qobs::Histogram {
+    qobs::static_histogram!(
+        "popqc_exec_parallel_op_duration_seconds",
+        "Wall-clock duration of each parallel map operation.",
+        &qobs::LATENCY_BUCKETS,
+    )
+}
+
+/// Registers every executor metric family without recording anything, so
+/// the series inventory is complete from the first scrape rather than
+/// appearing as parallel work happens.
+pub fn describe_metrics() {
+    tasks_total();
+    steals_total();
+    splits_total();
+    parallel_ops_total();
+    pool_workers();
+    parallel_op_duration();
+}

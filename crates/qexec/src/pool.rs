@@ -29,6 +29,7 @@
 //! zero CPU.)
 
 use crate::job::{JobRef, Latch, StackJob};
+use crate::metrics;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
@@ -262,6 +263,7 @@ impl Pool {
         }
         if want > have {
             self.started.store(want, Relaxed);
+            metrics::pool_workers().set(want as i64);
         }
     }
 
@@ -284,6 +286,7 @@ impl Pool {
     /// unwinds and the pool cannot be poisoned by a task panic.
     fn execute(&self, job: JobRef) {
         self.tasks_executed.fetch_add(1, Relaxed);
+        metrics::tasks_total().inc();
         // SAFETY: every JobRef in the scheduler came from a StackJob whose
         // frame is blocked until the job's latch sets, and each is
         // executed exactly once (popped or stolen from exactly one place).
@@ -325,6 +328,7 @@ impl Pool {
                 .pop_front()
             {
                 self.steals.fetch_add(1, Relaxed);
+                metrics::steals_total().inc();
                 return Some(job);
             }
         }
@@ -472,6 +476,7 @@ where
     let pool = global();
     pool.ensure_workers(width);
     pool.splits.fetch_add(1, Relaxed);
+    metrics::splits_total().inc();
 
     let b_job = StackJob::new(b, width);
     // SAFETY: this frame stays alive (and this function does not return)
@@ -530,6 +535,8 @@ where
     let pool = global();
     pool.ensure_workers(width);
     pool.parallel_ops.fetch_add(1, Relaxed);
+    metrics::parallel_ops_total().inc();
+    let _op_timer = metrics::parallel_op_duration().start_timer();
 
     let mut src: Vec<Option<T>> = items.into_iter().map(Some).collect();
     let mut dst: Vec<Option<R>> = Vec::with_capacity(n);

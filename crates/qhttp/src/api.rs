@@ -11,11 +11,16 @@
 //! | `/v1/version` | GET | — | [`qapi::VersionInfo`] |
 //! | `/v1/oracles` | GET | — | [`qapi::OracleList`] (the registry) |
 //! | `/v1/stats` | GET | — | [`qapi::StatsReport`] |
+//! | `/v1/metrics` | GET | — | Prometheus text exposition (`text/plain; version=0.0.4`) |
 //! | `/v1/cache` | GET | — | [`qapi::CacheReport`] (per-tier store counters) |
 //! | `/v1/cache` | DELETE | — | [`qapi::CacheClearResponse`] (drops every stored result) |
 //! | `/v1/optimize` | POST | QASM text or [`qapi::OptimizeRequest`] JSON | [`qapi::JobStatus`] |
 //! | `/v1/batch` | POST | [`qapi::BatchRequest`] | [`qapi::BatchResponse`] |
 //! | `/v1/jobs/{id}` | GET | — | [`qapi::JobStatus`] |
+//!
+//! Every response carries an `x-popqc-request-id` header (process-unique,
+//! also printed in the per-request access-log line) so a client-observed
+//! failure can be matched to the server's logs.
 //!
 //! `POST /v1/optimize` accepts either the raw QASM program as the body
 //! with options as query parameters — `oracle` (registry id), `omega`
@@ -35,6 +40,7 @@
 //! never a dropped connection.
 
 use crate::http::{Request, Response};
+use crate::metrics;
 use crate::server::Handler;
 use popqc_core::PopqcConfig;
 use qapi::ApiError;
@@ -91,6 +97,9 @@ impl AppState {
         default_omega: usize,
         job_cap: usize,
     ) -> AppState {
+        // Register the HTTP metric families up front so the very first
+        // `/v1/metrics` scrape already lists the full inventory.
+        metrics::describe_metrics();
         AppState {
             svc,
             default_omega,
@@ -377,10 +386,18 @@ impl AppState {
         };
         Response::json(200, &doc.to_json())
     }
-}
 
-impl Handler for AppState {
-    fn handle(&self, req: &Request) -> Response {
+    fn handle_metrics(&self) -> Response {
+        // Store occupancy is pull-synced at scrape time (one stats read)
+        // instead of being mirrored on every put; everything else in the
+        // registry is updated at its event site.
+        qsvc::metrics::sync_store_gauges(&self.svc.store().stats());
+        Response::text_with_type(200, "text/plain; version=0.0.4", qobs::render())
+    }
+
+    /// The routing table proper; [`Handler::handle`] wraps it with
+    /// metrics, the access log, and the request id.
+    fn route(&self, req: &Request) -> Response {
         let method = req.method.as_str();
         let path = req.path.as_str();
         match (method, path) {
@@ -391,13 +408,16 @@ impl Handler for AppState {
             ("GET", "/v1/version") => Response::json(200, &qapi::VersionInfo::current().to_json()),
             ("GET", "/v1/oracles") => self.handle_oracles(),
             ("GET", "/v1/stats") => self.handle_stats(),
+            ("GET", "/v1/metrics") => self.handle_metrics(),
             ("GET", "/v1/cache") => self.handle_cache_get(),
             ("DELETE", "/v1/cache") => self.handle_cache_clear(),
             ("POST", "/v1/optimize") => self.handle_optimize(req),
             ("POST", "/v1/batch") => self.handle_batch(req),
-            (_, "/healthz") | (_, "/v1/version") | (_, "/v1/oracles") | (_, "/v1/stats") => {
-                method_not_allowed("GET")
-            }
+            (_, "/healthz")
+            | (_, "/v1/version")
+            | (_, "/v1/oracles")
+            | (_, "/v1/stats")
+            | (_, "/v1/metrics") => method_not_allowed("GET"),
             (_, "/v1/cache") => method_not_allowed("GET or DELETE"),
             (_, "/v1/optimize") | (_, "/v1/batch") => method_not_allowed("POST"),
             _ => match path.strip_prefix("/v1/jobs/") {
@@ -406,6 +426,46 @@ impl Handler for AppState {
                 None => transport_error(404, "not_found", &format!("no route for {path}")),
             },
         }
+    }
+}
+
+/// Decrements the in-flight gauge even when the handler panics (the
+/// server converts the panic to a 500; the gauge must not drift up).
+struct InFlight;
+
+impl InFlight {
+    fn enter() -> InFlight {
+        metrics::in_flight().inc();
+        InFlight
+    }
+}
+
+impl Drop for InFlight {
+    fn drop(&mut self) {
+        metrics::in_flight().dec();
+    }
+}
+
+impl Handler for AppState {
+    fn handle(&self, req: &Request) -> Response {
+        let _in_flight = InFlight::enter();
+        let request_id = metrics::next_request_id();
+        let endpoint = metrics::endpoint_label(&req.method, &req.path);
+        let start = std::time::Instant::now();
+        let response = self.route(req);
+        let seconds = start.elapsed().as_secs_f64();
+        metrics::requests(endpoint, metrics::status_class(response.status)).inc();
+        metrics::request_duration(endpoint).observe(seconds);
+        qobs::log_info!(
+            target: "qhttp",
+            "request",
+            id = request_id,
+            method = req.method,
+            path = req.path,
+            status = response.status,
+            seconds = format_args!("{seconds:.6}")
+        );
+        response.with_header("x-popqc-request-id", request_id)
     }
 }
 

@@ -351,6 +351,10 @@ fn read_chunked_body(r: &mut impl BufRead) -> Result<Vec<u8>, HttpError> {
 pub struct Response {
     pub status: u16,
     pub content_type: &'static str,
+    /// Extra header name/value pairs beyond the framing headers that
+    /// [`write_to`](Response::write_to) always emits (`Content-Type`,
+    /// `Content-Length`, `Connection`). Values must not contain CR/LF.
+    pub headers: Vec<(String, String)>,
     pub body: Vec<u8>,
 }
 
@@ -362,6 +366,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body,
         }
     }
@@ -370,8 +375,26 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
             body: body.into().into_bytes(),
         }
+    }
+
+    /// Text response with an explicit content type (e.g. the Prometheus
+    /// exposition format's `text/plain; version=0.0.4`).
+    pub fn text_with_type(status: u16, content_type: &'static str, body: String) -> Response {
+        Response {
+            status,
+            content_type,
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// Attaches one extra response header (builder style).
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
     }
 
     fn reason(&self) -> &'static str {
@@ -393,13 +416,17 @@ impl Response {
     pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> io::Result<()> {
         write!(
             w,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             self.reason(),
             self.content_type,
             self.body.len(),
             if keep_alive { "keep-alive" } else { "close" },
         )?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
         w.write_all(&self.body)?;
         w.flush()
     }
@@ -575,5 +602,18 @@ mod tests {
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\nok"));
+    }
+
+    #[test]
+    fn extra_headers_land_before_the_body() {
+        let mut out = Vec::new();
+        Response::text(200, "ok")
+            .with_header("x-popqc-request-id", "req-1-2")
+            .write_to(&mut out, false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let (head, body) = text.split_once("\r\n\r\n").expect("header/body split");
+        assert!(head.contains("x-popqc-request-id: req-1-2"), "head: {head}");
+        assert_eq!(body, "ok");
     }
 }

@@ -50,6 +50,7 @@
 
 pub mod api;
 pub mod http;
+pub mod metrics;
 pub mod server;
 
 pub use api::AppState;

@@ -1,0 +1,130 @@
+//! HTTP-layer metric families and per-request ids.
+//!
+//! Label cardinality is kept bounded on purpose: the `endpoint` label is
+//! the *route template* (`/v1/jobs/{id}`, never the concrete path — job
+//! ids are unbounded) and the `status` label is the status *class*
+//! (`2xx`/`4xx`/`5xx`), so a scrape's series inventory is fixed no matter
+//! what traffic the server has seen.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, OnceLock};
+
+fn requests_vec() -> &'static qobs::CounterVec {
+    qobs::static_counter_vec!(
+        "popqc_http_requests_total",
+        "HTTP requests served, by route template and status class.",
+        &["endpoint", "status"]
+    )
+}
+
+fn duration_vec() -> &'static qobs::HistogramVec {
+    qobs::static_histogram_vec!(
+        "popqc_http_request_duration_seconds",
+        "Wall time from parsed request to serialized response, by route template.",
+        &["endpoint"],
+        &qobs::LATENCY_BUCKETS
+    )
+}
+
+/// Requests currently inside a handler.
+pub(crate) fn in_flight() -> &'static qobs::Gauge {
+    qobs::static_gauge!(
+        "popqc_http_requests_in_flight",
+        "Requests currently being handled."
+    )
+}
+
+pub(crate) fn requests(endpoint: &str, status_class: &str) -> Arc<qobs::Counter> {
+    requests_vec().with(&[endpoint, status_class])
+}
+
+pub(crate) fn request_duration(endpoint: &str) -> Arc<qobs::Histogram> {
+    duration_vec().with(&[endpoint])
+}
+
+/// Registers every HTTP family so `/v1/metrics` exposes the full
+/// inventory (with typed headers) before the first request arrives.
+pub fn describe_metrics() {
+    requests_vec();
+    duration_vec();
+    in_flight();
+}
+
+/// Maps a request path to its bounded route-template label.
+pub(crate) fn endpoint_label(method: &str, path: &str) -> &'static str {
+    match path {
+        "/healthz" => "/healthz",
+        "/v1/version" => "/v1/version",
+        "/v1/oracles" => "/v1/oracles",
+        "/v1/stats" => "/v1/stats",
+        "/v1/cache" => "/v1/cache",
+        "/v1/metrics" => "/v1/metrics",
+        "/v1/optimize" => "/v1/optimize",
+        "/v1/batch" => "/v1/batch",
+        _ if path.starts_with("/v1/jobs/") => "/v1/jobs/{id}",
+        // Unknown routes collapse into one label so path probing cannot
+        // mint unbounded series.
+        _ => {
+            let _ = method;
+            "other"
+        }
+    }
+}
+
+/// The status class label for a numeric status (`2xx`, `4xx`, …).
+pub(crate) fn status_class(status: u16) -> &'static str {
+    match status / 100 {
+        1 => "1xx",
+        2 => "2xx",
+        3 => "3xx",
+        4 => "4xx",
+        5 => "5xx",
+        _ => "other",
+    }
+}
+
+/// A process-unique request id: a per-process prefix (pid + start time)
+/// plus a monotonically increasing sequence number. Cheap, collision-free
+/// within one machine's lifetime, and grep-friendly in access logs.
+pub(crate) fn next_request_id() -> String {
+    static PREFIX: OnceLock<String> = OnceLock::new();
+    static SEQ: AtomicU64 = AtomicU64::new(1);
+    let prefix = PREFIX.get_or_init(|| {
+        let pid = std::process::id();
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        format!("{pid:x}-{now:x}")
+    });
+    format!("{prefix}-{:x}", SEQ.fetch_add(1, Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_labels_are_bounded() {
+        assert_eq!(endpoint_label("GET", "/v1/jobs/12345"), "/v1/jobs/{id}");
+        assert_eq!(endpoint_label("GET", "/v1/metrics"), "/v1/metrics");
+        assert_eq!(endpoint_label("GET", "/nope/deep/path"), "other");
+    }
+
+    #[test]
+    fn status_classes_cover_the_taxonomy() {
+        assert_eq!(status_class(200), "2xx");
+        assert_eq!(status_class(202), "2xx");
+        assert_eq!(status_class(404), "4xx");
+        assert_eq!(status_class(503), "5xx");
+    }
+
+    #[test]
+    fn request_ids_are_distinct_and_share_a_prefix() {
+        let a = next_request_id();
+        let b = next_request_id();
+        assert_ne!(a, b);
+        let stem = |s: &str| s.rsplit_once('-').map(|(p, _)| p.to_string()).unwrap();
+        assert_eq!(stem(&a), stem(&b));
+    }
+}

@@ -1,0 +1,193 @@
+//! Prometheus text exposition (format version 0.0.4) over the global
+//! registry.
+
+use crate::metrics::{registry, Instrument, Kind};
+
+/// Serializes every registered family: families sorted by name, `# HELP`
+/// then `# TYPE` before any sample, children sorted by label values.
+/// Families with no children yet still emit their header lines, so the
+/// series inventory is stable from first scrape.
+pub fn render() -> String {
+    let mut out = String::with_capacity(4096);
+    let families = registry()
+        .families
+        .read()
+        .expect("metric registry poisoned");
+    for family in families.values() {
+        out.push_str("# HELP ");
+        out.push_str(&family.name);
+        out.push(' ');
+        escape_help(&mut out, &family.help);
+        out.push('\n');
+        out.push_str("# TYPE ");
+        out.push_str(&family.name);
+        out.push(' ');
+        out.push_str(family.kind.as_str());
+        out.push('\n');
+
+        let children = family.children.read().expect("metric family poisoned");
+        for (values, child) in children.iter() {
+            let labels: Vec<(&str, &str)> = family
+                .label_names
+                .iter()
+                .map(String::as_str)
+                .zip(values.iter().map(String::as_str))
+                .collect();
+            match child {
+                Instrument::Counter(c) => {
+                    sample(&mut out, &family.name, "", &labels, None, &fmt_u64(c.get()));
+                }
+                Instrument::Gauge(g) => {
+                    sample(&mut out, &family.name, "", &labels, None, &fmt_i64(g.get()));
+                }
+                Instrument::Histogram(h) => {
+                    let (buckets, sum, count) = h.snapshot();
+                    for (bound, cumulative) in h
+                        .bounds()
+                        .iter()
+                        .map(|b| fmt_f64(*b))
+                        .chain(std::iter::once("+Inf".to_string()))
+                        .zip(&buckets)
+                    {
+                        sample(
+                            &mut out,
+                            &family.name,
+                            "_bucket",
+                            &labels,
+                            Some(&bound),
+                            &fmt_u64(*cumulative),
+                        );
+                    }
+                    sample(&mut out, &family.name, "_sum", &labels, None, &fmt_f64(sum));
+                    sample(
+                        &mut out,
+                        &family.name,
+                        "_count",
+                        &labels,
+                        None,
+                        &fmt_u64(count),
+                    );
+                }
+            }
+        }
+        debug_assert!(matches!(
+            family.kind,
+            Kind::Counter | Kind::Gauge | Kind::Histogram
+        ));
+    }
+    out
+}
+
+/// One sample line: `name[suffix]{labels,le="..."} value`.
+fn sample(
+    out: &mut String,
+    name: &str,
+    suffix: &str,
+    labels: &[(&str, &str)],
+    le: Option<&str>,
+    value: &str,
+) {
+    out.push_str(name);
+    out.push_str(suffix);
+    if !labels.is_empty() || le.is_some() {
+        out.push('{');
+        let mut first = true;
+        for (label, val) in labels {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(label);
+            out.push_str("=\"");
+            escape_label(out, val);
+            out.push('"');
+        }
+        if let Some(bound) = le {
+            if !first {
+                out.push(',');
+            }
+            out.push_str("le=\"");
+            out.push_str(bound);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// Label-value escaping: backslash, double quote, and newline.
+fn escape_label(out: &mut String, value: &str) {
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+}
+
+/// HELP-text escaping: backslash and newline (quotes are legal there).
+fn escape_help(out: &mut String, value: &str) {
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+}
+
+fn fmt_u64(v: u64) -> String {
+    v.to_string()
+}
+
+fn fmt_i64(v: i64) -> String {
+    v.to_string()
+}
+
+/// `f64` in the shortest round-trip decimal form (`{}` in Rust), which
+/// Prometheus parses; infinities use the exposition spelling.
+fn fmt_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{counter_vec, histogram};
+
+    #[test]
+    fn renders_types_labels_and_histogram_expansion() {
+        let v = counter_vec("qobs_encode_test_total", "An encode test.", &["name"]);
+        v.with(&["plain"]).add(7);
+        v.with(&["we\"ird\\\n"]).inc();
+        let h = histogram("qobs_encode_test_seconds", "Latencies.", &[0.5, 2.0]);
+        h.observe(0.1);
+        h.observe(3.0);
+
+        let text = render();
+        assert!(text.contains("# TYPE qobs_encode_test_total counter\n"));
+        assert!(text.contains("qobs_encode_test_total{name=\"plain\"} 7\n"));
+        // Escaped backslash, quote, and newline in the label value.
+        assert!(text.contains("qobs_encode_test_total{name=\"we\\\"ird\\\\\\n\"} 1\n"));
+        assert!(text.contains("# TYPE qobs_encode_test_seconds histogram\n"));
+        assert!(text.contains("qobs_encode_test_seconds_bucket{le=\"0.5\"} 1\n"));
+        assert!(text.contains("qobs_encode_test_seconds_bucket{le=\"2\"} 1\n"));
+        assert!(text.contains("qobs_encode_test_seconds_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("qobs_encode_test_seconds_count 2\n"));
+        // HELP precedes TYPE precedes samples for each family.
+        let help = text.find("# HELP qobs_encode_test_total").unwrap();
+        let ty = text.find("# TYPE qobs_encode_test_total").unwrap();
+        let sample = text.find("qobs_encode_test_total{").unwrap();
+        assert!(help < ty && ty < sample);
+    }
+}

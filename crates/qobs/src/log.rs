@@ -1,0 +1,299 @@
+//! The leveled structured-logging facade: `key=value` lines on stderr,
+//! filtered by a process-wide level with per-target overrides.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering::Relaxed};
+use std::sync::{OnceLock, RwLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// The environment variable the filter is read from (`POPQC_LOG`).
+pub const LOG_ENV_VAR: &str = "POPQC_LOG";
+
+/// Log severity, most to least severe. The filter keeps everything at or
+/// above (≤ in this ordering) the configured level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The operation failed and was not retried.
+    Error = 0,
+    /// Something degraded but the process carries on.
+    Warn = 1,
+    /// Normal operational events (startup, shutdown, per-request access
+    /// lines). The default.
+    Info = 2,
+    /// High-volume diagnostics.
+    Debug = 3,
+}
+
+impl Level {
+    /// Every accepted level name, in severity order — the list the CLI
+    /// refusal prints.
+    pub const NAMES: [&'static str; 4] = ["error", "warn", "info", "debug"];
+
+    /// The lowercase name rendered into log lines.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            _ => Level::Debug,
+        }
+    }
+}
+
+impl std::str::FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Level, String> {
+        match s {
+            "error" => Ok(Level::Error),
+            "warn" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            other => Err(format!(
+                "unknown log level `{other}` (expected one of: {})",
+                Level::NAMES.join(", ")
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The default level as a `u8` (starts at `Info`).
+static DEFAULT_LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+/// Fast-path flag: `log_enabled` only takes the override lock when some
+/// `target=level` override exists.
+static HAS_OVERRIDES: AtomicBool = AtomicBool::new(false);
+
+fn overrides() -> &'static RwLock<Vec<(String, Level)>> {
+    static OVERRIDES: OnceLock<RwLock<Vec<(String, Level)>>> = OnceLock::new();
+    OVERRIDES.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+/// Installs the filter described by `spec`: a comma-separated list where
+/// a bare level sets the default and `target=level` overrides one target
+/// (and its `::` descendants), e.g. `info,qexec=debug`. The most
+/// specific (longest) matching target wins. Returns the `--log-level`
+/// refusal message on an unknown level name.
+pub fn set_log_filter(spec: &str) -> Result<(), String> {
+    let mut default = Level::Info;
+    let mut targets: Vec<(String, Level)> = Vec::new();
+    for item in spec.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        match item.split_once('=') {
+            None => default = item.parse()?,
+            Some((target, level)) => {
+                let target = target.trim();
+                if target.is_empty() {
+                    return Err(format!("empty target in log filter item `{item}`"));
+                }
+                targets.push((target.to_string(), level.trim().parse()?));
+            }
+        }
+    }
+    // Longest first, so the first match in `log_enabled` is the most
+    // specific one.
+    targets.sort_by_key(|t| std::cmp::Reverse(t.0.len()));
+    let mut guard = overrides().write().expect("log filter poisoned");
+    DEFAULT_LEVEL.store(default as u8, Relaxed);
+    HAS_OVERRIDES.store(!targets.is_empty(), Relaxed);
+    *guard = targets;
+    Ok(())
+}
+
+/// Installs the filter from `POPQC_LOG` if set; a missing or empty
+/// variable keeps the defaults. Same error contract as
+/// [`set_log_filter`].
+pub fn set_log_filter_from_env() -> Result<(), String> {
+    match std::env::var(LOG_ENV_VAR) {
+        Ok(spec) if !spec.trim().is_empty() => set_log_filter(&spec),
+        _ => Ok(()),
+    }
+}
+
+/// Whether an event at `level` for `target` passes the active filter.
+/// One relaxed load when no per-target overrides are installed.
+pub fn log_enabled(level: Level, target: &str) -> bool {
+    if HAS_OVERRIDES.load(Relaxed) {
+        let guard = overrides().read().expect("log filter poisoned");
+        for (prefix, max) in guard.iter() {
+            if target == prefix
+                || (target.len() > prefix.len()
+                    && target.starts_with(prefix.as_str())
+                    && target[prefix.len()..].starts_with("::"))
+            {
+                return level <= *max;
+            }
+        }
+    }
+    level <= Level::from_u8(DEFAULT_LEVEL.load(Relaxed))
+}
+
+/// Emits one formatted line to stderr. Callers go through the
+/// [`log_error!`](crate::log_error)-family macros, which gate on
+/// [`log_enabled`] first so disabled events never format their
+/// arguments.
+pub fn log_event(
+    level: Level,
+    target: &str,
+    msg: &dyn std::fmt::Display,
+    pairs: &[(&str, &dyn std::fmt::Display)],
+) {
+    let ts = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default();
+    let mut line = format!(
+        "ts={}.{:03} level={} target={} msg=",
+        ts.as_secs(),
+        ts.subsec_millis(),
+        level.as_str(),
+        target
+    );
+    push_value(&mut line, &msg.to_string());
+    for (key, value) in pairs {
+        line.push(' ');
+        line.push_str(key);
+        line.push('=');
+        push_value(&mut line, &value.to_string());
+    }
+    // Not `eprintln!`: that macro panics when the write fails, and a
+    // vanished stderr (closed pipe on a supervised process) must lose
+    // the log line, not crash the request that emitted it.
+    let _ = writeln!(std::io::stderr().lock(), "{line}");
+}
+
+/// Appends a value, quoting only when the bare form would be ambiguous
+/// (whitespace, quotes, `=`, or empty). Bare values — numbers, ids,
+/// URLs — stay grep-able without unquoting.
+fn push_value(line: &mut String, value: &str) {
+    let needs_quotes = value.is_empty()
+        || value
+            .chars()
+            .any(|c| c.is_whitespace() || c == '"' || c == '=');
+    if !needs_quotes {
+        line.push_str(value);
+        return;
+    }
+    line.push('"');
+    for c in value.chars() {
+        match c {
+            '\\' => line.push_str("\\\\"),
+            '"' => line.push_str("\\\""),
+            '\n' => line.push_str("\\n"),
+            other => line.push(other),
+        }
+    }
+    line.push('"');
+}
+
+/// Shared expansion behind the level-named logging macros.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __log_at {
+    ($level:expr, target: $target:expr, $msg:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::log_enabled($level, $target) {
+            $crate::log_event(
+                $level,
+                $target,
+                &$msg,
+                &[$((stringify!($key), &$value as &dyn ::std::fmt::Display)),*],
+            );
+        }
+    };
+    ($level:expr, $msg:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $crate::__log_at!($level, target: module_path!(), $msg $(, $key = $value)*)
+    };
+}
+
+/// Logs at [`Level::Error`]: `log_error!("msg", key = value, ...)` or
+/// `log_error!(target: "qsvc", "msg", ...)`.
+#[macro_export]
+macro_rules! log_error {
+    ($($arg:tt)+) => { $crate::__log_at!($crate::Level::Error, $($arg)+) };
+}
+
+/// Logs at [`Level::Warn`]; same grammar as [`log_error!`].
+#[macro_export]
+macro_rules! log_warn {
+    ($($arg:tt)+) => { $crate::__log_at!($crate::Level::Warn, $($arg)+) };
+}
+
+/// Logs at [`Level::Info`]; same grammar as [`log_error!`].
+#[macro_export]
+macro_rules! log_info {
+    ($($arg:tt)+) => { $crate::__log_at!($crate::Level::Info, $($arg)+) };
+}
+
+/// Logs at [`Level::Debug`]; same grammar as [`log_error!`].
+#[macro_export]
+macro_rules! log_debug {
+    ($($arg:tt)+) => { $crate::__log_at!($crate::Level::Debug, $($arg)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The filter is process-global, so one test exercises every facet and
+    // restores the default at the end (other tests in this crate do not
+    // touch the filter).
+    #[test]
+    fn filter_spec_levels_and_target_overrides() {
+        assert!("warn".parse::<Level>().unwrap() == Level::Warn);
+        let err = "loud".parse::<Level>().unwrap_err();
+        assert_eq!(
+            err,
+            "unknown log level `loud` (expected one of: error, warn, info, debug)"
+        );
+        assert!(set_log_filter("trace").is_err());
+        assert!(set_log_filter("info,=debug").is_err());
+
+        set_log_filter("warn,qexec=debug,qsvc::store=error").unwrap();
+        // Default applies to unknown targets.
+        assert!(log_enabled(Level::Warn, "qhttp"));
+        assert!(!log_enabled(Level::Info, "qhttp"));
+        // Target override, including `::` descendants...
+        assert!(log_enabled(Level::Debug, "qexec"));
+        assert!(log_enabled(Level::Debug, "qexec::pool"));
+        // ...but not mere string prefixes.
+        assert!(!log_enabled(Level::Info, "qexecutor"));
+        // The longest match wins over a shorter one.
+        assert!(!log_enabled(Level::Warn, "qsvc::store"));
+
+        set_log_filter("info").unwrap();
+        assert!(log_enabled(Level::Info, "anything"));
+        assert!(!log_enabled(Level::Debug, "anything"));
+    }
+
+    #[test]
+    fn values_quote_only_when_ambiguous() {
+        let mut line = String::new();
+        push_value(&mut line, "http://127.0.0.1:8080");
+        assert_eq!(line, "http://127.0.0.1:8080");
+        line.clear();
+        push_value(&mut line, "two words");
+        assert_eq!(line, "\"two words\"");
+        line.clear();
+        push_value(&mut line, "a=b");
+        assert_eq!(line, "\"a=b\"");
+        line.clear();
+        push_value(&mut line, "say \"hi\"\n");
+        assert_eq!(line, "\"say \\\"hi\\\"\\n\"");
+    }
+}

@@ -1,0 +1,232 @@
+//! Parser-based validation of the Prometheus text exposition emitted by
+//! [`qobs::render`]: instead of grepping for substrings, these tests run
+//! a small strict parser over the full output and check the structural
+//! invariants a real scraper relies on — `# TYPE` before any sample of
+//! its family, cumulative monotone histogram buckets ending in `+Inf`,
+//! and label-value escaping that round-trips.
+//!
+//! The registry is process-global, so everything lives in one test
+//! function (the other integration tests get their own binaries).
+
+use std::collections::BTreeMap;
+
+/// One parsed sample line: metric name (with `_bucket`/`_sum`/`_count`
+/// suffix intact), sorted labels, value.
+#[derive(Debug)]
+struct Sample {
+    name: String,
+    labels: BTreeMap<String, String>,
+    value: f64,
+}
+
+/// Strict-enough parser for the text format 0.0.4 subset `render` emits.
+/// Panics (failing the test) on any line it cannot account for.
+fn parse(text: &str) -> (BTreeMap<String, String>, Vec<Sample>) {
+    let mut types = BTreeMap::new();
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest.split_once(' ').expect("TYPE line has a kind");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown TYPE `{kind}`"
+            );
+            assert!(
+                types.insert(name.to_string(), kind.to_string()).is_none(),
+                "duplicate TYPE for {name}"
+            );
+            continue;
+        }
+        if line.starts_with("# HELP ") {
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unknown comment line: {line}");
+        samples.push(parse_sample(line));
+    }
+    (types, samples)
+}
+
+fn parse_sample(line: &str) -> Sample {
+    let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+    let value: f64 = match value {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        v => v.parse().unwrap_or_else(|e| panic!("bad value `{v}`: {e}")),
+    };
+    let (name, labels) = match series.split_once('{') {
+        None => (series.to_string(), BTreeMap::new()),
+        Some((name, rest)) => {
+            let body = rest.strip_suffix('}').expect("closing brace");
+            (name.to_string(), parse_labels(body))
+        }
+    };
+    for ch in name.chars() {
+        assert!(
+            ch.is_ascii_alphanumeric() || ch == '_' || ch == ':',
+            "bad metric name char `{ch}` in {name}"
+        );
+    }
+    Sample {
+        name,
+        labels,
+        value,
+    }
+}
+
+/// Parses `k="v",k2="v2"`, undoing the `\\`, `\"`, `\n` escapes.
+fn parse_labels(body: &str) -> BTreeMap<String, String> {
+    let mut labels = BTreeMap::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        assert!(!key.is_empty(), "empty label key in `{body}`");
+        assert_eq!(chars.next(), Some('"'), "label value must be quoted");
+        let mut value = String::new();
+        loop {
+            match chars.next().expect("unterminated label value") {
+                '"' => break,
+                '\\' => match chars.next().expect("dangling escape") {
+                    '\\' => value.push('\\'),
+                    '"' => value.push('"'),
+                    'n' => value.push('\n'),
+                    other => panic!("unknown escape \\{other}"),
+                },
+                c => value.push(c),
+            }
+        }
+        labels.insert(key, value);
+        match chars.next() {
+            None => return labels,
+            Some(',') => continue,
+            Some(c) => panic!("unexpected `{c}` after label value in `{body}`"),
+        }
+    }
+}
+
+/// The family a sample belongs to: histogram series drop their
+/// `_bucket`/`_sum`/`_count` suffix.
+fn family_of<'a>(name: &'a str, types: &BTreeMap<String, String>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stem) = name.strip_suffix(suffix) {
+            if types.get(stem).map(String::as_str) == Some("histogram") {
+                return stem;
+            }
+        }
+    }
+    name
+}
+
+#[test]
+fn rendered_exposition_is_structurally_valid() {
+    // Distinctive names so this test's families cannot collide with the
+    // library's own unit-test registrations in other binaries.
+    let hits = qobs::counter_vec(
+        "exposition_test_hits_total",
+        "Hits with hostile label values.",
+        &["path"],
+    );
+    hits.with(&["plain"]).add(3);
+    // A label value exercising every escape: backslash, quote, newline.
+    hits.with(&["a\\b \"quoted\"\nnext"]).inc();
+
+    let gauge = qobs::gauge("exposition_test_depth", "A signed gauge.");
+    gauge.set(-7);
+
+    let hist = qobs::histogram(
+        "exposition_test_latency_seconds",
+        "Latency with fixed buckets.",
+        &[0.01, 0.1, 1.0],
+    );
+    for v in [0.005, 0.05, 0.05, 0.5, 5.0] {
+        hist.observe(v);
+    }
+
+    let text = qobs::render();
+    let (types, samples) = parse(&text);
+
+    // TYPE header strictly precedes every sample of its family.
+    let mut seen_types = std::collections::BTreeSet::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            seen_types.insert(rest.split_once(' ').unwrap().0.to_string());
+        } else if !line.starts_with('#') && !line.is_empty() {
+            let sample = parse_sample(line);
+            let family = family_of(&sample.name, &types);
+            assert!(
+                seen_types.contains(family),
+                "sample of {family} before its TYPE line: {line}"
+            );
+        }
+    }
+
+    // Counter and gauge values surface exactly.
+    let find = |name: &str, label: Option<(&str, &str)>| -> f64 {
+        samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && label.is_none_or(|(k, v)| s.labels.get(k).map(String::as_str) == Some(v))
+            })
+            .unwrap_or_else(|| panic!("missing sample {name} {label:?}"))
+            .value
+    };
+    assert_eq!(types.get("exposition_test_hits_total").unwrap(), "counter");
+    assert_eq!(
+        find("exposition_test_hits_total", Some(("path", "plain"))),
+        3.0
+    );
+    // The hostile label value round-trips through escaping.
+    assert_eq!(
+        find(
+            "exposition_test_hits_total",
+            Some(("path", "a\\b \"quoted\"\nnext"))
+        ),
+        1.0
+    );
+    assert_eq!(types.get("exposition_test_depth").unwrap(), "gauge");
+    assert_eq!(find("exposition_test_depth", None), -7.0);
+
+    // Histogram: buckets are cumulative and monotone, end at +Inf == count,
+    // and sum matches the observations.
+    assert_eq!(
+        types.get("exposition_test_latency_seconds").unwrap(),
+        "histogram"
+    );
+    let buckets: Vec<(f64, f64)> = samples
+        .iter()
+        .filter(|s| s.name == "exposition_test_latency_seconds_bucket")
+        .map(|s| {
+            let le = s.labels.get("le").expect("bucket has le");
+            let le = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse().unwrap()
+            };
+            (le, s.value)
+        })
+        .collect();
+    assert_eq!(buckets.len(), 4, "3 bounds + +Inf");
+    for pair in buckets.windows(2) {
+        assert!(pair[0].0 < pair[1].0, "le values ascending: {buckets:?}");
+        assert!(
+            pair[0].1 <= pair[1].1,
+            "cumulative counts monotone: {buckets:?}"
+        );
+    }
+    assert_eq!(buckets[0], (0.01, 1.0));
+    assert_eq!(buckets[1], (0.1, 3.0));
+    assert_eq!(buckets[2], (1.0, 4.0));
+    assert_eq!(buckets.last().unwrap().1, 5.0);
+    assert_eq!(find("exposition_test_latency_seconds_count", None), 5.0);
+    let sum = find("exposition_test_latency_seconds_sum", None);
+    assert!((sum - 5.605).abs() < 1e-9, "sum: {sum}");
+}

@@ -69,6 +69,7 @@
 //! ```
 
 pub mod cache;
+pub mod metrics;
 pub mod report;
 pub mod service;
 pub mod store;

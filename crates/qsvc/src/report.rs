@@ -154,6 +154,8 @@ pub fn stats_report(
     qapi::StatsReport {
         workers: workers as u64,
         threads_per_job: threads_per_job as u64,
+        uptime_seconds: stats.uptime_seconds,
+        version: qapi::VersionInfo::current(),
         submitted: stats.submitted,
         completed: stats.completed,
         cache_hits: stats.cache_hits,

@@ -55,6 +55,7 @@
 //!   independent retries, and the worker thread survives.
 
 use crate::cache::CacheStats;
+use crate::metrics;
 use crate::store::{CachedRun, MemoryStore, ResultStore, StoreStats};
 use popqc_core::{optimize_circuit_observed, PopqcConfig, PopqcStats, RoundObserver, RoundRecord};
 use qcir::{Circuit, Fingerprint, Gate};
@@ -598,8 +599,13 @@ pub struct ServiceStats {
     /// Per-tier store counters (backend name + one entry per tier).
     pub store: StoreStats,
     /// Work-stealing executor counters (process-wide `popqc-exec` pool
-    /// the engine's parallel rounds run on).
+    /// the engine's parallel rounds run on). Process-global and
+    /// monotonic — NOT per-service or per-job; diff two snapshots with
+    /// [`qexec::ExecStats::delta_since`] to attribute work to an
+    /// interval.
     pub executor: qexec::ExecStats,
+    /// Seconds since this service was constructed.
+    pub uptime_seconds: f64,
 }
 
 struct QueuedJob {
@@ -664,6 +670,7 @@ impl Drop for InflightGuard<'_> {
                 slot: w.slot,
                 enqueued_at: w.attached_at,
             });
+            metrics::queue_depth().inc();
             self.work_ready.notify_one();
         }
     }
@@ -686,6 +693,8 @@ struct Inner {
     coalesced: AtomicU64,
     failed: AtomicU64,
     oracle_calls_issued: AtomicU64,
+    /// Construction time, for the uptime gauge in stats and scrapes.
+    started: Instant,
 }
 
 /// Counts engine rounds into the running job's slot — and into every
@@ -712,6 +721,34 @@ impl RoundObserver for SlotProgress<'_> {
     }
 }
 
+/// Wraps a job's oracle so every `optimize` call lands in the
+/// per-oracle latency histogram — the direct observable for the paper's
+/// O(n·Ω) bound. Called from the engine's parallel rounds, so the only
+/// added cost per call is an `Instant` pair and one relaxed bucket add.
+struct TimedOracle<'a> {
+    inner: &'a (dyn SegmentOracle<Gate> + Send + Sync),
+    histogram: Arc<qobs::Histogram>,
+}
+
+impl SegmentOracle<Gate> for TimedOracle<'_> {
+    fn optimize(&self, units: &[Gate], num_qubits: u32) -> Vec<Gate> {
+        let _timer = self.histogram.start_timer();
+        self.inner.optimize(units, num_qubits)
+    }
+
+    fn cost(&self, units: &[Gate]) -> u64 {
+        self.inner.cost(units)
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn version(&self) -> String {
+        self.inner.version()
+    }
+}
+
 /// Best-effort text from a caught panic payload (`&str` and `String`
 /// cover what `panic!` produces in practice).
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
@@ -730,6 +767,32 @@ impl Inner {
             self.cache_hits.fetch_add(1, Relaxed);
         }
         self.completed.fetch_add(1, Relaxed);
+        // Every completion path funnels through here, so this is the one
+        // place the per-oracle outcome counters and the submit→done
+        // latency histogram are maintained.
+        let oracle = result.key.oracle_id.as_str();
+        if result.cache_hit {
+            if result.coalesced {
+                metrics::jobs_coalesced(oracle).inc();
+            } else {
+                metrics::cache_hits(oracle).inc();
+            }
+        } else {
+            metrics::cache_misses(oracle).inc();
+            if result.error.is_none() {
+                metrics::rounds_to_fixpoint().observe(result.stats.rounds as f64);
+            }
+        }
+        metrics::job_duration(oracle).observe((result.queue_nanos + result.run_nanos) as f64 / 1e9);
+        qobs::log_debug!(
+            target: "qsvc",
+            "job done",
+            oracle = oracle,
+            cache_hit = result.cache_hit,
+            coalesced = result.coalesced,
+            rounds = result.stats.rounds,
+            oracle_calls = result.stats.oracle_calls,
+        );
         slot.rounds.store(result.stats.rounds, Relaxed);
         slot.fulfil(Arc::new(result));
     }
@@ -809,18 +872,17 @@ impl Inner {
         // let the still-armed guard re-enqueue the coalesced waiters as
         // independent retries, and fulfil the lead slot with an
         // error-shaped result so its client unblocks.
+        let timed_oracle = TimedOracle {
+            inner: job.oracle.as_ref(),
+            histogram: metrics::oracle_call_duration(&job.key.oracle_id),
+        };
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             // The per-job thread budget is a width scope on the shared
             // qexec work-stealing pool: the engine's parallel rounds run
             // at `threads_per_job` width on persistent pool threads
             // instead of spawning scoped threads per round.
             qexec::with_width(self.threads_per_job, || {
-                optimize_circuit_observed(
-                    &job.circuit,
-                    job.oracle.as_ref(),
-                    &job.key.config,
-                    &observer,
-                )
+                optimize_circuit_observed(&job.circuit, &timed_oracle, &job.key.config, &observer)
             })
         }));
         let (optimized, stats) = match outcome {
@@ -829,6 +891,13 @@ impl Inner {
                 drop(guard); // armed: removes the in-flight entry, re-enqueues waiters
                 let run_nanos = t0.elapsed().as_nanos() as u64;
                 self.failed.fetch_add(1, Relaxed);
+                metrics::jobs_failed().inc();
+                qobs::log_error!(
+                    target: "qsvc",
+                    "job failed",
+                    oracle = job.key.oracle_id,
+                    error = panic_message(&*payload),
+                );
                 self.complete(
                     &job.slot,
                     JobResult {
@@ -887,6 +956,7 @@ impl Inner {
                 let mut q = self.queue.lock().expect("job queue poisoned");
                 loop {
                     if let Some(job) = q.pop_front() {
+                        metrics::queue_depth().dec();
                         break job;
                     }
                     if self.shutdown.load(Relaxed) {
@@ -968,7 +1038,13 @@ impl OptimizationService {
             coalesced: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             oracle_calls_issued: AtomicU64::new(0),
+            started: Instant::now(),
         });
+        // Pre-register this crate's (and the executor's) metric families
+        // so the first `/v1/metrics` scrape already lists every series a
+        // busy server would.
+        metrics::describe_metrics();
+        qexec::describe_metrics();
         let handles = (0..workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
@@ -1131,6 +1207,7 @@ impl OptimizationService {
             let mut q = self.inner.queue.lock().expect("job queue poisoned");
             q.push_back(job);
         }
+        metrics::queue_depth().inc();
         self.inner.work_ready.notify_one();
         JobHandle { slot }
     }
@@ -1223,6 +1300,7 @@ impl OptimizationService {
             },
             store,
             executor: qexec::stats(),
+            uptime_seconds: self.inner.started.elapsed().as_secs_f64(),
         }
     }
 

@@ -64,6 +64,7 @@
 //! | QASM unparseable or fingerprint ≠ key | miss + **quarantine** |
 
 use crate::cache::ShardedLruCache;
+use crate::metrics;
 use crate::service::JobKey;
 use popqc_core::PopqcStats;
 use qcir::{qasm, Circuit, Gate};
@@ -217,6 +218,10 @@ pub trait ResultStore: Send + Sync {
 /// each oracle id to exactly one version for the store's whole lifetime.
 pub struct MemoryStore {
     cache: ShardedLruCache<JobKey, CachedRun>,
+    /// Latency histograms, resolved once at construction so the serving
+    /// path never touches the metric registry.
+    get_timer: Arc<qobs::Histogram>,
+    put_timer: Arc<qobs::Histogram>,
 }
 
 impl MemoryStore {
@@ -224,16 +229,20 @@ impl MemoryStore {
     pub fn new(capacity: usize, shards: usize) -> MemoryStore {
         MemoryStore {
             cache: ShardedLruCache::new(capacity, shards),
+            get_timer: metrics::store_get_duration("memory"),
+            put_timer: metrics::store_put_duration("memory"),
         }
     }
 }
 
 impl ResultStore for MemoryStore {
     fn get(&self, key: &JobKey, _oracle_version: &str) -> Option<Arc<CachedRun>> {
+        let _timer = self.get_timer.start_timer();
         self.cache.get(key)
     }
 
     fn put(&self, key: &JobKey, _oracle_version: &str, value: Arc<CachedRun>) {
+        let _timer = self.put_timer.start_timer();
         self.cache.insert(key.clone(), value);
     }
 
@@ -290,6 +299,9 @@ pub struct DiskStore {
     /// picked up on the next `open` (or after a `clear`, which rescans).
     entries: AtomicU64,
     bytes: AtomicU64,
+    /// Latency histograms, resolved once at `open`.
+    get_timer: Arc<qobs::Histogram>,
+    put_timer: Arc<qobs::Histogram>,
 }
 
 /// Saturating decrement for a gauge (concurrent cross-process mutation
@@ -333,6 +345,8 @@ impl DiskStore {
             tmp_counter: AtomicU64::new(0),
             entries: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
+            get_timer: metrics::store_get_duration("disk"),
+            put_timer: metrics::store_put_duration("disk"),
         };
         store.resync();
         Ok(store)
@@ -485,6 +499,7 @@ enum EntryRejection {
 
 impl ResultStore for DiskStore {
     fn get(&self, key: &JobKey, oracle_version: &str) -> Option<Arc<CachedRun>> {
+        let _timer = self.get_timer.start_timer();
         let path = self.entry_path(key);
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
@@ -512,6 +527,7 @@ impl ResultStore for DiskStore {
     }
 
     fn put(&self, key: &JobKey, oracle_version: &str, value: Arc<CachedRun>) {
+        let _timer = self.put_timer.start_timer();
         let path = self.entry_path(key);
         let unique = self.tmp_counter.fetch_add(1, Relaxed);
         let tmp = self

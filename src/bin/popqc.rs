@@ -7,10 +7,12 @@
 //!                [--cache-capacity N]
 //!                [--cache-tier memory|disk|tiered|null] [--cache-dir DIR]
 //!                [--repeat N] [--report FILE] [--json] [--verify] [--quiet]
+//!                [--log-level error|warn|info|debug]
 //! popqc serve [--addr HOST:PORT] [--workers N] [--threads-per-job N]
 //!             [--omega N] [--oracle ID] [--cache-capacity N]
 //!             [--conn-threads N] [--grain N]
 //!             [--cache-tier memory|disk|tiered|null] [--cache-dir DIR]
+//!             [--log-level error|warn|info|debug]
 //! popqc cache stats --cache-dir DIR
 //! popqc cache clear --cache-dir DIR
 //! popqc cache warm <FILE|DIR>... --cache-dir DIR [--omega N] [--oracle ID]
@@ -46,6 +48,11 @@
 //! `--grain` (or `POPQC_GRAIN`) fixes the executor's leaf-task size in
 //! items, `0`/unset meaning adaptive splitting. The executor's counters
 //! are reported in `GET /v1/stats` and the `--report` document.
+//!
+//! `--log-level` installs a `popqc-obs` log filter — a bare level
+//! (`error|warn|info|debug`) or a full spec with per-target overrides
+//! like `info,qexec=debug`. When the flag is absent the `POPQC_LOG`
+//! environment variable is honored instead; the default is `info`.
 
 use popqc::prelude::*;
 use popqc::service::report::{batch_report, cache_report, job_status, service_report};
@@ -58,10 +65,12 @@ fn usage() -> ! {
          popqc optimize <FILE|DIR>... [--out DIR] [--omega N] [--oracle ID]\n           \
          [--workers N] [--threads-per-job N] [--grain N] [--cache-capacity N]\n           \
          [--cache-tier memory|disk|tiered|null] [--cache-dir DIR]\n           \
-         [--repeat N] [--report FILE] [--json] [--verify] [--quiet]\n  \
+         [--repeat N] [--report FILE] [--json] [--verify] [--quiet]\n           \
+         [--log-level error|warn|info|debug]\n  \
          popqc serve [--addr HOST:PORT] [--workers N] [--threads-per-job N]\n           \
          [--omega N] [--oracle ID] [--cache-capacity N] [--conn-threads N]\n           \
-         [--grain N] [--cache-tier memory|disk|tiered|null] [--cache-dir DIR]\n  \
+         [--grain N] [--cache-tier memory|disk|tiered|null] [--cache-dir DIR]\n           \
+         [--log-level error|warn|info|debug]\n  \
          popqc cache stats --cache-dir DIR\n  \
          popqc cache clear --cache-dir DIR\n  \
          popqc cache warm <FILE|DIR>... --cache-dir DIR [--omega N] [--oracle ID]\n           \
@@ -76,6 +85,19 @@ fn usage() -> ! {
 fn fail(msg: impl std::fmt::Display) -> ! {
     eprintln!("popqc: error: {msg}");
     std::process::exit(1);
+}
+
+/// Installs the log filter: the `--log-level` spec when given (a bare
+/// level or `target=level` overrides, see `qobs::set_log_filter`), else
+/// whatever `POPQC_LOG` says. An unknown level name is a diagnostic and
+/// exit 1 listing the accepted names — same refusal style as
+/// `--cache-tier`.
+fn apply_log_filter(flag: Option<&str>) {
+    match flag {
+        Some(spec) => qobs::set_log_filter(spec),
+        None => qobs::set_log_filter_from_env(),
+    }
+    .unwrap_or_else(|e| fail(e));
 }
 
 fn main() -> ExitCode {
@@ -245,9 +267,14 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     let mut http_cfg = popqc::http::ServerConfig::default();
     let mut cache_tier: Option<String> = None;
     let mut cache_dir: Option<PathBuf> = None;
+    let mut log_level: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--log-level" => {
+                log_level = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
+                i += 2;
+            }
             "--cache-tier" => {
                 cache_tier = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
                 i += 2;
@@ -294,6 +321,9 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     if omega == 0 || http_cfg.conn_threads == 0 {
         usage();
     }
+    // The filter must be live before the service spins up so startup
+    // events (and worker logs) already respect it.
+    apply_log_filter(log_level.as_deref());
     // Executor tuning before any parallel work runs: 0 keeps the
     // adaptive default (or POPQC_GRAIN).
     qexec::set_grain(grain);
@@ -324,24 +354,52 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     let state = std::sync::Arc::new(popqc::http::AppState::new(svc, omega));
     let server = popqc::http::HttpServer::serve(&addr, state, http_cfg)
         .unwrap_or_else(|e| fail(format!("cannot bind {addr}: {e}")));
-    eprintln!(
-        "popqc-svc listening on http://{} ({} workers x {} threads/job, default omega {omega})",
-        server.local_addr(),
-        workers,
-        threads_per_job,
+    // The address stays an unquoted `addr=http://…` value so scripts (and
+    // the CLI tests) can still extract the resolved ephemeral port by
+    // grepping stderr for `http://`.
+    qobs::log_info!(
+        target: "popqc::serve",
+        "listening",
+        addr = format_args!("http://{}", server.local_addr()),
+        workers = workers,
+        threads_per_job = threads_per_job,
+        omega = omega
     );
-    eprintln!("oracles: {oracle_ids} (default {default_oracle})");
+    qobs::log_info!(
+        target: "popqc::serve",
+        "oracles",
+        available = oracle_ids,
+        default = default_oracle
+    );
     match &cache_dir {
-        Some(dir) => eprintln!("result store: {backend} (dir {})", dir.display()),
-        None => eprintln!("result store: {backend}"),
+        Some(dir) => qobs::log_info!(
+            target: "popqc::serve",
+            "result store",
+            backend = backend,
+            dir = dir.display()
+        ),
+        None => qobs::log_info!(target: "popqc::serve", "result store", backend = backend),
     }
     match qexec::configured_grain() {
-        0 => eprintln!("executor: shared work-stealing pool, adaptive grain"),
-        g => eprintln!("executor: shared work-stealing pool, grain {g}"),
+        0 => qobs::log_info!(
+            target: "popqc::serve",
+            "executor",
+            pool = "work-stealing",
+            grain = "adaptive"
+        ),
+        g => qobs::log_info!(
+            target: "popqc::serve",
+            "executor",
+            pool = "work-stealing",
+            grain = g
+        ),
     }
-    eprintln!(
-        "endpoints: POST /v1/optimize  POST /v1/batch  GET /v1/jobs/{{id}}  \
-         GET /v1/oracles  GET /v1/stats  GET|DELETE /v1/cache  GET /v1/version  GET /healthz"
+    qobs::log_info!(
+        target: "popqc::serve",
+        "endpoints",
+        routes = "POST /v1/optimize  POST /v1/batch  GET /v1/jobs/{id}  GET /v1/oracles  \
+                  GET /v1/stats  GET /v1/metrics  GET|DELETE /v1/cache  GET /v1/version  \
+                  GET /healthz"
     );
     // Serve until the process is killed; the acceptor threads own the work.
     loop {
@@ -508,6 +566,7 @@ struct OptimizeOpts {
     json: bool,
     verify: bool,
     quiet: bool,
+    log_level: Option<String>,
 }
 
 fn parse_optimize_opts(args: &[String]) -> OptimizeOpts {
@@ -527,10 +586,15 @@ fn parse_optimize_opts(args: &[String]) -> OptimizeOpts {
         json: false,
         verify: false,
         quiet: false,
+        log_level: None,
     };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--log-level" => {
+                o.log_level = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
+                i += 2;
+            }
             "--out" => {
                 o.out_dir = Some(PathBuf::from(args.get(i + 1).unwrap_or_else(|| usage())));
                 i += 2;
@@ -629,6 +693,7 @@ fn collect_qasm_files(inputs: &[PathBuf]) -> Vec<PathBuf> {
 
 fn cmd_optimize(args: &[String]) -> ExitCode {
     let opts = parse_optimize_opts(args);
+    apply_log_filter(opts.log_level.as_deref());
     qexec::set_grain(opts.grain);
     let files = collect_qasm_files(&opts.inputs);
 

@@ -425,6 +425,51 @@ fn cli_unknown_cache_tier_exits_1_with_diagnostic() {
     }
 }
 
+/// `--log-level` follows the same refusal contract as `--cache-tier`: an
+/// unknown level exits 1 and the diagnostic names both the bad value and
+/// the valid set, on every subcommand that accepts the flag.
+#[test]
+fn cli_unknown_log_level_exits_1_with_diagnostic() {
+    let tmp = std::env::temp_dir().join(format!("popqc-badlog-test-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).unwrap();
+    let _cleanup = Cleanup(&tmp);
+    let a = tmp.join("a.qasm");
+    std::fs::write(&a, "OPENQASM 2.0;\nqreg q[1];\nh q[0];\n").unwrap();
+
+    for subcommand in [
+        vec!["optimize", a.to_str().unwrap(), "--log-level", "loud"],
+        vec!["serve", "--addr", "127.0.0.1:0", "--log-level", "loud"],
+    ] {
+        let out = run(&subcommand);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{subcommand:?}: expected exit 1, got {:?}",
+            out.status
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("unknown log level `loud`")
+                && stderr.contains("error, warn, info, debug"),
+            "{subcommand:?}: diagnostic must name the level and the valid set, got: {stderr}"
+        );
+    }
+
+    // A bad per-target spec is refused the same way (the filter grammar
+    // is validated as a whole, not just a bare level).
+    let out = run(&[
+        "optimize",
+        a.to_str().unwrap(),
+        "--log-level",
+        "info,qexec=blaring",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown log level `blaring`"),
+        "per-target specs must be validated too"
+    );
+}
+
 #[test]
 fn cli_cache_dir_persists_across_two_processes() {
     let tmp = std::env::temp_dir().join(format!("popqc-persist-test-{}", std::process::id()));
