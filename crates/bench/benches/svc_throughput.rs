@@ -4,12 +4,14 @@
 //! the cold/warm gap is the memoization win. The warm group runs once per
 //! store backend — `memory`, `tiered` (memory front over disk), and
 //! `disk` (every hit deserializes from the cache directory) — so the
-//! tiers' hit latencies sit side by side in one report.
+//! tiers' hit latencies sit side by side in one report. A fourth
+//! `remote` entry routes every hit through an in-process loopback
+//! [`CacheServer`] — the fleet path's wire round-trip floor.
 //!
 //! Setting `POPQC_SVC_REPORT=<path>` additionally runs one cold and one
-//! warm pass through a fresh memory-backed service *and* a fresh
-//! tiered-backed one, and writes both JSON reports there
-//! (`{"memory": …, "tiered": …}`), so CI can archive the per-backend
+//! warm pass through fresh memory-, tiered-, and remote-backed
+//! services, and writes the JSON reports there
+//! (`{"memory": …, "tiered": …, "remote": …}`), so CI can archive the per-backend
 //! cache-hit/oracle-call counters per PR
 //! (`cargo bench --bench svc_throughput -- --test` for the smoke run).
 
@@ -19,7 +21,10 @@ use popqc_core::PopqcConfig;
 use qcir::Circuit;
 use qoracle::RuleBasedOptimizer;
 use qsvc::report::{batch_report, service_report};
-use qsvc::{build_store, OptimizationService, OracleRegistry, ServiceConfig, StoreTier};
+use qsvc::{
+    build_store, CacheServer, CacheServerConfig, OptimizationService, OracleRegistry,
+    ServiceConfig, StoreTier,
+};
 use std::path::PathBuf;
 
 fn batch() -> Vec<Circuit> {
@@ -62,7 +67,28 @@ impl Drop for BenchCacheDir {
 /// A service over an explicit store tier (the same seam `--cache-tier`
 /// swaps), rooted at `dir` for the persistent tiers.
 fn service_with_tier(workers: usize, tier: StoreTier, dir: &BenchCacheDir) -> OptimizationService {
-    let store = build_store(tier, Some(&dir.0), 256, 8).expect("build bench store");
+    let store = build_store(tier, Some(&dir.0), None, 256, 8).expect("build bench store");
+    OptimizationService::with_store(
+        OracleRegistry::single(RuleBasedOptimizer::oracle()),
+        svc_config(workers),
+        store,
+    )
+}
+
+/// An in-process `popqc cached` equivalent: a disk-backed [`CacheServer`]
+/// on a loopback port, so the remote tier's warm numbers include a full
+/// wire round-trip (connect-pooled) plus a server-side disk read per hit.
+fn loopback_server(dir: &BenchCacheDir) -> CacheServer {
+    let store = build_store(StoreTier::Disk, Some(&dir.0), None, 256, 8).expect("server store");
+    CacheServer::serve("127.0.0.1:0", store, CacheServerConfig::default())
+        .expect("serve loopback cache")
+}
+
+/// A service whose only store is the remote tier pointed at `server` —
+/// no memory front, so every measured hit pays the wire.
+fn service_with_remote(workers: usize, server: &CacheServer) -> OptimizationService {
+    let addr = server.local_addr().to_string();
+    let store = build_store(StoreTier::Remote, None, Some(&addr), 256, 8).expect("remote store");
     OptimizationService::with_store(
         OracleRegistry::single(RuleBasedOptimizer::oracle()),
         svc_config(workers),
@@ -109,12 +135,17 @@ fn bench_warm(c: &mut Criterion) {
     // One warm benchmark per store backend, side by side: `memory` bounds
     // the pure service overhead, `tiered` adds the write-through front
     // (hits still answer from RAM), `disk` pays a full deserialize per
-    // hit — the restart-path latency.
+    // hit — the restart-path latency — and `remote` pays a loopback wire
+    // round-trip to an in-process cache server per hit — the fleet-path
+    // latency floor.
     let dir = BenchCacheDir::new("warm");
-    let backends: [(&str, OptimizationService); 3] = [
+    let remote_dir = BenchCacheDir::new("warm-remote");
+    let server = loopback_server(&remote_dir);
+    let backends: [(&str, OptimizationService); 4] = [
         ("memory", service(2)),
         ("tiered", service_with_tier(2, StoreTier::Tiered, &dir)),
         ("disk", service_with_tier(2, StoreTier::Disk, &dir)),
+        ("remote", service_with_remote(2, &server)),
     ];
     for (name, svc) in &backends {
         // Pre-warm: one pass populates the store (the tiered pass already
@@ -169,17 +200,22 @@ fn cold_warm_report(svc: &OptimizationService) -> qapi::ServiceReport {
     service_report(passes, &svc.stats(), svc.workers(), svc.threads_per_job())
 }
 
-/// Writes the cold-vs-warm JSON reports for the memory and tiered
-/// backends side by side, so CI archives both hit profiles (including the
-/// tiered report's per-tier `cache_tiers` counters) per PR.
+/// Writes the cold-vs-warm JSON reports for the memory, tiered, and
+/// remote (loopback cache server) backends side by side, so CI archives
+/// all three hit profiles (including the per-tier `cache_tiers`
+/// counters) per PR.
 fn write_service_report(path: &str) {
     let dir = BenchCacheDir::new("report");
+    let remote_dir = BenchCacheDir::new("report-remote");
+    let server = loopback_server(&remote_dir);
     let memory = cold_warm_report(&service(2));
     let tiered = cold_warm_report(&service_with_tier(2, StoreTier::Tiered, &dir));
+    let remote = cold_warm_report(&service_with_remote(2, &server));
     let doc = serde_json::json!({
         "api_version": qapi::API_VERSION,
         "memory": memory.to_json(),
         "tiered": tiered.to_json(),
+        "remote": remote.to_json(),
     });
     let text = serde_json::to_string_pretty(&doc).expect("serialize report");
     std::fs::write(path, text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));

@@ -671,7 +671,7 @@ impl BatchResponse {
 /// `api_version` of its own.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct CacheTierReport {
-    /// Tier name (`memory`, `disk`, `null`).
+    /// Tier name (`memory`, `disk`, `remote`, `null`).
     pub tier: String,
     /// Entries currently resident in this tier.
     pub entries: u64,
@@ -684,6 +684,9 @@ pub struct CacheTierReport {
     /// Resident bytes (exact file bytes for the disk tier, an
     /// approximation for memory tiers).
     pub bytes: u64,
+    /// Operations this tier degraded instead of completing — the remote
+    /// tier's unreachable-server count; always zero for local tiers.
+    pub errors: u64,
 }
 
 impl CacheTierReport {
@@ -696,6 +699,7 @@ impl CacheTierReport {
             "misses": self.misses,
             "evictions": self.evictions,
             "bytes": self.bytes,
+            "errors": self.errors,
         })
     }
 
@@ -708,6 +712,7 @@ impl CacheTierReport {
             misses: de::req_u64(v, "misses")?,
             evictions: de::req_u64(v, "evictions")?,
             bytes: de::req_u64(v, "bytes")?,
+            errors: de::req_u64(v, "errors")?,
         })
     }
 }

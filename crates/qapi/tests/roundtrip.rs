@@ -188,6 +188,7 @@ fn stats_and_service_report_round_trip() {
                 misses: 5,
                 evictions: 0,
                 bytes: 4096,
+                errors: 0,
             },
             CacheTierReport {
                 tier: "disk".into(),
@@ -196,6 +197,7 @@ fn stats_and_service_report_round_trip() {
                 misses: 4,
                 evictions: 0,
                 bytes: 65536,
+                errors: 0,
             },
         ],
         executor: ExecutorReport {
@@ -259,14 +261,18 @@ fn cache_report_round_trips() {
                     misses: 16,
                     evictions: 3,
                     bytes: 4_464,
+                    errors: 0,
                 },
+                // A remote back tier that degraded twice while its
+                // server was unreachable.
                 CacheTierReport {
-                    tier: "disk".into(),
+                    tier: "remote".into(),
                     entries: 12,
                     hits: 7,
                     misses: 9,
                     evictions: 0,
                     bytes: 65_536,
+                    errors: 2,
                 },
             ],
         },

@@ -161,14 +161,16 @@ fn exemplar_tiers() -> Vec<CacheTierReport> {
             misses: 5,
             evictions: 0,
             bytes: 4464,
+            errors: 0,
         },
         CacheTierReport {
-            tier: "disk".into(),
+            tier: "remote".into(),
             entries: 4,
             hits: 1,
             misses: 4,
             evictions: 0,
             bytes: 65536,
+            errors: 2,
         },
     ]
 }
@@ -265,6 +267,7 @@ fn service_report_snapshot() {
                     misses: 1,
                     evictions: 0,
                     bytes: 1116,
+                    errors: 0,
                 }],
                 ..StatsReport::default()
             },

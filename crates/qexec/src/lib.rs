@@ -49,7 +49,7 @@ mod pool;
 pub use metrics::describe_metrics;
 pub use pool::{
     configured_grain, current_width, join, par_map_vec, reserve_workers, resolve_threads,
-    set_grain, with_width,
+    set_grain, spawn_detached, with_width,
 };
 
 /// A point-in-time snapshot of the executor's process-wide counters.

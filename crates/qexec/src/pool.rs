@@ -181,6 +181,14 @@ pub(crate) struct Pool {
     /// stable while the pool grows.
     workers: Vec<Worker>,
     injector: Mutex<VecDeque<JobRef>>,
+    /// Detached (fire-and-forget) tasks from [`spawn_detached`]. A queue
+    /// of its own, deliberately NOT the injector: helping waiters in
+    /// `wait_for` drain the injector while blocked on a latch, and a
+    /// detached task may legitimately block for a long time (socket
+    /// reads in a connection handler) — stealing one there would stall a
+    /// fork-join join point behind unrelated I/O. Only the `worker_main`
+    /// loop, with nothing else in flight, takes from this queue.
+    detached: Mutex<VecDeque<Box<dyn FnOnce() + Send>>>,
     /// Worker threads spawned so far (pool grows lazily toward the widest
     /// requested parallelism).
     started: AtomicUsize,
@@ -210,6 +218,7 @@ pub(crate) fn global() -> &'static Pool {
         Pool {
             workers,
             injector: Mutex::new(VecDeque::new()),
+            detached: Mutex::new(VecDeque::new()),
             started: AtomicUsize::new(0),
             grow_lock: Mutex::new(()),
             idle: AtomicUsize::new(0),
@@ -241,6 +250,30 @@ pub fn reserve_workers(workers: usize) {
     if workers > 1 {
         global().ensure_workers(workers);
     }
+}
+
+/// Runs `f` on a pool worker thread, detached from any fork-join scope —
+/// the executor's "spawn a long-lived task" facility (connection
+/// handlers, background sweeps). Returns immediately; the task's panics
+/// are contained and there is no result channel (build one with the
+/// closure if needed).
+///
+/// Detached tasks only ever run on a worker with no join in flight, so
+/// they may block (socket reads, timeouts) without wedging fork-join
+/// waiters; the cost is that a blocked detached task occupies its worker
+/// until it returns. Callers expecting `N` concurrently blocking tasks
+/// should [`reserve_workers`]`(N + engine width)` up front, exactly like
+/// a service sizing concurrent jobs.
+pub fn spawn_detached(f: impl FnOnce() + Send + 'static) {
+    let pool = global();
+    // At least one worker must exist or the task would never run; beyond
+    // that, sizing is the caller's contract (see the doc comment).
+    pool.ensure_workers(1);
+    pool.detached
+        .lock()
+        .expect("detached queue poisoned")
+        .push_back(Box::new(f));
+    pool.wake_one();
 }
 
 impl Pool {
@@ -277,8 +310,29 @@ impl Pool {
             while let Some(job) = self.find_work(Some(index)) {
                 self.execute(job);
             }
+            // Fork-join work drained: a detached task may block at will
+            // now, because this worker has no join point above it.
+            if let Some(task) = self.pop_detached() {
+                self.run_detached(task);
+                continue;
+            }
             self.idle_wait(index);
         }
+    }
+
+    fn pop_detached(&self) -> Option<Box<dyn FnOnce() + Send>> {
+        self.detached
+            .lock()
+            .expect("detached queue poisoned")
+            .pop_front()
+    }
+
+    /// Runs one detached task. Panics are swallowed (there is no caller
+    /// frame to re-raise into), leaving the worker loop operational.
+    fn run_detached(&self, task: Box<dyn FnOnce() + Send>) {
+        self.tasks_executed.fetch_add(1, Relaxed);
+        metrics::tasks_total().inc();
+        let _ = panic::catch_unwind(AssertUnwindSafe(task));
     }
 
     /// Executes one scheduler-owned job. Panics inside the job are
@@ -419,11 +473,19 @@ impl Pool {
         self.idle.fetch_sub(1, SeqCst);
     }
 
-    /// Whether any deque or the injector holds work this worker could
-    /// take. Its own deque is skipped: only the owner pushes there, and
-    /// the owner is the one asking.
+    /// Whether any deque, the injector, or the detached queue holds work
+    /// this worker could take. Its own deque is skipped: only the owner
+    /// pushes there, and the owner is the one asking.
     fn has_visible_work(&self, me: usize) -> bool {
         if !self.injector.lock().expect("injector poisoned").is_empty() {
+            return true;
+        }
+        if !self
+            .detached
+            .lock()
+            .expect("detached queue poisoned")
+            .is_empty()
+        {
             return true;
         }
         let n = self.started.load(Relaxed);

@@ -231,3 +231,46 @@ fn empty_and_singleton_inputs() {
     let one = qexec::with_width(4, || qexec::par_map_vec(vec![41u64], |x| x + 1));
     assert_eq!(one, vec![42]);
 }
+
+#[test]
+fn spawn_detached_runs_off_the_calling_thread() {
+    use std::sync::mpsc;
+    let (tx, rx) = mpsc::channel();
+    let caller = std::thread::current().id();
+    qexec::spawn_detached(move || {
+        tx.send(std::thread::current().id()).unwrap();
+    });
+    let ran_on = rx
+        .recv_timeout(std::time::Duration::from_secs(10))
+        .expect("detached task must run");
+    assert_ne!(ran_on, caller, "detached tasks run on pool workers");
+}
+
+#[test]
+fn spawn_detached_contains_panics_and_pool_survives() {
+    use std::sync::mpsc;
+    qexec::spawn_detached(|| panic!("contained"));
+    // The pool must keep executing detached tasks after a panic in one.
+    let (tx, rx) = mpsc::channel();
+    qexec::spawn_detached(move || tx.send(7u32).unwrap());
+    assert_eq!(
+        rx.recv_timeout(std::time::Duration::from_secs(10)),
+        Ok(7),
+        "pool must survive a detached panic"
+    );
+}
+
+#[test]
+fn spawn_detached_does_not_stall_fork_join_waiters() {
+    use std::sync::mpsc;
+    // A detached task that blocks until released: fork-join work
+    // submitted while it is queued (or running) must still complete,
+    // because join waiters never pick detached tasks up.
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    qexec::spawn_detached(move || {
+        let _ = release_rx.recv_timeout(std::time::Duration::from_secs(10));
+    });
+    let sums = qexec::with_width(4, || qexec::par_map_vec((0..1_024u64).collect(), |x| x + 1));
+    assert_eq!(sums.iter().sum::<u64>(), (1..=1_024).sum::<u64>());
+    release_tx.send(()).unwrap();
+}

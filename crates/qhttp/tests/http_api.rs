@@ -949,7 +949,7 @@ fn restarted_server_over_a_disk_store_answers_from_the_disk_tier() {
     let qasm = sample_qasm();
 
     let serve_tiered = || {
-        let store = qsvc::build_store(qsvc::StoreTier::Tiered, Some(&dir), 64, 4).unwrap();
+        let store = qsvc::build_store(qsvc::StoreTier::Tiered, Some(&dir), None, 64, 4).unwrap();
         let svc = OptimizationService::with_store(
             OracleRegistry::builtin(),
             ServiceConfig {

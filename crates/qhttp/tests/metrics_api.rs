@@ -142,6 +142,15 @@ fn first_scrape_lists_the_full_typed_inventory() {
         ("popqc_store_put_duration_seconds", "histogram"),
         ("popqc_store_entries", "gauge"),
         ("popqc_store_bytes", "gauge"),
+        // remote cache tier (client side)
+        ("popqc_remote_hits_total", "counter"),
+        ("popqc_remote_misses_total", "counter"),
+        ("popqc_remote_errors_total", "counter"),
+        ("popqc_remote_roundtrip_seconds", "histogram"),
+        // cache server (`popqc cached`)
+        ("popqc_cached_requests_total", "counter"),
+        ("popqc_cached_entries", "gauge"),
+        ("popqc_cached_bytes", "gauge"),
         // executor
         ("popqc_exec_tasks_total", "counter"),
         ("popqc_exec_steals_total", "counter"),

@@ -19,8 +19,10 @@
 //!   as `Arc<dyn ResultStore>`: [`MemoryStore`] (the [`ShardedLruCache`]
 //!   LRU, the default), [`DiskStore`] (one versioned file per entry; warm
 //!   starts survive restarts), [`TieredStore`] (memory in front of disk,
-//!   write-through + promote-on-hit), and [`NullStore`] (benchmark
-//!   baseline). Results are keyed by [`JobKey`] = (structural circuit
+//!   write-through + promote-on-hit), [`RemoteStore`] (a shared
+//!   `popqc cached` server over the [`wire`] protocol, so replica fleets
+//!   warm one another), and [`NullStore`] (benchmark baseline). Results
+//!   are keyed by [`JobKey`] = (structural circuit
 //!   fingerprint, registry oracle id, engine config); identical
 //!   resubmissions cost zero oracle calls, and mixed-oracle traffic
 //!   shares one store without cross-contamination. Identical jobs
@@ -70,16 +72,20 @@
 
 pub mod cache;
 pub mod metrics;
+pub mod remote;
 pub mod report;
 pub mod service;
 pub mod store;
+pub mod wire;
 
 pub use cache::{CacheStats, ShardedLruCache};
+pub use remote::{CacheServer, CacheServerConfig, RemoteConfig, RemoteStore};
 pub use service::{
     BatchHandle, BatchResult, DynOracle, JobHandle, JobKey, JobRequest, JobResult,
     OptimizationService, OracleRegistry, ServiceConfig, ServiceError, ServiceStats,
 };
 pub use store::{
-    build_store, CachedRun, DiskStore, MemoryStore, NullStore, ResultStore, StoreStats, StoreTier,
-    TierStats, TieredStore,
+    build_store, decode_entry, decode_entry_owned, encode_entry, CachedRun, DiskStore,
+    EntryRejection, MemoryStore, NullStore, ResultStore, StoreStats, StoreTier, TierStats,
+    TieredStore,
 };

@@ -73,6 +73,16 @@ fn store_put_duration_vec() -> &'static qobs::HistogramVec {
     )
 }
 
+fn remote_roundtrip_vec() -> &'static qobs::HistogramVec {
+    qobs::static_histogram_vec!(
+        "popqc_remote_roundtrip_seconds",
+        "Round-trip latency of remote cache-server requests, by operation \
+         (successful request-response pairs only).",
+        &["op"],
+        &qobs::LATENCY_BUCKETS,
+    )
+}
+
 fn store_entries_vec() -> &'static qobs::GaugeVec {
     qobs::static_gauge_vec!(
         "popqc_store_entries",
@@ -156,6 +166,67 @@ pub(crate) fn store_put_duration(tier: &str) -> Arc<qobs::Histogram> {
     store_put_duration_vec().with(&[tier])
 }
 
+/// Remote-tier lookups the cache server answered.
+pub(crate) fn remote_hits() -> &'static qobs::Counter {
+    qobs::static_counter!(
+        "popqc_remote_hits_total",
+        "Remote-tier lookups the cache server answered with a valid entry.",
+    )
+}
+
+/// Remote-tier lookups that missed (including degraded local misses).
+pub(crate) fn remote_misses() -> &'static qobs::Counter {
+    qobs::static_counter!(
+        "popqc_remote_misses_total",
+        "Remote-tier lookups that missed, including degraded local misses \
+         while the cache server is unreachable.",
+    )
+}
+
+/// Remote-tier operations degraded by an unreachable or misbehaving
+/// server (never surfaced as job errors — the tier falls back to a miss).
+pub(crate) fn remote_errors() -> &'static qobs::Counter {
+    qobs::static_counter!(
+        "popqc_remote_errors_total",
+        "Remote-tier operations degraded to a local miss or dropped write \
+         (server unreachable, timeout, or invalid reply).",
+    )
+}
+
+/// Round-trip latency of one remote request, by operation name.
+pub(crate) fn remote_roundtrip(op: &str) -> Arc<qobs::Histogram> {
+    remote_roundtrip_vec().with(&[op])
+}
+
+fn cached_requests_vec() -> &'static qobs::CounterVec {
+    qobs::static_counter_vec!(
+        "popqc_cached_requests_total",
+        "Requests handled by the `popqc cached` server, by operation.",
+        &["op"],
+    )
+}
+
+/// `popqc cached` server-side request counter, by operation name.
+pub(crate) fn cached_requests(op: &str) -> Arc<qobs::Counter> {
+    cached_requests_vec().with(&[op])
+}
+
+/// Entries resident in the `popqc cached` server's store.
+pub(crate) fn cached_entries() -> &'static qobs::Gauge {
+    qobs::static_gauge!(
+        "popqc_cached_entries",
+        "Entries resident in the cache server's authoritative store tier.",
+    )
+}
+
+/// Bytes resident in the `popqc cached` server's store.
+pub(crate) fn cached_bytes() -> &'static qobs::Gauge {
+    qobs::static_gauge!(
+        "popqc_cached_bytes",
+        "Bytes resident in the cache server's store, summed across tiers.",
+    )
+}
+
 /// Copies the store's own entry/byte gauges into the Prometheus ones —
 /// call right before rendering a scrape so the series reflect the store
 /// *now* without per-put mirroring.
@@ -185,4 +256,11 @@ pub fn describe_metrics() {
     store_put_duration_vec();
     store_entries_vec();
     store_bytes_vec();
+    remote_hits();
+    remote_misses();
+    remote_errors();
+    remote_roundtrip_vec();
+    cached_requests_vec();
+    cached_entries();
+    cached_bytes();
 }

@@ -19,6 +19,7 @@ fn tier_report(t: &crate::store::TierStats) -> qapi::CacheTierReport {
         misses: t.misses,
         evictions: t.evictions,
         bytes: t.bytes,
+        errors: t.errors,
     }
 }
 

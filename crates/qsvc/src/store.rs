@@ -16,13 +16,16 @@
 //!   truncated files read as misses and are quarantined, never trusted
 //!   and never an error.
 //! * [`TieredStore`] — any store in front of any other (memory in front
-//!   of disk in practice): write-through on put, promote-on-hit on get.
+//!   of disk or remote in practice): write-through on put, promote-on-hit
+//!   on get.
+//! * [`crate::remote::RemoteStore`] — a `popqc cached` server over TCP,
+//!   so N replicas share one warm tier (see the `remote` module).
 //! * [`NullStore`] — always misses; isolates raw engine throughput in
 //!   benchmarks.
 //!
 //! [`StoreTier`] + [`build_store`] are the one construction seam the CLI
-//! and tests share: swapping `--cache-tier memory|disk|tiered` changes
-//! nothing outside this function.
+//! and tests share: swapping `--cache-tier memory|disk|tiered|remote`
+//! changes nothing outside this function.
 //!
 //! ## On-disk layout (format version 1)
 //!
@@ -102,7 +105,7 @@ impl CachedRun {
 /// Point-in-time counters for one tier of a store.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TierStats {
-    /// Tier name (`memory`, `disk`, `null`).
+    /// Tier name (`memory`, `disk`, `remote`, `null`).
     pub tier: String,
     /// Entries currently resident in this tier.
     pub entries: u64,
@@ -114,6 +117,9 @@ pub struct TierStats {
     pub evictions: u64,
     /// Approximate resident bytes (exact file bytes for the disk tier).
     pub bytes: u64,
+    /// Operations this tier degraded instead of completing (the remote
+    /// tier's unreachable-server count; local tiers never error).
+    pub errors: u64,
 }
 
 /// A store's full report: the backend name plus one [`TierStats`] per
@@ -269,6 +275,7 @@ impl ResultStore for MemoryStore {
                 misses: c.misses,
                 evictions: c.evictions,
                 bytes: self.cache.sum_values(CachedRun::approx_bytes),
+                errors: 0,
             },
         )
     }
@@ -299,6 +306,13 @@ pub struct DiskStore {
     /// picked up on the next `open` (or after a `clear`, which rescans).
     entries: AtomicU64,
     bytes: AtomicU64,
+    /// Serializes gauge-mutating ops against `clear`'s sweep + resync
+    /// window: a `put` landing between the sweep and the rescan would
+    /// otherwise be double-counted (its file is seen by the scan *and*
+    /// its own increment runs after), drifting `entries`/`bytes` until
+    /// the next clear. Same discipline as `TieredStore`: the frequent
+    /// ops share the lock, `clear` takes it exclusively.
+    admin_gate: std::sync::RwLock<()>,
     /// Latency histograms, resolved once at `open`.
     get_timer: Arc<qobs::Histogram>,
     put_timer: Arc<qobs::Histogram>,
@@ -345,6 +359,7 @@ impl DiskStore {
             tmp_counter: AtomicU64::new(0),
             entries: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
+            admin_gate: std::sync::RwLock::new(()),
             get_timer: metrics::store_get_duration("disk"),
             put_timer: metrics::store_put_duration("disk"),
         };
@@ -389,6 +404,7 @@ impl DiskStore {
     /// process may have moved or deleted it first). `size` is the body
     /// length just read, for the byte gauge.
     fn quarantine(&self, path: &Path, size: u64) {
+        let _gate = self.admin_gate.read().expect("disk admin gate poisoned");
         let qdir = self.dir.join("quarantine");
         let _ = std::fs::create_dir_all(&qdir);
         let name = path
@@ -407,89 +423,132 @@ impl DiskStore {
 
     /// Discards a well-formed but stale file (old format or oracle code).
     fn invalidate(&self, path: &Path, size: u64) {
+        let _gate = self.admin_gate.read().expect("disk admin gate poisoned");
         let _ = std::fs::remove_file(path);
         self.invalidated.fetch_add(1, Relaxed);
         gauge_sub(&self.entries, 1);
         gauge_sub(&self.bytes, size);
     }
-
-    fn serialize(key: &JobKey, oracle_version: &str, run: &CachedRun) -> String {
-        let doc = json!({
-            "store_format": STORE_FORMAT_VERSION,
-            "fingerprint": key.fingerprint.to_hex().as_str(),
-            "oracle_id": key.oracle_id.as_str(),
-            "oracle_version": oracle_version,
-            "omega": key.config.omega as u64,
-            "max_rounds": key.config.max_rounds as u64,
-            "qasm": qasm::to_qasm(&run.circuit).as_str(),
-            "stats": {
-                "rounds": run.stats.rounds as u64,
-                "oracle_calls": run.stats.oracle_calls,
-                "accepted": run.stats.accepted,
-                "oracle_nanos": run.stats.oracle_nanos,
-                "total_nanos": run.stats.total_nanos,
-                "initial_units": run.stats.initial_units as u64,
-                "final_units": run.stats.final_units as u64,
-            },
-        });
-        serde_json::to_string(&doc).expect("serialize cache entry")
-    }
-
-    /// Parses and fully validates one entry body against the key it was
-    /// looked up under. `Err(quarantine?)` distinguishes corrupt bodies
-    /// (quarantine) from merely stale ones (silent removal).
-    fn deserialize(
-        key: &JobKey,
-        oracle_version: &str,
-        text: &str,
-    ) -> Result<CachedRun, EntryRejection> {
-        let doc: Value = serde_json::from_str(text).map_err(|_| EntryRejection::Corrupt)?;
-        let num = |field: &str| doc.get(field).and_then(Value::as_u64);
-        // A parseable document with the wrong format version is *stale*,
-        // not corrupt — whatever wrote it knew what it was doing.
-        match num("store_format") {
-            Some(STORE_FORMAT_VERSION) => {}
-            Some(_) => return Err(EntryRejection::Stale),
-            None => return Err(EntryRejection::Corrupt),
-        }
-        let field = |name: &str| doc.get(name).and_then(Value::as_str);
-        let matches_key = field("fingerprint") == Some(key.fingerprint.to_hex().as_str())
-            && field("oracle_id") == Some(key.oracle_id.as_str())
-            && num("omega") == Some(key.config.omega as u64)
-            && num("max_rounds") == Some(key.config.max_rounds as u64);
-        if !matches_key || field("oracle_version") != Some(oracle_version) {
-            return Err(EntryRejection::Stale);
-        }
-        let qasm_text = field("qasm").ok_or(EntryRejection::Corrupt)?;
-        let circuit = qasm::parse(qasm_text).map_err(|_| EntryRejection::Corrupt)?;
-        let stats_doc = doc.get("stats").ok_or(EntryRejection::Corrupt)?;
-        let stat = |name: &str| {
-            stats_doc
-                .get(name)
-                .and_then(Value::as_u64)
-                .ok_or(EntryRejection::Corrupt)
-        };
-        let stats = PopqcStats {
-            rounds: stat("rounds")? as usize,
-            oracle_calls: stat("oracle_calls")?,
-            accepted: stat("accepted")?,
-            oracle_nanos: stat("oracle_nanos")?,
-            total_nanos: stat("total_nanos")?,
-            initial_units: stat("initial_units")? as usize,
-            final_units: stat("final_units")? as usize,
-            rounds_detail: Vec::new(),
-        };
-        // Cross-field consistency: the parsed body must be the circuit the
-        // stats describe. Catches a truncation that still happens to end
-        // on a QASM statement boundary.
-        if stats.final_units != circuit.gates.len() {
-            return Err(EntryRejection::Corrupt);
-        }
-        Ok(CachedRun { circuit, stats })
-    }
 }
 
-enum EntryRejection {
+/// Serializes one `(key, oracle_version, run)` into the versioned entry
+/// document described in the module docs. This is the ONE encoding shared
+/// by the disk tier (one document per `.entry` file) and the remote wire
+/// protocol (the same document as a PUT payload), so the cache server
+/// persists exactly what a local `DiskStore` would.
+pub fn encode_entry(key: &JobKey, oracle_version: &str, run: &CachedRun) -> String {
+    let doc = json!({
+        "store_format": STORE_FORMAT_VERSION,
+        "fingerprint": key.fingerprint.to_hex().as_str(),
+        "oracle_id": key.oracle_id.as_str(),
+        "oracle_version": oracle_version,
+        "omega": key.config.omega as u64,
+        "max_rounds": key.config.max_rounds as u64,
+        "qasm": qasm::to_qasm(&run.circuit).as_str(),
+        "stats": {
+            "rounds": run.stats.rounds as u64,
+            "oracle_calls": run.stats.oracle_calls,
+            "accepted": run.stats.accepted,
+            "oracle_nanos": run.stats.oracle_nanos,
+            "total_nanos": run.stats.total_nanos,
+            "initial_units": run.stats.initial_units as u64,
+            "final_units": run.stats.final_units as u64,
+        },
+    });
+    serde_json::to_string(&doc).expect("serialize cache entry")
+}
+
+/// Parses and fully validates one entry body against the key it was
+/// looked up under. `Err` distinguishes corrupt bodies (quarantine) from
+/// merely stale ones (silent removal) — see [`EntryRejection`].
+pub fn decode_entry(
+    key: &JobKey,
+    oracle_version: &str,
+    text: &str,
+) -> Result<CachedRun, EntryRejection> {
+    let doc: Value = serde_json::from_str(text).map_err(|_| EntryRejection::Corrupt)?;
+    let num = |field: &str| doc.get(field).and_then(Value::as_u64);
+    // A parseable document with the wrong format version is *stale*,
+    // not corrupt — whatever wrote it knew what it was doing.
+    match num("store_format") {
+        Some(STORE_FORMAT_VERSION) => {}
+        Some(_) => return Err(EntryRejection::Stale),
+        None => return Err(EntryRejection::Corrupt),
+    }
+    let field = |name: &str| doc.get(name).and_then(Value::as_str);
+    let matches_key = field("fingerprint") == Some(key.fingerprint.to_hex().as_str())
+        && field("oracle_id") == Some(key.oracle_id.as_str())
+        && num("omega") == Some(key.config.omega as u64)
+        && num("max_rounds") == Some(key.config.max_rounds as u64);
+    if !matches_key || field("oracle_version") != Some(oracle_version) {
+        return Err(EntryRejection::Stale);
+    }
+    let qasm_text = field("qasm").ok_or(EntryRejection::Corrupt)?;
+    let circuit = qasm::parse(qasm_text).map_err(|_| EntryRejection::Corrupt)?;
+    let stats_doc = doc.get("stats").ok_or(EntryRejection::Corrupt)?;
+    let stat = |name: &str| {
+        stats_doc
+            .get(name)
+            .and_then(Value::as_u64)
+            .ok_or(EntryRejection::Corrupt)
+    };
+    let stats = PopqcStats {
+        rounds: stat("rounds")? as usize,
+        oracle_calls: stat("oracle_calls")?,
+        accepted: stat("accepted")?,
+        oracle_nanos: stat("oracle_nanos")?,
+        total_nanos: stat("total_nanos")?,
+        initial_units: stat("initial_units")? as usize,
+        final_units: stat("final_units")? as usize,
+        rounds_detail: Vec::new(),
+    };
+    // Cross-field consistency: the parsed body must be the circuit the
+    // stats describe. Catches a truncation that still happens to end
+    // on a QASM statement boundary.
+    if stats.final_units != circuit.gates.len() {
+        return Err(EntryRejection::Corrupt);
+    }
+    Ok(CachedRun { circuit, stats })
+}
+
+/// Parses an entry document that *carries its own key* — the cache
+/// server's PUT path, where no expected key exists yet. Extracts the
+/// `(key, oracle_version)` from the header fields, then runs the same
+/// full validation as [`decode_entry`], so a malformed or inconsistent
+/// document is refused before it can be persisted for other replicas.
+pub fn decode_entry_owned(text: &str) -> Result<(JobKey, String, CachedRun), EntryRejection> {
+    let doc: Value = serde_json::from_str(text).map_err(|_| EntryRejection::Corrupt)?;
+    let field = |name: &str| doc.get(name).and_then(Value::as_str);
+    let num = |name: &str| doc.get(name).and_then(Value::as_u64);
+    let fp_hex = field("fingerprint").ok_or(EntryRejection::Corrupt)?;
+    if fp_hex.len() != 32 {
+        return Err(EntryRejection::Corrupt);
+    }
+    let fingerprint = u128::from_str_radix(fp_hex, 16)
+        .map(qcir::Fingerprint)
+        .map_err(|_| EntryRejection::Corrupt)?;
+    let key = JobKey {
+        fingerprint,
+        oracle_id: field("oracle_id")
+            .ok_or(EntryRejection::Corrupt)?
+            .to_string(),
+        config: popqc_core::PopqcConfig {
+            omega: num("omega").ok_or(EntryRejection::Corrupt)? as usize,
+            max_rounds: num("max_rounds").ok_or(EntryRejection::Corrupt)? as usize,
+        },
+    };
+    let oracle_version = field("oracle_version")
+        .ok_or(EntryRejection::Corrupt)?
+        .to_string();
+    let run = decode_entry(&key, &oracle_version, text)?;
+    Ok((key, oracle_version, run))
+}
+
+/// Why a stored entry was refused: the two classes get different
+/// self-healing (quarantine vs. silent removal) on disk, and both read
+/// as a plain miss to callers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EntryRejection {
     /// Unreadable, truncated, or internally inconsistent: quarantine it.
     Corrupt,
     /// Well-formed but written by different code (format or oracle
@@ -508,7 +567,7 @@ impl ResultStore for DiskStore {
                 return None;
             }
         };
-        match DiskStore::deserialize(key, oracle_version, &text) {
+        match decode_entry(key, oracle_version, &text) {
             Ok(run) => {
                 self.hits.fetch_add(1, Relaxed);
                 Some(Arc::new(run))
@@ -528,12 +587,16 @@ impl ResultStore for DiskStore {
 
     fn put(&self, key: &JobKey, oracle_version: &str, value: Arc<CachedRun>) {
         let _timer = self.put_timer.start_timer();
+        // Shared gate: held across the replaced-file probe, the rename,
+        // and the gauge updates, so a concurrent `clear` resync cannot
+        // interleave and double-count this entry.
+        let _gate = self.admin_gate.read().expect("disk admin gate poisoned");
         let path = self.entry_path(key);
         let unique = self.tmp_counter.fetch_add(1, Relaxed);
         let tmp = self
             .dir
             .join(format!(".tmp-{}-{unique}", std::process::id()));
-        let body = DiskStore::serialize(key, oracle_version, &value);
+        let body = encode_entry(key, oracle_version, &value);
         let body_len = body.len() as u64;
         // Whatever this put replaces, for the gauges (`None` = fresh key).
         let replaced = std::fs::metadata(&path).map(|m| m.len()).ok();
@@ -562,6 +625,7 @@ impl ResultStore for DiskStore {
     }
 
     fn remove(&self, key: &JobKey) -> bool {
+        let _gate = self.admin_gate.read().expect("disk admin gate poisoned");
         let path = self.entry_path(key);
         let size = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
         let removed = std::fs::remove_file(path).is_ok();
@@ -573,6 +637,11 @@ impl ResultStore for DiskStore {
     }
 
     fn clear(&self) -> u64 {
+        // Exclusive for the whole sweep + resync window: a `put` racing
+        // the rescan would otherwise land its file in the scan *and* add
+        // its own increment afterwards, drifting the gauges until the
+        // next clear (the regression this gate exists for).
+        let _gate = self.admin_gate.write().expect("disk admin gate poisoned");
         let mut removed = 0;
         if let Ok(entries) = std::fs::read_dir(&self.dir) {
             for entry in entries.flatten() {
@@ -613,6 +682,7 @@ impl ResultStore for DiskStore {
                 // also no longer serve hits.
                 evictions: self.invalidated.load(Relaxed) + self.quarantined.load(Relaxed),
                 bytes: self.bytes.load(Relaxed),
+                errors: 0,
             },
         )
     }
@@ -791,15 +861,20 @@ pub enum StoreTier {
     Memory,
     /// Disk only: every probe and write goes to the cache directory.
     Disk,
-    /// Memory in front of disk: RAM-speed hits, restart-surviving truth.
+    /// Memory in front of disk (`--cache-dir`) or of a remote cache
+    /// server (`--cache-addr`): RAM-speed hits, shared/persistent truth.
     Tiered,
+    /// A shared `popqc cached` server over TCP (`--cache-addr`): N
+    /// replicas behave as one warm cache. Degrades to local misses when
+    /// the server is unreachable — never an error, never a wrong result.
+    Remote,
     /// No caching at all (benchmark baseline).
     Null,
 }
 
 impl StoreTier {
     /// Every tier name `--cache-tier` accepts, in documentation order.
-    pub const NAMES: [&'static str; 4] = ["memory", "disk", "tiered", "null"];
+    pub const NAMES: [&'static str; 5] = ["memory", "disk", "tiered", "remote", "null"];
 }
 
 impl std::str::FromStr for StoreTier {
@@ -810,6 +885,7 @@ impl std::str::FromStr for StoreTier {
             "memory" => Ok(StoreTier::Memory),
             "disk" => Ok(StoreTier::Disk),
             "tiered" => Ok(StoreTier::Tiered),
+            "remote" => Ok(StoreTier::Remote),
             "null" => Ok(StoreTier::Null),
             other => Err(format!(
                 "unknown cache tier `{other}` (expected one of: {})",
@@ -825,17 +901,22 @@ impl std::fmt::Display for StoreTier {
             StoreTier::Memory => "memory",
             StoreTier::Disk => "disk",
             StoreTier::Tiered => "tiered",
+            StoreTier::Remote => "remote",
             StoreTier::Null => "null",
         })
     }
 }
 
 /// Builds the store a service (or the `popqc cache` admin commands) will
-/// own. `cache_dir` is required for the persistent tiers; `capacity` and
-/// `shards` size the memory tier where one exists.
+/// own. `cache_dir` is required for the disk-backed tiers and
+/// `cache_addr` for the remote ones; `tiered` takes exactly one of the
+/// two as its back tier (disk when given a directory, remote when given
+/// an address). `capacity` and `shards` size the memory tier where one
+/// exists.
 pub fn build_store(
     tier: StoreTier,
     cache_dir: Option<&Path>,
+    cache_addr: Option<&str>,
     capacity: usize,
     shards: usize,
 ) -> Result<Arc<dyn ResultStore>, String> {
@@ -844,13 +925,28 @@ pub fn build_store(
             .map(Arc::new)
             .map_err(|e| format!("cannot open cache dir {}: {e}", dir.display()))
     };
+    let remote = |addr: &str| -> Result<Arc<crate::remote::RemoteStore>, String> {
+        crate::remote::RemoteStore::new(crate::remote::RemoteConfig::new(addr)).map(Arc::new)
+    };
     let need_dir = || format!("cache tier `{tier}` requires --cache-dir");
+    let need_addr = || format!("cache tier `{tier}` requires --cache-addr");
     Ok(match tier {
         StoreTier::Memory => Arc::new(MemoryStore::new(capacity, shards)),
         StoreTier::Null => Arc::new(NullStore::new()),
         StoreTier::Disk => disk(cache_dir.ok_or_else(need_dir)?)?,
+        StoreTier::Remote => remote(cache_addr.ok_or_else(need_addr)?)?,
         StoreTier::Tiered => {
-            let back = disk(cache_dir.ok_or_else(need_dir)?)?;
+            let back: Arc<dyn ResultStore> = match (cache_dir, cache_addr) {
+                (Some(_), Some(_)) => {
+                    return Err(format!(
+                        "cache tier `{tier}` takes exactly one back tier: \
+                         --cache-dir (disk) or --cache-addr (remote), not both"
+                    ))
+                }
+                (Some(dir), None) => disk(dir)?,
+                (None, Some(addr)) => remote(addr)?,
+                (None, None) => return Err(need_dir()),
+            };
             Arc::new(TieredStore::new(
                 Arc::new(MemoryStore::new(capacity, shards)),
                 back,

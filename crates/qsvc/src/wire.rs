@@ -1,0 +1,312 @@
+//! The remote result-store wire protocol: small, versioned,
+//! length-prefixed frames over TCP.
+//!
+//! One frame is:
+//!
+//! ```text
+//! +-----------------+-----------+----------+------------------+
+//! | length: u32 BE  | version:  | opcode:  | payload          |
+//! | (of the rest)   | u8 (= 1)  | u8       | (length-2 bytes) |
+//! +-----------------+-----------+----------+------------------+
+//! ```
+//!
+//! | opcode | dir | payload |
+//! |--------|-----|---------|
+//! | `GET    0x01` | → | key document (JSON) |
+//! | `PUT    0x02` | → | entry document (JSON, [`crate::store::encode_entry`]) |
+//! | `REMOVE 0x03` | → | key document (JSON) |
+//! | `CLEAR  0x04` | → | empty |
+//! | `STATS  0x05` | → | empty |
+//! | `PING   0x06` | → | empty |
+//! | `HIT    0x81` | ← | entry document (JSON) |
+//! | `MISS   0x82` | ← | empty |
+//! | `ACK    0x83` | ← | 1 byte (`REMOVE`: 1 = removed; `PUT`: empty) |
+//! | `COUNT  0x84` | ← | u64 BE (entries removed by `CLEAR`) |
+//! | `REPORT 0x85` | ← | `qapi::CacheReport` document (JSON) |
+//! | `PONG   0x86` | ← | empty |
+//! | `ERROR  0xC0` | ← | UTF-8 diagnostic |
+//!
+//! The key document repeats every field of [`JobKey`] plus the oracle
+//! version, and the PUT payload is byte-identical to a `DiskStore`
+//! `.entry` file — `store_format` and `oracle_version` travel end to
+//! end, so the server (and every other replica reading through it) can
+//! refuse stale entries exactly like a local disk tier does.
+//!
+//! Robustness rules, enforced by [`read_frame`]:
+//! * a declared length above [`MAX_FRAME_BYTES`] is refused **before any
+//!   allocation** (a hostile or corrupt peer cannot OOM the reader);
+//! * a length too small for the version+opcode header is a [`WireError::Runt`];
+//! * EOF cleanly between frames is [`WireError::Closed`], EOF mid-frame
+//!   is [`WireError::Truncated`] — callers treat both as "drop the
+//!   connection", never as data.
+
+use crate::service::JobKey;
+use qcir::Fingerprint;
+use serde_json::{json, Value};
+use std::io::{self, Read, Write};
+
+/// Protocol version byte; bump on any frame-layout change. A reader
+/// refuses frames from any other version, so mixed-version fleets fail
+/// closed (to a local miss) instead of misparsing.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Hard ceiling on one frame's declared length (version + opcode +
+/// payload). Checked against the length prefix *before* the payload
+/// buffer is allocated.
+pub const MAX_FRAME_BYTES: u32 = 64 << 20;
+
+/// Frame opcodes: requests in the low range, responses with the high bit
+/// set, `ERROR` on its own. See the module docs for the payload table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Op {
+    Get = 0x01,
+    Put = 0x02,
+    Remove = 0x03,
+    Clear = 0x04,
+    Stats = 0x05,
+    Ping = 0x06,
+    Hit = 0x81,
+    Miss = 0x82,
+    Ack = 0x83,
+    Count = 0x84,
+    Report = 0x85,
+    Pong = 0x86,
+    Error = 0xC0,
+}
+
+impl Op {
+    fn from_u8(b: u8) -> Option<Op> {
+        Some(match b {
+            0x01 => Op::Get,
+            0x02 => Op::Put,
+            0x03 => Op::Remove,
+            0x04 => Op::Clear,
+            0x05 => Op::Stats,
+            0x06 => Op::Ping,
+            0x81 => Op::Hit,
+            0x82 => Op::Miss,
+            0x83 => Op::Ack,
+            0x84 => Op::Count,
+            0x85 => Op::Report,
+            0x86 => Op::Pong,
+            0xC0 => Op::Error,
+            _ => return None,
+        })
+    }
+
+    /// The label this opcode carries in metrics and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Get => "get",
+            Op::Put => "put",
+            Op::Remove => "remove",
+            Op::Clear => "clear",
+            Op::Stats => "stats",
+            Op::Ping => "ping",
+            Op::Hit => "hit",
+            Op::Miss => "miss",
+            Op::Ack => "ack",
+            Op::Count => "count",
+            Op::Report => "report",
+            Op::Pong => "pong",
+            Op::Error => "error",
+        }
+    }
+}
+
+/// One decoded frame: opcode + raw payload bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// What the frame asks for or answers with.
+    pub op: Op,
+    /// Opcode-specific payload (see the module table).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A frame with no payload.
+    pub fn empty(op: Op) -> Frame {
+        Frame {
+            op,
+            payload: Vec::new(),
+        }
+    }
+
+    /// A frame carrying `payload`.
+    pub fn new(op: Op, payload: Vec<u8>) -> Frame {
+        Frame { op, payload }
+    }
+
+    /// Serializes to the on-wire byte layout (length prefix included).
+    pub fn encode(&self) -> Vec<u8> {
+        let len = (self.payload.len() + 2) as u32;
+        let mut buf = Vec::with_capacity(self.payload.len() + 6);
+        buf.extend_from_slice(&len.to_be_bytes());
+        buf.push(PROTOCOL_VERSION);
+        buf.push(self.op as u8);
+        buf.extend_from_slice(&self.payload);
+        buf
+    }
+
+    /// Decodes exactly one frame from `buf` (trailing bytes are an
+    /// error — the streaming reader is [`read_frame`]).
+    pub fn decode(buf: &[u8]) -> Result<Frame, WireError> {
+        let mut cursor = io::Cursor::new(buf);
+        let frame = read_frame(&mut cursor)?;
+        if (cursor.position() as usize) != buf.len() {
+            return Err(WireError::Truncated);
+        }
+        Ok(frame)
+    }
+}
+
+/// Why a frame could not be read or understood. Every variant means the
+/// same thing operationally — drop the connection and (client side)
+/// degrade to a local miss — but the split keeps diagnostics and tests
+/// precise.
+#[derive(Debug)]
+pub enum WireError {
+    /// EOF cleanly on a frame boundary: the peer is done, not broken.
+    Closed,
+    /// EOF (or short buffer) in the middle of a frame.
+    Truncated,
+    /// Declared length exceeds [`MAX_FRAME_BYTES`]; refused before
+    /// allocating the payload buffer.
+    Oversized(u32),
+    /// Declared length too small to hold the version + opcode header.
+    Runt(u32),
+    /// Version byte is not [`PROTOCOL_VERSION`].
+    Version(u8),
+    /// Opcode byte not in the table.
+    UnknownOpcode(u8),
+    /// A payload that does not parse as its opcode requires.
+    Malformed(&'static str),
+    /// The underlying stream failed (timeout, reset, ...).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::Oversized(len) => {
+                write!(
+                    f,
+                    "frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"
+                )
+            }
+            WireError::Runt(len) => write!(f, "frame length {len} below the 2-byte header"),
+            WireError::Version(v) => {
+                write!(
+                    f,
+                    "protocol version {v} (this build speaks {PROTOCOL_VERSION})"
+                )
+            }
+            WireError::UnknownOpcode(b) => write!(f, "unknown opcode 0x{b:02X}"),
+            WireError::Malformed(what) => write!(f, "malformed {what} payload"),
+            WireError::Io(e) => write!(f, "stream error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Reads one frame off `r`, enforcing the robustness rules in the module
+/// docs. Blocks per the stream's own read timeout; a timeout surfaces as
+/// [`WireError::Io`].
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
+    // The length prefix is read byte-wise so EOF *before the first byte*
+    // (the peer hung up between frames: `Closed`) is distinguishable
+    // from EOF *inside* the prefix (a cut mid-frame: `Truncated`) —
+    // `read_exact` alone cannot tell the two apart.
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < len_buf.len() {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) => {
+                return Err(if filled == 0 {
+                    WireError::Closed
+                } else {
+                    WireError::Truncated
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::Oversized(len));
+    }
+    if len < 2 {
+        return Err(WireError::Runt(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    match r.read_exact(&mut body) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Err(WireError::Truncated),
+        Err(e) => return Err(WireError::Io(e)),
+    }
+    if body[0] != PROTOCOL_VERSION {
+        return Err(WireError::Version(body[0]));
+    }
+    let op = Op::from_u8(body[1]).ok_or(WireError::UnknownOpcode(body[1]))?;
+    Ok(Frame {
+        op,
+        payload: body.split_off(2),
+    })
+}
+
+/// Writes one frame to `w` and flushes it.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    w.write_all(&frame.encode())?;
+    w.flush()
+}
+
+/// Serializes a `(key, oracle_version)` lookup as the GET/REMOVE payload.
+pub fn encode_key(key: &JobKey, oracle_version: &str) -> Vec<u8> {
+    let doc = json!({
+        "fingerprint": key.fingerprint.to_hex().as_str(),
+        "oracle_id": key.oracle_id.as_str(),
+        "omega": key.config.omega as u64,
+        "max_rounds": key.config.max_rounds as u64,
+        "oracle_version": oracle_version,
+    });
+    serde_json::to_string(&doc)
+        .expect("serialize key document")
+        .into_bytes()
+}
+
+/// Parses a GET/REMOVE payload back into `(key, oracle_version)`.
+pub fn decode_key(payload: &[u8]) -> Result<(JobKey, String), WireError> {
+    let malformed = WireError::Malformed("key");
+    let text = std::str::from_utf8(payload).map_err(|_| WireError::Malformed("key"))?;
+    let doc: Value = serde_json::from_str(text).map_err(|_| WireError::Malformed("key"))?;
+    let field = |name: &str| doc.get(name).and_then(Value::as_str);
+    let num = |name: &str| doc.get(name).and_then(Value::as_u64);
+    let fp_hex = field("fingerprint").ok_or(WireError::Malformed("key"))?;
+    if fp_hex.len() != 32 {
+        return Err(malformed);
+    }
+    let fingerprint = u128::from_str_radix(fp_hex, 16)
+        .map(Fingerprint)
+        .map_err(|_| WireError::Malformed("key"))?;
+    let key = JobKey {
+        fingerprint,
+        oracle_id: field("oracle_id")
+            .ok_or(WireError::Malformed("key"))?
+            .to_string(),
+        config: popqc_core::PopqcConfig {
+            omega: num("omega").ok_or(WireError::Malformed("key"))? as usize,
+            max_rounds: num("max_rounds").ok_or(WireError::Malformed("key"))? as usize,
+        },
+    };
+    let version = field("oracle_version")
+        .ok_or(WireError::Malformed("key"))?
+        .to_string();
+    Ok((key, version))
+}

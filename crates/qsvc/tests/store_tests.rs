@@ -144,14 +144,36 @@ fn null_store_never_hits() {
 fn build_store_rejects_unknown_tier_and_missing_dir() {
     let err = "diskette".parse::<StoreTier>().unwrap_err();
     assert!(err.contains("unknown cache tier"), "got: {err}");
-    assert!(err.contains("memory, disk, tiered, null"), "got: {err}");
+    assert!(
+        err.contains("memory, disk, tiered, remote, null"),
+        "got: {err}"
+    );
 
     for tier in [StoreTier::Disk, StoreTier::Tiered] {
-        let Err(err) = build_store(tier, None, 8, 2) else {
+        let Err(err) = build_store(tier, None, None, 8, 2) else {
             panic!("{tier}: building without a dir must fail");
         };
         assert!(err.contains("requires --cache-dir"), "got: {err}");
     }
+
+    // The remote tier needs a server address...
+    let Err(err) = build_store(StoreTier::Remote, None, None, 8, 2) else {
+        panic!("remote without an addr must fail");
+    };
+    assert!(err.contains("requires --cache-addr"), "got: {err}");
+
+    // ...and tiered takes exactly one back tier, not both.
+    let tmp = TempDir::new("both-backs");
+    let Err(err) = build_store(
+        StoreTier::Tiered,
+        Some(tmp.path()),
+        Some("127.0.0.1:1"),
+        8,
+        2,
+    ) else {
+        panic!("tiered over both disk and remote must fail");
+    };
+    assert!(err.contains("exactly one back tier"), "got: {err}");
 }
 
 // ---------------------------------------------------------------------------
@@ -312,6 +334,60 @@ fn disk_store_clear_removes_entries_but_not_quarantine() {
     }
 }
 
+/// Regression test: `clear()` used to sweep the directory and then
+/// resync the entry/byte gauges from a second scan, without excluding
+/// concurrent `put`s — a put landing between the sweep and the resync
+/// was double-counted or lost, leaving `len()` permanently out of step
+/// with the directory. `clear` now takes the admin gate as a writer for
+/// the whole sweep+resync window, so after any interleaving the gauges
+/// must match what a fresh scan of the directory reports.
+#[test]
+fn disk_store_clear_concurrent_with_put_keeps_gauges_consistent() {
+    let tmp = TempDir::new("clear-race");
+    let store = Arc::new(DiskStore::open(tmp.path()).unwrap());
+
+    let writers: Vec<_> = (0..4)
+        .map(|w| {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                let circuit = sample_circuit();
+                for i in 0..50 {
+                    // Distinct omega per put → distinct JobKey → distinct file.
+                    let key = key_for(&circuit, "rule_based", 1 + w * 50 + i);
+                    store.put(&key, "v1", run_for(&circuit));
+                }
+            })
+        })
+        .collect();
+    let clearer = {
+        let store = Arc::clone(&store);
+        std::thread::spawn(move || {
+            for _ in 0..20 {
+                store.clear();
+                std::thread::yield_now();
+            }
+        })
+    };
+    for t in writers {
+        t.join().unwrap();
+    }
+    clearer.join().unwrap();
+
+    // A fresh instance rescans the directory from scratch: its counts
+    // are ground truth for what the raced instance's gauges must say.
+    let rescan = DiskStore::open(tmp.path()).unwrap();
+    assert_eq!(
+        store.len(),
+        rescan.len(),
+        "entry gauge diverged from the directory after clear raced puts"
+    );
+    assert_eq!(
+        store.stats().bytes(),
+        rescan.stats().bytes(),
+        "byte gauge diverged from the directory after clear raced puts"
+    );
+}
+
 // ---------------------------------------------------------------------------
 // TieredStore
 // ---------------------------------------------------------------------------
@@ -407,7 +483,7 @@ fn warm_restart_over_disk_store_issues_zero_oracle_calls() {
 
     // Process one: cold, computes, persists.
     let first = {
-        let store = build_store(StoreTier::Tiered, Some(tmp.path()), 16, 2).unwrap();
+        let store = build_store(StoreTier::Tiered, Some(tmp.path()), None, 16, 2).unwrap();
         let svc = counting_service(&calls, store);
         let r = svc.submit(circuit.clone(), &cfg).wait();
         assert!(!r.cache_hit);
@@ -421,7 +497,7 @@ fn warm_restart_over_disk_store_issues_zero_oracle_calls() {
     // job must be answered from the disk tier — cache_hit, identical
     // circuit, and not one new oracle call.
     for tier in [StoreTier::Tiered, StoreTier::Disk] {
-        let store = build_store(tier, Some(tmp.path()), 16, 2).unwrap();
+        let store = build_store(tier, Some(tmp.path()), None, 16, 2).unwrap();
         let svc = counting_service(&calls, store);
         let warm = svc.submit(circuit.clone(), &cfg).wait();
         assert!(warm.cache_hit, "{tier}: restart must hit the disk tier");
@@ -460,7 +536,7 @@ fn oracle_version_bump_invalidates_the_disk_tier() {
     }
 
     {
-        let store = build_store(StoreTier::Disk, Some(tmp.path()), 16, 2).unwrap();
+        let store = build_store(StoreTier::Disk, Some(tmp.path()), None, 16, 2).unwrap();
         let svc = counting_service(&calls, store);
         assert!(!svc.submit(circuit.clone(), &cfg).wait().cache_hit);
     }
@@ -468,7 +544,7 @@ fn oracle_version_bump_invalidates_the_disk_tier() {
 
     // Same registry id (`counting`), same key — but the oracle code
     // changed. The persisted entry must be recomputed, not trusted.
-    let store = build_store(StoreTier::Disk, Some(tmp.path()), 16, 2).unwrap();
+    let store = build_store(StoreTier::Disk, Some(tmp.path()), None, 16, 2).unwrap();
     let svc = OptimizationService::with_store(
         OracleRegistry::single(V2(CountingOracle {
             inner: RuleBasedOptimizer::oracle(),
@@ -491,7 +567,7 @@ fn oracle_version_bump_invalidates_the_disk_tier() {
 fn service_stats_carry_the_per_tier_breakdown() {
     let tmp = TempDir::new("stats");
     let calls = Arc::new(AtomicU64::new(0));
-    let store = build_store(StoreTier::Tiered, Some(tmp.path()), 16, 2).unwrap();
+    let store = build_store(StoreTier::Tiered, Some(tmp.path()), None, 16, 2).unwrap();
     let svc = counting_service(&calls, store);
     let cfg = PopqcConfig::with_omega(16);
     let circuit = sample_circuit();

@@ -23,7 +23,7 @@ fn main() {
     // The one seam: every tier below is the same call with a different
     // `StoreTier`, and nothing else in the program changes.
     let tiered = |dir: &std::path::Path| -> std::sync::Arc<dyn ResultStore> {
-        build_store(StoreTier::Tiered, Some(dir), 1024, 16).expect("build store")
+        build_store(StoreTier::Tiered, Some(dir), None, 1024, 16).expect("build store")
     };
 
     // "Process" one: cold batch, write-through to disk.

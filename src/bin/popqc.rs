@@ -5,14 +5,18 @@
 //! popqc optimize <FILE|DIR>... [--out DIR] [--omega N] [--oracle ID]
 //!                [--workers N] [--threads-per-job N] [--grain N]
 //!                [--cache-capacity N]
-//!                [--cache-tier memory|disk|tiered|null] [--cache-dir DIR]
+//!                [--cache-tier memory|disk|tiered|remote|null]
+//!                [--cache-dir DIR] [--cache-addr HOST:PORT]
 //!                [--repeat N] [--report FILE] [--json] [--verify] [--quiet]
 //!                [--log-level error|warn|info|debug]
 //! popqc serve [--addr HOST:PORT] [--workers N] [--threads-per-job N]
 //!             [--omega N] [--oracle ID] [--cache-capacity N]
 //!             [--conn-threads N] [--grain N]
-//!             [--cache-tier memory|disk|tiered|null] [--cache-dir DIR]
+//!             [--cache-tier memory|disk|tiered|remote|null]
+//!             [--cache-dir DIR] [--cache-addr HOST:PORT]
 //!             [--log-level error|warn|info|debug]
+//! popqc cached [--addr HOST:PORT] --cache-dir DIR [--cache-tier disk|tiered]
+//!              [--cache-capacity N] [--log-level error|warn|info|debug]
 //! popqc cache stats --cache-dir DIR
 //! popqc cache clear --cache-dir DIR
 //! popqc cache warm <FILE|DIR>... --cache-dir DIR [--omega N] [--oracle ID]
@@ -37,10 +41,18 @@
 //! server keeps every registered oracle live and uses `--oracle` only as
 //! the default for requests that do not select one.
 //!
-//! `--cache-tier`/`--cache-dir` pick the result-store backend (see
-//! `qsvc::store`): `tiered` or `disk` over a directory makes warm starts
-//! survive process restarts, and `popqc cache {stats,clear,warm}`
-//! administers such a directory offline.
+//! `--cache-tier`/`--cache-dir`/`--cache-addr` pick the result-store
+//! backend (see `qsvc::store`): `tiered` or `disk` over a directory makes
+//! warm starts survive process restarts, `remote` (or `tiered` over
+//! `--cache-addr`) shares one `popqc cached` server across a replica
+//! fleet, and `popqc cache {stats,clear,warm}` administers a cache
+//! directory offline.
+//!
+//! `cached` runs the shared cache server itself: it serves the
+//! `qsvc::wire` protocol over a disk-backed store at `--cache-dir`, so
+//! any number of `popqc serve --cache-addr` replicas warm one another. A
+//! replica whose cache server goes down degrades to local misses (never
+//! errors) and resumes hits when it returns.
 //!
 //! Parallelism runs on the shared `popqc-exec` work-stealing pool.
 //! `POPQC_NUM_THREADS` pins every parallel width (it outranks `--workers`
@@ -64,13 +76,17 @@ fn usage() -> ! {
         "usage:\n  \
          popqc optimize <FILE|DIR>... [--out DIR] [--omega N] [--oracle ID]\n           \
          [--workers N] [--threads-per-job N] [--grain N] [--cache-capacity N]\n           \
-         [--cache-tier memory|disk|tiered|null] [--cache-dir DIR]\n           \
+         [--cache-tier memory|disk|tiered|remote|null] [--cache-dir DIR]\n           \
+         [--cache-addr HOST:PORT]\n           \
          [--repeat N] [--report FILE] [--json] [--verify] [--quiet]\n           \
          [--log-level error|warn|info|debug]\n  \
          popqc serve [--addr HOST:PORT] [--workers N] [--threads-per-job N]\n           \
          [--omega N] [--oracle ID] [--cache-capacity N] [--conn-threads N]\n           \
-         [--grain N] [--cache-tier memory|disk|tiered|null] [--cache-dir DIR]\n           \
+         [--grain N] [--cache-tier memory|disk|tiered|remote|null]\n           \
+         [--cache-dir DIR] [--cache-addr HOST:PORT]\n           \
          [--log-level error|warn|info|debug]\n  \
+         popqc cached [--addr HOST:PORT] --cache-dir DIR [--cache-tier disk|tiered]\n           \
+         [--cache-capacity N] [--log-level error|warn|info|debug]\n  \
          popqc cache stats --cache-dir DIR\n  \
          popqc cache clear --cache-dir DIR\n  \
          popqc cache warm <FILE|DIR>... --cache-dir DIR [--omega N] [--oracle ID]\n           \
@@ -105,6 +121,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("optimize") => cmd_optimize(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("cached") => cmd_cached(&args[1..]),
         Some("cache") => cmd_cache(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("oracles") => cmd_oracles(),
@@ -113,31 +130,45 @@ fn main() -> ExitCode {
     }
 }
 
-/// Resolves `--cache-tier`/`--cache-dir` into a built store. An explicit
-/// `--cache-dir` without a tier implies `tiered` (the obvious intent:
-/// memory-speed hits backed by restart-surviving disk). Every
-/// misconfiguration is a diagnostic and exit 1, never a panic or a
-/// silent ignore: unknown tier names, a persistent tier without a
-/// directory, and a directory paired with a tier that cannot persist
-/// into it (the user asked for persistence they would not get).
+/// Resolves `--cache-tier`/`--cache-dir`/`--cache-addr` into a built
+/// store. An explicit `--cache-dir` without a tier implies `tiered` over
+/// disk (the obvious intent: memory-speed hits backed by
+/// restart-surviving disk), and a bare `--cache-addr` likewise implies
+/// `tiered` over remote. Every misconfiguration is a diagnostic and exit
+/// 1, never a panic or a silent ignore: unknown tier names, a persistent
+/// tier without a directory, a remote tier without an address, and a
+/// directory or address paired with a tier that cannot use it (the user
+/// asked for something they would not get).
 fn build_cli_store(
     tier: Option<&str>,
     dir: Option<&std::path::Path>,
+    addr: Option<&str>,
     capacity: usize,
     shards: usize,
 ) -> std::sync::Arc<dyn ResultStore> {
     let tier: StoreTier = match tier {
         Some(name) => name.parse().unwrap_or_else(|e: String| fail(e)),
-        None if dir.is_some() => StoreTier::Tiered,
+        None if dir.is_some() || addr.is_some() => StoreTier::Tiered,
         None => StoreTier::Memory,
     };
-    if dir.is_some() && matches!(tier, StoreTier::Memory | StoreTier::Null) {
+    if dir.is_some()
+        && matches!(
+            tier,
+            StoreTier::Memory | StoreTier::Null | StoreTier::Remote
+        )
+    {
         fail(format!(
             "cache tier `{tier}` does not persist to --cache-dir (use `disk` or `tiered`, \
              or drop --cache-dir)"
         ));
     }
-    build_store(tier, dir, capacity, shards).unwrap_or_else(|e| fail(e))
+    if addr.is_some() && !matches!(tier, StoreTier::Remote | StoreTier::Tiered) {
+        fail(format!(
+            "cache tier `{tier}` does not talk to a cache server (use `remote` or `tiered`, \
+             or drop --cache-addr)"
+        ));
+    }
+    build_store(tier, dir, addr, capacity, shards).unwrap_or_else(|e| fail(e))
 }
 
 fn cmd_families() -> ExitCode {
@@ -267,6 +298,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     let mut http_cfg = popqc::http::ServerConfig::default();
     let mut cache_tier: Option<String> = None;
     let mut cache_dir: Option<PathBuf> = None;
+    let mut cache_addr: Option<String> = None;
     let mut log_level: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -281,6 +313,10 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             }
             "--cache-dir" => {
                 cache_dir = Some(PathBuf::from(args.get(i + 1).unwrap_or_else(|| usage())));
+                i += 2;
+            }
+            "--cache-addr" => {
+                cache_addr = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
                 i += 2;
             }
             "--addr" => {
@@ -336,6 +372,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     let store = build_cli_store(
         cache_tier.as_deref(),
         cache_dir.as_deref(),
+        cache_addr.as_deref(),
         svc_cfg.cache_capacity,
         svc_cfg.cache_shards,
     );
@@ -371,14 +408,20 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         available = oracle_ids,
         default = default_oracle
     );
-    match &cache_dir {
-        Some(dir) => qobs::log_info!(
+    match (&cache_dir, &cache_addr) {
+        (Some(dir), _) => qobs::log_info!(
             target: "popqc::serve",
             "result store",
             backend = backend,
             dir = dir.display()
         ),
-        None => qobs::log_info!(target: "popqc::serve", "result store", backend = backend),
+        (None, Some(remote)) => qobs::log_info!(
+            target: "popqc::serve",
+            "result store",
+            backend = backend,
+            cache_server = remote
+        ),
+        (None, None) => qobs::log_info!(target: "popqc::serve", "result store", backend = backend),
     }
     match qexec::configured_grain() {
         0 => qobs::log_info!(
@@ -402,6 +445,83 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                   GET /healthz"
     );
     // Serve until the process is killed; the acceptor threads own the work.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `popqc cached` — the shared fleet cache server. Serves the
+/// `qsvc::wire` protocol over a disk-backed store at `--cache-dir`
+/// (`tiered` by default, so hot entries answer from memory; `disk`
+/// serves straight from the files). Replicas point `--cache-addr` here;
+/// the tagged entry encoding lets this process refuse stale writes from
+/// replicas running an older store format or oracle version.
+fn cmd_cached(args: &[String]) -> ExitCode {
+    let mut addr = "127.0.0.1:7979".to_string();
+    let mut cache_tier: Option<String> = None;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut cache_capacity: usize = 1024;
+    let mut log_level: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                addr = args.get(i + 1).unwrap_or_else(|| usage()).clone();
+                i += 2;
+            }
+            "--cache-tier" => {
+                cache_tier = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
+                i += 2;
+            }
+            "--cache-dir" => {
+                cache_dir = Some(PathBuf::from(args.get(i + 1).unwrap_or_else(|| usage())));
+                i += 2;
+            }
+            "--cache-capacity" => {
+                cache_capacity = parse_num("--cache-capacity", args.get(i + 1));
+                i += 2;
+            }
+            "--log-level" => {
+                log_level = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    apply_log_filter(log_level.as_deref());
+    let Some(cache_dir) = cache_dir else {
+        fail("--cache-dir is required (the cache server is the fleet's persistent tier)");
+    };
+    // The server *is* the authoritative tier, so it must persist: only
+    // disk-backed tiers make sense here (serving `remote` would chain
+    // cache servers, and `memory` would silently drop the fleet's
+    // warmth on restart).
+    let tier: StoreTier = match cache_tier.as_deref() {
+        None => StoreTier::Tiered,
+        Some(name) => match name.parse().unwrap_or_else(|e: String| fail(e)) {
+            t @ (StoreTier::Disk | StoreTier::Tiered) => t,
+            t => fail(format!(
+                "cache tier `{t}` cannot back a cache server (use `disk` or `tiered`)"
+            )),
+        },
+    };
+    let store =
+        build_store(tier, Some(&cache_dir), None, cache_capacity, 0).unwrap_or_else(|e| fail(e));
+    let backend = store.stats().backend;
+    let entries = store.len();
+    let server = CacheServer::serve(&addr, store, CacheServerConfig::default())
+        .unwrap_or_else(|e| fail(format!("cannot bind {addr}: {e}")));
+    // Like `serve`, the address stays an unquoted `addr=…` value so
+    // scripts can grep the resolved ephemeral port from stderr.
+    qobs::log_info!(
+        target: "popqc::cached",
+        "cache server listening",
+        addr = server.local_addr(),
+        backend = backend,
+        dir = cache_dir.display(),
+        entries = entries
+    );
+    // Serve until the process is killed; the acceptor thread owns the work.
     loop {
         std::thread::park();
     }
@@ -525,7 +645,8 @@ fn cmd_cache_warm(args: &[String]) -> ExitCode {
     // Warm straight into the persistent tier: disk-only, so every entry
     // lands in the directory (a memory front would only help this
     // short-lived process).
-    let store = build_store(StoreTier::Disk, Some(&cache_dir), 0, 0).unwrap_or_else(|e| fail(e));
+    let store =
+        build_store(StoreTier::Disk, Some(&cache_dir), None, 0, 0).unwrap_or_else(|e| fail(e));
     let svc = OptimizationService::with_store(registry_with_default(&oracle), svc_cfg, store);
     let batch = svc
         .submit_batch(circuits, &PopqcConfig::with_omega(omega))
@@ -561,6 +682,7 @@ struct OptimizeOpts {
     cache_capacity: usize,
     cache_tier: Option<String>,
     cache_dir: Option<PathBuf>,
+    cache_addr: Option<String>,
     repeat: usize,
     report: Option<PathBuf>,
     json: bool,
@@ -581,6 +703,7 @@ fn parse_optimize_opts(args: &[String]) -> OptimizeOpts {
         cache_capacity: 1024,
         cache_tier: None,
         cache_dir: None,
+        cache_addr: None,
         repeat: 1,
         report: None,
         json: false,
@@ -629,6 +752,10 @@ fn parse_optimize_opts(args: &[String]) -> OptimizeOpts {
             }
             "--cache-dir" => {
                 o.cache_dir = Some(PathBuf::from(args.get(i + 1).unwrap_or_else(|| usage())));
+                i += 2;
+            }
+            "--cache-addr" => {
+                o.cache_addr = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
                 i += 2;
             }
             "--repeat" => {
@@ -747,6 +874,7 @@ fn cmd_optimize(args: &[String]) -> ExitCode {
     let store = build_cli_store(
         opts.cache_tier.as_deref(),
         opts.cache_dir.as_deref(),
+        opts.cache_addr.as_deref(),
         svc_cfg.cache_capacity,
         svc_cfg.cache_shards,
     );

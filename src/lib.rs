@@ -67,8 +67,9 @@ pub mod prelude {
         SegmentOracle,
     };
     pub use qsvc::{
-        build_store, BatchHandle, BatchResult, DiskStore, JobHandle, JobKey, JobRequest, JobResult,
-        MemoryStore, NullStore, OptimizationService, OracleRegistry, ResultStore, ServiceConfig,
-        ServiceError, ServiceStats, StoreTier, TieredStore,
+        build_store, BatchHandle, BatchResult, CacheServer, CacheServerConfig, DiskStore,
+        JobHandle, JobKey, JobRequest, JobResult, MemoryStore, NullStore, OptimizationService,
+        OracleRegistry, RemoteConfig, RemoteStore, ResultStore, ServiceConfig, ServiceError,
+        ServiceStats, StoreTier, TieredStore,
     };
 }

@@ -391,7 +391,7 @@ fn cli_unknown_cache_tier_exits_1_with_diagnostic() {
         let stderr = String::from_utf8_lossy(&out.stderr);
         assert!(
             stderr.contains("unknown cache tier `floppy`")
-                && stderr.contains("memory, disk, tiered, null"),
+                && stderr.contains("memory, disk, tiered, remote, null"),
             "{subcommand:?}: diagnostic must name the tier and the valid set, got: {stderr}"
         );
     }
@@ -744,4 +744,144 @@ fn cli_serve_killed_and_restarted_answers_from_the_disk_tier() {
         cache.contains("\"tier\":\"disk\""),
         "per-tier report must include the disk tier: {cache}"
     );
+}
+
+/// The remote-tier acceptance property, end to end over real processes:
+/// a `popqc cached` server plus two `popqc serve --cache-tier remote`
+/// replicas. A circuit optimized on replica A is a `cache_hit: true`
+/// answer on replica B with zero oracle calls ever issued by B; killing
+/// the cache server degrades both replicas to local misses (still 200,
+/// never an error).
+#[test]
+fn cli_replica_fleet_shares_one_cache_server_and_survives_its_death() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let tmp = std::env::temp_dir().join(format!("popqc-fleet-test-{}", std::process::id()));
+    let cache_dir = tmp.join("cache");
+    std::fs::create_dir_all(&cache_dir).unwrap();
+    let _cleanup = Cleanup(&tmp);
+
+    // Announced-address reader shared by both process kinds: `cached`
+    // logs `addr=HOST:PORT`, `serve` logs `addr=http://HOST:PORT`.
+    let read_addr = |child: &mut std::process::Child, what: &str| {
+        let stderr = child.stderr.take().expect("piped stderr");
+        let mut lines = BufReader::new(stderr).lines();
+        loop {
+            let line = lines
+                .next()
+                .unwrap_or_else(|| panic!("{what} exited before announcing its address"))
+                .unwrap();
+            if let Some(rest) = line.split("addr=").nth(1) {
+                break rest
+                    .split_whitespace()
+                    .next()
+                    .unwrap()
+                    .trim_start_matches("http://")
+                    .to_string();
+            }
+        }
+    };
+
+    let mut cached = Command::new(popqc_bin())
+        .args([
+            "cached",
+            "--addr",
+            "127.0.0.1:0",
+            "--cache-dir",
+            cache_dir.to_str().unwrap(),
+        ])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn popqc cached");
+    let cache_addr = read_addr(&mut cached, "cached");
+    let cached_guard = KillOnDrop(&mut cached);
+
+    let spawn_replica = || {
+        let mut child = Command::new(popqc_bin())
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "1",
+                "--threads-per-job",
+                "1",
+                "--omega",
+                "64",
+                "--cache-tier",
+                "remote",
+                "--cache-addr",
+                &cache_addr,
+            ])
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn popqc serve replica");
+        let addr = read_addr(&mut child, "serve");
+        (child, addr)
+    };
+
+    let send = |addr: &str, method: &str, target: &str, body: &str| -> String {
+        let mut s = std::net::TcpStream::connect(addr).expect("connect to serve");
+        write!(
+            s,
+            "{method} {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut reply = String::new();
+        s.read_to_string(&mut reply).unwrap();
+        reply
+    };
+
+    let (mut a, addr_a) = spawn_replica();
+    let _guard_a = KillOnDrop(&mut a);
+    let (mut b, addr_b) = spawn_replica();
+    let _guard_b = KillOnDrop(&mut b);
+
+    // Replica A computes; the result write-throughs to the cache server.
+    let qasm = "OPENQASM 2.0;\nqreg q[3];\nh q[0];\nh q[0];\ncx q[0],q[1];\nx q[2];\nx q[2];\n";
+    let reply = send(&addr_a, "POST", "/v1/optimize", qasm);
+    assert!(reply.starts_with("HTTP/1.1 200"), "got: {reply}");
+    assert!(reply.contains("\"cache_hit\":false"), "got: {reply}");
+
+    // Replica B — a different OS process — answers the identical POST
+    // from the shared cache with zero oracle calls of its own.
+    let reply = send(&addr_b, "POST", "/v1/optimize", qasm);
+    assert!(reply.starts_with("HTTP/1.1 200"), "got: {reply}");
+    assert!(
+        reply.contains("\"cache_hit\":true"),
+        "replica B must hit the shared cache: {reply}"
+    );
+    let stats = send(&addr_b, "GET", "/v1/stats", "");
+    assert!(
+        stats.contains("\"oracle_calls_issued\":0"),
+        "B must never call an oracle: {stats}"
+    );
+    assert!(
+        stats.contains("\"tier\":\"remote\""),
+        "B's tier report names the remote tier: {stats}"
+    );
+
+    // Kill the cache server mid-run: replicas must keep answering 200
+    // (local misses that recompute), never surface the dead server.
+    let _ = cached_guard.0.kill();
+    let _ = cached_guard.0.wait();
+    let fresh = "OPENQASM 2.0;\nqreg q[2];\nx q[1];\nx q[1];\nh q[0];\n";
+    for addr in [&addr_a, &addr_b] {
+        let reply = send(addr, "POST", "/v1/optimize", fresh);
+        assert!(
+            reply.starts_with("HTTP/1.1 200"),
+            "replica must degrade gracefully, got: {reply}"
+        );
+    }
+    // The degradation is visible, not silent: the remote tier's error
+    // counter is non-zero in the stats report.
+    let stats = send(&addr_b, "GET", "/v1/stats", "");
+    let errors = stats
+        .split("\"errors\":")
+        .nth(1)
+        .and_then(|rest| rest.split(&[',', '}'][..]).next())
+        .and_then(|n| n.trim().parse::<u64>().ok())
+        .unwrap_or_else(|| panic!("no errors field in stats: {stats}"));
+    assert!(errors > 0, "degraded ops must be counted: {stats}");
 }
