@@ -19,7 +19,7 @@ use benchgen::Family;
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use popqc_core::PopqcConfig;
 use qcir::Circuit;
-use qoracle::RuleBasedOptimizer;
+use qoracle::{RuleBasedOptimizer, StructuralOptimizer};
 use qsvc::report::{batch_report, service_report};
 use qsvc::{
     build_store, CacheServer, CacheServerConfig, OptimizationService, OracleRegistry,
@@ -40,6 +40,7 @@ fn svc_config(workers: usize) -> ServiceConfig {
         threads_per_job: 1,
         cache_capacity: 256,
         cache_shards: 8,
+        seg_cache_capacity: 0,
     }
 }
 
@@ -160,6 +161,51 @@ fn bench_warm(c: &mut Criterion) {
             })
         });
     }
+
+    // `hits/param`: the segment-cache counterpart of the store-hit rows.
+    // The service runs the angle-independent `structural` oracle with the
+    // segment cache on, pre-warmed by a seed-0 Parameterized batch. Every
+    // measured submission carries FRESH angles — a result-store miss, so
+    // the engine really runs — yet answers its segment lookups from the
+    // angle-abstract cache: the marginal cost of one parameter-sweep
+    // iteration with near-zero oracle calls.
+    let param_svc = OptimizationService::single(
+        StructuralOptimizer::new(),
+        ServiceConfig {
+            workers: 2,
+            threads_per_job: 1,
+            cache_capacity: 256,
+            cache_shards: 8,
+            seg_cache_capacity: 4096,
+        },
+    );
+    let param_batch = |seed: u64| -> Vec<Circuit> {
+        Family::Parameterized
+            .ladder(0)
+            .iter()
+            .map(|&q| Family::Parameterized.generate(q, seed))
+            .collect()
+    };
+    param_svc.submit_batch(param_batch(0), &cfg).wait();
+    let calls_after_warm = param_svc.stats().oracle_calls_issued;
+    let mut next_seed = 1u64;
+    g.bench_function(BenchmarkId::new("hits", "param"), |b| {
+        b.iter(|| {
+            let seed = next_seed;
+            next_seed += 1;
+            let swept = param_svc.submit_batch(param_batch(seed), &cfg).wait();
+            // Fresh angles miss the result store; the work lands on the
+            // segment cache instead of the oracle.
+            debug_assert_eq!(swept.cache_hits(), 0);
+            swept
+        })
+    });
+    let marginal = param_svc.stats().oracle_calls_issued - calls_after_warm;
+    debug_assert!(
+        marginal * 10 <= calls_after_warm,
+        "parameter sweep issued {marginal} marginal oracle calls \
+         (warm-up issued {calls_after_warm})"
+    );
     g.finish();
 }
 

@@ -1,5 +1,7 @@
-//! The benchmark families: the eight of the paper's Section 7.2 plus the
-//! `Skewed` executor workload (a reproduction extension).
+//! The benchmark families: the eight of the paper's Section 7.2 plus two
+//! reproduction extensions — the `Skewed` executor workload and the
+//! `Parameterized` fixed-skeleton ansatz (the segment cache's target
+//! workload).
 //!
 //! The paper draws its circuits from PennyLane, Qiskit, and NWQBench as QASM
 //! files; this reproduction generates structurally equivalent circuits from
@@ -13,6 +15,7 @@ mod boolsat;
 mod bwt;
 mod grover;
 mod hhl;
+mod parameterized;
 mod shor;
 mod skewed;
 mod sqrt;
@@ -49,6 +52,11 @@ pub enum Family {
     /// worst case for contiguous-chunk parallel scheduling and the
     /// workload of the `exec_scaling` executor bench.
     Skewed,
+    /// Fixed-structure variational ansatz (reproduction extension, not in
+    /// the paper): the skeleton depends only on the qubit count and the
+    /// seed varies only the rotation angles — the parameter-sweep
+    /// workload the segment cache's angle-abstract keying targets.
+    Parameterized,
 }
 
 impl Family {
@@ -67,9 +75,10 @@ impl Family {
         Family::Vqe,
     ];
 
-    /// Every family: [`PAPER`](Self::PAPER) plus the
-    /// reproduction-extension [`Skewed`](Family::Skewed) workload.
-    pub const ALL: [Family; 9] = [
+    /// Every family: [`PAPER`](Self::PAPER) plus the reproduction
+    /// extensions [`Skewed`](Family::Skewed) and
+    /// [`Parameterized`](Family::Parameterized).
+    pub const ALL: [Family; 10] = [
         Family::BoolSat,
         Family::Bwt,
         Family::Grover,
@@ -79,6 +88,7 @@ impl Family {
         Family::StateVec,
         Family::Vqe,
         Family::Skewed,
+        Family::Parameterized,
     ];
 
     /// Display name matching the paper's tables.
@@ -93,6 +103,7 @@ impl Family {
             Family::StateVec => "StateVec",
             Family::Vqe => "VQE",
             Family::Skewed => "Skewed",
+            Family::Parameterized => "Parameterized",
         }
     }
 
@@ -117,6 +128,7 @@ impl Family {
             // Not a paper family; sized so its gate counts land in the
             // same range as the paper instances'.
             Family::Skewed => [16, 20, 24, 28],
+            Family::Parameterized => [12, 16, 20, 24],
         }
     }
 
@@ -136,6 +148,7 @@ impl Family {
             Family::StateVec => bump([5, 6, 7, 8], scale),
             Family::Vqe => bump([12, 16, 20, 24], 2 * scale),
             Family::Skewed => bump([10, 14, 18, 22], 2 * scale),
+            Family::Parameterized => bump([8, 12, 16, 20], 2 * scale),
         }
     }
 
@@ -152,6 +165,7 @@ impl Family {
             Family::StateVec => 2,
             Family::Vqe => 4,
             Family::Skewed => 4,
+            Family::Parameterized => 4,
         }
     }
 
@@ -169,6 +183,7 @@ impl Family {
             Family::StateVec => statevec::generate(qubits, &mut rng),
             Family::Vqe => vqe::generate(qubits, &mut rng),
             Family::Skewed => skewed::generate(qubits, &mut rng),
+            Family::Parameterized => parameterized::generate(qubits, &mut rng),
         };
         debug_assert_eq!(c.validate(), Ok(()));
         c
@@ -264,6 +279,36 @@ mod tests {
                 sizes.windows(2).all(|w| w[0] < w[1]),
                 "{} sizes not increasing: {sizes:?}",
                 f.name()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_families_are_pinned_to_the_original_eight() {
+        // The paper-reproduction experiment grids iterate `Family::PAPER`
+        // row-for-row against the paper's tables; reproduction extensions
+        // must go in `ALL` only. This guard fails if anyone grows PAPER.
+        let names: Vec<&str> = Family::PAPER.iter().map(|f| f.name()).collect();
+        assert_eq!(
+            names,
+            ["BoolSat", "BWT", "Grover", "HHL", "Shor", "Sqrt", "StateVec", "VQE"]
+        );
+        assert!(!Family::PAPER.contains(&Family::Skewed));
+        assert!(!Family::PAPER.contains(&Family::Parameterized));
+    }
+
+    #[test]
+    fn parameterized_skeleton_is_seed_invariant() {
+        // The seed must vary only the angles: same width → identical
+        // abstract (angle-blind) fingerprint, different concrete gates.
+        for &q in &Family::Parameterized.ladder(0) {
+            let a = Family::Parameterized.generate(q, 1);
+            let b = Family::Parameterized.generate(q, 2);
+            assert_ne!(a, b, "seeds must vary the angles at {q} qubits");
+            assert_eq!(
+                qcir::fingerprint_gates_abstract(a.num_qubits, &a.gates),
+                qcir::fingerprint_gates_abstract(b.num_qubits, &b.gates),
+                "skeleton drifted with the seed at {q} qubits"
             );
         }
     }

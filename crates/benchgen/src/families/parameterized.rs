@@ -1,0 +1,55 @@
+//! Parameterized: a fixed-structure variational ansatz whose *skeleton*
+//! depends only on the qubit count — the seed varies nothing but the
+//! rotation angles. Two instances at the same width are the same circuit
+//! under an angle substitution, which is exactly the workload the segment
+//! cache's angle-abstract keying targets (VQE/QAOA-style optimization
+//! loops resubmit one ansatz with fresh parameters every iteration).
+//!
+//! Not a paper family: excluded from [`Family::PAPER`] so the
+//! paper-reproduction tables keep their row-for-row correspondence.
+//!
+//! [`Family::PAPER`]: super::Family::PAPER
+
+use super::{grid_angle, GRID_DEN};
+use qcir::{Angle, Circuit};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+pub fn generate(qubits: u32, rng: &mut ChaCha8Rng) -> Circuit {
+    assert!(qubits >= 4, "Parameterized needs at least 4 qubits");
+    let n = qubits as usize;
+    let layers = (n * n / 2).max(4);
+
+    // The skeleton rng is seeded by the WIDTH ALONE: every structural
+    // choice (basis flips, entangler rung layout) draws from it, so the
+    // caller's `rng` — which carries the seed — influences only angles.
+    let mut skel = ChaCha8Rng::seed_from_u64(0x5041524153 ^ ((qubits as u64) << 8));
+
+    let mut c = Circuit::new(qubits);
+    for q in 0..qubits {
+        c.h(q);
+    }
+    for layer in 0..layers {
+        // Rotation frame: one parameter per qubit, occasional
+        // skeleton-chosen basis flips (structure, not parameter).
+        for q in 0..qubits {
+            c.rz(q, Angle::pi_frac(grid_angle(rng), GRID_DEN));
+            if skel.gen_range(0..4) == 0 {
+                c.h(q);
+            }
+        }
+        // Entangler rung: even/odd nearest-neighbour pairs chosen by the
+        // skeleton rng, each a CNOT·RZ(θ)·CNOT two-qubit rotation with a
+        // per-seed parameter.
+        let start = if skel.gen_bool(0.5) { 0 } else { 1 };
+        let mut q = start;
+        while q + 1 < qubits {
+            c.cnot(q, q + 1);
+            c.rz(q + 1, Angle::pi_frac(grid_angle(rng), GRID_DEN));
+            c.cnot(q, q + 1);
+            q += 2;
+        }
+        let _ = layer;
+    }
+    c
+}

@@ -76,6 +76,11 @@ pub struct PopqcStats {
     pub initial_units: usize,
     /// Unit count after optimization.
     pub final_units: usize,
+    /// Segment-cache hits: segments whose rewrite was served by a
+    /// [`SegmentCacheHook`] without invoking the oracle. Disjoint from
+    /// `oracle_calls` — a segment either hits the cache or reaches the
+    /// oracle, never both.
+    pub seg_cache_hits: u64,
     /// Per-round breakdown.
     pub rounds_detail: Vec<RoundRecord>,
 }
@@ -118,6 +123,46 @@ impl<F: Fn(usize, &RoundRecord) + Sync> RoundObserver for FnObserver<F> {
     }
 }
 
+/// Segment-level cache consulted inside the engine's hot path, *before*
+/// each oracle call. A hit replaces the oracle invocation entirely — the
+/// cached rewrite is fed through the same acceptance test the oracle's
+/// output would face, so hits are recorded as accepted rewrites without
+/// an oracle call and `oracle_calls` honestly approaches zero on warm
+/// parameter sweeps.
+///
+/// Implementations own their keying policy (the service keys by segment
+/// fingerprint + oracle identity; angle-abstracted when the oracle
+/// declares `angle_independent`). The contract the engine relies on:
+/// `lookup` returns exactly what the configured oracle's `optimize` would
+/// return for this segment — including *non-improving* outputs, which
+/// must be cached too or repeated misses re-pay the oracle on every
+/// sweep iteration.
+///
+/// Called from inside the round's `parmap`, so implementations must be
+/// cheap and thread-safe.
+pub trait SegmentCacheHook<U>: Sync {
+    /// Returns the cached oracle output for `segment`, or `None` to fall
+    /// through to the oracle.
+    fn lookup(&self, segment: &[U], num_qubits: u32) -> Option<Vec<U>>;
+
+    /// Records the oracle's output for `segment` after a miss.
+    fn record(&self, segment: &[U], num_qubits: u32, optimized: &[U]);
+}
+
+/// The no-op cache used by the plain entry points: never hits, records
+/// nothing.
+pub struct NoSegmentCache;
+
+impl<U> SegmentCacheHook<U> for NoSegmentCache {
+    #[inline]
+    fn lookup(&self, _segment: &[U], _num_qubits: u32) -> Option<Vec<U>> {
+        None
+    }
+
+    #[inline]
+    fn record(&self, _segment: &[U], _num_qubits: u32, _optimized: &[U]) {}
+}
+
 /// POPQC (Algorithm 2) over an arbitrary unit sequence.
 ///
 /// Returns the optimized unit sequence and run statistics. Deterministic:
@@ -148,6 +193,25 @@ where
     O: SegmentOracle<U> + ?Sized,
     Obs: RoundObserver + ?Sized,
 {
+    popqc_units_cached(units, num_qubits, oracle, cfg, observer, &NoSegmentCache)
+}
+
+/// [`popqc_units_observed`] with a [`SegmentCacheHook`] consulted before
+/// every oracle call.
+pub fn popqc_units_cached<U, O, Obs, C>(
+    units: Vec<U>,
+    num_qubits: u32,
+    oracle: &O,
+    cfg: &PopqcConfig,
+    observer: &Obs,
+    cache: &C,
+) -> (Vec<U>, PopqcStats)
+where
+    U: Clone + Send + Sync,
+    O: SegmentOracle<U> + ?Sized,
+    Obs: RoundObserver + ?Sized,
+    C: SegmentCacheHook<U> + ?Sized,
+{
     assert!(cfg.omega >= 1, "Ω must be at least 1");
     let t_start = Instant::now();
     let n = units.len();
@@ -163,6 +227,7 @@ where
     let oracle_nanos = AtomicU64::new(0);
     let calls = AtomicU64::new(0);
     let accepted = AtomicU64::new(0);
+    let seg_hits = AtomicU64::new(0);
 
     while !fingers.is_empty() && stats.rounds < cfg.max_rounds {
         let (selected, remaining) = select_fingers(&circuit, &fingers, cfg.omega);
@@ -181,6 +246,8 @@ where
                     &oracle_nanos,
                     &calls,
                     &round_accepted,
+                    cache,
+                    &seg_hits,
                 )
             })
             .collect();
@@ -213,6 +280,7 @@ where
     stats.oracle_calls = calls.load(Relaxed);
     stats.accepted = accepted.load(Relaxed);
     stats.oracle_nanos = oracle_nanos.load(Relaxed);
+    stats.seg_cache_hits = seg_hits.load(Relaxed);
     stats.total_nanos = t_start.elapsed().as_nanos() as u64;
     (out, stats)
 }
@@ -221,7 +289,7 @@ where
 /// 2Ω-segment around the finger, call the oracle, and on acceptance emit the
 /// substitution plus boundary fingers.
 #[allow(clippy::too_many_arguments)]
-fn optimize_one_segment<U, O>(
+fn optimize_one_segment<U, O, C>(
     circuit: &SparseCircuit<U>,
     finger: usize,
     num_qubits: u32,
@@ -230,10 +298,13 @@ fn optimize_one_segment<U, O>(
     oracle_nanos: &AtomicU64,
     calls: &AtomicU64,
     accepted: &AtomicU64,
+    cache: &C,
+    seg_hits: &AtomicU64,
 ) -> (Vec<usize>, Vec<Update<U>>)
 where
     U: Clone + Send + Sync,
     O: SegmentOracle<U> + ?Sized,
+    C: SegmentCacheHook<U> + ?Sized,
 {
     let total = circuit.len();
     let pos = circuit.before(finger);
@@ -251,10 +322,23 @@ where
         .map(|&p| circuit.slot(p).expect("live slot").clone())
         .collect();
 
-    let t0 = Instant::now();
-    let opt = oracle.optimize(&segment, num_qubits);
-    oracle_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
-    calls.fetch_add(1, Relaxed);
+    // Segment cache first: a hit replaces the oracle call entirely (the
+    // cached rewrite still faces the acceptance test below, so hits on
+    // improving rewrites count as accepted — without an oracle call).
+    let opt = match cache.lookup(&segment, num_qubits) {
+        Some(hit) => {
+            seg_hits.fetch_add(1, Relaxed);
+            hit
+        }
+        None => {
+            let t0 = Instant::now();
+            let opt = oracle.optimize(&segment, num_qubits);
+            oracle_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+            calls.fetch_add(1, Relaxed);
+            cache.record(&segment, num_qubits, &opt);
+            opt
+        }
+    };
 
     let improved = oracle.cost(&opt) < oracle.cost(&segment) && opt.len() <= segment.len();
     if !improved {
@@ -295,7 +379,25 @@ pub fn optimize_circuit_observed<O: SegmentOracle<Gate> + ?Sized, Obs: RoundObse
     cfg: &PopqcConfig,
     observer: &Obs,
 ) -> (Circuit, PopqcStats) {
-    let (gates, stats) = popqc_units_observed(c.gates.clone(), c.num_qubits, oracle, cfg, observer);
+    optimize_circuit_cached(c, oracle, cfg, observer, &NoSegmentCache)
+}
+
+/// [`optimize_circuit_observed`] with a [`SegmentCacheHook`] consulted
+/// before every oracle call.
+pub fn optimize_circuit_cached<O, Obs, C>(
+    c: &Circuit,
+    oracle: &O,
+    cfg: &PopqcConfig,
+    observer: &Obs,
+    cache: &C,
+) -> (Circuit, PopqcStats)
+where
+    O: SegmentOracle<Gate> + ?Sized,
+    Obs: RoundObserver + ?Sized,
+    C: SegmentCacheHook<Gate> + ?Sized,
+{
+    let (gates, stats) =
+        popqc_units_cached(c.gates.clone(), c.num_qubits, oracle, cfg, observer, cache);
     (
         Circuit {
             num_qubits: c.num_qubits,

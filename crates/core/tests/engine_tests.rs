@@ -223,3 +223,71 @@ fn popqc_units_generic_over_plain_data() {
     );
     assert!(stats.final_units <= stats.initial_units);
 }
+
+/// A transparent memoizing [`SegmentCacheHook`] keyed by the exact segment:
+/// the simplest cache that satisfies the hook contract ("lookup returns
+/// exactly what the oracle would").
+type MemoMap = std::collections::HashMap<(u32, Vec<Gate>), Vec<Gate>>;
+
+struct MemoCache {
+    map: std::sync::Mutex<MemoMap>,
+}
+
+impl MemoCache {
+    fn new() -> MemoCache {
+        MemoCache {
+            map: std::sync::Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+}
+
+impl popqc_core::SegmentCacheHook<Gate> for MemoCache {
+    fn lookup(&self, segment: &[Gate], num_qubits: u32) -> Option<Vec<Gate>> {
+        let map = self.map.lock().unwrap();
+        map.get(&(num_qubits, segment.to_vec())).cloned()
+    }
+
+    fn record(&self, segment: &[Gate], num_qubits: u32, optimized: &[Gate]) {
+        let mut map = self.map.lock().unwrap();
+        map.insert((num_qubits, segment.to_vec()), optimized.to_vec());
+    }
+}
+
+#[test]
+fn segment_cache_hook_replaces_oracle_calls_without_changing_output() {
+    let oracle = RuleBasedOptimizer::oracle();
+    let cfg = PopqcConfig::with_omega(16);
+    let c = random_circuit(5, 300, 0xCAFE);
+
+    let (plain, plain_stats) = optimize_circuit(&c, &oracle, &cfg);
+    assert_eq!(
+        plain_stats.seg_cache_hits, 0,
+        "no-hook path must not count hits"
+    );
+
+    // Cold run through an empty cache: identical result, and every segment
+    // either reached the oracle or was served by an earlier intra-run
+    // recording (identical segments recur across rounds), never both.
+    let cache = MemoCache::new();
+    let (cold, cold_stats) = popqc_core::optimize_circuit_cached(&c, &oracle, &cfg, &(), &cache);
+    assert_eq!(cold.gates, plain.gates);
+    assert_eq!(
+        cold_stats.oracle_calls + cold_stats.seg_cache_hits,
+        plain_stats.oracle_calls
+    );
+
+    // Warm re-run: every segment repeats, so every lookup hits and the
+    // oracle is never consulted — yet the output is byte-identical.
+    let (warm, warm_stats) = popqc_core::optimize_circuit_cached(&c, &oracle, &cfg, &(), &cache);
+    assert_eq!(warm.gates, plain.gates);
+    assert_eq!(
+        warm_stats.oracle_calls, 0,
+        "warm run must not call the oracle"
+    );
+    assert_eq!(
+        warm_stats.seg_cache_hits, plain_stats.oracle_calls,
+        "every would-be oracle call must be served by the cache"
+    );
+    // Hits on improving rewrites still count as accepted.
+    assert_eq!(warm_stats.accepted, plain_stats.accepted);
+}

@@ -802,6 +802,57 @@ impl CacheClearResponse {
     }
 }
 
+/// The engine-level segment cache's counters, as embedded in
+/// [`StatsReport::segment_cache`]. Not a top-level document, so it
+/// carries no `api_version` of its own.
+///
+/// Counts *logical* lookups from the engine hot path: each hit replaced
+/// exactly one oracle call, so `hits / (hits + misses)` is the fraction
+/// of segment work the cache absorbed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct SegmentCacheReport {
+    /// Whether the segment cache is active (`false` when configured with
+    /// capacity 0; all counters stay 0).
+    pub enabled: bool,
+    /// Configured entry capacity (0 = disabled).
+    pub capacity: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Engine segment lookups answered from the cache (each one an
+    /// oracle call not issued).
+    pub hits: u64,
+    /// Engine segment lookups that fell through to the oracle.
+    pub misses: u64,
+    /// Entries evicted to make room (LRU, per shard).
+    pub evictions: u64,
+}
+
+impl SegmentCacheReport {
+    /// Serializes to the v1 wire shape.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "enabled": self.enabled,
+            "capacity": self.capacity,
+            "entries": self.entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        })
+    }
+
+    /// Decodes a fragment produced by [`to_json`](Self::to_json).
+    pub fn from_json(v: &Value) -> Result<SegmentCacheReport, ApiError> {
+        Ok(SegmentCacheReport {
+            enabled: de::req_bool(v, "enabled")?,
+            capacity: de::req_u64(v, "capacity")?,
+            entries: de::req_u64(v, "entries")?,
+            hits: de::req_u64(v, "hits")?,
+            misses: de::req_u64(v, "misses")?,
+            evictions: de::req_u64(v, "evictions")?,
+        })
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Executor
 // ---------------------------------------------------------------------------
@@ -900,6 +951,9 @@ pub struct StatsReport {
     /// Per-tier store counters, front tier first (one entry for
     /// single-tier backends).
     pub cache_tiers: Vec<CacheTierReport>,
+    /// Engine-level segment-cache counters (all-zero with `enabled:
+    /// false` when the cache is configured off).
+    pub segment_cache: SegmentCacheReport,
     /// Work-stealing executor counters (the process-wide pool every
     /// parallel engine round runs on).
     pub executor: ExecutorReport,
@@ -941,6 +995,7 @@ impl StatsReport {
                         .collect(),
                 ),
             ),
+            ("segment_cache".to_string(), self.segment_cache.to_json()),
             ("executor".to_string(), self.executor.to_json()),
         ];
         if let Some(tracked) = self.jobs_tracked {
@@ -973,6 +1028,10 @@ impl StatsReport {
                 .iter()
                 .map(CacheTierReport::from_json)
                 .collect::<Result<Vec<_>, _>>()?,
+            segment_cache: SegmentCacheReport::from_json(
+                v.get("segment_cache")
+                    .ok_or_else(|| de::malformed("missing `segment_cache` object"))?,
+            )?,
             executor: ExecutorReport::from_json(
                 v.get("executor")
                     .ok_or_else(|| de::malformed("missing `executor` object"))?,

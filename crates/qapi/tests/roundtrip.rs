@@ -5,7 +5,7 @@
 use qapi::{
     ApiError, BatchCircuit, BatchRequest, BatchResponse, CacheClearResponse, CacheReport,
     CacheTierReport, ExecutorReport, JobReport, JobStatus, OptimizeRequest, OracleInfo, OracleList,
-    ServiceReport, StatsReport, VersionInfo,
+    SegmentCacheReport, ServiceReport, StatsReport, VersionInfo,
 };
 use serde_json::Value;
 
@@ -200,6 +200,14 @@ fn stats_and_service_report_round_trip() {
                 errors: 0,
             },
         ],
+        segment_cache: SegmentCacheReport {
+            enabled: true,
+            capacity: 4096,
+            entries: 87,
+            hits: 240,
+            misses: 81,
+            evictions: 3,
+        },
         executor: ExecutorReport {
             workers: 4,
             grain: 128,

@@ -15,7 +15,7 @@
 use qapi::{
     ApiError, BatchCircuit, BatchRequest, BatchResponse, CacheClearResponse, CacheReport,
     CacheTierReport, ExecutorReport, JobReport, JobStatus, OptimizeRequest, OracleInfo, OracleList,
-    ServiceReport, StatsReport, VersionInfo,
+    SegmentCacheReport, ServiceReport, StatsReport, VersionInfo,
 };
 use serde_json::Value;
 use std::path::PathBuf;
@@ -196,6 +196,14 @@ fn stats_report_snapshot() {
             cache_evictions: 0,
             cache_backend: "tiered".into(),
             cache_tiers: exemplar_tiers(),
+            segment_cache: SegmentCacheReport {
+                enabled: true,
+                capacity: 4096,
+                entries: 87,
+                hits: 240,
+                misses: 81,
+                evictions: 0,
+            },
             executor: exemplar_executor(),
             jobs_tracked: Some(3),
         }

@@ -141,6 +141,46 @@ pub fn fingerprint_gates(num_qubits: u32, gates: &[Gate]) -> Fingerprint {
     h.finish()
 }
 
+/// Domain-separation tag for the angle-abstracted fingerprint: absorbed
+/// as the very first word, where [`fingerprint_gates`] absorbs the qubit
+/// count, so the abstract and exact key spaces never share an input
+/// stream (the mode-tag precedent set by `LayeredCircuit::fingerprint`).
+const ABSTRACT_DOMAIN_TAG: u64 = 0x5345474142535452; // "SEGABSTR"
+
+/// The canonical angle-class word standing in for every rotation value:
+/// all `RZ` gates belong to one class, "some rotation", because an
+/// angle-independent oracle by definition treats them all alike.
+const ANGLE_CLASS_ANY: u64 = 0x524F54; // "ROT"
+
+/// The angle-abstracted companion of [`fingerprint_gates`]: sensitive to
+/// width, gate order, gate kinds, and operand wires, but NOT to rotation
+/// angle values — every `RZ(q, θ)` is absorbed as `(tag, q, angle-class)`
+/// with a canonical class word replacing `θ`'s numerator/denominator.
+///
+/// Two gate sequences collide under this fingerprint iff one is the other
+/// with rotation angles substituted (up to 128-bit hash collision odds).
+/// The segment cache uses it to key oracle results that are valid for a
+/// whole structural equivalence class; the leading domain tag keeps the
+/// abstract key space disjoint from [`fingerprint_gates`]'s exact-angle
+/// one, so the two kinds of cache entry can share a table safely.
+pub fn fingerprint_gates_abstract(num_qubits: u32, gates: &[Gate]) -> Fingerprint {
+    let mut h = FingerprintHasher::new();
+    h.write_u64(ABSTRACT_DOMAIN_TAG);
+    h.write_u64(num_qubits as u64);
+    h.write_u64(gates.len() as u64);
+    for g in gates {
+        match *g {
+            Gate::Rz(q, _) => {
+                h.write_u64(3);
+                h.write_u64(q as u64);
+                h.write_u64(ANGLE_CLASS_ANY);
+            }
+            ref other => h.write_gate(other),
+        }
+    }
+    h.finish()
+}
+
 impl Circuit {
     /// The circuit's structural [`Fingerprint`]: stable across processes,
     /// sensitive to width, gate order, gate kind, operands, and exact
@@ -268,6 +308,70 @@ mod tests {
         assert_ne!(c.fingerprint().0, c.layered().fingerprint().0);
         // But the layered fingerprint is itself deterministic.
         assert_eq!(c.layered().fingerprint(), c.layered().fingerprint());
+    }
+
+    #[test]
+    fn abstract_fingerprint_erases_angles_only() {
+        let mk = |a: Angle, b: Angle| {
+            let mut c = Circuit::new(3);
+            c.h(0).rz(1, a).cnot(0, 1).rz(2, b).x(2);
+            c.gates
+        };
+        let base = fingerprint_gates_abstract(3, &mk(Angle::PI_4, Angle::PI_2));
+        // Any angle substitution lands on the same abstract key...
+        assert_eq!(
+            base,
+            fingerprint_gates_abstract(3, &mk(Angle::pi_frac(7, 9), Angle::ZERO))
+        );
+        // ...but structure and operands still matter.
+        let mut moved = mk(Angle::PI_4, Angle::PI_2);
+        moved.swap(0, 1);
+        assert_ne!(base, fingerprint_gates_abstract(3, &moved));
+        let mut rewired = mk(Angle::PI_4, Angle::PI_2);
+        rewired[1] = Gate::Rz(0, Angle::PI_4);
+        assert_ne!(base, fingerprint_gates_abstract(3, &rewired));
+        assert_ne!(
+            base,
+            fingerprint_gates_abstract(4, &mk(Angle::PI_4, Angle::PI_2)),
+            "width must still matter"
+        );
+    }
+
+    #[test]
+    fn abstract_and_exact_domains_are_disjoint() {
+        // The domain tag keeps an abstract key from ever equalling the
+        // exact key of the same (or any sampled) gate sequence, so both
+        // kinds of entry can share one cache table.
+        let seqs: Vec<Vec<Gate>> = vec![
+            Vec::new(),
+            sample().gates,
+            vec![Gate::H(0)],
+            vec![Gate::Rz(0, Angle::PI_4)],
+            vec![Gate::Cnot(0, 1), Gate::Cnot(0, 1)],
+        ];
+        for a in &seqs {
+            for b in &seqs {
+                assert_ne!(
+                    fingerprint_gates_abstract(3, a),
+                    fingerprint_gates(3, b),
+                    "abstract({a:?}) collided with exact({b:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn abstract_known_value_is_stable_across_builds() {
+        // Pins the abstract algorithm the same way the exact one is
+        // pinned: segment-cache keys must match across processes.
+        assert_eq!(
+            fingerprint_gates_abstract(3, &sample().gates).to_hex(),
+            "ec3d326487c6f46a28a8b0cef39e5249"
+        );
+        assert_eq!(
+            fingerprint_gates_abstract(1, &[]).to_hex(),
+            "0b2cf9df0b2c18ec96a80fc1113e0865"
+        );
     }
 
     #[test]

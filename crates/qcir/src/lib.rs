@@ -27,6 +27,8 @@ pub mod qasm;
 
 pub use angle::Angle;
 pub use circuit::Circuit;
-pub use fingerprint::{fingerprint_gates, Fingerprint, FingerprintHasher};
+pub use fingerprint::{
+    fingerprint_gates, fingerprint_gates_abstract, Fingerprint, FingerprintHasher,
+};
 pub use gate::{Gate, Qubit};
 pub use layers::{Layer, LayeredCircuit};

@@ -26,6 +26,7 @@ fn start_server(workers: usize) -> HttpServer {
             threads_per_job: 1,
             cache_capacity: 64,
             cache_shards: 4,
+            seg_cache_capacity: 0,
         },
     );
     let state = Arc::new(AppState::new(svc, 80));
@@ -459,6 +460,7 @@ fn full_pending_registry_rejects_new_async_jobs_with_503() {
             threads_per_job: 1,
             cache_capacity: 64,
             cache_shards: 4,
+            seg_cache_capacity: 0,
         },
     );
     // Registry cap of 2: pending jobs fill it; eviction may only remove
@@ -537,6 +539,7 @@ fn oracle_panic_surfaces_as_500_and_server_keeps_serving() {
             threads_per_job: 1,
             cache_capacity: 64,
             cache_shards: 4,
+            seg_cache_capacity: 0,
         },
     );
     let state = Arc::new(AppState::new(svc, 80));
@@ -619,7 +622,10 @@ fn version_and_oracles_endpoints_describe_the_api() {
     assert_eq!(status, 200);
     let list = qapi::OracleList::from_json(&json(&body)).expect("oracle list DTO");
     let ids: Vec<&str> = list.oracles.iter().map(|o| o.id.as_str()).collect();
-    assert_eq!(ids, ["rule_based", "rule_single_pass", "search"]);
+    assert_eq!(
+        ids,
+        ["rule_based", "rule_single_pass", "search", "structural"]
+    );
     let defaults: Vec<&str> = list
         .oracles
         .iter()
@@ -685,6 +691,7 @@ fn error_taxonomy_maps_to_documented_statuses_over_loopback() {
             threads_per_job: 1,
             cache_capacity: 64,
             cache_shards: 4,
+            seg_cache_capacity: 0,
         },
     );
     // Job cap 1 so a single gated pending job triggers `overloaded`.
@@ -957,6 +964,7 @@ fn restarted_server_over_a_disk_store_answers_from_the_disk_tier() {
                 threads_per_job: 1,
                 cache_capacity: 64,
                 cache_shards: 4,
+                seg_cache_capacity: 0,
             },
             store,
         );

@@ -29,6 +29,7 @@ fn start_server() -> HttpServer {
             threads_per_job: 1,
             cache_capacity: 64,
             cache_shards: 4,
+            seg_cache_capacity: 0,
         },
     );
     let state = Arc::new(AppState::new(svc, 80));
@@ -147,6 +148,11 @@ fn first_scrape_lists_the_full_typed_inventory() {
         ("popqc_remote_misses_total", "counter"),
         ("popqc_remote_errors_total", "counter"),
         ("popqc_remote_roundtrip_seconds", "histogram"),
+        // segment cache (engine hot path)
+        ("popqc_segcache_hits_total", "counter"),
+        ("popqc_segcache_misses_total", "counter"),
+        ("popqc_segcache_evictions_total", "counter"),
+        ("popqc_segcache_lookup_duration_seconds", "histogram"),
         // cache server (`popqc cached`)
         ("popqc_cached_requests_total", "counter"),
         ("popqc_cached_entries", "gauge"),

@@ -27,11 +27,13 @@ pub mod passes;
 pub mod rule_based;
 pub mod rules;
 pub mod search;
+pub mod structural;
 pub mod well_behaved;
 
 pub use cost::{CostFn, GateCount, MixedDepthGates};
 pub use rule_based::RuleBasedOptimizer;
 pub use search::{LayerSearchOracle, SearchOptimizer};
+pub use structural::StructuralOptimizer;
 pub use well_behaved::WellBehavedOracle;
 
 use qcir::Gate;
@@ -70,6 +72,24 @@ pub trait SegmentOracle<U>: Sync {
     fn version(&self) -> String {
         format!("{}+{}", env!("CARGO_PKG_VERSION"), self.name())
     }
+
+    /// Declares that this oracle's rewrite decisions depend only on the
+    /// *structure* of the segment (gate kinds and operand wires), never on
+    /// rotation angle values: for any angle substitution over the input,
+    /// the output is the same gate skeleton with the input's angles
+    /// carried through positionally. The segment cache uses this
+    /// capability to key segments by their angle-abstracted fingerprint
+    /// and replay one derived rewrite across a whole parameter sweep.
+    ///
+    /// Honest-by-default `false` — declaring it wrongly would let the
+    /// cache serve a rewrite derived under one angle assignment for a
+    /// segment whose correct rewrite differs (e.g. the rule pipeline's
+    /// rotation merging drops angles that sum to zero, which is a
+    /// value-dependent decision). Only override to `true` if every rewrite
+    /// is value-blind, as [`StructuralOptimizer`]'s are.
+    fn angle_independent(&self) -> bool {
+        false
+    }
 }
 
 /// A trivial oracle that never changes its input. Useful as a control in
@@ -88,6 +108,11 @@ impl SegmentOracle<Gate> for IdentityOracle {
 
     fn name(&self) -> &'static str {
         "identity"
+    }
+
+    fn angle_independent(&self) -> bool {
+        // Returning the input verbatim is trivially value-blind.
+        true
     }
 }
 

@@ -160,8 +160,11 @@ impl<K: Hash + Eq + Clone, V> ShardedLruCache<K, V> {
     }
 
     /// Inserts `value` under `key`, evicting LRU entries if the shard is
-    /// full. Re-inserting an existing key refreshes it in place.
-    pub fn insert(&self, key: K, value: Arc<V>) {
+    /// full. Re-inserting an existing key refreshes it in place. Returns
+    /// how many entries were evicted (callers keeping their own eviction
+    /// accounting — the segment-cache layer — use this; everyone else
+    /// ignores it).
+    pub fn insert(&self, key: K, value: Arc<V>) -> u64 {
         let evicted = self
             .shard_for(&key)
             .lock()
@@ -170,6 +173,7 @@ impl<K: Hash + Eq + Clone, V> ShardedLruCache<K, V> {
         if evicted > 0 {
             self.evictions.fetch_add(evicted, Relaxed);
         }
+        evicted
     }
 
     /// Removes `key` if present; returns whether an entry was dropped.

@@ -14,7 +14,8 @@
 //!   (`Arc<dyn SegmentOracle<Gate>>`); every submission selects its oracle
 //!   (and engine config) per job, so one running service answers
 //!   mixed-oracle traffic. [`OracleRegistry::builtin`] registers the
-//!   workspace oracles (`rule_based`, `rule_single_pass`, `search`).
+//!   workspace oracles (`rule_based`, `rule_single_pass`, `search`,
+//!   `structural`).
 //! * [`ResultStore`] — the pluggable memoization backend the service owns
 //!   as `Arc<dyn ResultStore>`: [`MemoryStore`] (the [`ShardedLruCache`]
 //!   LRU, the default), [`DiskStore`] (one versioned file per entry; warm
@@ -28,6 +29,13 @@
 //!   shares one store without cross-contamination. Identical jobs
 //!   submitted *concurrently* coalesce onto one in-flight computation
 //!   (see [`ServiceStats::coalesced`]).
+//! * [`segcache`] — the same seam one level down: a bounded
+//!   [`SegmentCacheLayer`] of per-*segment* rewrites consulted inside the
+//!   engine's hot path, keyed angle-abstractly for oracles that declare
+//!   `angle_independent()` so parameterized (VQE/QAOA-style) resubmissions
+//!   reuse every structurally-unchanged segment's rewrite with near-zero
+//!   marginal oracle calls. Off by default
+//!   ([`ServiceConfig::seg_cache_capacity`] `= 0`); the CLI enables it.
 //! * [`ServiceError`] — the closed failure taxonomy (unknown oracle,
 //!   duplicate registration, oracle crash); no panic or stringly error
 //!   crosses this crate's API.
@@ -74,12 +82,17 @@ pub mod cache;
 pub mod metrics;
 pub mod remote;
 pub mod report;
+pub mod segcache;
 pub mod service;
 pub mod store;
 pub mod wire;
 
 pub use cache::{CacheStats, ShardedLruCache};
 pub use remote::{CacheServer, CacheServerConfig, RemoteConfig, RemoteStore};
+pub use segcache::{
+    JobSegmentCache, MemorySegmentCache, NullSegmentCache, SegCacheStats, SegEntry, SegKey,
+    SegTemplate, SegmentCache, SegmentCacheLayer, TemplateGate,
+};
 pub use service::{
     BatchHandle, BatchResult, DynOracle, JobHandle, JobKey, JobRequest, JobResult,
     OptimizationService, OracleRegistry, ServiceConfig, ServiceError, ServiceStats,

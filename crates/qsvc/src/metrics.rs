@@ -198,6 +198,43 @@ pub(crate) fn remote_roundtrip(op: &str) -> Arc<qobs::Histogram> {
     remote_roundtrip_vec().with(&[op])
 }
 
+/// Segment-cache lookups served without an oracle call.
+pub(crate) fn segcache_hits() -> &'static qobs::Counter {
+    qobs::static_counter!(
+        "popqc_segcache_hits_total",
+        "Engine segment lookups served by the segment cache (each replaces \
+         one oracle call).",
+    )
+}
+
+/// Segment-cache lookups that fell through to the oracle.
+pub(crate) fn segcache_misses() -> &'static qobs::Counter {
+    qobs::static_counter!(
+        "popqc_segcache_misses_total",
+        "Engine segment lookups that missed the segment cache and ran the \
+         oracle.",
+    )
+}
+
+/// Segment-cache entries evicted to make room.
+pub(crate) fn segcache_evictions() -> &'static qobs::Counter {
+    qobs::static_counter!(
+        "popqc_segcache_evictions_total",
+        "Segment-cache entries evicted to make room (LRU, per shard).",
+    )
+}
+
+/// Latency of one segment-cache lookup (fingerprint + probe + template
+/// materialization), hit or miss.
+pub(crate) fn segcache_lookup_duration() -> &'static qobs::Histogram {
+    qobs::static_histogram!(
+        "popqc_segcache_lookup_duration_seconds",
+        "Segment-cache lookup latency (fingerprinting, probes, and template \
+         materialization; hits and misses alike).",
+        &qobs::LATENCY_BUCKETS,
+    )
+}
+
 fn cached_requests_vec() -> &'static qobs::CounterVec {
     qobs::static_counter_vec!(
         "popqc_cached_requests_total",
@@ -260,6 +297,10 @@ pub fn describe_metrics() {
     remote_misses();
     remote_errors();
     remote_roundtrip_vec();
+    segcache_hits();
+    segcache_misses();
+    segcache_evictions();
+    segcache_lookup_duration();
     cached_requests_vec();
     cached_entries();
     cached_bytes();

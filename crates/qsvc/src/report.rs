@@ -144,6 +144,18 @@ fn executor_report(e: &qexec::ExecStats) -> qapi::ExecutorReport {
     }
 }
 
+/// The segment-cache counters as the shared wire fragment.
+fn segment_cache_report(s: &crate::segcache::SegCacheStats) -> qapi::SegmentCacheReport {
+    qapi::SegmentCacheReport {
+        enabled: s.enabled,
+        capacity: s.capacity as u64,
+        entries: s.entries as u64,
+        hits: s.hits,
+        misses: s.misses,
+        evictions: s.evictions,
+    }
+}
+
 /// The service's cumulative counters as the shared [`qapi::StatsReport`]
 /// DTO. `GET /v1/stats`, the CLI report, and the bench report all derive
 /// from this one function, so their fields can never drift.
@@ -167,6 +179,7 @@ pub fn stats_report(
         cache_evictions: stats.cache.evictions,
         cache_backend: stats.store.backend.clone(),
         cache_tiers: stats.store.tiers.iter().map(tier_report).collect(),
+        segment_cache: segment_cache_report(&stats.seg_cache),
         executor: executor_report(&stats.executor),
         jobs_tracked: None,
     }

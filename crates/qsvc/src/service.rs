@@ -56,10 +56,11 @@
 
 use crate::cache::CacheStats;
 use crate::metrics;
+use crate::segcache::{SegCacheStats, SegmentCacheLayer};
 use crate::store::{CachedRun, MemoryStore, ResultStore, StoreStats};
-use popqc_core::{optimize_circuit_observed, PopqcConfig, PopqcStats, RoundObserver, RoundRecord};
+use popqc_core::{optimize_circuit_cached, PopqcConfig, PopqcStats, RoundObserver, RoundRecord};
 use qcir::{Circuit, Fingerprint, Gate};
-use qoracle::{GateCount, RuleBasedOptimizer, SearchOptimizer, SegmentOracle};
+use qoracle::{GateCount, RuleBasedOptimizer, SearchOptimizer, SegmentOracle, StructuralOptimizer};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
 use std::sync::{Arc, Condvar, Mutex};
@@ -193,6 +194,14 @@ impl OracleRegistry {
                 "search",
                 "bounded best-first search over verified rewrites, minimizing gate count",
                 Arc::new(SearchOptimizer::new(GateCount, 2000)),
+            )
+            .expect("builtin ids are distinct");
+        registry
+            .register(
+                "structural",
+                "value-blind self-inverse cancellation to fixpoint (angle-independent: \
+                 parameterized resubmissions reuse segment-cache templates)",
+                Arc::new(StructuralOptimizer::new()),
             )
             .expect("builtin ids are distinct");
         registry
@@ -376,6 +385,11 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Cache shards (lock granularity).
     pub cache_shards: usize,
+    /// Total *segment*-cache entries before LRU eviction (see
+    /// [`crate::segcache`]). `0` disables the segment cache entirely —
+    /// the library default, so embedding services opt in; the `popqc`
+    /// CLI enables it by default (`--seg-cache-capacity`).
+    pub seg_cache_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -385,6 +399,7 @@ impl Default for ServiceConfig {
             threads_per_job: 0,
             cache_capacity: 1024,
             cache_shards: 16,
+            seg_cache_capacity: 0,
         }
     }
 }
@@ -598,6 +613,9 @@ pub struct ServiceStats {
     pub cache: CacheStats,
     /// Per-tier store counters (backend name + one entry per tier).
     pub store: StoreStats,
+    /// Segment-cache counters (see [`crate::segcache`]); all-zero with
+    /// `enabled: false` when [`ServiceConfig::seg_cache_capacity`] is 0.
+    pub seg_cache: SegCacheStats,
     /// Work-stealing executor counters (process-wide `popqc-exec` pool
     /// the engine's parallel rounds run on). Process-global and
     /// monotonic — NOT per-service or per-job; diff two snapshots with
@@ -679,6 +697,9 @@ impl Drop for InflightGuard<'_> {
 struct Inner {
     threads_per_job: usize,
     store: Arc<dyn ResultStore>,
+    /// The segment-rewrite cache shared by every job (null-backed when
+    /// disabled, making the per-segment hook a cheap early return).
+    segcache: SegmentCacheLayer,
     queue: Mutex<VecDeque<QueuedJob>>,
     work_ready: Condvar,
     /// In-flight table: one entry per key that is queued or running, holding
@@ -746,6 +767,10 @@ impl SegmentOracle<Gate> for TimedOracle<'_> {
 
     fn version(&self) -> String {
         self.inner.version()
+    }
+
+    fn angle_independent(&self) -> bool {
+        self.inner.angle_independent()
     }
 }
 
@@ -876,13 +901,25 @@ impl Inner {
             inner: job.oracle.as_ref(),
             histogram: metrics::oracle_call_duration(&job.key.oracle_id),
         };
+        // The segment-cache hook wraps the RAW oracle: template derivation
+        // re-invokes it on marker segments, and those derivation calls
+        // must not land in the per-call latency histogram.
+        let seg_hook = self
+            .segcache
+            .for_job(&job.key.oracle_id, job.oracle.as_ref());
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             // The per-job thread budget is a width scope on the shared
             // qexec work-stealing pool: the engine's parallel rounds run
             // at `threads_per_job` width on persistent pool threads
             // instead of spawning scoped threads per round.
             qexec::with_width(self.threads_per_job, || {
-                optimize_circuit_observed(&job.circuit, &timed_oracle, &job.key.config, &observer)
+                optimize_circuit_cached(
+                    &job.circuit,
+                    &timed_oracle,
+                    &job.key.config,
+                    &observer,
+                    &seg_hook,
+                )
             })
         }));
         let (optimized, stats) = match outcome {
@@ -1028,6 +1065,7 @@ impl OptimizationService {
         let inner = Arc::new(Inner {
             threads_per_job,
             store,
+            segcache: SegmentCacheLayer::new(config.seg_cache_capacity, config.cache_shards),
             queue: Mutex::new(VecDeque::new()),
             work_ready: Condvar::new(),
             inflight: Mutex::new(HashMap::new()),
@@ -1299,6 +1337,7 @@ impl OptimizationService {
                 entries: store.entries() as usize,
             },
             store,
+            seg_cache: self.inner.segcache.stats(),
             executor: qexec::stats(),
             uptime_seconds: self.inner.started.elapsed().as_secs_f64(),
         }
@@ -1314,6 +1353,13 @@ impl OptimizationService {
     /// store as they finish.
     pub fn clear_cache(&self) -> u64 {
         self.inner.store.clear()
+    }
+
+    /// Drops every cached *segment* rewrite; returns how many entries
+    /// were removed. Independent of [`clear_cache`](Self::clear_cache) —
+    /// the two layers cache different things.
+    pub fn clear_segment_cache(&self) -> u64 {
+        self.inner.segcache.clear()
     }
 
     /// Worker pool width.

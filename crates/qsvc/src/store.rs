@@ -453,6 +453,7 @@ pub fn encode_entry(key: &JobKey, oracle_version: &str, run: &CachedRun) -> Stri
             "total_nanos": run.stats.total_nanos,
             "initial_units": run.stats.initial_units as u64,
             "final_units": run.stats.final_units as u64,
+            "seg_cache_hits": run.stats.seg_cache_hits,
         },
     });
     serde_json::to_string(&doc).expect("serialize cache entry")
@@ -500,6 +501,10 @@ pub fn decode_entry(
         total_nanos: stat("total_nanos")?,
         initial_units: stat("initial_units")? as usize,
         final_units: stat("final_units")? as usize,
+        // Tolerant decode: entries written before the segment cache
+        // existed lack this field; treating it as 0 keeps them valid
+        // without a format-version bump.
+        seg_cache_hits: stat("seg_cache_hits").unwrap_or(0),
         rounds_detail: Vec::new(),
     };
     // Cross-field consistency: the parsed body must be the circuit the

@@ -71,6 +71,7 @@ fn run_for(circuit: &Circuit) -> Arc<CachedRun> {
             total_nanos: 2000,
             initial_units: 9,
             final_units: circuit.gates.len(),
+            seg_cache_hits: 0,
             rounds_detail: Vec::new(),
         },
     })

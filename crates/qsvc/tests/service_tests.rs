@@ -19,6 +19,7 @@ fn small_service(workers: usize) -> OptimizationService {
             threads_per_job: 1,
             cache_capacity: 64,
             cache_shards: 4,
+            seg_cache_capacity: 0,
         },
     )
 }
@@ -124,6 +125,7 @@ fn eviction_forces_recomputation() {
             threads_per_job: 1,
             cache_capacity: 1,
             cache_shards: 1,
+            seg_cache_capacity: 0,
         },
     );
     let a = Family::Vqe.generate(Family::Vqe.ladder(0)[0], 1);
@@ -152,6 +154,7 @@ fn results_are_independent_of_worker_and_thread_budget() {
             threads_per_job: 3,
             cache_capacity: 64,
             cache_shards: 4,
+            seg_cache_capacity: 0,
         },
     );
     let n = narrow.submit_batch(circuits.clone(), &cfg).wait();
@@ -248,6 +251,7 @@ fn concurrent_duplicates_coalesce_onto_one_computation() {
             threads_per_job: 1,
             cache_capacity: 64,
             cache_shards: 4,
+            seg_cache_capacity: 0,
         },
     );
 
@@ -347,6 +351,7 @@ fn oracle_panic_does_not_strand_coalesced_waiters() {
             threads_per_job: 1,
             cache_capacity: 64,
             cache_shards: 4,
+            seg_cache_capacity: 0,
         },
     );
 
@@ -452,6 +457,7 @@ fn one_service_keeps_mixed_oracle_traffic_in_distinct_cache_entries() {
             threads_per_job: 1,
             cache_capacity: 64,
             cache_shards: 4,
+            seg_cache_capacity: 0,
         },
     );
 
@@ -526,7 +532,10 @@ fn unknown_and_duplicate_oracles_are_structured_errors() {
             available,
         } => {
             assert_eq!(requested, "nope");
-            assert_eq!(available, &["rule_based", "rule_single_pass", "search"]);
+            assert_eq!(
+                available,
+                &["rule_based", "rule_single_pass", "search", "structural"]
+            );
         }
         other => panic!("expected UnknownOracle, got {other:?}"),
     }

@@ -67,6 +67,7 @@ fn run_for(circuit: &Circuit) -> Arc<CachedRun> {
             total_nanos: 2000,
             initial_units: 9,
             final_units: circuit.gates.len(),
+            seg_cache_hits: 0,
             rounds_detail: Vec::new(),
         },
     })
@@ -469,6 +470,7 @@ fn counting_service(calls: &Arc<AtomicU64>, store: Arc<dyn ResultStore>) -> Opti
             threads_per_job: 1,
             cache_capacity: 16,
             cache_shards: 2,
+            seg_cache_capacity: 0,
         },
         store,
     )
@@ -555,6 +557,7 @@ fn oracle_version_bump_invalidates_the_disk_tier() {
             threads_per_job: 1,
             cache_capacity: 16,
             cache_shards: 2,
+            seg_cache_capacity: 0,
         },
         store,
     );

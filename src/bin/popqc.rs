@@ -4,14 +4,14 @@
 //! ```text
 //! popqc optimize <FILE|DIR>... [--out DIR] [--omega N] [--oracle ID]
 //!                [--workers N] [--threads-per-job N] [--grain N]
-//!                [--cache-capacity N]
+//!                [--cache-capacity N] [--seg-cache-capacity N]
 //!                [--cache-tier memory|disk|tiered|remote|null]
 //!                [--cache-dir DIR] [--cache-addr HOST:PORT]
 //!                [--repeat N] [--report FILE] [--json] [--verify] [--quiet]
 //!                [--log-level error|warn|info|debug]
 //! popqc serve [--addr HOST:PORT] [--workers N] [--threads-per-job N]
 //!             [--omega N] [--oracle ID] [--cache-capacity N]
-//!             [--conn-threads N] [--grain N]
+//!             [--seg-cache-capacity N] [--conn-threads N] [--grain N]
 //!             [--cache-tier memory|disk|tiered|remote|null]
 //!             [--cache-dir DIR] [--cache-addr HOST:PORT]
 //!             [--log-level error|warn|info|debug]
@@ -40,6 +40,13 @@
 //! `--oracle` names an [`OracleRegistry`] id (see `popqc oracles`); the
 //! server keeps every registered oracle live and uses `--oracle` only as
 //! the default for requests that do not select one.
+//!
+//! `--seg-cache-capacity` sizes the engine-level segment cache (see
+//! `qsvc::segcache`): per-*segment* rewrites are memoized inside the
+//! engine hot path, keyed angle-abstractly for angle-independent oracles
+//! (`structural`) so parameterized resubmissions reuse every
+//! structurally-unchanged segment's rewrite without new oracle calls.
+//! The CLI default is 4096 entries; `0` disables it.
 //!
 //! `--cache-tier`/`--cache-dir`/`--cache-addr` pick the result-store
 //! backend (see `qsvc::store`): `tiered` or `disk` over a directory makes
@@ -76,12 +83,14 @@ fn usage() -> ! {
         "usage:\n  \
          popqc optimize <FILE|DIR>... [--out DIR] [--omega N] [--oracle ID]\n           \
          [--workers N] [--threads-per-job N] [--grain N] [--cache-capacity N]\n           \
+         [--seg-cache-capacity N]\n           \
          [--cache-tier memory|disk|tiered|remote|null] [--cache-dir DIR]\n           \
          [--cache-addr HOST:PORT]\n           \
          [--repeat N] [--report FILE] [--json] [--verify] [--quiet]\n           \
          [--log-level error|warn|info|debug]\n  \
          popqc serve [--addr HOST:PORT] [--workers N] [--threads-per-job N]\n           \
-         [--omega N] [--oracle ID] [--cache-capacity N] [--conn-threads N]\n           \
+         [--omega N] [--oracle ID] [--cache-capacity N] [--seg-cache-capacity N]\n           \
+         [--conn-threads N]\n           \
          [--grain N] [--cache-tier memory|disk|tiered|remote|null]\n           \
          [--cache-dir DIR] [--cache-addr HOST:PORT]\n           \
          [--log-level error|warn|info|debug]\n  \
@@ -294,7 +303,12 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     let mut omega: usize = 200;
     let mut grain: usize = 0;
     let mut oracle = "rule_based".to_string();
-    let mut svc_cfg = ServiceConfig::default();
+    // The library default keeps the segment cache off; the CLI turns it
+    // on (`--seg-cache-capacity 0` opts back out).
+    let mut svc_cfg = ServiceConfig {
+        seg_cache_capacity: 4096,
+        ..ServiceConfig::default()
+    };
     let mut http_cfg = popqc::http::ServerConfig::default();
     let mut cache_tier: Option<String> = None;
     let mut cache_dir: Option<PathBuf> = None;
@@ -333,6 +347,10 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             }
             "--cache-capacity" => {
                 svc_cfg.cache_capacity = parse_num("--cache-capacity", args.get(i + 1));
+                i += 2;
+            }
+            "--seg-cache-capacity" => {
+                svc_cfg.seg_cache_capacity = parse_num("--seg-cache-capacity", args.get(i + 1));
                 i += 2;
             }
             "--conn-threads" => {
@@ -377,6 +395,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         svc_cfg.cache_shards,
     );
     let backend = store.stats().backend;
+    let seg_cache_capacity = svc_cfg.seg_cache_capacity;
     let svc = OptimizationService::with_store(registry_with_default(&oracle), svc_cfg, store);
     let workers = svc.workers();
     let threads_per_job = svc.threads_per_job();
@@ -422,6 +441,10 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             cache_server = remote
         ),
         (None, None) => qobs::log_info!(target: "popqc::serve", "result store", backend = backend),
+    }
+    match seg_cache_capacity {
+        0 => qobs::log_info!(target: "popqc::serve", "segment cache", state = "disabled"),
+        cap => qobs::log_info!(target: "popqc::serve", "segment cache", capacity = cap),
     }
     match qexec::configured_grain() {
         0 => qobs::log_info!(
@@ -566,10 +589,26 @@ fn open_disk_store(args: &[String]) -> DiskStore {
 
 fn cmd_cache_stats(args: &[String]) -> ExitCode {
     let store = open_disk_store(args);
-    let doc = cache_report(&store.stats()).to_json();
+    let report = cache_report(&store.stats());
+    // Human-readable summary on stderr; stdout stays the machine-parsable
+    // JSON document (scripts pipe it), same split as the log lines.
+    eprintln!(
+        "cache: backend={} entries={} hits={} misses={} evictions={} bytes={}",
+        report.backend, report.entries, report.hits, report.misses, report.evictions, report.bytes
+    );
+    eprintln!(
+        "{:<8} {:>9} {:>9} {:>9} {:>10} {:>12} {:>7}",
+        "tier", "entries", "hits", "misses", "evictions", "bytes", "errors"
+    );
+    for t in &report.tiers {
+        eprintln!(
+            "{:<8} {:>9} {:>9} {:>9} {:>10} {:>12} {:>7}",
+            t.tier, t.entries, t.hits, t.misses, t.evictions, t.bytes, t.errors
+        );
+    }
     println!(
         "{}",
-        serde_json::to_string_pretty(&doc).expect("serialize cache report")
+        serde_json::to_string_pretty(&report.to_json()).expect("serialize cache report")
     );
     ExitCode::SUCCESS
 }
@@ -680,6 +719,7 @@ struct OptimizeOpts {
     threads_per_job: usize,
     grain: usize,
     cache_capacity: usize,
+    seg_cache_capacity: usize,
     cache_tier: Option<String>,
     cache_dir: Option<PathBuf>,
     cache_addr: Option<String>,
@@ -701,6 +741,9 @@ fn parse_optimize_opts(args: &[String]) -> OptimizeOpts {
         threads_per_job: 0,
         grain: 0,
         cache_capacity: 1024,
+        // On by default at the CLI surface (the library default is off);
+        // `--seg-cache-capacity 0` opts out.
+        seg_cache_capacity: 4096,
         cache_tier: None,
         cache_dir: None,
         cache_addr: None,
@@ -744,6 +787,10 @@ fn parse_optimize_opts(args: &[String]) -> OptimizeOpts {
             }
             "--cache-capacity" => {
                 o.cache_capacity = parse_num("--cache-capacity", args.get(i + 1));
+                i += 2;
+            }
+            "--seg-cache-capacity" => {
+                o.seg_cache_capacity = parse_num("--seg-cache-capacity", args.get(i + 1));
                 i += 2;
             }
             "--cache-tier" => {
@@ -864,6 +911,7 @@ fn cmd_optimize(args: &[String]) -> ExitCode {
         workers: opts.workers,
         threads_per_job: opts.threads_per_job,
         cache_capacity: opts.cache_capacity,
+        seg_cache_capacity: opts.seg_cache_capacity,
         ..ServiceConfig::default()
     };
 

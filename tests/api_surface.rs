@@ -41,6 +41,7 @@ fn http_and_cli_job_documents_are_byte_identical() {
         threads_per_job: 1,
         cache_capacity: 64,
         cache_shards: 4,
+        seg_cache_capacity: 0,
     };
     let circuit = Family::Vqe.generate(Family::Vqe.ladder(0)[0], 33);
     let qasm = popqc::ir::qasm::to_qasm(&circuit);

@@ -1,0 +1,99 @@
+//! The segment cache's end-to-end acceptance test (ISSUE 8): resubmitting
+//! a structurally identical `Parameterized` ansatz with fresh angles must
+//! be served almost entirely from the angle-abstract segment cache —
+//! near-zero marginal oracle calls, ≥90% segment hit rate — while
+//! producing byte-identical output to a cache-disabled service and
+//! remaining semantically equivalent to the input.
+
+use popqc::prelude::*;
+
+const QUBITS: u32 = 12;
+const SWEEP_SEEDS: std::ops::Range<u64> = 1..6;
+
+fn service(seg_cache_capacity: usize) -> OptimizationService {
+    OptimizationService::new(
+        OracleRegistry::builtin(),
+        ServiceConfig {
+            workers: 2,
+            threads_per_job: 1,
+            seg_cache_capacity,
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+fn optimize(
+    svc: &OptimizationService,
+    seed: u64,
+    cfg: &PopqcConfig,
+) -> std::sync::Arc<popqc::service::JobResult> {
+    let circuit = Family::Parameterized.generate(QUBITS, seed);
+    let result = svc
+        .submit_as("structural", circuit, cfg)
+        .expect("structural oracle is registered")
+        .wait();
+    assert!(result.error.is_none(), "job failed: {:?}", result.error);
+    result
+}
+
+#[test]
+fn parameter_sweep_is_served_from_the_segment_cache() {
+    let cfg = PopqcConfig::with_omega(40);
+    let cached = service(4096);
+    let cold = service(0);
+
+    // Warm pass (seed 0) populates the segment cache; its own oracle
+    // calls are the cold-path cost every later sweep iteration avoids.
+    let warm = optimize(&cached, 0, &cfg);
+    let cold_calls = warm.stats.oracle_calls;
+    assert!(cold_calls > 0, "warm pass must have exercised the oracle");
+    let after_warm = cached.stats();
+
+    for seed in SWEEP_SEEDS {
+        let input = Family::Parameterized.generate(QUBITS, seed);
+        let swept = optimize(&cached, seed, &cfg);
+
+        // Fresh angles → a distinct result-store key: the engine really
+        // ran, it just answered segment lookups from the cache.
+        assert!(!swept.cache_hit, "seed {seed} must miss the result store");
+
+        // Byte-level equality against the cold path: a seg-cache-disabled
+        // service over the same oracle must produce the identical circuit.
+        let baseline = optimize(&cold, seed, &cfg);
+        assert_eq!(
+            swept.circuit, baseline.circuit,
+            "seed {seed}: cached path diverged from the cold path"
+        );
+
+        // And the output still computes the same unitary as the input.
+        assert!(
+            popqc::sim::circuits_equivalent(&input, &swept.circuit, 2, 0xC1C1 + seed),
+            "seed {seed}: output not equivalent to input"
+        );
+    }
+
+    // The sweep's marginal oracle work must be near zero: each swept
+    // instance alone would have cost `cold_calls` oracle calls.
+    let after_sweep = cached.stats();
+    let sweep_len = SWEEP_SEEDS.end - SWEEP_SEEDS.start;
+    let marginal = after_sweep.oracle_calls_issued - after_warm.oracle_calls_issued;
+    let avoided = cold_calls * sweep_len;
+    assert!(
+        marginal * 20 <= avoided,
+        "sweep issued {marginal} oracle calls; the cold path would have \
+         issued {avoided} — the segment cache absorbed too little"
+    );
+
+    // ≥90% segment-cache hit rate across the sweep's lookups.
+    let hits = after_sweep.seg_cache.hits - after_warm.seg_cache.hits;
+    let misses = after_sweep.seg_cache.misses - after_warm.seg_cache.misses;
+    assert!(
+        hits * 10 >= (hits + misses) * 9,
+        "sweep hit rate below 90%: {hits} hits / {misses} misses"
+    );
+
+    // The disabled service never touched a segment cache.
+    let cold_stats = cold.stats();
+    assert!(!cold_stats.seg_cache.enabled);
+    assert_eq!(cold_stats.seg_cache.hits + cold_stats.seg_cache.misses, 0);
+}
