@@ -1,0 +1,230 @@
+//! Frontend concurrency comparison: request latency through a live
+//! connection while N *other* keep-alive connections sit idle on the
+//! same server — the workload shape that separates the two frontends.
+//!
+//! The threaded acceptor pins one thread per open connection, so serving
+//! N idle connections plus one active one requires N + spare threads:
+//! its thread count is scaled with N here (otherwise the active
+//! connection would starve forever, which is the point of the evented
+//! rewrite). The evented frontend holds every idle-count on the same
+//! 4 loop threads.
+//!
+//! Setting `POPQC_NET_REPORT=<path>` additionally writes a JSON artifact
+//! with per-idle-count median round-trip latencies for both frontends
+//! and the thread budget each needed (`cargo bench --bench
+//! http_concurrency -- --test` for the CI smoke run).
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use qhttp::api::AppState;
+use qhttp::evented::{EventedConfig, EventedServer};
+use qhttp::server::{HttpServer, ServerConfig};
+use qsvc::{OptimizationService, OracleRegistry, ServiceConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Loop threads the evented frontend uses at EVERY idle count.
+const EVENTED_LOOP_THREADS: usize = 4;
+
+/// Idle keep-alive connection counts to sweep.
+const IDLE_COUNTS: [usize; 3] = [0, 64, 256];
+
+fn state() -> Arc<AppState> {
+    let svc = OptimizationService::new(
+        OracleRegistry::builtin(),
+        ServiceConfig {
+            workers: 2,
+            threads_per_job: 1,
+            cache_capacity: 64,
+            cache_shards: 4,
+            seg_cache_capacity: 0,
+        },
+    );
+    Arc::new(AppState::new(svc, 80))
+}
+
+enum Server {
+    Threads(HttpServer),
+    Evented(EventedServer),
+}
+
+impl Server {
+    fn addr(&self) -> SocketAddr {
+        match self {
+            Server::Threads(s) => s.local_addr(),
+            Server::Evented(s) => s.local_addr(),
+        }
+    }
+}
+
+/// Threads each frontend needs to keep N idle connections open AND
+/// still answer on an active one.
+fn thread_budget(frontend: &str, idle: usize) -> usize {
+    match frontend {
+        // One thread per open connection, plus headroom for the
+        // active connection and churn.
+        "threads" => idle + 4,
+        _ => EVENTED_LOOP_THREADS,
+    }
+}
+
+fn serve(frontend: &str, idle: usize) -> Server {
+    match frontend {
+        "threads" => Server::Threads(
+            HttpServer::serve(
+                "127.0.0.1:0",
+                state(),
+                ServerConfig {
+                    conn_threads: thread_budget("threads", idle),
+                    read_timeout: Duration::from_secs(60),
+                },
+            )
+            .expect("bind threaded"),
+        ),
+        _ => Server::Evented(
+            EventedServer::serve(
+                "127.0.0.1:0",
+                state(),
+                EventedConfig {
+                    loop_threads: EVENTED_LOOP_THREADS,
+                    dispatch_threads: 4,
+                    max_conns: 1024,
+                    read_deadline: Duration::from_secs(60),
+                    ..EventedConfig::default()
+                },
+            )
+            .expect("bind evented"),
+        ),
+    }
+}
+
+/// One keep-alive round-trip on an open connection.
+fn roundtrip(stream: &mut TcpStream) {
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+        .expect("send");
+    // The healthz response is small and Content-Length framed; one
+    // header read plus the declared body is always complete.
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 2048];
+    let (headers_end, content_length) = loop {
+        let n = stream.read(&mut buf).expect("read");
+        assert!(n > 0, "server closed the benchmark connection");
+        raw.extend_from_slice(&buf[..n]);
+        if let Some(pos) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = std::str::from_utf8(&raw[..pos]).expect("headers");
+            let cl = head
+                .lines()
+                .find_map(|l| {
+                    l.split_once(':')
+                        .filter(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+                })
+                .map(|(_, v)| v.trim().parse::<usize>().expect("length"))
+                .unwrap_or(0);
+            break (pos + 4, cl);
+        }
+    };
+    while raw.len() < headers_end + content_length {
+        let n = stream.read(&mut buf).expect("read body");
+        assert!(n > 0, "server closed mid-body");
+        raw.extend_from_slice(&buf[..n]);
+    }
+    assert!(raw.starts_with(b"HTTP/1.1 200"), "healthz must answer 200");
+}
+
+/// Opens N idle keep-alive connections, proving each live with one
+/// round-trip so the server has fully adopted it.
+fn open_idle(addr: SocketAddr, n: usize) -> Vec<TcpStream> {
+    let mut conns: Vec<TcpStream> = (0..n)
+        .map(|_| TcpStream::connect(addr).expect("idle connect"))
+        .collect();
+    for c in conns.iter_mut() {
+        roundtrip(c);
+    }
+    conns
+}
+
+fn bench_latency_under_idle_load(c: &mut Criterion) {
+    let mut g = c.benchmark_group("http/latency_under_idle_conns");
+    g.sample_size(10);
+    for &idle in &IDLE_COUNTS {
+        for frontend in ["threads", "evented"] {
+            let server = serve(frontend, idle);
+            let addr = server.addr();
+            let _idle_conns = open_idle(addr, idle);
+            let mut active = TcpStream::connect(addr).expect("active connect");
+            roundtrip(&mut active);
+            g.bench_with_input(BenchmarkId::new(frontend, idle), &idle, |b, _| {
+                b.iter(|| roundtrip(&mut active))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_latency_under_idle_load
+}
+
+/// Median-of-N round-trip seconds on one connection.
+fn median_roundtrip_secs(stream: &mut TcpStream, n: usize) -> f64 {
+    let mut times: Vec<f64> = (0..n)
+        .map(|_| {
+            let t0 = Instant::now();
+            roundtrip(stream);
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+/// The CI artifact: per-idle-count medians for both frontends plus the
+/// thread budget each needed to serve that shape at all.
+fn write_net_report(path: &str) {
+    let mut rows = Vec::new();
+    for &idle in &IDLE_COUNTS {
+        let mut medians = [0.0f64; 2];
+        for (slot, frontend) in ["threads", "evented"].into_iter().enumerate() {
+            let server = serve(frontend, idle);
+            let addr = server.addr();
+            let _idle_conns = open_idle(addr, idle);
+            let mut active = TcpStream::connect(addr).expect("active connect");
+            roundtrip(&mut active);
+            medians[slot] = median_roundtrip_secs(&mut active, 51);
+        }
+        rows.push(serde_json::json!({
+            "idle_connections": idle,
+            "threads_median_seconds": medians[0],
+            "threads_threads_needed": thread_budget("threads", idle),
+            "evented_median_seconds": medians[1],
+            "evented_threads_needed": thread_budget("evented", idle),
+        }));
+    }
+    let max_idle = *IDLE_COUNTS.last().expect("non-empty sweep");
+    let doc = serde_json::json!({
+        "api_version": qapi::API_VERSION,
+        "request": "GET /healthz (keep-alive)",
+        "idle_counts": IDLE_COUNTS.to_vec(),
+        "evented_loop_threads": EVENTED_LOOP_THREADS,
+        "sweep": rows,
+        "evented_serves_max_idle_on_fixed_threads": true,
+        "max_idle_connections": max_idle,
+    });
+    let text = serde_json::to_string_pretty(&doc).expect("serialize net report");
+    std::fs::write(path, text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("http concurrency report written to {path}");
+}
+
+fn main() {
+    benches();
+    if let Ok(path) = std::env::var("POPQC_NET_REPORT") {
+        write_net_report(&path);
+    }
+}

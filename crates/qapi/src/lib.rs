@@ -50,7 +50,8 @@ pub const BUILD_VERSION: &str = env!("CARGO_PKG_VERSION");
 /// | [`InvalidConfig`](ApiError::InvalidConfig) | `invalid_config` | 400 | malformed request: bad JSON, bad query/body parameters, out-of-range numbers |
 /// | [`UnknownOracle`](ApiError::UnknownOracle) | `unknown_oracle` | 404 | the requested oracle id is not in the registry |
 /// | [`InvalidQasm`](ApiError::InvalidQasm) | `invalid_qasm` | 422 | the request was well-formed but the circuit text does not parse |
-/// | [`Overloaded`](ApiError::Overloaded) | `overloaded` | 503 | the service refused new work (e.g. the polling registry is full of pending jobs) |
+/// | [`Overloaded`](ApiError::Overloaded) | `overloaded` | 503 | the service refused new work (e.g. the polling registry is full of pending jobs, or the edge shed the request before enqueueing) |
+/// | [`RateLimited`](ApiError::RateLimited) | `rate_limited` | 429 | this client exceeded the per-peer request rate; retry after the advertised delay |
 /// | [`OracleFailure`](ApiError::OracleFailure) | `oracle_failure` | 500 | the oracle crashed while optimizing; the job failed, resubmitting retries |
 /// | [`Internal`](ApiError::Internal) | `internal` | 500 | a bug in the server itself |
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -63,6 +64,8 @@ pub enum ApiError {
     InvalidConfig(String),
     /// The service is refusing new work right now; retry later.
     Overloaded(String),
+    /// This client exceeded the per-peer request rate; slow down.
+    RateLimited(String),
     /// The oracle failed (panicked) while optimizing the circuit.
     OracleFailure(String),
     /// A server-side bug; nothing the client sent explains it.
@@ -72,11 +75,12 @@ pub enum ApiError {
 impl ApiError {
     /// Every variant's wire kind, in canonical order (for table-driven
     /// tests over the full taxonomy).
-    pub const KINDS: [&'static str; 6] = [
+    pub const KINDS: [&'static str; 7] = [
         "invalid_qasm",
         "unknown_oracle",
         "invalid_config",
         "overloaded",
+        "rate_limited",
         "oracle_failure",
         "internal",
     ];
@@ -89,6 +93,7 @@ impl ApiError {
             ApiError::UnknownOracle("exemplar".into()),
             ApiError::InvalidConfig("exemplar".into()),
             ApiError::Overloaded("exemplar".into()),
+            ApiError::RateLimited("exemplar".into()),
             ApiError::OracleFailure("exemplar".into()),
             ApiError::Internal("exemplar".into()),
         ]
@@ -101,6 +106,7 @@ impl ApiError {
             ApiError::UnknownOracle(_) => "unknown_oracle",
             ApiError::InvalidConfig(_) => "invalid_config",
             ApiError::Overloaded(_) => "overloaded",
+            ApiError::RateLimited(_) => "rate_limited",
             ApiError::OracleFailure(_) => "oracle_failure",
             ApiError::Internal(_) => "internal",
         }
@@ -113,18 +119,20 @@ impl ApiError {
             | ApiError::UnknownOracle(m)
             | ApiError::InvalidConfig(m)
             | ApiError::Overloaded(m)
+            | ApiError::RateLimited(m)
             | ApiError::OracleFailure(m)
             | ApiError::Internal(m) => m,
         }
     }
 
     /// The canonical HTTP status for this variant. This mapping is part of
-    /// the v1 contract: 400 / 404 / 422 / 503 / 500.
+    /// the v1 contract: 400 / 404 / 422 / 429 / 503 / 500.
     pub fn http_status(&self) -> u16 {
         match self {
             ApiError::InvalidConfig(_) => 400,
             ApiError::UnknownOracle(_) => 404,
             ApiError::InvalidQasm(_) => 422,
+            ApiError::RateLimited(_) => 429,
             ApiError::Overloaded(_) => 503,
             ApiError::OracleFailure(_) | ApiError::Internal(_) => 500,
         }
@@ -151,6 +159,7 @@ impl ApiError {
             "unknown_oracle" => ApiError::UnknownOracle(message),
             "invalid_config" => ApiError::InvalidConfig(message),
             "overloaded" => ApiError::Overloaded(message),
+            "rate_limited" => ApiError::RateLimited(message),
             "oracle_failure" => ApiError::OracleFailure(message),
             _ => ApiError::Internal(message),
         })
@@ -911,6 +920,61 @@ impl ExecutorReport {
 // Stats / full service report
 // ---------------------------------------------------------------------------
 
+/// Connection-frontend counters for the serving edge (`popqc serve`):
+/// which frontend is answering and what its admission-control machinery
+/// has done so far. Optional in [`StatsReport`] because only the HTTP
+/// service has a frontend (CLI batch runs report `None`).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct FrontendReport {
+    /// Frontend flavor: `"threads"` (thread-per-connection) or
+    /// `"evented"` (readiness-driven loop).
+    pub frontend: String,
+    /// Connections currently open.
+    pub connections_open: u64,
+    /// Connections accepted since start (monotonic).
+    pub connections_accepted: u64,
+    /// Requests refused with 503 by queue-depth load shedding.
+    pub requests_shed: u64,
+    /// Requests refused with 429 by the per-peer rate limiter.
+    pub rate_limited: u64,
+    /// Connections closed for blowing the idle/slowloris read deadline.
+    pub deadline_closes: u64,
+    /// Write stalls absorbed by per-connection output buffering.
+    pub write_stalls: u64,
+}
+
+impl FrontendReport {
+    /// Serializes to the v1 wire shape (the `frontend` object inside
+    /// [`StatsReport`]).
+    pub fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("frontend".to_string(), json!(self.frontend.as_str())),
+            ("connections_open".to_string(), json!(self.connections_open)),
+            (
+                "connections_accepted".to_string(),
+                json!(self.connections_accepted),
+            ),
+            ("requests_shed".to_string(), json!(self.requests_shed)),
+            ("rate_limited".to_string(), json!(self.rate_limited)),
+            ("deadline_closes".to_string(), json!(self.deadline_closes)),
+            ("write_stalls".to_string(), json!(self.write_stalls)),
+        ])
+    }
+
+    /// Decodes a document produced by [`to_json`](Self::to_json).
+    pub fn from_json(v: &Value) -> Result<FrontendReport, ApiError> {
+        Ok(FrontendReport {
+            frontend: de::req_str(v, "frontend")?,
+            connections_open: de::req_u64(v, "connections_open")?,
+            connections_accepted: de::req_u64(v, "connections_accepted")?,
+            requests_shed: de::req_u64(v, "requests_shed")?,
+            rate_limited: de::req_u64(v, "rate_limited")?,
+            deadline_closes: de::req_u64(v, "deadline_closes")?,
+            write_stalls: de::req_u64(v, "write_stalls")?,
+        })
+    }
+}
+
 /// `GET /v1/stats`, the CLI report's `service` section, and the bench
 /// report all derive from this one DTO, so their counters cannot drift.
 ///
@@ -960,6 +1024,9 @@ pub struct StatsReport {
     /// Jobs retained for `/v1/jobs/{id}` polling (HTTP frontend only;
     /// `None` omits the field).
     pub jobs_tracked: Option<u64>,
+    /// Connection-frontend counters (HTTP service only; `None` omits
+    /// the field).
+    pub frontend: Option<FrontendReport>,
 }
 
 impl StatsReport {
@@ -1001,6 +1068,9 @@ impl StatsReport {
         if let Some(tracked) = self.jobs_tracked {
             pairs.push(("jobs_tracked".to_string(), json!(tracked)));
         }
+        if let Some(frontend) = &self.frontend {
+            pairs.push(("frontend".to_string(), frontend.to_json()));
+        }
         Value::Object(pairs)
     }
 
@@ -1037,6 +1107,10 @@ impl StatsReport {
                     .ok_or_else(|| de::malformed("missing `executor` object"))?,
             )?,
             jobs_tracked: de::opt_u64(v, "jobs_tracked")?,
+            frontend: match v.get("frontend") {
+                Some(f) => Some(FrontendReport::from_json(f)?),
+                None => None,
+            },
         })
     }
 }
@@ -1187,7 +1261,7 @@ mod tests {
 
     #[test]
     fn error_status_mapping_is_canonical() {
-        let expected = [422, 404, 400, 503, 500, 500];
+        let expected = [422, 404, 400, 503, 429, 500, 500];
         for (e, (kind, status)) in ApiError::exemplars()
             .iter()
             .zip(ApiError::KINDS.iter().zip(expected))

@@ -4,8 +4,8 @@
 
 use qapi::{
     ApiError, BatchCircuit, BatchRequest, BatchResponse, CacheClearResponse, CacheReport,
-    CacheTierReport, ExecutorReport, JobReport, JobStatus, OptimizeRequest, OracleInfo, OracleList,
-    SegmentCacheReport, ServiceReport, StatsReport, VersionInfo,
+    CacheTierReport, ExecutorReport, FrontendReport, JobReport, JobStatus, OptimizeRequest,
+    OracleInfo, OracleList, SegmentCacheReport, ServiceReport, StatsReport, VersionInfo,
 };
 use serde_json::Value;
 
@@ -217,16 +217,27 @@ fn stats_and_service_report_round_trip() {
             steals: 612,
         },
         jobs_tracked: Some(3),
+        frontend: Some(FrontendReport {
+            frontend: "evented".into(),
+            connections_open: 12,
+            connections_accepted: 340,
+            requests_shed: 7,
+            rate_limited: 2,
+            deadline_closes: 5,
+            write_stalls: 1,
+        }),
     };
     let back = StatsReport::from_json(&reserialize(&stats.to_json())).unwrap();
     assert_eq!(back, stats);
 
-    // The CLI shape omits `jobs_tracked` entirely.
+    // The CLI shape omits `jobs_tracked` and `frontend` entirely.
     let cli = StatsReport {
         jobs_tracked: None,
+        frontend: None,
         ..stats.clone()
     };
     assert!(cli.to_json().get("jobs_tracked").is_none());
+    assert!(cli.to_json().get("frontend").is_none());
     assert_eq!(
         StatsReport::from_json(&reserialize(&cli.to_json())).unwrap(),
         cli

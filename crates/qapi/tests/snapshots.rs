@@ -14,8 +14,8 @@
 
 use qapi::{
     ApiError, BatchCircuit, BatchRequest, BatchResponse, CacheClearResponse, CacheReport,
-    CacheTierReport, ExecutorReport, JobReport, JobStatus, OptimizeRequest, OracleInfo, OracleList,
-    SegmentCacheReport, ServiceReport, StatsReport, VersionInfo,
+    CacheTierReport, ExecutorReport, FrontendReport, JobReport, JobStatus, OptimizeRequest,
+    OracleInfo, OracleList, SegmentCacheReport, ServiceReport, StatsReport, VersionInfo,
 };
 use serde_json::Value;
 use std::path::PathBuf;
@@ -206,6 +206,15 @@ fn stats_report_snapshot() {
             },
             executor: exemplar_executor(),
             jobs_tracked: Some(3),
+            frontend: Some(FrontendReport {
+                frontend: "evented".into(),
+                connections_open: 12,
+                connections_accepted: 340,
+                requests_shed: 7,
+                rate_limited: 2,
+                deadline_closes: 5,
+                write_stalls: 1,
+            }),
         }
         .to_json(),
     );

@@ -67,6 +67,17 @@ struct StoredJob {
     label: Option<String>,
 }
 
+/// A window into the connection frontend serving this state, filled into
+/// the `frontend` block of `GET /v1/stats`. Implemented by both the
+/// threaded [`crate::server::HttpServer`] (connection counts only) and
+/// the evented [`crate::evented::EventedServer`] (full admission-control
+/// counters), so operators can read one endpoint regardless of
+/// `--frontend`.
+pub trait FrontendProbe: Send + Sync + 'static {
+    /// Point-in-time frontend counters.
+    fn report(&self) -> qapi::FrontendReport;
+}
+
 /// Shared server state: the service plus the polling-job registry.
 ///
 /// The service is dynamically dispatched over its oracle registry, so one
@@ -78,6 +89,9 @@ pub struct AppState {
     jobs: Mutex<BTreeMap<u64, StoredJob>>,
     job_cap: usize,
     next_job_id: AtomicU64,
+    /// Set by the serving frontend after it binds (the server needs the
+    /// state to start, so this cannot be a constructor argument).
+    frontend: Mutex<Option<Arc<dyn FrontendProbe>>>,
 }
 
 impl AppState {
@@ -106,7 +120,15 @@ impl AppState {
             jobs: Mutex::new(BTreeMap::new()),
             job_cap,
             next_job_id: AtomicU64::new(1),
+            frontend: Mutex::new(None),
         }
+    }
+
+    /// Attaches the serving frontend's counter probe; `/v1/stats` reports
+    /// a `frontend` block from then on. Called once by whichever frontend
+    /// starts serving this state.
+    pub fn set_frontend_probe(&self, probe: Arc<dyn FrontendProbe>) {
+        *self.frontend.lock().expect("frontend probe poisoned") = Some(probe);
     }
 
     /// The wrapped service (e.g. for shutdown-time stats logging).
@@ -364,6 +386,12 @@ impl AppState {
             self.svc.threads_per_job(),
         );
         stats.jobs_tracked = Some(self.jobs.lock().expect("job registry poisoned").len() as u64);
+        stats.frontend = self
+            .frontend
+            .lock()
+            .expect("frontend probe poisoned")
+            .as_ref()
+            .map(|p| p.report());
         Response::json(200, &stats.to_json())
     }
 
@@ -470,9 +498,17 @@ impl Handler for AppState {
 }
 
 /// An API-taxonomy failure: the variant's canonical status plus its wire
-/// document.
-fn error(e: &ApiError) -> Response {
-    Response::json(e.http_status(), &e.to_json())
+/// document. Refusals that invite a retry (503 overloaded, 429 rate
+/// limited) always carry `Retry-After` so well-behaved clients back off
+/// instead of hammering — centralized here so no refusal path can forget
+/// it.
+pub(crate) fn error(e: &ApiError) -> Response {
+    let status = e.http_status();
+    let resp = Response::json(status, &e.to_json());
+    match status {
+        503 | 429 => resp.with_header("Retry-After", "1"),
+        _ => resp,
+    }
 }
 
 /// A transport-level failure outside the API taxonomy (routing, method),

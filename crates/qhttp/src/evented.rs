@@ -1,0 +1,299 @@
+//! The evented frontend: the v1 API served through `qnet`'s
+//! readiness-driven connection layer instead of thread-per-connection.
+//!
+//! `HttpDriver` is the per-connection protocol state machine the qnet
+//! loop threads run: it feeds arriving bytes through the incremental
+//! [`RequestParser`], answers admission
+//! refusals *inline on the loop thread* (never touching the dispatcher
+//! pool), and hands admitted requests to the dispatcher as a closure
+//! over [`AppState::handle`]. Refusals stay fast under load by
+//! construction — a shed 503 costs one parse plus one small serialized
+//! body, regardless of how many oracle jobs are in flight.
+//!
+//! Admission control order, per parsed request:
+//!
+//! 1. **Rate limit** — the per-peer-IP token bucket (`--rate-limit`).
+//!    A refusal answers 429 `rate_limited` with a computed
+//!    `Retry-After`, keeps the connection alive, and counts into
+//!    `popqc_net_rate_limited_total`.
+//! 2. **Load shedding** — requests that would enqueue oracle work
+//!    (`POST /v1/optimize`, `POST /v1/batch`) are refused with 503
+//!    `overloaded` + `Retry-After` when the service's job queue is at
+//!    `--shed-queue-depth` (`popqc_net_shed_total`). Cheap reads
+//!    (stats, metrics, health, job polling) are never shed — they are
+//!    exactly what an operator needs during an overload.
+//! 3. **Dispatch** — everything else runs on the qnet dispatcher pool,
+//!    which bounds concurrently *executing* requests the way
+//!    `conn_threads` bounds them on the threaded frontend.
+//!
+//! Connection-level admission (the `--max-conns` accept gate, idle and
+//! slowloris read deadlines, output buffering for stalled readers)
+//! lives in `qnet` itself; this module only decides per-request fates.
+
+use crate::api::{AppState, FrontendProbe};
+use crate::http::{HttpError, ParseStep, Request, RequestParser, Response};
+use crate::server::Handler;
+use qapi::ApiError;
+use qnet::{Action, Driver, DriverFactory, NetConfig, NetServer, NetStats, RateLimiter};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tuning for an [`EventedServer`]. The connection-layer knobs map onto
+/// [`NetConfig`]; `rate_limit` and `shed_queue_depth` are HTTP-level
+/// admission control and default to off.
+#[derive(Clone, Debug)]
+pub struct EventedConfig {
+    /// Event-loop threads (each owns its connections).
+    pub loop_threads: usize,
+    /// Dispatcher threads running handler work; bounds concurrently
+    /// executing requests.
+    pub dispatch_threads: usize,
+    /// Open-connection cap; at the cap the acceptor stops accepting and
+    /// excess clients wait in the kernel backlog.
+    pub max_conns: usize,
+    /// A connection must complete a request within this window or it is
+    /// closed (covers both idle keep-alive and slowloris).
+    pub read_deadline: Duration,
+    /// Per-peer-IP requests/second (burst of one second's worth);
+    /// `0.0` disables rate limiting.
+    pub rate_limit: f64,
+    /// Refuse work-enqueueing requests with 503 once the service queue
+    /// holds this many waiting jobs; `0` disables shedding.
+    pub shed_queue_depth: usize,
+}
+
+impl Default for EventedConfig {
+    fn default() -> EventedConfig {
+        let net = NetConfig::default();
+        EventedConfig {
+            loop_threads: net.loop_threads,
+            dispatch_threads: net.dispatch_threads,
+            max_conns: net.max_conns,
+            read_deadline: net.read_deadline,
+            rate_limit: 0.0,
+            shed_queue_depth: 0,
+        }
+    }
+}
+
+/// The v1 API on the readiness-driven frontend. Construction attaches a
+/// [`FrontendProbe`] to the state, so `/v1/stats` reports the `frontend`
+/// block immediately.
+pub struct EventedServer {
+    inner: NetServer,
+    stats: Arc<NetStats>,
+}
+
+impl EventedServer {
+    /// Binds `addr` (port 0 for ephemeral) and starts serving `state`.
+    pub fn serve(
+        addr: impl ToSocketAddrs,
+        state: Arc<AppState>,
+        cfg: EventedConfig,
+    ) -> std::io::Result<EventedServer> {
+        let stats = Arc::new(NetStats::default());
+        let factory = Arc::new(HttpDriverFactory {
+            state: Arc::clone(&state),
+            limiter: Arc::new(RateLimiter::new(cfg.rate_limit)),
+            shed_queue_depth: cfg.shed_queue_depth,
+            stats: Arc::clone(&stats),
+        });
+        let net_cfg = NetConfig {
+            loop_threads: cfg.loop_threads,
+            dispatch_threads: cfg.dispatch_threads,
+            max_conns: cfg.max_conns,
+            read_deadline: cfg.read_deadline,
+            ..NetConfig::default()
+        };
+        let inner = NetServer::serve_with_stats(addr, factory, net_cfg, Arc::clone(&stats))?;
+        state.set_frontend_probe(Arc::new(EventedProbe(Arc::clone(&stats))));
+        Ok(EventedServer { inner, stats })
+    }
+
+    /// The bound address (resolves `:0` ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.local_addr()
+    }
+
+    /// This server's connection/admission counters.
+    pub fn stats(&self) -> Arc<NetStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Stops accepting, closes every connection, joins all threads.
+    /// Idempotent (also runs on drop).
+    pub fn shutdown(&mut self) {
+        self.inner.shutdown();
+    }
+}
+
+struct EventedProbe(Arc<NetStats>);
+
+impl FrontendProbe for EventedProbe {
+    fn report(&self) -> qapi::FrontendReport {
+        qapi::FrontendReport {
+            frontend: "evented".to_string(),
+            connections_open: self.0.connections_open(),
+            connections_accepted: self.0.connections_accepted(),
+            requests_shed: self.0.requests_shed(),
+            rate_limited: self.0.rate_limited(),
+            deadline_closes: self.0.deadline_closes(),
+            write_stalls: self.0.write_stalls(),
+        }
+    }
+}
+
+struct HttpDriverFactory {
+    state: Arc<AppState>,
+    limiter: Arc<RateLimiter>,
+    shed_queue_depth: usize,
+    stats: Arc<NetStats>,
+}
+
+impl DriverFactory for HttpDriverFactory {
+    fn make(&self, peer: SocketAddr) -> Box<dyn Driver> {
+        Box::new(HttpDriver {
+            state: Arc::clone(&self.state),
+            peer,
+            parser: RequestParser::new(),
+            limiter: Arc::clone(&self.limiter),
+            shed_queue_depth: self.shed_queue_depth,
+            stats: Arc::clone(&self.stats),
+        })
+    }
+}
+
+/// One connection's HTTP state machine (see the module docs for the
+/// admission-control order).
+struct HttpDriver {
+    state: Arc<AppState>,
+    peer: SocketAddr,
+    parser: RequestParser,
+    limiter: Arc<RateLimiter>,
+    shed_queue_depth: usize,
+    stats: Arc<NetStats>,
+}
+
+/// Serializes a response into bytes for the connection's output buffer.
+fn serialize(resp: &Response, keep_alive: bool) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(256);
+    resp.write_to(&mut bytes, keep_alive)
+        .expect("serializing a response into memory cannot fail");
+    bytes
+}
+
+/// Whether this request would enqueue oracle work — the only traffic
+/// load shedding applies to.
+fn enqueues_work(req: &Request) -> bool {
+    req.method == "POST" && matches!(req.path.as_str(), "/v1/optimize" | "/v1/batch")
+}
+
+impl HttpDriver {
+    /// Decides one parsed request's fate. Returns `true` when the
+    /// request was dispatched (the connection is now busy and the driver
+    /// must stop consuming input).
+    fn handle_request(&mut self, req: Request, out: &mut Vec<Action>) -> bool {
+        if self.limiter.enabled() && !self.limiter.admit(self.peer.ip()) {
+            self.stats.rate_limit_hit();
+            let secs = self.limiter.retry_after_secs(self.peer.ip());
+            let e =
+                ApiError::RateLimited(format!("per-peer rate limit exceeded; retry in {secs}s"));
+            let resp = Response::json(e.http_status(), &e.to_json())
+                .with_header("Retry-After", secs.to_string());
+            out.push(Action::Respond {
+                bytes: serialize(&resp, req.keep_alive),
+                keep_alive: req.keep_alive,
+            });
+            return false;
+        }
+        if self.shed_queue_depth > 0
+            && enqueues_work(&req)
+            && self.state.service().queue_depth() >= self.shed_queue_depth
+        {
+            self.stats.shed();
+            let e = ApiError::Overloaded(format!(
+                "job queue is at the shed threshold ({}); retry later",
+                self.shed_queue_depth
+            ));
+            out.push(Action::Respond {
+                bytes: serialize(&crate::api::error(&e), req.keep_alive),
+                keep_alive: req.keep_alive,
+            });
+            return false;
+        }
+        let state = Arc::clone(&self.state);
+        let keep_alive = req.keep_alive;
+        out.push(Action::Dispatch(Box::new(move || {
+            // Same panic policy as the threaded frontend: a handler
+            // panic answers 500 and closes the connection; it must
+            // never take a dispatcher thread down.
+            let response =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| state.handle(&req)));
+            match response {
+                Ok(r) => (serialize(&r, keep_alive), keep_alive),
+                Err(_) => {
+                    let r = Response::json(
+                        500,
+                        &ApiError::Internal("internal server error".to_string()).to_json(),
+                    );
+                    (serialize(&r, false), false)
+                }
+            }
+        })));
+        true
+    }
+}
+
+impl Driver for HttpDriver {
+    fn on_data(&mut self, input: &mut Vec<u8>, out: &mut Vec<Action>) {
+        loop {
+            let (consumed, step) = match self.parser.advance(input) {
+                Ok(x) => x,
+                Err(e) => {
+                    // Protocol errors get a best-effort response when
+                    // possible; the connection is never reusable (its
+                    // framing is lost).
+                    input.clear();
+                    let resp = match e {
+                        HttpError::BadRequest(msg) => Some(Response::json(
+                            400,
+                            &qapi::transport_error_json("bad_request", &msg),
+                        )),
+                        HttpError::PayloadTooLarge => Some(Response::json(
+                            413,
+                            &qapi::transport_error_json(
+                                "payload_too_large",
+                                "request body too large",
+                            ),
+                        )),
+                        HttpError::Io(_) => None,
+                    };
+                    match resp {
+                        Some(r) => out.push(Action::Respond {
+                            bytes: serialize(&r, false),
+                            keep_alive: false,
+                        }),
+                        None => out.push(Action::Close),
+                    }
+                    return;
+                }
+            };
+            input.drain(..consumed);
+            match step {
+                ParseStep::NeedMore => return,
+                // The parser has a zero-input transition queued after an
+                // interim response, so loop again even with empty input.
+                ParseStep::Interim(bytes) => out.push(Action::Interim(bytes.to_vec())),
+                ParseStep::Done(req) => {
+                    if self.handle_request(req, out) {
+                        // Dispatched: the connection is busy. Leftover
+                        // pipelined bytes replay when the completion
+                        // posts back.
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}

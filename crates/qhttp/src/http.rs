@@ -89,34 +89,375 @@ impl Request {
     }
 }
 
-/// Reads one CRLF- (or LF-) terminated line, bounded by [`MAX_LINE_BYTES`].
-fn read_line(r: &mut impl BufRead) -> Result<Option<String>, HttpError> {
-    let mut buf = Vec::new();
-    loop {
-        let mut byte = [0u8; 1];
-        match r.read(&mut byte) {
-            Ok(0) => {
-                if buf.is_empty() {
-                    return Ok(None); // clean EOF between requests
-                }
-                return Err(bad("connection closed mid-line"));
-            }
-            Ok(_) => {
-                if byte[0] == b'\n' {
-                    if buf.last() == Some(&b'\r') {
-                        buf.pop();
-                    }
-                    let s = String::from_utf8(buf).map_err(|_| bad("non-UTF-8 header line"))?;
-                    return Ok(Some(s));
-                }
-                buf.push(byte[0]);
-                if buf.len() > MAX_LINE_BYTES {
-                    return Err(bad("header line too long"));
-                }
-            }
-            Err(e) => return Err(HttpError::Io(e)),
+/// What [`RequestParser::advance`] produced.
+#[derive(Debug)]
+pub enum ParseStep {
+    /// The buffered bytes do not complete a request yet; feed more.
+    NeedMore,
+    /// Write these bytes to the peer (the `100 Continue` interim
+    /// response), then call `advance` again — the parser has more state
+    /// transitions to run even if no new bytes arrived.
+    Interim(&'static [u8]),
+    /// One complete request. The parser has reset itself for the next
+    /// request on the same connection.
+    Done(Request),
+}
+
+enum ParseState {
+    RequestLine,
+    Headers,
+    /// Headers are complete; the body-framing decision (and the
+    /// `Expect: 100-continue` interim) runs here. Needs no input.
+    BodyStart,
+    FixedBody {
+        remaining: usize,
+    },
+    ChunkHeader,
+    ChunkData {
+        remaining: usize,
+    },
+    ChunkSep,
+    Trailers,
+}
+
+/// An incremental HTTP/1.1 request parser: the same grammar, limits, and
+/// anti-smuggling checks as the blocking [`read_request`] (which is now a
+/// thin loop over this type), but resumable at any byte boundary —
+/// `advance` consumes whatever prefix of the input it can and reports
+/// [`ParseStep::NeedMore`] instead of blocking. This is what lets the
+/// evented frontend keep per-connection parse state in connection-owned
+/// buffers while a single loop thread multiplexes hundreds of sockets.
+pub struct RequestParser {
+    state: ParseState,
+    /// Partial-line accumulator (request line, headers, chunk framing).
+    line: Vec<u8>,
+    method: String,
+    path: String,
+    query: Vec<(String, String)>,
+    version_11: bool,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+    interim_sent: bool,
+}
+
+impl Default for RequestParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RequestParser {
+    /// A parser ready for the first byte of a request.
+    pub fn new() -> RequestParser {
+        RequestParser {
+            state: ParseState::RequestLine,
+            line: Vec::new(),
+            method: String::new(),
+            path: String::new(),
+            query: Vec::new(),
+            version_11: true,
+            headers: Vec::new(),
+            body: Vec::new(),
+            interim_sent: false,
         }
     }
+
+    /// True when no byte of a request has been consumed — EOF here is a
+    /// clean keep-alive teardown, not a truncated request.
+    pub fn is_idle(&self) -> bool {
+        matches!(self.state, ParseState::RequestLine) && self.line.is_empty()
+    }
+
+    /// The error a mid-request EOF amounts to, matching the blocking
+    /// reader's messages state for state.
+    pub fn eof_error(&self) -> HttpError {
+        if !self.line.is_empty() {
+            return bad("connection closed mid-line");
+        }
+        match self.state {
+            ParseState::RequestLine | ParseState::BodyStart => bad("connection closed mid-line"),
+            ParseState::Headers => bad("connection closed in headers"),
+            ParseState::FixedBody { .. } | ParseState::ChunkData { .. } => HttpError::Io(
+                io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed mid-body"),
+            ),
+            ParseState::ChunkHeader => bad("connection closed in chunk header"),
+            ParseState::ChunkSep => bad("connection closed after chunk"),
+            ParseState::Trailers => bad("connection closed in trailers"),
+        }
+    }
+
+    /// Consumes as much of `input` as possible; returns how many bytes
+    /// were consumed (the caller drains them) and what happened. On
+    /// `NeedMore` the whole input was consumed. After an error the
+    /// parser, like the connection, is done for.
+    pub fn advance(&mut self, input: &[u8]) -> Result<(usize, ParseStep), HttpError> {
+        let mut pos = 0;
+        loop {
+            match self.state {
+                ParseState::RequestLine => match self.take_line(input, &mut pos)? {
+                    None => return Ok((pos, ParseStep::NeedMore)),
+                    Some(line) => {
+                        self.parse_request_line(&line)?;
+                        self.state = ParseState::Headers;
+                    }
+                },
+                ParseState::Headers => match self.take_line(input, &mut pos)? {
+                    None => return Ok((pos, ParseStep::NeedMore)),
+                    Some(line) if line.is_empty() => self.state = ParseState::BodyStart,
+                    Some(line) => {
+                        let (name, value) = line
+                            .split_once(':')
+                            .ok_or_else(|| bad(format!("malformed header line `{line}`")))?;
+                        self.headers
+                            .push((name.trim().to_string(), value.trim().to_string()));
+                        if self.headers.len() > MAX_HEADERS {
+                            return Err(bad("too many headers"));
+                        }
+                    }
+                },
+                ParseState::BodyStart => {
+                    if !self.interim_sent
+                        && self
+                            .header("Expect")
+                            .is_some_and(|e| e.eq_ignore_ascii_case("100-continue"))
+                    {
+                        self.interim_sent = true;
+                        return Ok((pos, ParseStep::Interim(b"HTTP/1.1 100 Continue\r\n\r\n")));
+                    }
+                    match self.body_framing()? {
+                        Framing::None => return Ok((pos, ParseStep::Done(self.finish()))),
+                        Framing::Fixed(0) => return Ok((pos, ParseStep::Done(self.finish()))),
+                        Framing::Fixed(len) => {
+                            self.body.reserve(len.min(MAX_BODY_BYTES));
+                            self.state = ParseState::FixedBody { remaining: len };
+                        }
+                        Framing::Chunked => self.state = ParseState::ChunkHeader,
+                    }
+                }
+                ParseState::FixedBody { remaining } => {
+                    let take = remaining.min(input.len() - pos);
+                    self.body.extend_from_slice(&input[pos..pos + take]);
+                    pos += take;
+                    if take == remaining {
+                        return Ok((pos, ParseStep::Done(self.finish())));
+                    }
+                    self.state = ParseState::FixedBody {
+                        remaining: remaining - take,
+                    };
+                    return Ok((pos, ParseStep::NeedMore));
+                }
+                ParseState::ChunkHeader => match self.take_line(input, &mut pos)? {
+                    None => return Ok((pos, ParseStep::NeedMore)),
+                    Some(line) => {
+                        // Chunk extensions (after ';') are allowed and ignored.
+                        let size_str = line.split(';').next().unwrap_or("").trim();
+                        // Strictly 1*HEXDIG (RFC 9112): `from_str_radix`
+                        // alone would also accept a leading `+`.
+                        if size_str.is_empty() || !size_str.bytes().all(|b| b.is_ascii_hexdigit()) {
+                            return Err(bad(format!("bad chunk size `{size_str}`")));
+                        }
+                        let size = usize::from_str_radix(size_str, 16)
+                            .map_err(|_| bad(format!("bad chunk size `{size_str}`")))?;
+                        if size == 0 {
+                            self.state = ParseState::Trailers;
+                        } else {
+                            // `body.len() <= MAX_BODY_BYTES` is invariant
+                            // here, so the subtraction cannot underflow —
+                            // and unlike `body.len() + size`, this cannot
+                            // overflow for an attacker-chosen 16-digit
+                            // hex size.
+                            if size > MAX_BODY_BYTES - self.body.len() {
+                                return Err(HttpError::PayloadTooLarge);
+                            }
+                            self.state = ParseState::ChunkData { remaining: size };
+                        }
+                    }
+                },
+                ParseState::ChunkData { remaining } => {
+                    let take = remaining.min(input.len() - pos);
+                    self.body.extend_from_slice(&input[pos..pos + take]);
+                    pos += take;
+                    if take == remaining {
+                        self.state = ParseState::ChunkSep;
+                    } else {
+                        self.state = ParseState::ChunkData {
+                            remaining: remaining - take,
+                        };
+                        return Ok((pos, ParseStep::NeedMore));
+                    }
+                }
+                ParseState::ChunkSep => match self.take_line(input, &mut pos)? {
+                    None => return Ok((pos, ParseStep::NeedMore)),
+                    Some(line) if line.is_empty() => self.state = ParseState::ChunkHeader,
+                    Some(_) => return Err(bad("missing CRLF after chunk data")),
+                },
+                ParseState::Trailers => match self.take_line(input, &mut pos)? {
+                    None => return Ok((pos, ParseStep::NeedMore)),
+                    Some(line) if line.is_empty() => {
+                        return Ok((pos, ParseStep::Done(self.finish())))
+                    }
+                    Some(_) => {} // trailers are discarded
+                },
+            }
+        }
+    }
+
+    /// Pulls one CRLF- (or LF-) terminated line out of `input` starting
+    /// at `pos`, buffering partial lines across calls. `None` means the
+    /// line is not complete yet (all input consumed).
+    fn take_line(&mut self, input: &[u8], pos: &mut usize) -> Result<Option<String>, HttpError> {
+        match input[*pos..].iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                self.line.extend_from_slice(&input[*pos..*pos + nl]);
+                *pos += nl + 1;
+                if self.line.last() == Some(&b'\r') {
+                    self.line.pop();
+                }
+                if self.line.len() > MAX_LINE_BYTES {
+                    return Err(bad("header line too long"));
+                }
+                let s = String::from_utf8(std::mem::take(&mut self.line))
+                    .map_err(|_| bad("non-UTF-8 header line"))?;
+                Ok(Some(s))
+            }
+            None => {
+                self.line.extend_from_slice(&input[*pos..]);
+                *pos = input.len();
+                if self.line.len() > MAX_LINE_BYTES {
+                    return Err(bad("header line too long"));
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    fn parse_request_line(&mut self, request_line: &str) -> Result<(), HttpError> {
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next().ok_or_else(|| bad("empty request line"))?;
+        let target = parts
+            .next()
+            .ok_or_else(|| bad("request line missing target"))?;
+        let version = parts
+            .next()
+            .ok_or_else(|| bad("request line missing HTTP version"))?;
+        if parts.next().is_some() {
+            return Err(bad("malformed request line"));
+        }
+        if version != "HTTP/1.1" && version != "HTTP/1.0" {
+            return Err(bad(format!("unsupported HTTP version `{version}`")));
+        }
+        self.version_11 = version == "HTTP/1.1";
+        self.method = method.to_string();
+        match target.split_once('?') {
+            Some((p, q)) => {
+                self.path = p.to_string();
+                self.query = parse_query(q);
+            }
+            None => {
+                self.path = target.to_string();
+                self.query = Vec::new();
+            }
+        }
+        Ok(())
+    }
+
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The anti-smuggling body-framing decision: a Transfer-Encoding this
+    /// server does not decode, Transfer-Encoding combined with
+    /// Content-Length, or conflicting duplicate Content-Length headers
+    /// are each rejected outright — silently picking one interpretation
+    /// is how request smuggling happens once a proxy sits in front.
+    /// Every repeated field line counts: per RFC 7230 duplicates combine
+    /// into one list, so the coding check must see them all.
+    fn body_framing(&self) -> Result<Framing, HttpError> {
+        let content_lengths: Vec<&str> = self
+            .headers
+            .iter()
+            .filter(|(k, _)| k.eq_ignore_ascii_case("Content-Length"))
+            .map(|(_, v)| v.trim())
+            .collect();
+        let transfer_encodings: Vec<&str> = self
+            .headers
+            .iter()
+            .filter(|(k, _)| k.eq_ignore_ascii_case("Transfer-Encoding"))
+            .map(|(_, v)| v.as_str())
+            .collect();
+        if !transfer_encodings.is_empty() {
+            let mut codings = transfer_encodings
+                .iter()
+                .flat_map(|v| v.split(','))
+                .map(str::trim)
+                .filter(|t| !t.is_empty());
+            let only_chunked = codings
+                .next()
+                .is_some_and(|t| t.eq_ignore_ascii_case("chunked"))
+                && codings.next().is_none();
+            if !only_chunked {
+                return Err(bad(format!(
+                    "unsupported Transfer-Encoding `{}`",
+                    transfer_encodings.join(", ")
+                )));
+            }
+            if !content_lengths.is_empty() {
+                return Err(bad("Transfer-Encoding combined with Content-Length"));
+            }
+            return Ok(Framing::Chunked);
+        }
+        if let Some(&cl) = content_lengths.first() {
+            if content_lengths.iter().any(|&c| c != cl) {
+                return Err(bad("conflicting Content-Length headers"));
+            }
+            // Strictly 1*DIGIT (RFC 9110): Rust's `parse` would also
+            // accept a leading `+`, which a stricter front proxy may
+            // reject or reinterpret — the same parser-disagreement class
+            // as the Transfer-Encoding checks above.
+            if cl.is_empty() || !cl.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(bad(format!("bad Content-Length `{cl}`")));
+            }
+            let len: usize = cl
+                .parse()
+                .map_err(|_| bad(format!("bad Content-Length `{cl}`")))?;
+            if len > MAX_BODY_BYTES {
+                return Err(HttpError::PayloadTooLarge);
+            }
+            return Ok(Framing::Fixed(len));
+        }
+        Ok(Framing::None)
+    }
+
+    /// Builds the finished request and resets for the next one.
+    fn finish(&mut self) -> Request {
+        let keep_alive = match self.header("Connection") {
+            Some(c) if c.eq_ignore_ascii_case("close") => false,
+            Some(c) if c.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.version_11, // 1.1 defaults to keep-alive
+        };
+        let req = Request {
+            method: std::mem::take(&mut self.method),
+            path: std::mem::take(&mut self.path),
+            query: std::mem::take(&mut self.query),
+            headers: std::mem::take(&mut self.headers),
+            body: std::mem::take(&mut self.body),
+            keep_alive,
+        };
+        self.state = ParseState::RequestLine;
+        self.line.clear();
+        self.version_11 = true;
+        self.interim_sent = false;
+        req
+    }
+}
+
+enum Framing {
+    None,
+    Fixed(usize),
+    Chunked,
 }
 
 /// Decodes `%XX` escapes and `+` (as space) in a query component.
@@ -177,170 +518,33 @@ pub fn read_request(
     r: &mut impl BufRead,
     w: &mut impl Write,
 ) -> Result<Option<Request>, HttpError> {
-    let Some(request_line) = read_line(r)? else {
-        return Ok(None);
-    };
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().ok_or_else(|| bad("empty request line"))?;
-    let target = parts
-        .next()
-        .ok_or_else(|| bad("request line missing target"))?;
-    let version = parts
-        .next()
-        .ok_or_else(|| bad("request line missing HTTP version"))?;
-    if parts.next().is_some() {
-        return Err(bad("malformed request line"));
-    }
-    if version != "HTTP/1.1" && version != "HTTP/1.0" {
-        return Err(bad(format!("unsupported HTTP version `{version}`")));
-    }
-
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p.to_string(), parse_query(q)),
-        None => (target.to_string(), Vec::new()),
-    };
-
-    let mut headers = Vec::new();
+    let mut parser = RequestParser::new();
     loop {
-        let line = read_line(r)?.ok_or_else(|| bad("connection closed in headers"))?;
-        if line.is_empty() {
-            break;
+        let buf = r.fill_buf()?;
+        if buf.is_empty() {
+            if parser.is_idle() {
+                return Ok(None); // clean EOF between requests
+            }
+            return Err(parser.eof_error());
         }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or_else(|| bad(format!("malformed header line `{line}`")))?;
-        headers.push((name.trim().to_string(), value.trim().to_string()));
-        if headers.len() > MAX_HEADERS {
-            return Err(bad("too many headers"));
-        }
-    }
-
-    let header = |name: &str| -> Option<&str> {
-        headers
-            .iter()
-            .find(|(k, _)| k.eq_ignore_ascii_case(name))
-            .map(|(_, v)| v.as_str())
-    };
-
-    if header("Expect").is_some_and(|e| e.eq_ignore_ascii_case("100-continue")) {
-        w.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
-        w.flush()?;
-    }
-
-    // Body framing must be unambiguous: a Transfer-Encoding this server
-    // does not decode, Transfer-Encoding combined with Content-Length, or
-    // conflicting duplicate Content-Length headers are each rejected
-    // outright — silently picking one interpretation is how request
-    // smuggling happens once a proxy sits in front. Every repeated field
-    // line counts: per RFC 7230 duplicates combine into one list, so the
-    // coding check must see them all, not just the first header.
-    let content_lengths: Vec<&str> = headers
-        .iter()
-        .filter(|(k, _)| k.eq_ignore_ascii_case("Content-Length"))
-        .map(|(_, v)| v.trim())
-        .collect();
-    let transfer_encodings: Vec<&str> = headers
-        .iter()
-        .filter(|(k, _)| k.eq_ignore_ascii_case("Transfer-Encoding"))
-        .map(|(_, v)| v.as_str())
-        .collect();
-    let body = if !transfer_encodings.is_empty() {
-        let mut codings = transfer_encodings
-            .iter()
-            .flat_map(|v| v.split(','))
-            .map(str::trim)
-            .filter(|t| !t.is_empty());
-        let only_chunked = codings
-            .next()
-            .is_some_and(|t| t.eq_ignore_ascii_case("chunked"))
-            && codings.next().is_none();
-        if !only_chunked {
-            return Err(bad(format!(
-                "unsupported Transfer-Encoding `{}`",
-                transfer_encodings.join(", ")
-            )));
-        }
-        if !content_lengths.is_empty() {
-            return Err(bad("Transfer-Encoding combined with Content-Length"));
-        }
-        read_chunked_body(r)?
-    } else if let Some(&cl) = content_lengths.first() {
-        if content_lengths.iter().any(|&c| c != cl) {
-            return Err(bad("conflicting Content-Length headers"));
-        }
-        // Strictly 1*DIGIT (RFC 9110): Rust's `parse` would also accept a
-        // leading `+`, which a stricter front proxy may reject or
-        // reinterpret — the same parser-disagreement class as the
-        // Transfer-Encoding checks above.
-        if cl.is_empty() || !cl.bytes().all(|b| b.is_ascii_digit()) {
-            return Err(bad(format!("bad Content-Length `{cl}`")));
-        }
-        let len: usize = cl
-            .parse()
-            .map_err(|_| bad(format!("bad Content-Length `{cl}`")))?;
-        if len > MAX_BODY_BYTES {
-            return Err(HttpError::PayloadTooLarge);
-        }
-        let mut body = vec![0u8; len];
-        r.read_exact(&mut body)?;
-        body
-    } else {
-        Vec::new()
-    };
-
-    let keep_alive = match header("Connection") {
-        Some(c) if c.eq_ignore_ascii_case("close") => false,
-        Some(c) if c.eq_ignore_ascii_case("keep-alive") => true,
-        _ => version == "HTTP/1.1", // 1.1 defaults to keep-alive
-    };
-
-    Ok(Some(Request {
-        method: method.to_string(),
-        path,
-        query,
-        headers,
-        body,
-        keep_alive,
-    }))
-}
-
-/// Reads a `Transfer-Encoding: chunked` body, including discarding any
-/// trailer section.
-fn read_chunked_body(r: &mut impl BufRead) -> Result<Vec<u8>, HttpError> {
-    let mut body = Vec::new();
-    loop {
-        let line = read_line(r)?.ok_or_else(|| bad("connection closed in chunk header"))?;
-        // Chunk extensions (after ';') are allowed and ignored.
-        let size_str = line.split(';').next().unwrap_or("").trim();
-        // Strictly 1*HEXDIG (RFC 9112): `from_str_radix` alone would also
-        // accept a leading `+`.
-        if size_str.is_empty() || !size_str.bytes().all(|b| b.is_ascii_hexdigit()) {
-            return Err(bad(format!("bad chunk size `{size_str}`")));
-        }
-        let size = usize::from_str_radix(size_str, 16)
-            .map_err(|_| bad(format!("bad chunk size `{size_str}`")))?;
-        if size == 0 {
-            // Discard trailers until the blank line.
-            loop {
-                let t = read_line(r)?.ok_or_else(|| bad("connection closed in trailers"))?;
-                if t.is_empty() {
-                    return Ok(body);
+        // Consume exactly what the parser took: pipelined bytes beyond
+        // this request stay in the BufRead for the next call.
+        let (consumed, step) = parser.advance(buf)?;
+        r.consume(consumed);
+        match step {
+            ParseStep::NeedMore => {}
+            ParseStep::Interim(bytes) => {
+                w.write_all(bytes)?;
+                w.flush()?;
+                // The parser may finish without further input (e.g. an
+                // empty or absent body after the interim).
+                let (more, next) = parser.advance(&[])?;
+                debug_assert_eq!(more, 0);
+                if let ParseStep::Done(req) = next {
+                    return Ok(Some(req));
                 }
             }
-        }
-        // `body.len() <= MAX_BODY_BYTES` is invariant here, so the
-        // subtraction cannot underflow — and unlike `body.len() + size`,
-        // this cannot overflow for an attacker-chosen 16-digit hex size.
-        if size > MAX_BODY_BYTES - body.len() {
-            return Err(HttpError::PayloadTooLarge);
-        }
-        let start = body.len();
-        body.resize(start + size, 0);
-        r.read_exact(&mut body[start..])?;
-        // Each chunk is followed by CRLF.
-        let sep = read_line(r)?.ok_or_else(|| bad("connection closed after chunk"))?;
-        if !sep.is_empty() {
-            return Err(bad("missing CRLF after chunk data"));
+            ParseStep::Done(req) => return Ok(Some(req)),
         }
     }
 }
@@ -405,6 +609,7 @@ impl Response {
             404 => "Not Found",
             405 => "Method Not Allowed",
             413 => "Payload Too Large",
+            429 => "Too Many Requests",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
             _ => "Unknown",
@@ -591,6 +796,120 @@ mod tests {
             .unwrap()
             .unwrap();
         assert!(interim.is_empty());
+    }
+
+    /// Drives the incremental parser one byte at a time — the shape the
+    /// evented frontend sees under a slow client — and returns the
+    /// request plus any interim bytes.
+    fn parse_byte_at_a_time(raw: &[u8]) -> Result<(Request, Vec<u8>), HttpError> {
+        let mut parser = RequestParser::new();
+        let mut interim = Vec::new();
+        let mut buf: Vec<u8> = Vec::new();
+        let mut fed = 0;
+        loop {
+            let (consumed, step) = parser.advance(&buf)?;
+            buf.drain(..consumed);
+            match step {
+                ParseStep::Done(req) => return Ok((req, interim)),
+                ParseStep::Interim(bytes) => interim.extend_from_slice(bytes),
+                ParseStep::NeedMore => {
+                    assert!(buf.is_empty(), "NeedMore must consume everything");
+                    assert!(fed < raw.len(), "parser starved: wants more than the input");
+                    buf.push(raw[fed]);
+                    fed += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_parser_handles_byte_at_a_time_content_length() {
+        let raw =
+            b"POST /v1/optimize?omega=80 HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let (req, interim) = parse_byte_at_a_time(raw).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/optimize");
+        assert_eq!(req.query_param("omega"), Some("80"));
+        assert_eq!(req.body, b"hello");
+        assert!(req.keep_alive);
+        assert!(interim.is_empty());
+    }
+
+    #[test]
+    fn incremental_parser_handles_byte_at_a_time_chunked() {
+        let raw = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+                    4\r\nWiki\r\n5\r\npedia\r\n0\r\nX-Trailer: ignored\r\n\r\n";
+        let (req, _) = parse_byte_at_a_time(raw).unwrap();
+        assert_eq!(req.body, b"Wikipedia");
+    }
+
+    #[test]
+    fn incremental_parser_emits_interim_exactly_once() {
+        let raw = b"POST /x HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 2\r\n\r\nhi";
+        let (req, interim) = parse_byte_at_a_time(raw).unwrap();
+        assert_eq!(req.body, b"hi");
+        assert_eq!(interim, b"HTTP/1.1 100 Continue\r\n\r\n");
+
+        // Expect + empty body: the request must complete without the
+        // parser demanding bytes that will never come.
+        let raw = b"POST /x HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 0\r\n\r\n";
+        let (req, interim) = parse_byte_at_a_time(raw).unwrap();
+        assert!(req.body.is_empty());
+        assert_eq!(interim, b"HTTP/1.1 100 Continue\r\n\r\n");
+    }
+
+    #[test]
+    fn incremental_parser_leaves_pipelined_bytes_unconsumed() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let mut parser = RequestParser::new();
+        let (consumed, step) = parser.advance(raw).unwrap();
+        let req = match step {
+            ParseStep::Done(r) => r,
+            other => panic!("expected Done, got {other:?}"),
+        };
+        assert_eq!(req.path, "/a");
+        assert!(consumed < raw.len(), "second request must stay buffered");
+        // The same parser instance, reset by `finish`, parses the rest.
+        let (consumed2, step) = parser.advance(&raw[consumed..]).unwrap();
+        let req = match step {
+            ParseStep::Done(r) => r,
+            other => panic!("expected Done, got {other:?}"),
+        };
+        assert_eq!(req.path, "/b");
+        assert_eq!(consumed + consumed2, raw.len());
+    }
+
+    #[test]
+    fn incremental_parser_enforces_line_and_body_limits_mid_stream() {
+        // An unterminated request line must fail as soon as the limit is
+        // crossed — not only once a newline arrives (slowloris defense).
+        let mut parser = RequestParser::new();
+        let chunk = vec![b'a'; 4096];
+        let mut crossed = false;
+        for _ in 0..4 {
+            match parser.advance(&chunk) {
+                Ok((n, ParseStep::NeedMore)) => assert_eq!(n, chunk.len()),
+                Ok((_, other)) => panic!("unexpected step {other:?}"),
+                Err(HttpError::BadRequest(msg)) => {
+                    assert!(msg.contains("too long"), "msg: {msg}");
+                    crossed = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        assert!(crossed, "oversized line must be rejected without a newline");
+
+        // Declared oversized body is refused at the framing decision.
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let mut parser = RequestParser::new();
+        assert!(matches!(
+            parser.advance(raw.as_bytes()),
+            Err(HttpError::PayloadTooLarge)
+        ));
     }
 
     #[test]

@@ -7,14 +7,23 @@
 //! calls for. The `popqc serve` CLI subcommand is a thin wrapper over this
 //! crate.
 //!
-//! Three layers, separated so each is testable on its own:
+//! Four layers, separated so each is testable on its own:
 //!
-//! * [`http`] — vendored minimal HTTP/1.1 framing: request parsing
-//!   (request line, headers, `Content-Length` and chunked bodies),
+//! * [`http`] — vendored minimal HTTP/1.1 framing: an incremental
+//!   request parser ([`http::RequestParser`], request line, headers,
+//!   `Content-Length` and chunked bodies, usable byte-at-a-time by an
+//!   event loop or via the blocking [`http::read_request`] wrapper),
 //!   response serialization, keep-alive semantics.
-//! * [`server`] — a threaded acceptor over one `TcpListener`; each
-//!   connection thread runs a keep-alive loop and dispatches to a
-//!   [`Handler`].
+//! * [`server`] — the **threaded** frontend: an acceptor over one
+//!   `TcpListener`; each connection thread runs a keep-alive loop and
+//!   dispatches to a [`Handler`]. Simple and debuggable; concurrent
+//!   connections are bounded by the thread count.
+//! * [`evented`] — the **readiness-driven** frontend over
+//!   [`qnet`]: a few loop threads sweep hundreds of nonblocking
+//!   keep-alive connections, with admission control (connection cap,
+//!   idle/slowloris deadlines, per-peer rate limiting, queue-depth load
+//!   shedding) answered inline before work is enqueued. The `popqc
+//!   serve` default.
 //! * [`api`] — the v1 JSON routes (`POST /v1/optimize`, `POST /v1/batch`,
 //!   `GET /v1/jobs/{id}`, `GET /v1/oracles`, `GET /v1/stats`,
 //!   `GET|DELETE /v1/cache`, `GET /v1/version`, `GET /healthz`) over an
@@ -49,10 +58,12 @@
 //! ```
 
 pub mod api;
+pub mod evented;
 pub mod http;
 pub mod metrics;
 pub mod server;
 
-pub use api::AppState;
+pub use api::{AppState, FrontendProbe};
+pub use evented::{EventedConfig, EventedServer};
 pub use http::{Request, Response};
 pub use server::{Handler, HttpServer, ServerConfig};

@@ -12,7 +12,7 @@
 use crate::http::{read_request, HttpError, Request, Response};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed, Ordering::SeqCst};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -43,6 +43,40 @@ impl Default for ServerConfig {
     }
 }
 
+/// Connection counters for the threaded frontend, feeding the
+/// `frontend` block of `/v1/stats` for parity with the evented path.
+/// The admission-control counters (shed, rate-limited, …) stay zero:
+/// this frontend has no such machinery — its connection-thread count IS
+/// the admission control.
+#[derive(Default)]
+struct ConnCounters {
+    open: AtomicU64,
+    accepted: AtomicU64,
+}
+
+/// Decrements the open-connection gauge even if the handler loop exits
+/// by panic.
+struct OpenGuard(Arc<ConnCounters>);
+
+impl Drop for OpenGuard {
+    fn drop(&mut self) {
+        self.0.open.fetch_sub(1, Relaxed);
+    }
+}
+
+struct ThreadedProbe(Arc<ConnCounters>);
+
+impl crate::api::FrontendProbe for ThreadedProbe {
+    fn report(&self) -> qapi::FrontendReport {
+        qapi::FrontendReport {
+            frontend: "threads".to_string(),
+            connections_open: self.0.open.load(Relaxed),
+            connections_accepted: self.0.accepted.load(Relaxed),
+            ..qapi::FrontendReport::default()
+        }
+    }
+}
+
 /// A running HTTP server. Dropping it (or calling
 /// [`shutdown`](HttpServer::shutdown)) stops accepting, wakes the acceptor
 /// threads, and joins them.
@@ -50,6 +84,7 @@ pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
+    counters: Arc<ConnCounters>,
 }
 
 impl HttpServer {
@@ -64,11 +99,13 @@ impl HttpServer {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let listener = Arc::new(listener);
+        let counters = Arc::new(ConnCounters::default());
         let threads = (0..config.conn_threads.max(1))
             .map(|i| {
                 let listener = Arc::clone(&listener);
                 let handler = Arc::clone(&handler);
                 let stop = Arc::clone(&stop);
+                let counters = Arc::clone(&counters);
                 let timeout = config.read_timeout;
                 std::thread::Builder::new()
                     .name(format!("qhttp-conn-{i}"))
@@ -79,6 +116,9 @@ impl HttpServer {
                                     if stop.load(SeqCst) {
                                         return;
                                     }
+                                    counters.accepted.fetch_add(1, Relaxed);
+                                    counters.open.fetch_add(1, Relaxed);
+                                    let _open = OpenGuard(Arc::clone(&counters));
                                     // Both directions: a client that stops
                                     // reading its response must not pin
                                     // this thread any longer than an idle
@@ -103,12 +143,20 @@ impl HttpServer {
             addr,
             stop,
             threads,
+            counters,
         })
     }
 
     /// The bound address (resolves the actual port when bound with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// A [`FrontendProbe`](crate::api::FrontendProbe) over this server's
+    /// connection counters, for
+    /// [`AppState::set_frontend_probe`](crate::api::AppState::set_frontend_probe).
+    pub fn probe(&self) -> Arc<dyn crate::api::FrontendProbe> {
+        Arc::new(ThreadedProbe(Arc::clone(&self.counters)))
     }
 
     /// Stops accepting and joins the connection threads. Connections that

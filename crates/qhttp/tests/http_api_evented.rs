@@ -1,0 +1,9 @@
+//! The differential loopback suite against the **evented** frontend:
+//! the identical case matrix as `http_api.rs` (threaded), included from
+//! `shared/http_api_cases.rs`, proving the readiness-driven path is
+//! byte-for-byte behaviour-compatible at the API level.
+
+#[path = "shared/http_api_cases.rs"]
+mod cases;
+
+const FRONTEND: cases::Frontend = cases::Frontend::Evented;

@@ -1,0 +1,153 @@
+//! Per-peer token-bucket rate limiting.
+//!
+//! One bucket per peer IP: capacity `burst` tokens, refilled at `rate`
+//! tokens/second. A request costs one token; an empty bucket means the
+//! request should be refused (the HTTP driver answers 429 with
+//! `Retry-After`). Keying by IP rather than connection stops a client
+//! from escaping the limit by opening more keep-alive connections —
+//! exactly the population the evented frontend invites.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Buckets above this count trigger a sweep of full (i.e. long-idle)
+/// buckets, bounding memory under peer churn without a background task.
+const SWEEP_THRESHOLD: usize = 4096;
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+/// A token-bucket rate limiter keyed by peer IP address.
+///
+/// Thread-safe; the evented loop threads share one limiter per server.
+#[derive(Debug)]
+pub struct RateLimiter {
+    rate: f64,
+    burst: f64,
+    buckets: Mutex<HashMap<IpAddr, Bucket>>,
+}
+
+impl RateLimiter {
+    /// A limiter allowing `rate` requests/second per peer with a burst
+    /// capacity of one second's worth (at least 1). `rate <= 0` builds a
+    /// limiter that admits everything.
+    pub fn new(rate: f64) -> Self {
+        RateLimiter {
+            rate,
+            burst: rate.max(1.0),
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Whether this limiter enforces anything at all.
+    pub fn enabled(&self) -> bool {
+        self.rate > 0.0
+    }
+
+    /// Takes one token for `peer`; `false` means the request must be
+    /// refused.
+    pub fn admit(&self, peer: IpAddr) -> bool {
+        self.admit_at(peer, Instant::now())
+    }
+
+    fn admit_at(&self, peer: IpAddr, now: Instant) -> bool {
+        if !self.enabled() {
+            return true;
+        }
+        let mut buckets = self.buckets.lock().expect("rate limiter poisoned");
+        if buckets.len() > SWEEP_THRESHOLD {
+            let (rate, burst) = (self.rate, self.burst);
+            buckets.retain(|_, b| {
+                (b.tokens + now.duration_since(b.last).as_secs_f64() * rate) < burst
+            });
+        }
+        let bucket = buckets.entry(peer).or_insert(Bucket {
+            tokens: self.burst,
+            last: now,
+        });
+        let refill = now.duration_since(bucket.last).as_secs_f64() * self.rate;
+        bucket.tokens = (bucket.tokens + refill).min(self.burst);
+        bucket.last = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Seconds until `peer` would next be admitted (for `Retry-After`),
+    /// rounded up to at least 1.
+    pub fn retry_after_secs(&self, peer: IpAddr) -> u64 {
+        if !self.enabled() {
+            return 0;
+        }
+        let buckets = self.buckets.lock().expect("rate limiter poisoned");
+        match buckets.get(&peer) {
+            Some(b) if b.tokens < 1.0 => (((1.0 - b.tokens) / self.rate).ceil() as u64).max(1),
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+    use std::time::Duration;
+
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(10, 0, 0, last))
+    }
+
+    #[test]
+    fn burst_then_refusal_then_refill() {
+        let limiter = RateLimiter::new(2.0);
+        let t0 = Instant::now();
+        // Burst capacity = 2 tokens: two admits, then refusal.
+        assert!(limiter.admit_at(ip(1), t0));
+        assert!(limiter.admit_at(ip(1), t0));
+        assert!(!limiter.admit_at(ip(1), t0));
+        assert!(limiter.retry_after_secs(ip(1)) >= 1);
+        // 500ms refills one token at 2/s.
+        let t1 = t0 + Duration::from_millis(500);
+        assert!(limiter.admit_at(ip(1), t1));
+        assert!(!limiter.admit_at(ip(1), t1));
+    }
+
+    #[test]
+    fn peers_have_independent_buckets() {
+        let limiter = RateLimiter::new(1.0);
+        let t0 = Instant::now();
+        assert!(limiter.admit_at(ip(1), t0));
+        assert!(!limiter.admit_at(ip(1), t0));
+        assert!(limiter.admit_at(ip(2), t0), "peer 2 has its own bucket");
+    }
+
+    #[test]
+    fn zero_rate_admits_everything() {
+        let limiter = RateLimiter::new(0.0);
+        let t0 = Instant::now();
+        for _ in 0..1000 {
+            assert!(limiter.admit_at(ip(3), t0));
+        }
+        assert_eq!(limiter.retry_after_secs(ip(3)), 0);
+    }
+
+    #[test]
+    fn tokens_cap_at_burst() {
+        let limiter = RateLimiter::new(2.0);
+        let t0 = Instant::now();
+        assert!(limiter.admit_at(ip(4), t0));
+        // A long idle period must not bank unbounded tokens.
+        let t1 = t0 + Duration::from_secs(3600);
+        assert!(limiter.admit_at(ip(4), t1));
+        assert!(limiter.admit_at(ip(4), t1));
+        assert!(!limiter.admit_at(ip(4), t1));
+    }
+}

@@ -1,0 +1,70 @@
+//! Process-wide `popqc_net_*` metric families.
+//!
+//! These mirror the per-server [`NetStats`](crate::NetStats) counters
+//! into the `popqc-obs` registry so `GET /v1/metrics` exposes the
+//! connection layer next to the job, cache, and executor series. When
+//! several servers run in one process (e.g. the differential test suite)
+//! the global series aggregate across them; per-server numbers come from
+//! `NetStats`.
+
+/// Connections currently open across all servers in this process.
+pub fn connections_open() -> &'static qobs::Gauge {
+    qobs::static_gauge!(
+        "popqc_net_connections_open",
+        "Connections currently open on the evented frontend."
+    )
+}
+
+/// Lifetime accepted-connection count.
+pub fn connections_total() -> &'static qobs::Counter {
+    qobs::static_counter!(
+        "popqc_net_connections_total",
+        "Connections accepted by the evented frontend."
+    )
+}
+
+/// Requests refused by queue-depth load shedding.
+pub fn shed_total() -> &'static qobs::Counter {
+    qobs::static_counter!(
+        "popqc_net_shed_total",
+        "Requests shed at the edge (503 + Retry-After) because the job \
+         queue exceeded the configured depth."
+    )
+}
+
+/// Requests refused by the per-peer token bucket.
+pub fn rate_limited_total() -> &'static qobs::Counter {
+    qobs::static_counter!(
+        "popqc_net_rate_limited_total",
+        "Requests refused with 429 by the per-peer rate limiter."
+    )
+}
+
+/// Connections closed by the read deadline.
+pub fn deadline_closes_total() -> &'static qobs::Counter {
+    qobs::static_counter!(
+        "popqc_net_deadline_closes_total",
+        "Connections closed for not completing a request within the read \
+         deadline (idle keep-alive or slowloris)."
+    )
+}
+
+/// Partial-write stall events.
+pub fn write_stalls_total() -> &'static qobs::Counter {
+    qobs::static_counter!(
+        "popqc_net_write_stalls_total",
+        "Responses that could not be written in one sweep because the \
+         peer was not draining its receive window."
+    )
+}
+
+/// Registers every `popqc_net_*` family so a scrape shows the full
+/// inventory (with typed headers) before the first connection arrives.
+pub fn describe_metrics() {
+    connections_open();
+    connections_total();
+    shed_total();
+    rate_limited_total();
+    deadline_closes_total();
+    write_stalls_total();
+}

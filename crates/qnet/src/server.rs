@@ -1,0 +1,700 @@
+//! The readiness loop: nonblocking connection sweeps, a gated acceptor,
+//! and a dispatcher pool feeding completions back through wakeable
+//! mailboxes.
+//!
+//! Threading model (for a `loop_threads = L`, `dispatch_threads = D`
+//! config):
+//!
+//! * **1 acceptor** — blocking `accept()`, gated by the connection cap:
+//!   at `max_conns` it simply stops accepting, so excess connections wait
+//!   in the kernel backlog (backpressure) instead of being reset or
+//!   pinning threads. New connections are handed round-robin to a loop
+//!   thread's mailbox.
+//! * **L loop threads** — each owns its connections outright (no shared
+//!   connection state, no locks on the data path). A sweep drains the
+//!   mailbox, polls each connection with nonblocking reads/writes, runs
+//!   the [`Driver`] state machine on new bytes, enforces the read
+//!   deadline, then parks on a loopback UDP waker with an adaptive
+//!   timeout (spins at sub-millisecond while traffic flows, backs off to
+//!   a few milliseconds when idle).
+//! * **D dispatcher threads** — run [`Action::Dispatch`] closures (the
+//!   blocking handler path: oracle work, coalesced waits). A connection
+//!   with a dispatch in flight is *busy*: the loop feeds it no further
+//!   input, which both preserves pipeline order and applies natural
+//!   backpressure. Completions post `(bytes, keep_alive)` back to the
+//!   owning loop's mailbox and fire its waker, so responses leave on the
+//!   next sweep, not the next poll tick.
+
+use crate::stats::NetStats;
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs, UdpSocket};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Work handed to the dispatcher pool; returns the serialized response
+/// bytes and whether the connection should stay open.
+pub type DispatchFn = Box<dyn FnOnce() -> (Vec<u8>, bool) + Send + 'static>;
+
+/// What a [`Driver`] wants done after consuming input.
+pub enum Action {
+    /// Queue bytes that do *not* complete a request (e.g. a
+    /// `100 Continue` interim response). Does not reset the read
+    /// deadline.
+    Interim(Vec<u8>),
+    /// A complete response produced inline on the loop thread
+    /// (admission refusals, protocol errors). Completes the current
+    /// request: resets the read deadline and, with `keep_alive: false`,
+    /// closes after the write drains.
+    Respond {
+        /// Serialized response bytes.
+        bytes: Vec<u8>,
+        /// Whether the connection stays open for the next request.
+        keep_alive: bool,
+    },
+    /// Run the closure on the dispatcher pool; the connection is busy
+    /// (no further reads) until the completion posts back.
+    Dispatch(DispatchFn),
+    /// Protocol-fatal: close the connection once pending writes drain.
+    Close,
+}
+
+/// A per-connection protocol state machine.
+///
+/// The loop calls [`Driver::on_data`] whenever the connection has
+/// unconsumed input and is not busy. The driver drains what it can from
+/// the *front* of `input` (leaving partial frames in place) and pushes
+/// actions in order. After an [`Action::Dispatch`] the driver must stop
+/// consuming — remaining pipelined bytes are replayed once the dispatch
+/// completes.
+pub trait Driver: Send + 'static {
+    /// Consume bytes and emit actions.
+    fn on_data(&mut self, input: &mut Vec<u8>, out: &mut Vec<Action>);
+}
+
+/// Builds one [`Driver`] per accepted connection.
+pub trait DriverFactory: Send + Sync + 'static {
+    /// Called on the acceptor thread for each new connection.
+    fn make(&self, peer: SocketAddr) -> Box<dyn Driver>;
+}
+
+/// Tuning for a [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Event-loop threads. Each owns its connections; 4 covers hundreds
+    /// of keep-alive clients.
+    pub loop_threads: usize,
+    /// Dispatcher threads running blocking handler work. Bounds the
+    /// number of concurrently *executing* (not open) requests.
+    pub dispatch_threads: usize,
+    /// Open-connection cap; the acceptor stops accepting at the cap.
+    pub max_conns: usize,
+    /// A connection must complete a request within this window (measured
+    /// from accept or from its previous completed request) or it is
+    /// closed — one knob covering both idle keep-alive and slowloris.
+    pub read_deadline: Duration,
+    /// Per-connection input buffer cap; must exceed the largest request
+    /// the protocol driver accepts.
+    pub max_buffer: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            loop_threads: 4,
+            dispatch_threads: 8,
+            max_conns: 1024,
+            read_deadline: Duration::from_secs(30),
+            max_buffer: 32 * 1024 * 1024,
+        }
+    }
+}
+
+/// Sweep read cap per connection so one firehose peer cannot starve the
+/// rest of the sweep (the loop re-sweeps immediately while progressing).
+const READ_SLICE: usize = 256 * 1024;
+
+/// Adaptive park: start here after a busy sweep…
+const PARK_MIN: Duration = Duration::from_micros(500);
+/// …and back off to here when idle. Bounds worst-case first-byte
+/// latency for data that arrives while parked (no readiness syscall).
+const PARK_MAX: Duration = Duration::from_millis(4);
+
+enum Mail {
+    NewConn(u64, TcpStream, Box<dyn Driver>),
+    Complete {
+        conn: u64,
+        bytes: Vec<u8>,
+        keep_alive: bool,
+    },
+    Shutdown,
+}
+
+/// Cross-thread postbox: one mailbox + waker address per loop thread.
+struct Router {
+    mailboxes: Vec<Mutex<VecDeque<Mail>>>,
+    waker_addrs: Vec<SocketAddr>,
+    wake_tx: UdpSocket,
+}
+
+impl Router {
+    fn post(&self, idx: usize, mail: Mail) {
+        self.mailboxes[idx]
+            .lock()
+            .expect("mailbox poisoned")
+            .push_back(mail);
+        self.wake(idx);
+    }
+
+    fn wake(&self, idx: usize) {
+        let _ = self.wake_tx.send_to(&[1], self.waker_addrs[idx]);
+    }
+}
+
+/// The connection-cap gate shared by the acceptor (waits) and the loop
+/// threads (decrement + notify on close).
+struct Gate {
+    open: Mutex<usize>,
+    changed: Condvar,
+}
+
+struct DispatchJob {
+    loop_idx: usize,
+    conn: u64,
+    f: DispatchFn,
+}
+
+struct DispatchShared {
+    queue: Mutex<VecDeque<DispatchJob>>,
+    ready: Condvar,
+    stop: AtomicBool,
+}
+
+struct Conn {
+    stream: TcpStream,
+    driver: Box<dyn Driver>,
+    input: Vec<u8>,
+    output: Vec<u8>,
+    out_pos: usize,
+    busy: bool,
+    closing: bool,
+    read_closed: bool,
+    stalled: bool,
+    last_request: Instant,
+}
+
+impl Conn {
+    fn queue_output(&mut self, bytes: Vec<u8>) {
+        if self.output.is_empty() {
+            self.output = bytes;
+            self.out_pos = 0;
+        } else {
+            self.output.extend_from_slice(&bytes);
+        }
+    }
+
+    fn output_drained(&self) -> bool {
+        self.out_pos >= self.output.len()
+    }
+}
+
+/// A running readiness-driven server. Dropping it shuts everything down.
+pub struct NetServer {
+    local_addr: SocketAddr,
+    stats: Arc<NetStats>,
+    router: Arc<Router>,
+    gate: Arc<Gate>,
+    dispatch: Arc<DispatchShared>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `addr` and starts the acceptor, loop, and dispatcher
+    /// threads.
+    pub fn serve<A: ToSocketAddrs>(
+        addr: A,
+        factory: Arc<dyn DriverFactory>,
+        config: NetConfig,
+    ) -> std::io::Result<NetServer> {
+        NetServer::serve_with_stats(addr, factory, config, Arc::new(NetStats::default()))
+    }
+
+    /// [`serve`](Self::serve) with caller-provided counters, so a
+    /// protocol driver that refuses requests itself (rate limiting, load
+    /// shedding) can record into the same [`NetStats`] the server
+    /// updates — one coherent report per server.
+    pub fn serve_with_stats<A: ToSocketAddrs>(
+        addr: A,
+        factory: Arc<dyn DriverFactory>,
+        config: NetConfig,
+        stats: Arc<NetStats>,
+    ) -> std::io::Result<NetServer> {
+        crate::metrics::describe_metrics();
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let loop_threads = config.loop_threads.max(1);
+        let dispatch_threads = config.dispatch_threads.max(1);
+        let max_conns = config.max_conns.max(1);
+        let stop = Arc::new(AtomicBool::new(false));
+        let gate = Arc::new(Gate {
+            open: Mutex::new(0),
+            changed: Condvar::new(),
+        });
+        let dispatch = Arc::new(DispatchShared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+
+        // One waker socket per loop thread; the router keeps a shared
+        // sender. Loopback UDP only — nothing leaves the host.
+        let mut wakers = Vec::with_capacity(loop_threads);
+        let mut waker_addrs = Vec::with_capacity(loop_threads);
+        for _ in 0..loop_threads {
+            let sock = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0))?;
+            waker_addrs.push(sock.local_addr()?);
+            wakers.push(sock);
+        }
+        let router = Arc::new(Router {
+            mailboxes: (0..loop_threads)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            waker_addrs,
+            wake_tx: UdpSocket::bind((Ipv4Addr::LOCALHOST, 0))?,
+        });
+
+        let mut threads = Vec::new();
+        for (idx, waker) in wakers.into_iter().enumerate() {
+            let router = Arc::clone(&router);
+            let gate = Arc::clone(&gate);
+            let stats = Arc::clone(&stats);
+            let dispatch = Arc::clone(&dispatch);
+            let cfg = config.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("qnet-loop-{idx}"))
+                    .spawn(move || event_loop(idx, waker, router, gate, stats, dispatch, cfg))
+                    .expect("spawn loop thread"),
+            );
+        }
+        for idx in 0..dispatch_threads {
+            let dispatch = Arc::clone(&dispatch);
+            let router = Arc::clone(&router);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("qnet-dispatch-{idx}"))
+                    .spawn(move || dispatch_loop(dispatch, router))
+                    .expect("spawn dispatch thread"),
+            );
+        }
+        {
+            let router = Arc::clone(&router);
+            let gate = Arc::clone(&gate);
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("qnet-accept".into())
+                    .spawn(move || {
+                        accept_loop(
+                            listener,
+                            factory,
+                            router,
+                            gate,
+                            stats,
+                            stop,
+                            max_conns,
+                            loop_threads,
+                        )
+                    })
+                    .expect("spawn accept thread"),
+            );
+        }
+
+        Ok(NetServer {
+            local_addr,
+            stats,
+            router,
+            gate,
+            dispatch,
+            stop,
+            threads,
+        })
+    }
+
+    /// The bound address (resolves `:0` ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// This server's connection counters.
+    pub fn stats(&self) -> Arc<NetStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Stops accepting, closes every connection, and joins all threads.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, SeqCst) {
+            return;
+        }
+        // Unblock the acceptor: the cap gate first, then a throwaway
+        // connection in case it is parked inside accept().
+        self.gate.changed.notify_all();
+        let target = match self.local_addr.ip() {
+            ip if ip.is_unspecified() => match ip {
+                IpAddr::V4(_) => {
+                    SocketAddr::new(Ipv4Addr::LOCALHOST.into(), self.local_addr.port())
+                }
+                IpAddr::V6(_) => {
+                    SocketAddr::new(std::net::Ipv6Addr::LOCALHOST.into(), self.local_addr.port())
+                }
+            },
+            _ => self.local_addr,
+        };
+        let _ = TcpStream::connect_timeout(&target, Duration::from_millis(200));
+        for idx in 0..self.router.mailboxes.len() {
+            self.router.post(idx, Mail::Shutdown);
+        }
+        self.dispatch.stop.store(true, SeqCst);
+        self.dispatch.ready.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn accept_loop(
+    listener: TcpListener,
+    factory: Arc<dyn DriverFactory>,
+    router: Arc<Router>,
+    gate: Arc<Gate>,
+    stats: Arc<NetStats>,
+    stop: Arc<AtomicBool>,
+    max_conns: usize,
+    loop_threads: usize,
+) {
+    let mut next_id: u64 = 0;
+    loop {
+        // Cap gate BEFORE accept: at the cap we stop accepting entirely
+        // and let the kernel backlog hold excess connections.
+        {
+            let mut open = gate.open.lock().expect("gate poisoned");
+            while *open >= max_conns && !stop.load(SeqCst) {
+                let (guard, _) = gate
+                    .changed
+                    .wait_timeout(open, Duration::from_millis(100))
+                    .expect("gate poisoned");
+                open = guard;
+            }
+        }
+        if stop.load(SeqCst) {
+            return;
+        }
+        let (stream, peer) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                if stop.load(SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if stop.load(SeqCst) {
+            return; // the wake-up connection from shutdown()
+        }
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        let _ = stream.set_nodelay(true);
+        *gate.open.lock().expect("gate poisoned") += 1;
+        stats.conn_opened();
+        // Driver construction happens here (acceptor thread) so the loop
+        // sweep never runs user setup code.
+        let driver = factory.make(peer);
+        let id = next_id;
+        next_id += 1;
+        router.post(
+            (id as usize) % loop_threads,
+            Mail::NewConn(id, stream, driver),
+        );
+    }
+}
+
+fn close_conn(gate: &Gate, stats: &NetStats) {
+    {
+        let mut open = gate.open.lock().expect("gate poisoned");
+        *open = open.saturating_sub(1);
+    }
+    gate.changed.notify_all();
+    stats.conn_closed();
+}
+
+fn event_loop(
+    idx: usize,
+    waker: UdpSocket,
+    router: Arc<Router>,
+    gate: Arc<Gate>,
+    stats: Arc<NetStats>,
+    dispatch: Arc<DispatchShared>,
+    cfg: NetConfig,
+) {
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut scratch = vec![0u8; 16 * 1024];
+    let mut actions: Vec<Action> = Vec::new();
+    let mut dead: Vec<u64> = Vec::new();
+    let mut park = PARK_MIN;
+    let mut wake_buf = [0u8; 8];
+
+    'outer: loop {
+        // 1. Mailbox: new connections, dispatch completions, shutdown.
+        let mail: Vec<Mail> = {
+            let mut mbox = router.mailboxes[idx].lock().expect("mailbox poisoned");
+            mbox.drain(..).collect()
+        };
+        for m in mail {
+            match m {
+                Mail::NewConn(id, stream, driver) => {
+                    conns.insert(
+                        id,
+                        Conn {
+                            stream,
+                            driver,
+                            input: Vec::new(),
+                            output: Vec::new(),
+                            out_pos: 0,
+                            busy: false,
+                            closing: false,
+                            read_closed: false,
+                            stalled: false,
+                            last_request: Instant::now(),
+                        },
+                    );
+                }
+                Mail::Complete {
+                    conn,
+                    bytes,
+                    keep_alive,
+                } => {
+                    if let Some(c) = conns.get_mut(&conn) {
+                        c.busy = false;
+                        c.last_request = Instant::now();
+                        if bytes.is_empty() {
+                            // Dispatch panicked inside qnet: nothing sane
+                            // to send; drop the connection.
+                            c.closing = true;
+                        } else {
+                            c.queue_output(bytes);
+                        }
+                        if !keep_alive {
+                            c.closing = true;
+                        }
+                        // Pipelined bytes that arrived with the previous
+                        // request are replayed now.
+                        if !c.closing && !c.input.is_empty() {
+                            run_driver(conn, c, &dispatch, idx, &mut actions);
+                        }
+                    }
+                }
+                Mail::Shutdown => break 'outer,
+            }
+        }
+
+        // 2. Sweep every connection: read → driver → flush → reap.
+        let now = Instant::now();
+        let mut progress = false;
+        for (&id, c) in conns.iter_mut() {
+            // Read while the driver is ready for more input.
+            if !c.busy && !c.closing && !c.read_closed && c.input.len() < cfg.max_buffer {
+                let mut got = 0usize;
+                loop {
+                    match c.stream.read(&mut scratch) {
+                        Ok(0) => {
+                            c.read_closed = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            c.input.extend_from_slice(&scratch[..n]);
+                            got += n;
+                            if got >= READ_SLICE || c.input.len() >= cfg.max_buffer {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            c.read_closed = true;
+                            c.closing = true;
+                            break;
+                        }
+                    }
+                }
+                if got > 0 {
+                    progress = true;
+                    run_driver(id, c, &dispatch, idx, &mut actions);
+                }
+            }
+
+            // Flush buffered output without blocking.
+            if !c.output_drained() {
+                loop {
+                    match c.stream.write(&c.output[c.out_pos..]) {
+                        Ok(0) => {
+                            c.closing = true;
+                            c.output.clear();
+                            c.out_pos = 0;
+                            break;
+                        }
+                        Ok(n) => {
+                            c.out_pos += n;
+                            progress = true;
+                            if c.output_drained() {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            if !c.stalled {
+                                c.stalled = true;
+                                stats.write_stall();
+                            }
+                            break;
+                        }
+                        Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            c.closing = true;
+                            c.output.clear();
+                            c.out_pos = 0;
+                            break;
+                        }
+                    }
+                }
+                if c.output_drained() {
+                    c.output.clear();
+                    c.out_pos = 0;
+                    c.stalled = false;
+                }
+            }
+
+            // Reap: explicit close after flush, or a peer that went away.
+            if c.closing && c.output_drained() && !c.busy {
+                dead.push(id);
+                continue;
+            }
+            if c.read_closed && !c.busy && c.input.is_empty() && c.output_drained() {
+                dead.push(id);
+                continue;
+            }
+            // Read deadline: anchored to the last *completed* request, so
+            // both a slowloris trickle and an idle keep-alive connection
+            // hit it. Connections waiting on a dispatched job or still
+            // draining a response are exempt.
+            if !c.busy
+                && c.output_drained()
+                && now.duration_since(c.last_request) > cfg.read_deadline
+            {
+                stats.deadline_close();
+                dead.push(id);
+            }
+        }
+        for id in dead.drain(..) {
+            if conns.remove(&id).is_some() {
+                close_conn(&gate, &stats);
+            }
+        }
+
+        // 3. Park. Progress resets the backoff; otherwise double it up
+        // to PARK_MAX. A waker datagram (completion, new conn) ends the
+        // park early.
+        if progress {
+            park = PARK_MIN;
+        } else {
+            park = (park * 2).min(PARK_MAX);
+            let _ = waker.set_read_timeout(Some(park));
+            let _ = waker.recv_from(&mut wake_buf);
+        }
+    }
+
+    // Shutdown: every owned connection closes now.
+    for (_, _c) in conns.drain() {
+        close_conn(&gate, &stats);
+    }
+}
+
+/// Runs the driver over the connection's buffered input and applies the
+/// resulting actions.
+fn run_driver(
+    id: u64,
+    c: &mut Conn,
+    dispatch: &DispatchShared,
+    loop_idx: usize,
+    actions: &mut Vec<Action>,
+) {
+    debug_assert!(actions.is_empty());
+    c.driver.on_data(&mut c.input, actions);
+    for action in actions.drain(..) {
+        match action {
+            Action::Interim(bytes) => c.queue_output(bytes),
+            Action::Respond { bytes, keep_alive } => {
+                c.queue_output(bytes);
+                c.last_request = Instant::now();
+                if !keep_alive {
+                    c.closing = true;
+                }
+            }
+            Action::Dispatch(f) => {
+                c.busy = true;
+                c.last_request = Instant::now();
+                let mut queue = dispatch.queue.lock().expect("dispatch queue poisoned");
+                queue.push_back(DispatchJob {
+                    loop_idx,
+                    conn: id,
+                    f,
+                });
+                drop(queue);
+                dispatch.ready.notify_one();
+            }
+            Action::Close => c.closing = true,
+        }
+    }
+}
+
+fn dispatch_loop(shared: Arc<DispatchShared>, router: Arc<Router>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("dispatch queue poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.stop.load(SeqCst) {
+                    return;
+                }
+                queue = shared.ready.wait(queue).expect("dispatch queue poisoned");
+            }
+        };
+        // A panic here is a driver bug (drivers wrap handler panics
+        // themselves); answer by closing the connection.
+        let (bytes, keep_alive) =
+            catch_unwind(AssertUnwindSafe(|| (job.f)())).unwrap_or((Vec::new(), false));
+        router.post(
+            job.loop_idx,
+            Mail::Complete {
+                conn: job.conn,
+                bytes,
+                keep_alive,
+            },
+        );
+    }
+}

@@ -38,7 +38,7 @@ use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Client-side knobs for one [`RemoteStore`]. The defaults suit a
@@ -344,6 +344,11 @@ pub struct CacheServerConfig {
     /// handlers (the executor is shared, so this is a floor, not a
     /// partition).
     pub conn_workers: usize,
+    /// Open-connection cap. At the cap the acceptor stops calling
+    /// `accept`, so further clients queue in the kernel backlog
+    /// (backpressure) instead of being served or refused. `0` means
+    /// unlimited.
+    pub max_conns: usize,
 }
 
 impl Default for CacheServerConfig {
@@ -351,6 +356,7 @@ impl Default for CacheServerConfig {
         CacheServerConfig {
             read_timeout: Duration::from_secs(30),
             conn_workers: 4,
+            max_conns: 256,
         }
     }
 }
@@ -370,6 +376,9 @@ struct Served {
     /// in-flight handlers loose instead of letting them serve pooled
     /// client connections past the server's death.
     conns: Mutex<HashMap<u64, TcpStream>>,
+    /// Signaled whenever a connection handler exits, so an acceptor
+    /// parked at `max_conns` can re-check for a free slot.
+    conn_released: Condvar,
     stop: AtomicBool,
 }
 
@@ -386,6 +395,7 @@ impl Drop for ConnGuard<'_> {
             .lock()
             .expect("conns poisoned")
             .remove(&self.id);
+        self.served.conn_released.notify_one();
     }
 }
 
@@ -414,6 +424,7 @@ impl CacheServer {
             store,
             versions: Mutex::new(HashMap::new()),
             conns: Mutex::new(HashMap::new()),
+            conn_released: Condvar::new(),
             stop: AtomicBool::new(false),
         });
         qexec::reserve_workers(cfg.conn_workers);
@@ -471,6 +482,23 @@ impl Drop for CacheServer {
 fn accept_loop(listener: TcpListener, served: Arc<Served>, cfg: CacheServerConfig) {
     let mut next_id = 0u64;
     loop {
+        // Gate BEFORE accept: at the cap the acceptor parks, so excess
+        // clients wait in the kernel backlog (backpressure) rather than
+        // being served past the cap or actively refused. The timeout
+        // keeps the park responsive to `shutdown`.
+        if cfg.max_conns > 0 {
+            let mut conns = served.conns.lock().expect("conns poisoned");
+            while conns.len() >= cfg.max_conns && !served.stop.load(Relaxed) {
+                let (guard, _) = served
+                    .conn_released
+                    .wait_timeout(conns, Duration::from_millis(100))
+                    .expect("conns poisoned");
+                conns = guard;
+            }
+            if served.stop.load(Relaxed) {
+                break;
+            }
+        }
         match listener.accept() {
             Ok((stream, peer)) => {
                 if served.stop.load(Relaxed) {

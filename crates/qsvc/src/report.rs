@@ -182,6 +182,7 @@ pub fn stats_report(
         segment_cache: segment_cache_report(&stats.seg_cache),
         executor: executor_report(&stats.executor),
         jobs_tracked: None,
+        frontend: None,
     }
 }
 

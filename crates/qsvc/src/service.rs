@@ -1343,6 +1343,14 @@ impl OptimizationService {
         }
     }
 
+    /// Jobs currently sitting in the FIFO queue waiting for a worker
+    /// (excludes running jobs and coalesced waiters). Cheap enough to
+    /// probe per request: the serving edge's load shedder compares this
+    /// against its `--shed-queue-depth` threshold before enqueueing.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.lock().expect("job queue poisoned").len()
+    }
+
     /// The result store this service memoizes into.
     pub fn store(&self) -> &Arc<dyn ResultStore> {
         &self.inner.store

@@ -468,3 +468,52 @@ fn second_replica_answers_from_the_shared_cache_with_zero_oracle_calls() {
     let remote = tiers.iter().find(|t| t.tier == "remote").unwrap();
     assert_eq!(remote.hits, 1);
 }
+
+// ---------------------------------------------------------------------------
+// Connection cap (admission control)
+// ---------------------------------------------------------------------------
+
+/// `max_conns` gates *before* `accept`: excess clients wait in the kernel
+/// backlog instead of being served or reset, and are admitted the moment
+/// a slot frees — accept backpressure, not refusal.
+#[test]
+fn connection_cap_defers_accepts_until_a_slot_frees() {
+    let server = CacheServer::serve(
+        "127.0.0.1:0",
+        Arc::new(MemoryStore::new(64, 2)),
+        CacheServerConfig {
+            max_conns: 1,
+            ..CacheServerConfig::default()
+        },
+    )
+    .expect("bind capped server");
+    let addr = server.local_addr().to_string();
+
+    // Connection A occupies the only slot (proved live by a ping).
+    let mut a = TcpStream::connect(&addr).unwrap();
+    wire::write_frame(&mut a, &Frame::empty(Op::Ping)).unwrap();
+    assert_eq!(wire::read_frame(&mut a).unwrap().op, Op::Pong);
+
+    // Connection B lands in the kernel backlog: the TCP connect succeeds,
+    // but the server must not answer while A holds the slot.
+    let mut b = TcpStream::connect(&addr).unwrap();
+    wire::write_frame(&mut b, &Frame::empty(Op::Ping)).unwrap();
+    b.set_read_timeout(Some(Duration::from_millis(300)))
+        .unwrap();
+    let mut probe = [0u8; 1];
+    match b.read(&mut probe) {
+        Err(e) => assert!(
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            "expected a read timeout while capped, got: {e}"
+        ),
+        Ok(n) => panic!("capped server must not serve B yet (read {n} bytes)"),
+    }
+
+    // A hangs up; its slot frees and the queued B is served.
+    drop(a);
+    b.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    assert_eq!(wire::read_frame(&mut b).unwrap().op, Op::Pong);
+}
