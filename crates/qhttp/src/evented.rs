@@ -12,10 +12,18 @@
 //!
 //! Admission control order, per parsed request:
 //!
+//! 0. **Headers-complete pre-check** — for a request that still has a
+//!    body to upload, the rate-limit and shed decisions run as soon as
+//!    the headers finish, *before* the parser's `100 Continue` interim
+//!    or any body buffering: a refused client gets its 429/503
+//!    immediately instead of an invitation to upload `MAX_BODY_BYTES`
+//!    first. The unread body makes the connection's framing unusable,
+//!    so these early refusals close the connection.
 //! 1. **Rate limit** — the per-peer-IP token bucket (`--rate-limit`).
 //!    A refusal answers 429 `rate_limited` with a computed
-//!    `Retry-After`, keeps the connection alive, and counts into
-//!    `popqc_net_rate_limited_total`.
+//!    `Retry-After`, keeps the connection alive (bodyless requests),
+//!    and counts into `popqc_net_rate_limited_total`. A request
+//!    admitted at the pre-check is not charged a second token here.
 //! 2. **Load shedding** — requests that would enqueue oracle work
 //!    (`POST /v1/optimize`, `POST /v1/batch`) are refused with 503
 //!    `overloaded` + `Retry-After` when the service's job queue is at
@@ -160,6 +168,7 @@ impl DriverFactory for HttpDriverFactory {
             limiter: Arc::clone(&self.limiter),
             shed_queue_depth: self.shed_queue_depth,
             stats: Arc::clone(&self.stats),
+            rate_admitted: false,
         })
     }
 }
@@ -173,6 +182,9 @@ struct HttpDriver {
     limiter: Arc<RateLimiter>,
     shed_queue_depth: usize,
     stats: Arc<NetStats>,
+    /// The in-flight request already paid its rate-limit token at the
+    /// headers-complete pre-check; don't charge it again at `Done`.
+    rate_admitted: bool,
 }
 
 /// Serializes a response into bytes for the connection's output buffer.
@@ -185,39 +197,70 @@ fn serialize(resp: &Response, keep_alive: bool) -> Vec<u8> {
 
 /// Whether this request would enqueue oracle work — the only traffic
 /// load shedding applies to.
-fn enqueues_work(req: &Request) -> bool {
-    req.method == "POST" && matches!(req.path.as_str(), "/v1/optimize" | "/v1/batch")
+fn enqueues_work(method: &str, path: &str) -> bool {
+    method == "POST" && matches!(path, "/v1/optimize" | "/v1/batch")
 }
 
 impl HttpDriver {
+    /// The 429 for `peer`'s bucket, with its computed `Retry-After`.
+    fn rate_limit_refusal(&self) -> Response {
+        self.stats.rate_limit_hit();
+        let secs = self.limiter.retry_after_secs(self.peer.ip());
+        let e = ApiError::RateLimited(format!("per-peer rate limit exceeded; retry in {secs}s"));
+        Response::json(e.http_status(), &e.to_json()).with_header("Retry-After", secs.to_string())
+    }
+
+    /// The 503 for a shed work-enqueueing request.
+    fn shed_refusal(&self) -> Response {
+        self.stats.shed();
+        let e = ApiError::Overloaded(format!(
+            "job queue is at the shed threshold ({}); retry later",
+            self.shed_queue_depth
+        ));
+        crate::api::error(&e)
+    }
+
+    /// Whether the shed predicate refuses `method path` right now.
+    fn sheds(&self, method: &str, path: &str) -> bool {
+        self.shed_queue_depth > 0
+            && enqueues_work(method, path)
+            && self.state.service().queue_depth() >= self.shed_queue_depth
+    }
+
+    /// The headers-complete pre-check for a request with a body still
+    /// to arrive: admission runs *before* the parser emits the
+    /// `100 Continue` interim or buffers a single body byte. Returns
+    /// the refusal response, or `None` if the request may proceed (a
+    /// consumed rate token is remembered in `rate_admitted`).
+    fn refuse_before_body(&mut self) -> Option<Response> {
+        if self.limiter.enabled() && !self.rate_admitted {
+            if self.limiter.admit(self.peer.ip()) {
+                self.rate_admitted = true;
+            } else {
+                return Some(self.rate_limit_refusal());
+            }
+        }
+        if self.sheds(self.parser.head_method(), self.parser.head_path()) {
+            return Some(self.shed_refusal());
+        }
+        None
+    }
+
     /// Decides one parsed request's fate. Returns `true` when the
     /// request was dispatched (the connection is now busy and the driver
     /// must stop consuming input).
     fn handle_request(&mut self, req: Request, out: &mut Vec<Action>) -> bool {
-        if self.limiter.enabled() && !self.limiter.admit(self.peer.ip()) {
-            self.stats.rate_limit_hit();
-            let secs = self.limiter.retry_after_secs(self.peer.ip());
-            let e =
-                ApiError::RateLimited(format!("per-peer rate limit exceeded; retry in {secs}s"));
-            let resp = Response::json(e.http_status(), &e.to_json())
-                .with_header("Retry-After", secs.to_string());
+        let rate_admitted = std::mem::take(&mut self.rate_admitted);
+        if self.limiter.enabled() && !rate_admitted && !self.limiter.admit(self.peer.ip()) {
             out.push(Action::Respond {
-                bytes: serialize(&resp, req.keep_alive),
+                bytes: serialize(&self.rate_limit_refusal(), req.keep_alive),
                 keep_alive: req.keep_alive,
             });
             return false;
         }
-        if self.shed_queue_depth > 0
-            && enqueues_work(&req)
-            && self.state.service().queue_depth() >= self.shed_queue_depth
-        {
-            self.stats.shed();
-            let e = ApiError::Overloaded(format!(
-                "job queue is at the shed threshold ({}); retry later",
-                self.shed_queue_depth
-            ));
+        if self.sheds(&req.method, &req.path) {
             out.push(Action::Respond {
-                bytes: serialize(&crate::api::error(&e), req.keep_alive),
+                bytes: serialize(&self.shed_refusal(), req.keep_alive),
                 keep_alive: req.keep_alive,
             });
             return false;
@@ -282,6 +325,24 @@ impl Driver for HttpDriver {
             input.drain(..consumed);
             match step {
                 ParseStep::NeedMore => return,
+                ParseStep::HeadersDone => {
+                    // Admission pre-check before the body: a refused
+                    // client must not be invited (via 100 Continue) to
+                    // upload its payload first. The unread body makes
+                    // the framing unusable, so the refusal closes the
+                    // connection. Bodyless requests reach `Done`
+                    // immediately and are checked there instead.
+                    if self.parser.body_expected() {
+                        if let Some(resp) = self.refuse_before_body() {
+                            input.clear();
+                            out.push(Action::Respond {
+                                bytes: serialize(&resp, false),
+                                keep_alive: false,
+                            });
+                            return;
+                        }
+                    }
+                }
                 // The parser has a zero-input transition queued after an
                 // interim response, so loop again even with empty input.
                 ParseStep::Interim(bytes) => out.push(Action::Interim(bytes.to_vec())),

@@ -94,6 +94,16 @@ impl Request {
 pub enum ParseStep {
     /// The buffered bytes do not complete a request yet; feed more.
     NeedMore,
+    /// The header section just completed; no body byte has been
+    /// consumed and no `100 Continue` interim has been emitted yet.
+    /// This is the admission-control hook: a caller that wants to
+    /// refuse the request *before* inviting or buffering its body
+    /// (rate limiting, load shedding) decides here, using
+    /// [`RequestParser::head_method`], [`RequestParser::head_path`],
+    /// and [`RequestParser::body_expected`]. Call `advance` again to
+    /// continue — the parser has more state transitions to run even if
+    /// no new bytes arrived.
+    HeadersDone,
     /// Write these bytes to the peer (the `100 Continue` interim
     /// response), then call `advance` again — the parser has more state
     /// transitions to run even if no new bytes arrived.
@@ -168,6 +178,33 @@ impl RequestParser {
         matches!(self.state, ParseState::RequestLine) && self.line.is_empty()
     }
 
+    /// The in-flight request's method — valid from
+    /// [`ParseStep::HeadersDone`] until [`ParseStep::Done`].
+    pub fn head_method(&self) -> &str {
+        &self.method
+    }
+
+    /// The in-flight request's path (query string stripped) — valid from
+    /// [`ParseStep::HeadersDone`] until [`ParseStep::Done`].
+    pub fn head_path(&self) -> &str {
+        &self.path
+    }
+
+    /// Whether the request whose headers just completed still has body
+    /// bytes to arrive (or expects a `100 Continue` invitation to send
+    /// them). A header-presence heuristic, deliberately conservative:
+    /// full framing validation still happens on the next `advance`.
+    /// Only meaningful right after [`ParseStep::HeadersDone`].
+    pub fn body_expected(&self) -> bool {
+        self.header("Transfer-Encoding").is_some()
+            || self
+                .header("Content-Length")
+                .is_some_and(|cl| cl.trim() != "0")
+            || self
+                .header("Expect")
+                .is_some_and(|e| e.eq_ignore_ascii_case("100-continue"))
+    }
+
     /// The error a mid-request EOF amounts to, matching the blocking
     /// reader's messages state for state.
     pub fn eof_error(&self) -> HttpError {
@@ -203,7 +240,10 @@ impl RequestParser {
                 },
                 ParseState::Headers => match self.take_line(input, &mut pos)? {
                     None => return Ok((pos, ParseStep::NeedMore)),
-                    Some(line) if line.is_empty() => self.state = ParseState::BodyStart,
+                    Some(line) if line.is_empty() => {
+                        self.state = ParseState::BodyStart;
+                        return Ok((pos, ParseStep::HeadersDone));
+                    }
                     Some(line) => {
                         let (name, value) = line
                             .split_once(':')
@@ -529,22 +569,24 @@ pub fn read_request(
         }
         // Consume exactly what the parser took: pipelined bytes beyond
         // this request stay in the BufRead for the next call.
-        let (consumed, step) = parser.advance(buf)?;
+        let (consumed, mut step) = parser.advance(buf)?;
         r.consume(consumed);
-        match step {
-            ParseStep::NeedMore => {}
-            ParseStep::Interim(bytes) => {
-                w.write_all(bytes)?;
-                w.flush()?;
-                // The parser may finish without further input (e.g. an
-                // empty or absent body after the interim).
-                let (more, next) = parser.advance(&[])?;
-                debug_assert_eq!(more, 0);
-                if let ParseStep::Done(req) = next {
-                    return Ok(Some(req));
+        // Drain the zero-input transitions (HeadersDone → Interim →
+        // Done for a bodyless request) before blocking on more input —
+        // the peer may already have sent everything it will send.
+        loop {
+            match step {
+                ParseStep::NeedMore => break,
+                ParseStep::Done(req) => return Ok(Some(req)),
+                ParseStep::HeadersDone => {}
+                ParseStep::Interim(bytes) => {
+                    w.write_all(bytes)?;
+                    w.flush()?;
                 }
             }
-            ParseStep::Done(req) => return Ok(Some(req)),
+            let (more, next) = parser.advance(&[])?;
+            debug_assert_eq!(more, 0);
+            step = next;
         }
     }
 }
@@ -811,6 +853,7 @@ mod tests {
             buf.drain(..consumed);
             match step {
                 ParseStep::Done(req) => return Ok((req, interim)),
+                ParseStep::HeadersDone => {}
                 ParseStep::Interim(bytes) => interim.extend_from_slice(bytes),
                 ParseStep::NeedMore => {
                     assert!(buf.is_empty(), "NeedMore must consume everything");
@@ -858,25 +901,61 @@ mod tests {
         assert_eq!(interim, b"HTTP/1.1 100 Continue\r\n\r\n");
     }
 
+    /// Advances through the zero-input steps (HeadersDone, Interim)
+    /// until `Done`, returning how much of `input` was consumed.
+    fn drive(parser: &mut RequestParser, input: &[u8]) -> (usize, Request) {
+        let mut consumed = 0;
+        loop {
+            let (n, step) = parser.advance(&input[consumed..]).unwrap();
+            consumed += n;
+            match step {
+                ParseStep::Done(r) => return (consumed, r),
+                ParseStep::NeedMore => panic!("parser starved at {consumed}"),
+                ParseStep::HeadersDone | ParseStep::Interim(_) => {}
+            }
+        }
+    }
+
     #[test]
     fn incremental_parser_leaves_pipelined_bytes_unconsumed() {
         let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
         let mut parser = RequestParser::new();
-        let (consumed, step) = parser.advance(raw).unwrap();
-        let req = match step {
-            ParseStep::Done(r) => r,
-            other => panic!("expected Done, got {other:?}"),
-        };
+        let (consumed, req) = drive(&mut parser, raw);
         assert_eq!(req.path, "/a");
         assert!(consumed < raw.len(), "second request must stay buffered");
         // The same parser instance, reset by `finish`, parses the rest.
-        let (consumed2, step) = parser.advance(&raw[consumed..]).unwrap();
-        let req = match step {
-            ParseStep::Done(r) => r,
-            other => panic!("expected Done, got {other:?}"),
-        };
+        let (consumed2, req) = drive(&mut parser, &raw[consumed..]);
         assert_eq!(req.path, "/b");
         assert_eq!(consumed + consumed2, raw.len());
+    }
+
+    #[test]
+    fn headers_done_precedes_the_interim_and_exposes_the_head() {
+        // The admission hook must fire BEFORE the 100 Continue interim —
+        // a refused client must not be invited to upload its body.
+        let raw = b"POST /v1/optimize?omega=80 HTTP/1.1\r\nHost: t\r\n\
+                    Expect: 100-continue\r\nContent-Length: 2\r\n\r\n";
+        let mut parser = RequestParser::new();
+        let (consumed, step) = parser.advance(raw).unwrap();
+        assert_eq!(consumed, raw.len());
+        assert!(matches!(step, ParseStep::HeadersDone), "got {step:?}");
+        assert_eq!(parser.head_method(), "POST");
+        assert_eq!(parser.head_path(), "/v1/optimize");
+        assert!(parser.body_expected());
+        let (_, step) = parser.advance(&[]).unwrap();
+        assert!(matches!(step, ParseStep::Interim(_)), "got {step:?}");
+
+        // Bodyless requests report no body to wait for.
+        let mut parser = RequestParser::new();
+        let (_, step) = parser.advance(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert!(matches!(step, ParseStep::HeadersDone), "got {step:?}");
+        assert!(!parser.body_expected());
+        let mut parser = RequestParser::new();
+        let (_, step) = parser
+            .advance(b"POST /x HTTP/1.1\r\nContent-Length: 0\r\n\r\n")
+            .unwrap();
+        assert!(matches!(step, ParseStep::HeadersDone), "got {step:?}");
+        assert!(!parser.body_expected());
     }
 
     #[test]
@@ -900,14 +979,17 @@ mod tests {
         }
         assert!(crossed, "oversized line must be rejected without a newline");
 
-        // Declared oversized body is refused at the framing decision.
+        // Declared oversized body is refused at the framing decision
+        // (the step after the headers-complete admission hook).
         let raw = format!(
             "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
             MAX_BODY_BYTES + 1
         );
         let mut parser = RequestParser::new();
+        let (n, step) = parser.advance(raw.as_bytes()).unwrap();
+        assert!(matches!(step, ParseStep::HeadersDone), "got {step:?}");
         assert!(matches!(
-            parser.advance(raw.as_bytes()),
+            parser.advance(&raw.as_bytes()[n..]),
             Err(HttpError::PayloadTooLarge)
         ));
     }

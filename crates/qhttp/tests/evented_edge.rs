@@ -376,7 +376,9 @@ fn shed_answers_fast_503_with_retry_after_and_recovers() {
 
     // The queue is at (or past) the shed threshold: the next enqueueing
     // POST must be refused inline — fast, 503, Retry-After — while the
-    // gated jobs are still in flight.
+    // gated jobs are still in flight. (The refusal arrives at the
+    // headers-complete pre-check and closes the connection, since the
+    // body was never read.)
     let mut c = TcpStream::connect(addr).unwrap();
     let start = Instant::now();
     send_request(&mut c, "POST", "/v1/optimize", &circuits[3]);
@@ -395,6 +397,7 @@ fn shed_answers_fast_503_with_retry_after_and_recovers() {
     );
 
     // Reads are never shed: exactly what an operator needs mid-overload.
+    let mut c = TcpStream::connect(addr).unwrap();
     let (status, body) = roundtrip(&mut c, "GET", "/v1/stats", "");
     assert_eq!(status, 200, "body: {body}");
     assert!(
@@ -464,6 +467,66 @@ fn rate_limited_burst_gets_429_and_the_connection_survives() {
     std::thread::sleep(Duration::from_millis(700));
     let (status, body) = roundtrip(&mut c, "GET", "/healthz", "");
     assert_eq!(status, 200, "post-refill request: {body}");
+    assert!(server.stats().rate_limited() >= 1);
+    server.shutdown();
+}
+
+/// A refused client must not be invited to upload its body first: a
+/// rate-limited peer announcing a body with `Expect: 100-continue` gets
+/// its 429 at the headers-complete pre-check — no `100 Continue` interim,
+/// no body bytes read — and the connection closes (the unread body makes
+/// the framing unusable).
+#[test]
+fn rate_limited_body_upload_is_refused_before_100_continue() {
+    let state = Arc::new(AppState::new(service(1), 80));
+    let mut server = EventedServer::serve(
+        "127.0.0.1:0",
+        Arc::clone(&state),
+        EventedConfig {
+            rate_limit: 1.0, // burst budget of 1
+            ..EventedConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Burn the budget with a cheap request.
+    let mut warm = TcpStream::connect(addr).unwrap();
+    let (status, _) = roundtrip(&mut warm, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+
+    // Announce a large body and wait, as curl does for big uploads: the
+    // headers alone must draw the refusal.
+    let mut c = TcpStream::connect(addr).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(
+        c,
+        "POST /v1/optimize HTTP/1.1\r\nHost: t\r\nExpect: 100-continue\r\n\
+         Content-Length: 1000000\r\n\r\n"
+    )
+    .unwrap();
+    let (status, head, body) = read_response(&mut c);
+    assert_eq!(status, 429, "body: {body}");
+    assert!(body.contains("rate_limited"), "body: {body}");
+    assert!(
+        !head.contains("100 Continue"),
+        "a refused upload must not be invited to proceed: {head}"
+    );
+    assert!(
+        header_value(&head, "retry-after").is_some(),
+        "429 must carry Retry-After: {head}"
+    );
+    assert_eq!(
+        header_value(&head, "connection"),
+        Some("close"),
+        "an early refusal cannot keep the framing-poisoned connection: {head}"
+    );
+    let mut rest = Vec::new();
+    assert_eq!(
+        c.read_to_end(&mut rest).unwrap_or(0),
+        0,
+        "the server must close after the early refusal"
+    );
     assert!(server.stats().rate_limited() >= 1);
     server.shutdown();
 }

@@ -12,14 +12,27 @@ use std::net::IpAddr;
 use std::sync::Mutex;
 use std::time::Instant;
 
-/// Buckets above this count trigger a sweep of full (i.e. long-idle)
-/// buckets, bounding memory under peer churn without a background task.
+/// Floor for the sweep high-water mark: growing past it triggers a sweep
+/// of full (i.e. long-idle) buckets, bounding memory under peer churn
+/// without a background task.
 const SWEEP_THRESHOLD: usize = 4096;
 
 #[derive(Debug, Clone, Copy)]
 struct Bucket {
     tokens: f64,
     last: Instant,
+}
+
+/// The bucket map plus its sweep high-water mark, guarded together.
+#[derive(Debug)]
+struct Buckets {
+    map: HashMap<IpAddr, Bucket>,
+    /// Sweep only when the map has *grown* past this since the last
+    /// sweep. After a sweep the mark is raised to twice the surviving
+    /// (active) bucket count, so a map full of live peers pays the O(n)
+    /// retain once per doubling — not on every admit under the global
+    /// mutex the loop threads share.
+    sweep_at: usize,
 }
 
 /// A token-bucket rate limiter keyed by peer IP address.
@@ -29,7 +42,7 @@ struct Bucket {
 pub struct RateLimiter {
     rate: f64,
     burst: f64,
-    buckets: Mutex<HashMap<IpAddr, Bucket>>,
+    buckets: Mutex<Buckets>,
 }
 
 impl RateLimiter {
@@ -40,7 +53,10 @@ impl RateLimiter {
         RateLimiter {
             rate,
             burst: rate.max(1.0),
-            buckets: Mutex::new(HashMap::new()),
+            buckets: Mutex::new(Buckets {
+                map: HashMap::new(),
+                sweep_at: SWEEP_THRESHOLD,
+            }),
         }
     }
 
@@ -60,13 +76,14 @@ impl RateLimiter {
             return true;
         }
         let mut buckets = self.buckets.lock().expect("rate limiter poisoned");
-        if buckets.len() > SWEEP_THRESHOLD {
+        if buckets.map.len() > buckets.sweep_at {
             let (rate, burst) = (self.rate, self.burst);
-            buckets.retain(|_, b| {
+            buckets.map.retain(|_, b| {
                 (b.tokens + now.duration_since(b.last).as_secs_f64() * rate) < burst
             });
+            buckets.sweep_at = SWEEP_THRESHOLD.max(buckets.map.len() * 2);
         }
-        let bucket = buckets.entry(peer).or_insert(Bucket {
+        let bucket = buckets.map.entry(peer).or_insert(Bucket {
             tokens: self.burst,
             last: now,
         });
@@ -88,7 +105,7 @@ impl RateLimiter {
             return 0;
         }
         let buckets = self.buckets.lock().expect("rate limiter poisoned");
-        match buckets.get(&peer) {
+        match buckets.map.get(&peer) {
             Some(b) if b.tokens < 1.0 => (((1.0 - b.tokens) / self.rate).ceil() as u64).max(1),
             _ => 1,
         }
@@ -137,6 +154,41 @@ mod tests {
             assert!(limiter.admit_at(ip(3), t0));
         }
         assert_eq!(limiter.retry_after_secs(ip(3)), 0);
+    }
+
+    #[test]
+    fn sweep_is_amortized_over_active_buckets() {
+        let limiter = RateLimiter::new(1000.0);
+        let t0 = Instant::now();
+        // Fill past the threshold with *active* (non-full) buckets:
+        // every admit below takes a token, so nothing is sweepable.
+        for i in 0..(SWEEP_THRESHOLD + 2) {
+            let peer = IpAddr::V4(Ipv4Addr::from((i as u32) + 1));
+            assert!(limiter.admit_at(peer, t0));
+        }
+        let (len, sweep_at) = {
+            let b = limiter.buckets.lock().unwrap();
+            (b.map.len(), b.sweep_at)
+        };
+        assert_eq!(len, SWEEP_THRESHOLD + 2, "active buckets must survive");
+        assert!(
+            sweep_at > SWEEP_THRESHOLD && sweep_at >= 2 * (len - 1),
+            "the mark must double past the live count so steady-state \
+             admits skip the O(n) retain: sweep_at={sweep_at} len={len}"
+        );
+        // Idle buckets still get reclaimed once growth re-crosses the
+        // (raised) mark: after everyone refills to full, new-peer growth
+        // past sweep_at evicts them.
+        let t1 = t0 + Duration::from_secs(10);
+        for i in 0..(sweep_at + 1) {
+            let peer = IpAddr::V4(Ipv4Addr::from(0x0a00_0000 + i as u32));
+            assert!(limiter.admit_at(peer, t1));
+        }
+        let len_after = limiter.buckets.lock().unwrap().map.len();
+        assert!(
+            len_after <= sweep_at + 1,
+            "idle buckets from the first wave must be swept: {len_after}"
+        );
     }
 
     #[test]

@@ -94,9 +94,15 @@ pub struct NetConfig {
     /// A connection must complete a request within this window (measured
     /// from accept or from its previous completed request) or it is
     /// closed — one knob covering both idle keep-alive and slowloris.
+    /// The same window bounds write stalls: a peer whose responses make
+    /// no write progress for this long (it stopped reading) is closed
+    /// too.
     pub read_deadline: Duration,
     /// Per-connection input buffer cap; must exceed the largest request
-    /// the protocol driver accepts.
+    /// the protocol driver accepts. Also bounds the *output* backlog a
+    /// non-reading peer can accumulate: at `max_buffer` of undrained
+    /// responses the connection gets no further reads until the peer
+    /// drains some.
     pub max_buffer: usize,
 }
 
@@ -126,7 +132,12 @@ enum Mail {
     NewConn(u64, TcpStream, Box<dyn Driver>),
     Complete {
         conn: u64,
-        bytes: Vec<u8>,
+        /// `None` means the dispatch panicked inside qnet (driver bug):
+        /// there is nothing sane to send and the connection is dropped.
+        /// An explicit variant rather than an empty byte vector, so a
+        /// driver whose dispatch legitimately produces no bytes keeps
+        /// its connection.
+        bytes: Option<Vec<u8>>,
         keep_alive: bool,
     },
     Shutdown,
@@ -183,20 +194,38 @@ struct Conn {
     read_closed: bool,
     stalled: bool,
     last_request: Instant,
+    /// Last time the peer made write progress (or the backlog was
+    /// empty). A peer that stops reading its responses is reaped when
+    /// this goes stale — see the write-stall reap in the sweep.
+    last_write: Instant,
 }
 
 impl Conn {
     fn queue_output(&mut self, bytes: Vec<u8>) {
-        if self.output.is_empty() {
+        if self.output_drained() {
             self.output = bytes;
             self.out_pos = 0;
+            // A fresh backlog starts its stall clock now, not at the
+            // last write of some long-gone earlier response.
+            self.last_write = Instant::now();
         } else {
+            // Compact the already-written prefix so a long-lived
+            // connection's buffer holds only unsent bytes.
+            if self.out_pos > 0 {
+                self.output.drain(..self.out_pos);
+                self.out_pos = 0;
+            }
             self.output.extend_from_slice(&bytes);
         }
     }
 
     fn output_drained(&self) -> bool {
         self.out_pos >= self.output.len()
+    }
+
+    /// Bytes queued but not yet accepted by the kernel.
+    fn pending_output(&self) -> usize {
+        self.output.len() - self.out_pos
     }
 }
 
@@ -480,6 +509,7 @@ fn event_loop(
                             read_closed: false,
                             stalled: false,
                             last_request: Instant::now(),
+                            last_write: Instant::now(),
                         },
                     );
                 }
@@ -491,12 +521,11 @@ fn event_loop(
                     if let Some(c) = conns.get_mut(&conn) {
                         c.busy = false;
                         c.last_request = Instant::now();
-                        if bytes.is_empty() {
+                        match bytes {
+                            Some(bytes) => c.queue_output(bytes),
                             // Dispatch panicked inside qnet: nothing sane
                             // to send; drop the connection.
-                            c.closing = true;
-                        } else {
-                            c.queue_output(bytes);
+                            None => c.closing = true,
                         }
                         if !keep_alive {
                             c.closing = true;
@@ -516,8 +545,17 @@ fn event_loop(
         let now = Instant::now();
         let mut progress = false;
         for (&id, c) in conns.iter_mut() {
-            // Read while the driver is ready for more input.
-            if !c.busy && !c.closing && !c.read_closed && c.input.len() < cfg.max_buffer {
+            // Read while the driver is ready for more input. A peer
+            // with `max_buffer` of undrained responses gets no further
+            // reads (pipelining backpressure): the output backlog stays
+            // bounded instead of growing with every pipelined request
+            // the peer refuses to read the answer to.
+            if !c.busy
+                && !c.closing
+                && !c.read_closed
+                && c.input.len() < cfg.max_buffer
+                && c.pending_output() < cfg.max_buffer
+            {
                 let mut got = 0usize;
                 loop {
                     match c.stream.read(&mut scratch) {
@@ -559,6 +597,7 @@ fn event_loop(
                         }
                         Ok(n) => {
                             c.out_pos += n;
+                            c.last_write = now;
                             progress = true;
                             if c.output_drained() {
                                 break;
@@ -604,6 +643,19 @@ fn event_loop(
                 && c.output_drained()
                 && now.duration_since(c.last_request) > cfg.read_deadline
             {
+                stats.deadline_close();
+                dead.push(id);
+                continue;
+            }
+            // Write-stall deadline: every reap above exempts a
+            // connection with undrained output, so a peer that sends
+            // requests and then never reads the responses (kernel send
+            // buffer full, writes return WouldBlock) would otherwise
+            // pin a max_conns slot forever. No write progress for a
+            // whole read_deadline means the peer is gone or hostile;
+            // reap it even mid-dispatch (the completion for a removed
+            // connection is dropped harmlessly).
+            if !c.output_drained() && now.duration_since(c.last_write) > cfg.read_deadline {
                 stats.deadline_close();
                 dead.push(id);
             }
@@ -686,8 +738,10 @@ fn dispatch_loop(shared: Arc<DispatchShared>, router: Arc<Router>) {
         };
         // A panic here is a driver bug (drivers wrap handler panics
         // themselves); answer by closing the connection.
-        let (bytes, keep_alive) =
-            catch_unwind(AssertUnwindSafe(|| (job.f)())).unwrap_or((Vec::new(), false));
+        let (bytes, keep_alive) = match catch_unwind(AssertUnwindSafe(|| (job.f)())) {
+            Ok((bytes, keep_alive)) => (Some(bytes), keep_alive),
+            Err(_) => (None, false),
+        };
         router.post(
             job.loop_idx,
             Mail::Complete {

@@ -12,7 +12,8 @@ use std::time::{Duration, Instant};
 
 /// Echoes each `\n`-terminated line through the dispatcher pool;
 /// `quit` answers inline and closes; `big` answers with `BIG_BYTES` of
-/// payload (the partial-write test).
+/// payload (the partial-write test); `empty` answers with zero bytes
+/// (a dispatch that legitimately writes nothing).
 struct EchoDriver;
 
 const BIG_BYTES: usize = 8 * 1024 * 1024;
@@ -32,6 +33,9 @@ impl Driver for EchoDriver {
                     (vec![b'x'; BIG_BYTES], true)
                 })));
                 break; // busy until the completion posts back
+            } else if line == b"empty" {
+                out.push(Action::Dispatch(Box::new(move || (Vec::new(), true))));
+                break;
             } else {
                 line.push(b'\n');
                 out.push(Action::Dispatch(Box::new(move || (line, true))));
@@ -260,6 +264,56 @@ fn partial_writes_buffer_without_blocking_the_loop() {
         total += n;
     }
     assert_eq!(total, BIG_BYTES);
+}
+
+#[test]
+fn write_stalled_peer_is_reaped_and_frees_its_slot() {
+    // max_conns: 1 makes the leak observable — a pinned slot would
+    // stop the acceptor entirely, exactly the failure mode at scale.
+    let server = start(NetConfig {
+        max_conns: 1,
+        read_deadline: Duration::from_millis(300),
+        ..NetConfig::default()
+    });
+    let addr = server.local_addr();
+
+    // Request a response far larger than the kernel's socket buffers
+    // and then never read a byte: writes stop progressing (WouldBlock)
+    // with the output buffer undrained, which exempts the connection
+    // from every drained-output reap. The write-stall deadline must
+    // close it anyway.
+    let mut hog = TcpStream::connect(addr).unwrap();
+    writeln!(hog, "big").unwrap();
+    let t0 = Instant::now();
+    while server.stats().deadline_closes() == 0 && t0.elapsed() < Duration::from_secs(5) {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(
+        server.stats().deadline_closes() >= 1,
+        "a peer that never reads must be reaped as a deadline close"
+    );
+
+    // The reap released the only slot: a fresh client is served.
+    let mut probe = TcpStream::connect(addr).unwrap();
+    probe
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    writeln!(probe, "alive").unwrap();
+    assert_eq!(read_line(&mut probe).unwrap(), "alive");
+    drop(hog);
+}
+
+#[test]
+fn empty_dispatch_response_keeps_the_connection() {
+    // A dispatch that legitimately returns zero bytes is not the
+    // panic-teardown path: the connection must stay open and serve the
+    // next request.
+    let server = start(NetConfig::default());
+    let mut s = TcpStream::connect(server.local_addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    writeln!(s, "empty").unwrap();
+    writeln!(s, "still-here").unwrap();
+    assert_eq!(read_line(&mut s).unwrap(), "still-here");
 }
 
 #[test]

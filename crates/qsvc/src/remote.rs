@@ -507,13 +507,22 @@ fn accept_loop(listener: TcpListener, served: Arc<Served>, cfg: CacheServerConfi
                 qobs::log_debug!(target: "qsvc::cached", "connection", peer = peer);
                 let id = next_id;
                 next_id += 1;
-                if let Ok(handle) = stream.try_clone() {
-                    served
-                        .conns
-                        .lock()
-                        .expect("conns poisoned")
-                        .insert(id, handle);
-                }
+                // Without a shutdown handle the connection would be
+                // invisible to both the max_conns gate and shutdown's
+                // forced-teardown sweep — refuse it rather than serve
+                // it untracked.
+                let handle = match stream.try_clone() {
+                    Ok(handle) => handle,
+                    Err(e) => {
+                        qobs::log_warn!(target: "qsvc::cached", "dropping connection: try_clone failed", error = e);
+                        continue;
+                    }
+                };
+                served
+                    .conns
+                    .lock()
+                    .expect("conns poisoned")
+                    .insert(id, handle);
                 let served = Arc::clone(&served);
                 let read_timeout = cfg.read_timeout;
                 qexec::spawn_detached(move || {
