@@ -185,6 +185,39 @@ fn median_roundtrip_secs(stream: &mut TcpStream, n: usize) -> f64 {
     times[times.len() / 2]
 }
 
+/// Unsampled-tracing overhead on the evented frontend: median keep-alive
+/// round-trip with the tracer disabled (capacity 0) vs the serve default
+/// (256-trace ring, 1 s slow threshold, 1-in-16 tail sampling). Healthz
+/// requests are fast and unforced, so almost every trace is recorded and
+/// then discarded at finish — the exact cost the <5% budget bounds. The
+/// budget gets a 25 µs absolute floor: at single-digit-µs loopback
+/// latencies the relative bound alone sits below timer noise.
+fn trace_overhead() -> serde_json::Value {
+    let mut medians = [0.0f64; 2];
+    for (slot, capacity) in [0usize, 256].into_iter().enumerate() {
+        qobs::trace::configure(capacity, Duration::from_secs(1), 16);
+        let server = serve("evented", 0);
+        let addr = server.addr();
+        let mut active = TcpStream::connect(addr).expect("active connect");
+        roundtrip(&mut active);
+        medians[slot] = median_roundtrip_secs(&mut active, 201);
+    }
+    // Restore the library default so later report passes in this process
+    // measure the shipped configuration.
+    qobs::trace::configure(256, Duration::from_secs(1), 16);
+    let [disabled, enabled] = medians;
+    let overhead = enabled - disabled;
+    let budget = (disabled * 0.05).max(25e-6);
+    serde_json::json!({
+        "request": "GET /healthz (keep-alive, evented, 0 idle)",
+        "disabled_median_seconds": disabled,
+        "enabled_median_seconds": enabled,
+        "overhead_seconds": overhead,
+        "budget_seconds": budget,
+        "within_budget": overhead <= budget,
+    })
+}
+
 /// The CI artifact: per-idle-count medians for both frontends plus the
 /// thread budget each needed to serve that shape at all.
 fn write_net_report(path: &str) {
@@ -216,6 +249,7 @@ fn write_net_report(path: &str) {
         "sweep": rows,
         "evented_serves_max_idle_on_fixed_threads": true,
         "max_idle_connections": max_idle,
+        "trace_overhead": trace_overhead(),
     });
     let text = serde_json::to_string_pretty(&doc).expect("serialize net report");
     std::fs::write(path, text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));

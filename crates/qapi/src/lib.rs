@@ -1150,6 +1150,239 @@ impl ServiceReport {
 }
 
 // ---------------------------------------------------------------------------
+// Traces
+// ---------------------------------------------------------------------------
+
+/// One span inside a [`TraceReport`]. Not a top-level document, so it
+/// carries no `api_version` of its own.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceSpan {
+    /// Span id, unique within the trace (the root span is id 1).
+    pub id: u64,
+    /// Parent span id; 0 for the root span.
+    pub parent: u64,
+    /// Operation name from the span inventory (`request`, `engine`,
+    /// `oracle_call`, …).
+    pub name: String,
+    /// Start offset from the trace start, in nanoseconds (monotonic).
+    pub start_nanos: u64,
+    /// Span duration in nanoseconds.
+    pub duration_nanos: u64,
+    /// Typed attribute bag, sorted by key.
+    pub attrs: Vec<(String, Value)>,
+}
+
+impl TraceSpan {
+    /// Serializes to the v1 wire shape.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "id": self.id,
+            "parent": self.parent,
+            "name": self.name.as_str(),
+            "start_nanos": self.start_nanos,
+            "duration_nanos": self.duration_nanos,
+            "attrs": Value::Object(self.attrs.clone()),
+        })
+    }
+
+    /// Decodes a fragment produced by [`to_json`](Self::to_json).
+    pub fn from_json(v: &Value) -> Result<TraceSpan, ApiError> {
+        let attrs = match v.get("attrs") {
+            None | Some(Value::Null) => Vec::new(),
+            Some(Value::Object(pairs)) => pairs.clone(),
+            Some(_) => return Err(de::malformed("bad `attrs` (need an object)")),
+        };
+        Ok(TraceSpan {
+            id: de::req_u64(v, "id")?,
+            parent: de::req_u64(v, "parent")?,
+            name: de::req_str(v, "name")?,
+            start_nanos: de::req_u64(v, "start_nanos")?,
+            duration_nanos: de::req_u64(v, "duration_nanos")?,
+            attrs,
+        })
+    }
+}
+
+/// One row of the `GET /v1/traces` index. Not a top-level document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceSummary {
+    /// Canonical 16-hex-digit trace id (`/v1/traces/{id}`).
+    pub trace_id: String,
+    /// Final HTTP status of the traced request (0 if aborted).
+    pub status: u16,
+    /// Which tail-sampling rule kept this trace (`forced`, `error`,
+    /// `shed`, `slow`, `probabilistic`, `aborted`).
+    pub sampled_because: String,
+    /// Wall-clock start, nanoseconds since the Unix epoch.
+    pub start_unix_nanos: u64,
+    /// Total trace duration in nanoseconds.
+    pub duration_nanos: u64,
+    /// Spans recorded (including the root span).
+    pub span_count: u64,
+}
+
+impl TraceSummary {
+    /// Serializes to the v1 wire shape.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "trace_id": self.trace_id.as_str(),
+            "status": self.status,
+            "sampled_because": self.sampled_because.as_str(),
+            "start_unix_nanos": self.start_unix_nanos,
+            "duration_nanos": self.duration_nanos,
+            "span_count": self.span_count,
+        })
+    }
+
+    /// Decodes a fragment produced by [`to_json`](Self::to_json).
+    pub fn from_json(v: &Value) -> Result<TraceSummary, ApiError> {
+        Ok(TraceSummary {
+            trace_id: de::req_str(v, "trace_id")?,
+            status: de::req_status(v)?,
+            sampled_because: de::req_str(v, "sampled_because")?,
+            start_unix_nanos: de::req_u64(v, "start_unix_nanos")?,
+            duration_nanos: de::req_u64(v, "duration_nanos")?,
+            span_count: de::req_u64(v, "span_count")?,
+        })
+    }
+}
+
+/// `GET /v1/traces`: the recent kept traces, newest first.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct TraceIndex {
+    /// Recent kept traces, newest first.
+    pub traces: Vec<TraceSummary>,
+}
+
+impl TraceIndex {
+    /// Serializes to the v1 wire shape.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "api_version": API_VERSION,
+            "traces": self.traces.iter().map(TraceSummary::to_json).collect::<Vec<Value>>(),
+        })
+    }
+
+    /// Decodes a document produced by [`to_json`](Self::to_json).
+    pub fn from_json(v: &Value) -> Result<TraceIndex, ApiError> {
+        de::check_version(v)?;
+        let traces = de::req_array(v, "traces")?
+            .iter()
+            .map(TraceSummary::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(TraceIndex { traces })
+    }
+}
+
+/// `GET /v1/traces/{id}`: one kept trace as a causally-linked span tree
+/// plus its per-category time split.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceReport {
+    /// Canonical 16-hex-digit trace id.
+    pub trace_id: String,
+    /// Final HTTP status of the traced request (0 if aborted).
+    pub status: u16,
+    /// Which tail-sampling rule kept this trace.
+    pub sampled_because: String,
+    /// Wall-clock start, nanoseconds since the Unix epoch.
+    pub start_unix_nanos: u64,
+    /// Total trace duration in nanoseconds.
+    pub duration_nanos: u64,
+    /// Spans recorded past the per-trace cap and therefore not stored.
+    pub dropped_spans: u64,
+    /// Nanoseconds attributed to queueing (dispatch + job queue wait).
+    pub queue_nanos: u64,
+    /// Nanoseconds attributed to the optimizer engine.
+    pub engine_nanos: u64,
+    /// Nanoseconds attributed to oracle calls (can exceed the engine
+    /// span's duration when calls run in parallel).
+    pub oracle_nanos: u64,
+    /// Nanoseconds attributed to result-store and remote-cache I/O.
+    pub store_nanos: u64,
+    /// All spans, root (id 1) first.
+    pub spans: Vec<TraceSpan>,
+}
+
+impl TraceReport {
+    /// Serializes to the v1 wire shape.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "api_version": API_VERSION,
+            "trace_id": self.trace_id.as_str(),
+            "status": self.status,
+            "sampled_because": self.sampled_because.as_str(),
+            "start_unix_nanos": self.start_unix_nanos,
+            "duration_nanos": self.duration_nanos,
+            "dropped_spans": self.dropped_spans,
+            "queue_nanos": self.queue_nanos,
+            "engine_nanos": self.engine_nanos,
+            "oracle_nanos": self.oracle_nanos,
+            "store_nanos": self.store_nanos,
+            "spans": self.spans.iter().map(TraceSpan::to_json).collect::<Vec<Value>>(),
+        })
+    }
+
+    /// Decodes a document produced by [`to_json`](Self::to_json).
+    pub fn from_json(v: &Value) -> Result<TraceReport, ApiError> {
+        de::check_version(v)?;
+        let spans = de::req_array(v, "spans")?
+            .iter()
+            .map(TraceSpan::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(TraceReport {
+            trace_id: de::req_str(v, "trace_id")?,
+            status: de::req_status(v)?,
+            sampled_because: de::req_str(v, "sampled_because")?,
+            start_unix_nanos: de::req_u64(v, "start_unix_nanos")?,
+            duration_nanos: de::req_u64(v, "duration_nanos")?,
+            dropped_spans: de::req_u64(v, "dropped_spans")?,
+            queue_nanos: de::req_u64(v, "queue_nanos")?,
+            engine_nanos: de::req_u64(v, "engine_nanos")?,
+            oracle_nanos: de::req_u64(v, "oracle_nanos")?,
+            store_nanos: de::req_u64(v, "store_nanos")?,
+            spans,
+        })
+    }
+
+    /// Renders the trace in Chrome `trace_event` JSON (the
+    /// `chrome://tracing` / Perfetto import format): one complete (`X`)
+    /// event per span, microsecond timestamps, span ids and attributes
+    /// in `args`.
+    pub fn to_chrome_json(&self) -> Value {
+        let events: Vec<Value> = self
+            .spans
+            .iter()
+            .map(|s| {
+                let mut args = vec![
+                    ("span_id".to_string(), json!(s.id)),
+                    ("parent_id".to_string(), json!(s.parent)),
+                ];
+                args.extend(s.attrs.clone());
+                json!({
+                    "name": s.name.as_str(),
+                    "cat": "popqc",
+                    "ph": "X",
+                    "ts": s.start_nanos as f64 / 1e3,
+                    "dur": (s.duration_nanos as f64 / 1e3).max(0.001),
+                    "pid": 1,
+                    "tid": 1,
+                    "args": Value::Object(args),
+                })
+            })
+            .collect();
+        json!({
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "trace_id": self.trace_id.as_str(),
+                "status": self.status,
+                "sampled_because": self.sampled_because.as_str(),
+            },
+            "traceEvents": events,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Decode helpers
 // ---------------------------------------------------------------------------
 
@@ -1222,6 +1455,12 @@ mod de {
                 ApiError::InvalidConfig(format!("bad `{key}` (need a non-negative integer)"))
             }),
         }
+    }
+
+    /// An HTTP status field: a `u64` on the wire, range-checked into
+    /// `u16`.
+    pub(super) fn req_status(v: &Value) -> Result<u16, ApiError> {
+        u16::try_from(req_u64(v, "status")?).map_err(|_| malformed("bad `status` (need a u16)"))
     }
 
     pub(super) fn req_f64(v: &Value, key: &str) -> Result<f64, ApiError> {

@@ -5,9 +5,10 @@
 use qapi::{
     ApiError, BatchCircuit, BatchRequest, BatchResponse, CacheClearResponse, CacheReport,
     CacheTierReport, ExecutorReport, FrontendReport, JobReport, JobStatus, OptimizeRequest,
-    OracleInfo, OracleList, SegmentCacheReport, ServiceReport, StatsReport, VersionInfo,
+    OracleInfo, OracleList, SegmentCacheReport, ServiceReport, StatsReport, TraceIndex,
+    TraceReport, TraceSpan, TraceSummary, VersionInfo,
 };
-use serde_json::Value;
+use serde_json::{json, Value};
 
 fn reserialize(v: &Value) -> Value {
     let text = serde_json::to_string(v).expect("serialize");
@@ -350,6 +351,109 @@ fn version_and_oracle_list_round_trip() {
         OracleList::from_json(&reserialize(&list.to_json())).unwrap(),
         list
     );
+}
+
+#[test]
+fn trace_index_and_report_round_trip() {
+    let report = TraceReport {
+        trace_id: "00051234deadbeef".into(),
+        status: 503,
+        sampled_because: "shed".into(),
+        start_unix_nanos: 1_754_000_000_000_000_000,
+        duration_nanos: 2_500_000,
+        dropped_spans: 3,
+        queue_nanos: 40_000,
+        engine_nanos: 2_100_000,
+        oracle_nanos: 1_900_000,
+        store_nanos: 60_000,
+        spans: vec![
+            TraceSpan {
+                id: 1,
+                parent: 0,
+                name: "request".into(),
+                start_nanos: 0,
+                duration_nanos: 2_500_000,
+                attrs: vec![
+                    ("aborted".to_string(), json!(false)),
+                    ("method".to_string(), json!("POST")),
+                    // u64, not the default i32: the parser reads
+                    // non-negative integers as unsigned, so only the
+                    // unsigned shape round-trips exactly (the HTTP
+                    // layer renders either the same).
+                    ("omega".to_string(), json!(200u64)),
+                    ("reduction".to_string(), json!(0.423)),
+                ],
+            },
+            // A span with an empty attribute bag must survive too.
+            TraceSpan {
+                id: 2,
+                parent: 1,
+                name: "engine".into(),
+                start_nanos: 120_000,
+                duration_nanos: 2_100_000,
+                attrs: vec![],
+            },
+        ],
+    };
+    let back = TraceReport::from_json(&reserialize(&report.to_json())).unwrap();
+    assert_eq!(back, report);
+
+    let index = TraceIndex {
+        traces: vec![
+            TraceSummary {
+                trace_id: report.trace_id.clone(),
+                status: report.status,
+                sampled_because: report.sampled_because.clone(),
+                start_unix_nanos: report.start_unix_nanos,
+                duration_nanos: report.duration_nanos,
+                span_count: report.spans.len() as u64,
+            },
+            TraceSummary {
+                trace_id: "ffffffffffffffff".into(),
+                status: 0,
+                sampled_because: "aborted".into(),
+                start_unix_nanos: 0,
+                duration_nanos: 0,
+                span_count: 1,
+            },
+        ],
+    };
+    assert_eq!(
+        TraceIndex::from_json(&reserialize(&index.to_json())).unwrap(),
+        index
+    );
+    // Empty index (fresh server, nothing kept yet).
+    let empty = TraceIndex { traces: vec![] };
+    assert_eq!(
+        TraceIndex::from_json(&reserialize(&empty.to_json())).unwrap(),
+        empty
+    );
+}
+
+#[test]
+fn trace_report_rejects_out_of_range_status() {
+    let mut doc = TraceReport {
+        trace_id: "00051234deadbeef".into(),
+        status: 200,
+        sampled_because: "slow".into(),
+        start_unix_nanos: 0,
+        duration_nanos: 1,
+        dropped_spans: 0,
+        queue_nanos: 0,
+        engine_nanos: 0,
+        oracle_nanos: 0,
+        store_nanos: 0,
+        spans: vec![],
+    }
+    .to_json();
+    if let Value::Object(fields) = &mut doc {
+        for (k, v) in fields.iter_mut() {
+            if k == "status" {
+                *v = json!(70000);
+            }
+        }
+    }
+    assert!(TraceReport::from_json(&reserialize(&doc)).is_err());
 }
 
 #[test]

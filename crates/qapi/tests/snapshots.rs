@@ -15,8 +15,10 @@
 use qapi::{
     ApiError, BatchCircuit, BatchRequest, BatchResponse, CacheClearResponse, CacheReport,
     CacheTierReport, ExecutorReport, FrontendReport, JobReport, JobStatus, OptimizeRequest,
-    OracleInfo, OracleList, SegmentCacheReport, ServiceReport, StatsReport, VersionInfo,
+    OracleInfo, OracleList, SegmentCacheReport, ServiceReport, StatsReport, TraceIndex,
+    TraceReport, TraceSpan, TraceSummary, VersionInfo,
 };
+use serde_json::json;
 use serde_json::Value;
 use std::path::PathBuf;
 
@@ -324,6 +326,99 @@ fn oracle_list_snapshot() {
         }
         .to_json(),
     );
+}
+
+/// The trace exemplar shared by the index and report snapshots: a
+/// forced, cache-missing optimize with one round and one oracle call.
+fn exemplar_trace() -> TraceReport {
+    TraceReport {
+        trace_id: "00051234deadbeef".into(),
+        status: 200,
+        sampled_because: "forced".into(),
+        start_unix_nanos: 1_754_000_000_000_000_000,
+        duration_nanos: 2_500_000,
+        dropped_spans: 0,
+        queue_nanos: 40_000,
+        engine_nanos: 2_100_000,
+        oracle_nanos: 1_900_000,
+        store_nanos: 60_000,
+        spans: vec![
+            TraceSpan {
+                id: 1,
+                parent: 0,
+                name: "request".into(),
+                start_nanos: 0,
+                duration_nanos: 2_500_000,
+                attrs: vec![
+                    ("method".to_string(), json!("POST")),
+                    ("path".to_string(), json!("/v1/optimize")),
+                    ("request_id".to_string(), json!("77-abc-1")),
+                ],
+            },
+            TraceSpan {
+                id: 2,
+                parent: 1,
+                name: "dispatch_wait".into(),
+                start_nanos: 5_000,
+                duration_nanos: 35_000,
+                attrs: vec![],
+            },
+            TraceSpan {
+                id: 3,
+                parent: 1,
+                name: "engine".into(),
+                start_nanos: 120_000,
+                duration_nanos: 2_100_000,
+                attrs: vec![
+                    ("oracle".to_string(), json!("rule_based")),
+                    ("width".to_string(), json!(4)),
+                ],
+            },
+            TraceSpan {
+                id: 4,
+                parent: 3,
+                name: "oracle_call".into(),
+                start_nanos: 180_000,
+                duration_nanos: 1_900_000,
+                attrs: vec![
+                    ("gates_in".to_string(), json!(2799)),
+                    ("gates_out".to_string(), json!(1615)),
+                ],
+            },
+        ],
+    }
+}
+
+#[test]
+fn trace_index_snapshot() {
+    let t = exemplar_trace();
+    check(
+        "trace_index",
+        &TraceIndex {
+            traces: vec![TraceSummary {
+                trace_id: t.trace_id.clone(),
+                status: t.status,
+                sampled_because: t.sampled_because.clone(),
+                start_unix_nanos: t.start_unix_nanos,
+                duration_nanos: t.duration_nanos,
+                span_count: t.spans.len() as u64,
+            }],
+        }
+        .to_json(),
+    );
+}
+
+#[test]
+fn trace_report_snapshot() {
+    check("trace_report", &exemplar_trace().to_json());
+}
+
+/// The Chrome `trace_event` export is a wire format too — a drifting
+/// field breaks chrome://tracing imports just like a v1 change breaks
+/// API clients.
+#[test]
+fn trace_report_chrome_snapshot() {
+    check("trace_report_chrome", &exemplar_trace().to_chrome_json());
 }
 
 #[test]

@@ -599,11 +599,35 @@ where
     pool.parallel_ops.fetch_add(1, Relaxed);
     metrics::parallel_ops_total().inc();
     let _op_timer = metrics::parallel_op_duration().start_timer();
+    // The caller's ambient trace (if any): the op span carries how much
+    // stealing this particular map triggered, attributed pool-wide —
+    // the deltas are global counters, exact only when ops don't overlap.
+    let ctx = qobs::trace::current();
+    let mut span = if ctx.handle.enabled() {
+        let mut s = ctx.handle.span("parallel_op", ctx.parent);
+        s.attr("items", n);
+        s.attr("width", width);
+        s.attr("grain", grain);
+        Some((
+            s,
+            pool.steals.load(Relaxed),
+            pool.tasks_executed.load(Relaxed),
+        ))
+    } else {
+        None
+    };
 
     let mut src: Vec<Option<T>> = items.into_iter().map(Some).collect();
     let mut dst: Vec<Option<R>> = Vec::with_capacity(n);
     dst.resize_with(n, || None);
     map_rec(&mut src, &mut dst, &f, grain);
+    if let Some((span, steals0, tasks0)) = &mut span {
+        span.attr("steals", pool.steals.load(Relaxed).saturating_sub(*steals0));
+        span.attr(
+            "tasks",
+            pool.tasks_executed.load(Relaxed).saturating_sub(*tasks0),
+        );
+    }
     dst.into_iter()
         .map(|slot| slot.expect("parallel map result missing"))
         .collect()

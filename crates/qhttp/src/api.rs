@@ -17,10 +17,19 @@
 //! | `/v1/optimize` | POST | QASM text or [`qapi::OptimizeRequest`] JSON | [`qapi::JobStatus`] |
 //! | `/v1/batch` | POST | [`qapi::BatchRequest`] | [`qapi::BatchResponse`] |
 //! | `/v1/jobs/{id}` | GET | — | [`qapi::JobStatus`] |
+//! | `/v1/traces` | GET | — | [`qapi::TraceIndex`] (recent kept traces; `?limit=N`) |
+//! | `/v1/traces/{id}` | GET | — | [`qapi::TraceReport`] (`?format=chrome` for `trace_event` JSON) |
 //!
-//! Every response carries an `x-popqc-request-id` header (process-unique,
-//! also printed in the per-request access-log line) so a client-observed
-//! failure can be matched to the server's logs.
+//! Every response carries an `x-popqc-request-id` header — a
+//! client-supplied `x-popqc-request-id` (sanitized, length-capped) is
+//! echoed so fleet callers can correlate replica logs, otherwise a
+//! process-unique id is minted. The id is also printed in the
+//! per-request access-log line, a *wide event* that additionally carries
+//! the trace id and the request's queue/engine/oracle/store time split.
+//!
+//! `POST /v1/optimize?trace=1` force-samples the request's trace and
+//! echoes its id in the `x-popqc-trace-id` response header for
+//! `GET /v1/traces/{id}`.
 //!
 //! `POST /v1/optimize` accepts either the raw QASM program as the body
 //! with options as query parameters — `oracle` (registry id), `omega`
@@ -114,6 +123,7 @@ impl AppState {
         // Register the HTTP metric families up front so the very first
         // `/v1/metrics` scrape already lists the full inventory.
         metrics::describe_metrics();
+        qobs::trace::describe_metrics();
         AppState {
             svc,
             default_omega,
@@ -415,6 +425,45 @@ impl AppState {
         Response::json(200, &doc.to_json())
     }
 
+    fn handle_traces_index(&self, req: &Request) -> Response {
+        let limit = match req.query_param("limit") {
+            None => 50,
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n > 0 => n.min(1024),
+                _ => {
+                    return error(&ApiError::InvalidConfig(format!(
+                        "bad limit `{v}` (need a positive integer)"
+                    )))
+                }
+            },
+        };
+        let index = qapi::TraceIndex {
+            traces: qobs::trace::recent(limit)
+                .iter()
+                .map(|t| trace_summary(t))
+                .collect(),
+        };
+        Response::json(200, &index.to_json())
+    }
+
+    fn handle_trace_get(&self, id_str: &str, req: &Request) -> Response {
+        let Some(found) = qobs::trace::parse_id(id_str).and_then(qobs::trace::get) else {
+            return transport_error(
+                404,
+                "not_found",
+                &format!("no such trace {id_str} (not kept by sampling, or evicted)"),
+            );
+        };
+        let report = trace_report(&found);
+        match req.query_param("format") {
+            Some("chrome") => Response::json(200, &report.to_chrome_json()),
+            None | Some("v1") => Response::json(200, &report.to_json()),
+            Some(other) => error(&ApiError::InvalidConfig(format!(
+                "bad format `{other}` (need v1|chrome)"
+            ))),
+        }
+    }
+
     fn handle_metrics(&self) -> Response {
         // Store occupancy is pull-synced at scrape time (one stats read)
         // instead of being mirrored on every put; everything else in the
@@ -439,19 +488,25 @@ impl AppState {
             ("GET", "/v1/metrics") => self.handle_metrics(),
             ("GET", "/v1/cache") => self.handle_cache_get(),
             ("DELETE", "/v1/cache") => self.handle_cache_clear(),
+            ("GET", "/v1/traces") => self.handle_traces_index(req),
             ("POST", "/v1/optimize") => self.handle_optimize(req),
             ("POST", "/v1/batch") => self.handle_batch(req),
             (_, "/healthz")
             | (_, "/v1/version")
             | (_, "/v1/oracles")
             | (_, "/v1/stats")
-            | (_, "/v1/metrics") => method_not_allowed("GET"),
+            | (_, "/v1/metrics")
+            | (_, "/v1/traces") => method_not_allowed("GET"),
             (_, "/v1/cache") => method_not_allowed("GET or DELETE"),
             (_, "/v1/optimize") | (_, "/v1/batch") => method_not_allowed("POST"),
-            _ => match path.strip_prefix("/v1/jobs/") {
-                Some(id) if method == "GET" => self.handle_job_get(id),
+            _ => match path.strip_prefix("/v1/traces/") {
+                Some(id) if method == "GET" => self.handle_trace_get(id, req),
                 Some(_) => method_not_allowed("GET"),
-                None => transport_error(404, "not_found", &format!("no route for {path}")),
+                None => match path.strip_prefix("/v1/jobs/") {
+                    Some(id) if method == "GET" => self.handle_job_get(id),
+                    Some(_) => method_not_allowed("GET"),
+                    None => transport_error(404, "not_found", &format!("no route for {path}")),
+                },
             },
         }
     }
@@ -477,13 +532,48 @@ impl Drop for InFlight {
 impl Handler for AppState {
     fn handle(&self, req: &Request) -> Response {
         let _in_flight = InFlight::enter();
-        let request_id = metrics::next_request_id();
+        let request_id = client_request_id(req).unwrap_or_else(metrics::next_request_id);
         let endpoint = metrics::endpoint_label(&req.method, &req.path);
+
+        // The evented frontend starts the trace at parse time and
+        // installs it as this thread's ambient context; the threaded
+        // frontend has no earlier hook, so its trace starts (and
+        // finishes) here and cannot attribute write-flush time.
+        let ambient = qobs::trace::current();
+        let owned = !ambient.handle.enabled();
+        let trace = if owned {
+            let t = qobs::trace::start_trace("request");
+            t.root_attr("method", req.method.as_str());
+            t.root_attr("path", req.path.as_str());
+            t
+        } else {
+            ambient.handle.clone()
+        };
+        trace.root_attr("request_id", request_id.as_str());
+        let forced = req.method == "POST"
+            && req.path == "/v1/optimize"
+            && matches!(req.query_param("trace"), Some("1") | Some("true"));
+        if forced {
+            trace.force();
+        }
+
         let start = std::time::Instant::now();
-        let response = self.route(req);
+        let response = if owned && trace.enabled() {
+            let ctx = qobs::trace::TraceCtx {
+                handle: trace.clone(),
+                parent: qobs::trace::ROOT_SPAN,
+            };
+            qobs::trace::with_active(&ctx, || self.route(req))
+        } else {
+            self.route(req)
+        };
         let seconds = start.elapsed().as_secs_f64();
+        trace.set_status(response.status);
+        trace.mark_handler_done();
         metrics::requests(endpoint, metrics::status_class(response.status)).inc();
         metrics::request_duration(endpoint).observe(seconds);
+        let trace_hex = trace.id_hex();
+        let (queue_ns, engine_ns, oracle_ns, store_ns) = trace.splits();
         qobs::log_info!(
             target: "qhttp",
             "request",
@@ -491,9 +581,135 @@ impl Handler for AppState {
             method = req.method,
             path = req.path,
             status = response.status,
-            seconds = format_args!("{seconds:.6}")
+            seconds = format_args!("{seconds:.6}"),
+            trace = trace_hex.as_deref().unwrap_or("-"),
+            queue_s = format_args!("{:.6}", queue_ns as f64 / 1e9),
+            engine_s = format_args!("{:.6}", engine_ns as f64 / 1e9),
+            oracle_s = format_args!("{:.6}", oracle_ns as f64 / 1e9),
+            store_s = format_args!("{:.6}", store_ns as f64 / 1e9)
         );
-        response.with_header("x-popqc-request-id", request_id)
+        if owned {
+            trace.finish(response.status);
+        }
+        let response = response.with_header("x-popqc-request-id", request_id);
+        match trace_hex.filter(|_| forced) {
+            Some(hex) => response.with_header("x-popqc-trace-id", hex),
+            None => response,
+        }
+    }
+}
+
+/// The client-supplied `x-popqc-request-id`, accepted only when short
+/// and from a safe charset (log-injection hygiene). `None` means mint
+/// one instead.
+pub(crate) fn client_request_id(req: &Request) -> Option<String> {
+    let v = req.header("x-popqc-request-id")?.trim();
+    let ok = !v.is_empty()
+        && v.len() <= 64
+        && v.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.'));
+    ok.then(|| v.to_string())
+}
+
+/// Accounts an admission refusal the evented frontend answers inline on
+/// the loop thread: such 429/503s bypass [`Handler::handle`], so the
+/// request counter and the access-log line are recorded here, plus a
+/// short trace (always kept — shed is a tail-sampling keep rule)
+/// carrying the admission verdict. Returns the response with its
+/// `x-popqc-request-id` attached.
+pub(crate) fn observe_refusal(
+    method: &str,
+    path: &str,
+    peer: &str,
+    verdict: &'static str,
+    req: Option<&Request>,
+    resp: Response,
+) -> Response {
+    let request_id = req
+        .and_then(client_request_id)
+        .unwrap_or_else(metrics::next_request_id);
+    let endpoint = metrics::endpoint_label(method, path);
+    metrics::requests(endpoint, metrics::status_class(resp.status)).inc();
+    let trace = qobs::trace::start_trace("request");
+    trace.root_attr("method", method);
+    trace.root_attr("path", path);
+    trace.root_attr("peer", peer);
+    trace.root_attr("request_id", request_id.as_str());
+    trace.root_attr("admission", verdict);
+    trace.finish(resp.status);
+    let trace_hex = trace.id_hex();
+    qobs::log_info!(
+        target: "qhttp",
+        "request",
+        id = request_id,
+        method = method,
+        path = path,
+        status = resp.status,
+        seconds = "0.000000",
+        trace = trace_hex.as_deref().unwrap_or("-"),
+        refused = verdict
+    );
+    resp.with_header("x-popqc-request-id", request_id)
+}
+
+/// Renders a kept trace as the index-row DTO.
+fn trace_summary(t: &qobs::trace::CompletedTrace) -> qapi::TraceSummary {
+    qapi::TraceSummary {
+        trace_id: t.id_hex(),
+        status: t.status,
+        sampled_because: t.kept_because.to_string(),
+        start_unix_nanos: t.start_unix_nanos,
+        duration_nanos: t.duration_nanos,
+        span_count: t.spans.len() as u64,
+    }
+}
+
+/// Renders a kept trace as the full span-tree DTO. Span attributes are
+/// sorted by key so the document (and its snapshot) is deterministic.
+fn trace_report(t: &qobs::trace::CompletedTrace) -> qapi::TraceReport {
+    let spans = t
+        .spans
+        .iter()
+        .map(|s| {
+            let mut attrs: Vec<(String, serde_json::Value)> = s
+                .attrs
+                .iter()
+                .map(|(k, v)| (k.to_string(), attr_json(v)))
+                .collect();
+            attrs.sort_by(|a, b| a.0.cmp(&b.0));
+            qapi::TraceSpan {
+                id: s.id,
+                parent: s.parent,
+                name: s.name.to_string(),
+                start_nanos: s.start_nanos,
+                duration_nanos: s.duration_nanos,
+                attrs,
+            }
+        })
+        .collect();
+    qapi::TraceReport {
+        trace_id: t.id_hex(),
+        status: t.status,
+        sampled_because: t.kept_because.to_string(),
+        start_unix_nanos: t.start_unix_nanos,
+        duration_nanos: t.duration_nanos,
+        dropped_spans: t.dropped_spans,
+        queue_nanos: t.queue_nanos,
+        engine_nanos: t.engine_nanos,
+        oracle_nanos: t.oracle_nanos,
+        store_nanos: t.store_nanos,
+        spans,
+    }
+}
+
+fn attr_json(v: &qobs::trace::AttrValue) -> serde_json::Value {
+    use qobs::trace::AttrValue;
+    match v {
+        AttrValue::U64(n) => json!(*n),
+        AttrValue::I64(n) => json!(*n),
+        AttrValue::F64(n) => json!(*n),
+        AttrValue::Bool(b) => json!(*b),
+        AttrValue::Str(s) => json!(s.as_str()),
     }
 }
 

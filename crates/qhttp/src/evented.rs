@@ -169,6 +169,7 @@ impl DriverFactory for HttpDriverFactory {
             shed_queue_depth: self.shed_queue_depth,
             stats: Arc::clone(&self.stats),
             rate_admitted: false,
+            trace: None,
         })
     }
 }
@@ -185,6 +186,10 @@ struct HttpDriver {
     /// The in-flight request already paid its rate-limit token at the
     /// headers-complete pre-check; don't charge it again at `Done`.
     rate_admitted: bool,
+    /// The dispatched request's trace, opened at parse time and finished
+    /// on the loop thread once its response flushes (or at connection
+    /// reap, as `aborted`).
+    trace: Option<qobs::trace::TraceHandle>,
 }
 
 /// Serializes a response into bytes for the connection's output buffer.
@@ -227,21 +232,39 @@ impl HttpDriver {
             && self.state.service().queue_depth() >= self.shed_queue_depth
     }
 
+    /// Counts and logs an inline refusal — these responses never reach
+    /// [`Handler::handle`], so without this the request counter and the
+    /// access log would miss every 429/503 answered on the loop thread.
+    fn account_refusal(
+        &self,
+        resp: Response,
+        verdict: &'static str,
+        method: &str,
+        path: &str,
+        req: Option<&Request>,
+    ) -> Response {
+        crate::api::observe_refusal(method, path, &self.peer.to_string(), verdict, req, resp)
+    }
+
     /// The headers-complete pre-check for a request with a body still
     /// to arrive: admission runs *before* the parser emits the
     /// `100 Continue` interim or buffers a single body byte. Returns
     /// the refusal response, or `None` if the request may proceed (a
     /// consumed rate token is remembered in `rate_admitted`).
     fn refuse_before_body(&mut self) -> Option<Response> {
+        let method = self.parser.head_method().to_string();
+        let path = self.parser.head_path().to_string();
         if self.limiter.enabled() && !self.rate_admitted {
             if self.limiter.admit(self.peer.ip()) {
                 self.rate_admitted = true;
             } else {
-                return Some(self.rate_limit_refusal());
+                let resp = self.rate_limit_refusal();
+                return Some(self.account_refusal(resp, "rate_limited", &method, &path, None));
             }
         }
-        if self.sheds(self.parser.head_method(), self.parser.head_path()) {
-            return Some(self.shed_refusal());
+        if self.sheds(&method, &path) {
+            let resp = self.shed_refusal();
+            return Some(self.account_refusal(resp, "shed", &method, &path, None));
         }
         None
     }
@@ -252,30 +275,68 @@ impl HttpDriver {
     fn handle_request(&mut self, req: Request, out: &mut Vec<Action>) -> bool {
         let rate_admitted = std::mem::take(&mut self.rate_admitted);
         if self.limiter.enabled() && !rate_admitted && !self.limiter.admit(self.peer.ip()) {
+            let resp = self.rate_limit_refusal();
+            let resp =
+                self.account_refusal(resp, "rate_limited", &req.method, &req.path, Some(&req));
             out.push(Action::Respond {
-                bytes: serialize(&self.rate_limit_refusal(), req.keep_alive),
+                bytes: serialize(&resp, req.keep_alive),
                 keep_alive: req.keep_alive,
             });
             return false;
         }
         if self.sheds(&req.method, &req.path) {
+            let resp = self.shed_refusal();
+            let resp = self.account_refusal(resp, "shed", &req.method, &req.path, Some(&req));
             out.push(Action::Respond {
-                bytes: serialize(&self.shed_refusal(), req.keep_alive),
+                bytes: serialize(&resp, req.keep_alive),
                 keep_alive: req.keep_alive,
             });
             return false;
         }
         let state = Arc::clone(&self.state);
         let keep_alive = req.keep_alive;
+
+        // The root span opens here, at parse/admission time on the loop
+        // thread; the dispatch closure joins it from the dispatcher pool
+        // and the loop thread finishes it once the response flushes.
+        if let Some(old) = self.trace.take() {
+            // A pipelined successor overtook the previous response's
+            // flush notification; close the old trace without its
+            // write-flush span rather than losing it.
+            old.finish(old.status());
+        }
+        let trace = qobs::trace::start_trace("request");
+        if trace.enabled() {
+            trace.root_attr("method", req.method.as_str());
+            trace.root_attr("path", req.path.as_str());
+            trace.root_attr("peer", self.peer.to_string());
+            self.trace = Some(trace.clone());
+        }
+        let enqueued = std::time::Instant::now();
         out.push(Action::Dispatch(Box::new(move || {
+            let waited_nanos = enqueued.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            trace.span_closed(
+                "dispatch_wait",
+                qobs::trace::ROOT_SPAN,
+                trace.now_nanos().saturating_sub(waited_nanos),
+                waited_nanos,
+                Vec::new(),
+            );
+            let ctx = qobs::trace::TraceCtx {
+                handle: trace.clone(),
+                parent: qobs::trace::ROOT_SPAN,
+            };
             // Same panic policy as the threaded frontend: a handler
             // panic answers 500 and closes the connection; it must
             // never take a dispatcher thread down.
-            let response =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| state.handle(&req)));
+            let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                qobs::trace::with_active(&ctx, || state.handle(&req))
+            }));
             match response {
                 Ok(r) => (serialize(&r, keep_alive), keep_alive),
                 Err(_) => {
+                    trace.set_status(500);
+                    trace.mark_handler_done();
                     let r = Response::json(
                         500,
                         &ApiError::Internal("internal server error".to_string()).to_json(),
@@ -355,6 +416,39 @@ impl Driver for HttpDriver {
                     }
                 }
             }
+        }
+    }
+
+    fn on_output_drained(&mut self) {
+        // Fires whenever queued bytes finish flushing (interim responses
+        // included); only a response whose handler has completed closes
+        // the trace — everything from handler-done to here is the
+        // write-flush time the dispatcher never sees.
+        if let Some(t) = &self.trace {
+            if let Some(done) = t.handler_done_nanos() {
+                let now = t.now_nanos();
+                t.span_closed(
+                    "write_flush",
+                    qobs::trace::ROOT_SPAN,
+                    done,
+                    now.saturating_sub(done),
+                    Vec::new(),
+                );
+                t.finish(t.status());
+                self.trace = None;
+            }
+        }
+    }
+}
+
+impl Drop for HttpDriver {
+    fn drop(&mut self) {
+        // A reaped connection (peer gone, write stall, shutdown) still
+        // finishes its in-flight trace: status 0 marks it aborted, which
+        // the tail sampler always keeps.
+        if let Some(t) = self.trace.take() {
+            t.root_attr("aborted", true);
+            t.finish(t.status());
         }
     }
 }

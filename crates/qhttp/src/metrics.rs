@@ -61,7 +61,9 @@ pub(crate) fn endpoint_label(method: &str, path: &str) -> &'static str {
         "/v1/metrics" => "/v1/metrics",
         "/v1/optimize" => "/v1/optimize",
         "/v1/batch" => "/v1/batch",
+        "/v1/traces" => "/v1/traces",
         _ if path.starts_with("/v1/jobs/") => "/v1/jobs/{id}",
+        _ if path.starts_with("/v1/traces/") => "/v1/traces/{id}",
         // Unknown routes collapse into one label so path probing cannot
         // mint unbounded series.
         _ => {

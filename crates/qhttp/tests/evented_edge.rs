@@ -392,6 +392,10 @@ fn shed_answers_fast_503_with_retry_after_and_recovers() {
         "shed 503 must carry Retry-After: {head}"
     );
     assert!(
+        header_value(&head, "x-popqc-request-id").is_some(),
+        "a refusal answered by the dispatcher bypass must still carry a request id: {head}"
+    );
+    assert!(
         elapsed < Duration::from_millis(50),
         "shedding must not queue behind in-flight work: {elapsed:?}"
     );
@@ -405,6 +409,16 @@ fn shed_answers_fast_503_with_retry_after_and_recovers() {
         "the shed must be counted in /v1/stats: {body}"
     );
     assert!(server.stats().requests_shed() >= 1);
+
+    // The refusal bypasses the dispatcher, but it must NOT bypass the
+    // HTTP metrics: the 503 shows up in the per-endpoint counter.
+    let mut c = TcpStream::connect(addr).unwrap();
+    let (status, body) = roundtrip(&mut c, "GET", "/v1/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains(r#"popqc_http_requests_total{endpoint="/v1/optimize",status="5xx"}"#),
+        "inline refusals must be counted in popqc_http_requests_total"
+    );
 
     // Recovery: release the oracle, drain the queue, and the same
     // circuit is accepted.
@@ -456,6 +470,10 @@ fn rate_limited_burst_gets_429_and_the_connection_survives() {
     let (status, head, body) = read_response(&mut c);
     assert_eq!(status, 429, "body: {body}");
     assert!(body.contains("rate_limited"), "body: {body}");
+    assert!(
+        header_value(&head, "x-popqc-request-id").is_some(),
+        "a 429 answered inline must still carry a request id: {head}"
+    );
     let retry: u64 = header_value(&head, "retry-after")
         .expect("429 must carry Retry-After")
         .parse()

@@ -168,6 +168,9 @@ fn first_scrape_lists_the_full_typed_inventory() {
         ("popqc_http_requests_total", "counter"),
         ("popqc_http_request_duration_seconds", "histogram"),
         ("popqc_http_requests_in_flight", "gauge"),
+        // request tracer (tail sampling outcome)
+        ("popqc_traces_kept_total", "counter"),
+        ("popqc_traces_discarded_total", "counter"),
     ];
     for (family, kind) in expected {
         assert_eq!(

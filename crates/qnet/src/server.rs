@@ -72,6 +72,12 @@ pub enum Action {
 pub trait Driver: Send + 'static {
     /// Consume bytes and emit actions.
     fn on_data(&mut self, input: &mut Vec<u8>, out: &mut Vec<Action>);
+
+    /// Called on the event loop once the connection's output buffer has
+    /// fully drained to the kernel — i.e. the last queued response has
+    /// been handed off. Drivers that account write-flush time (tracing)
+    /// hook this; the default is a no-op.
+    fn on_output_drained(&mut self) {}
 }
 
 /// Builds one [`Driver`] per accepted connection.
@@ -623,6 +629,7 @@ fn event_loop(
                     c.output.clear();
                     c.out_pos = 0;
                     c.stalled = false;
+                    c.driver.on_output_drained();
                 }
             }
 

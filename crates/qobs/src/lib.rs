@@ -55,6 +55,16 @@
 //! the usual spec grammar: a default level plus comma-separated
 //! `target=level` overrides, e.g. `info,qexec=debug`. Disabled events
 //! cost one relaxed atomic load and never format their arguments.
+//!
+//! ## Tracing
+//!
+//! [`trace`] adds request-scoped span tracing with tail-based sampling:
+//! the edge starts a [`trace::TraceHandle`], layers record spans against
+//! it (directly or via the thread-local ambient context), and the
+//! keep/discard decision happens at finish time — error, shed, slow, and
+//! forced traces are always kept, the rest probabilistically. Kept
+//! traces land in a lock-sharded bounded ring buffer served by
+//! `GET /v1/traces`.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -62,6 +72,7 @@
 mod encode;
 mod log;
 mod metrics;
+pub mod trace;
 
 pub use crate::log::{
     log_enabled, log_event, set_log_filter, set_log_filter_from_env, Level, LOG_ENV_VAR,

@@ -248,8 +248,30 @@ impl RemoteStore {
 impl ResultStore for RemoteStore {
     fn get(&self, key: &JobKey, oracle_version: &str) -> Option<Arc<CachedRun>> {
         let _timer = self.get_timer.start_timer();
-        let req = Frame::new(Op::Get, wire::encode_key(key, oracle_version));
-        match self.request(&req) {
+        // Propagate the ambient trace id (GETs always precede PUTs for a
+        // given job, so GET-only propagation covers the whole exchange):
+        // the `popqc cached` server starts its own trace under the same
+        // id, and the two captures join into one fleet-wide picture.
+        let ctx = qobs::trace::current();
+        let mut span = if ctx.handle.enabled() {
+            Some(ctx.handle.span("remote_get", ctx.parent))
+        } else {
+            None
+        };
+        let trace_hex = ctx.handle.id_hex();
+        let req = Frame::new(
+            Op::Get,
+            wire::encode_key_traced(
+                key,
+                oracle_version,
+                trace_hex.as_deref(),
+                ctx.handle.is_forced(),
+            ),
+        );
+        if let Some(span) = &mut span {
+            span.attr("addr", self.cfg.addr.as_str());
+        }
+        let outcome = match self.request(&req) {
             Ok(resp) if resp.op == Op::Hit => {
                 // Re-validate before trusting: a confused server (or an
                 // entry raced past a version bump) degrades to a miss,
@@ -277,15 +299,32 @@ impl ResultStore for RemoteStore {
                 metrics::remote_misses().inc();
                 None
             }
+        };
+        if let Some(mut span) = span {
+            span.attr("hit", outcome.is_some());
         }
+        outcome
     }
 
     fn put(&self, key: &JobKey, oracle_version: &str, value: Arc<CachedRun>) {
         let _timer = self.put_timer.start_timer();
+        let ctx = qobs::trace::current();
+        let mut span = if ctx.handle.enabled() {
+            Some(ctx.handle.span("remote_put", ctx.parent))
+        } else {
+            None
+        };
         let body = store::encode_entry(key, oracle_version, &value).into_bytes();
+        if let Some(span) = &mut span {
+            span.attr("addr", self.cfg.addr.as_str());
+            span.attr("bytes", body.len());
+        }
         // A degraded put is a dropped write (the entry stays in the
         // front tier / recomputes later) — counted, never an error.
-        let _ = self.request(&Frame::new(Op::Put, body));
+        let ok = self.request(&Frame::new(Op::Put, body)).is_ok();
+        if let Some(mut span) = span {
+            span.attr("delivered", ok);
+        }
     }
 
     fn remove(&self, key: &JobKey) -> bool {
@@ -582,6 +621,49 @@ fn sync_server_gauges(store: &Arc<dyn ResultStore>) {
     metrics::cached_bytes().set(stats.bytes().min(i64::MAX as u64) as i64);
 }
 
+/// The GET path of [`dispatch`]: version gate, then the backing store,
+/// with a `store_get` span on `trace` when the client propagated one.
+fn serve_get(
+    served: &Served,
+    key: &JobKey,
+    version: &str,
+    trace: &qobs::trace::TraceHandle,
+) -> Frame {
+    // Version gate first: an entry written under a different oracle
+    // version must answer Miss even when the backing store's memory tier
+    // would blindly hit.
+    let known = served.versions.lock().expect("versions poisoned");
+    if known.get(key).is_some_and(|v| *v != version) {
+        return Frame::empty(Op::Miss);
+    }
+    drop(known);
+    let span = if trace.enabled() {
+        Some(trace.span("store_get", qobs::trace::ROOT_SPAN))
+    } else {
+        None
+    };
+    let found = served.store.get(key, version);
+    if let Some(mut span) = span {
+        span.attr("hit", found.is_some());
+    }
+    match found {
+        Some(run) => {
+            // Learn the version from a disk-validated hit (fresh restart
+            // over a warm directory).
+            served
+                .versions
+                .lock()
+                .expect("versions poisoned")
+                .insert(key.clone(), version.to_string());
+            Frame::new(
+                Op::Hit,
+                store::encode_entry(key, version, &run).into_bytes(),
+            )
+        }
+        None => Frame::empty(Op::Miss),
+    }
+}
+
 /// Answers one request frame. Never panics on hostile input: malformed
 /// payloads and non-request opcodes answer `ERROR`, stale or corrupt PUT
 /// entries are refused (the version tags traveled for exactly this).
@@ -592,30 +674,34 @@ fn dispatch(frame: &Frame, served: &Served) -> Frame {
         Op::Ping => Frame::empty(Op::Pong),
         Op::Get => match wire::decode_key(&frame.payload) {
             Ok((key, version)) => {
-                // Version gate first: an entry written under a different
-                // oracle version must answer Miss even when the backing
-                // store's memory tier would blindly hit.
-                let known = served.versions.lock().expect("versions poisoned");
-                if known.get(&key).is_some_and(|v| *v != version) {
-                    return Frame::empty(Op::Miss);
+                // Join the client's trace when the key document carries
+                // one: the server records its own mini-trace under the
+                // same id, so `popqc trace <id>` against either process
+                // shows the same causal request.
+                let (trace_id, trace_forced) = wire::decode_key_trace(&frame.payload);
+                let trace = match trace_id {
+                    Some(id) => qobs::trace::start_trace_with_id("cached_get", id),
+                    None => qobs::trace::disabled(),
+                };
+                if trace_forced {
+                    trace.force();
                 }
-                drop(known);
-                match store.get(&key, &version) {
-                    Some(run) => {
-                        // Learn the version from a disk-validated hit
-                        // (fresh restart over a warm directory).
-                        served
-                            .versions
-                            .lock()
-                            .expect("versions poisoned")
-                            .insert(key.clone(), version.clone());
-                        Frame::new(
-                            Op::Hit,
-                            store::encode_entry(&key, &version, &run).into_bytes(),
-                        )
-                    }
-                    None => Frame::empty(Op::Miss),
+                let resp = serve_get(served, &key, &version, &trace);
+                if trace.enabled() {
+                    let hit = resp.op == Op::Hit;
+                    trace.root_attr("oracle_id", key.oracle_id.as_str());
+                    trace.root_attr("hit", hit);
+                    trace.set_status(200);
+                    let kept = trace.finish(200);
+                    qobs::log_info!(
+                        target: "qsvc::cached",
+                        "traced get",
+                        trace = trace.id_hex().unwrap_or_default(),
+                        hit = hit,
+                        kept = kept
+                    );
                 }
+                resp
             }
             Err(e) => error(&e.to_string()),
         },

@@ -418,11 +418,27 @@ impl SegmentCacheLayer {
         oracle_id: &'a str,
         oracle: &'a (dyn SegmentOracle<Gate> + Send + Sync),
     ) -> JobSegmentCache<'a> {
+        self.for_job_traced(oracle_id, oracle, qobs::trace::disabled(), 0)
+    }
+
+    /// [`for_job`](Self::for_job) recording per-segment lookup spans
+    /// into `trace` under `parent` (the job's engine span). Lookups run
+    /// on qexec pool threads, so the trace position is carried
+    /// explicitly rather than via the thread-local context.
+    pub fn for_job_traced<'a>(
+        &'a self,
+        oracle_id: &'a str,
+        oracle: &'a (dyn SegmentOracle<Gate> + Send + Sync),
+        trace: qobs::trace::TraceHandle,
+        parent: u64,
+    ) -> JobSegmentCache<'a> {
         JobSegmentCache {
             layer: self,
             oracle_id,
             oracle,
             angle_abstract: oracle.angle_independent(),
+            trace,
+            parent,
         }
     }
 
@@ -443,6 +459,10 @@ pub struct JobSegmentCache<'a> {
     oracle_id: &'a str,
     oracle: &'a (dyn SegmentOracle<Gate> + Send + Sync),
     angle_abstract: bool,
+    /// The job's trace (disabled for untraced jobs); each segment
+    /// lookup becomes a span under the engine span.
+    trace: qobs::trace::TraceHandle,
+    parent: u64,
 }
 
 impl JobSegmentCache<'_> {
@@ -493,7 +513,16 @@ impl popqc_core::SegmentCacheHook<Gate> for JobSegmentCache<'_> {
             return None;
         }
         let timer = metrics::segcache_lookup_duration().start_timer();
+        let span = if self.trace.enabled() {
+            Some(self.trace.span("segment_lookup", self.parent))
+        } else {
+            None
+        };
         let result = self.lookup_inner(segment, num_qubits);
+        if let Some(mut span) = span {
+            span.attr("gates", segment.len());
+            span.attr("hit", result.is_some());
+        }
         drop(timer);
         match &result {
             Some(_) => {

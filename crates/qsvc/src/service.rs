@@ -635,12 +635,20 @@ struct QueuedJob {
     oracle_version: String,
     slot: Arc<JobSlot>,
     enqueued_at: Instant,
+    /// The submitting request's trace position, carried across the queue
+    /// so the worker's spans land in the request's trace.
+    trace: qobs::trace::TraceCtx,
 }
 
 /// A duplicate submission parked on an in-flight computation.
 struct Waiter {
     slot: Arc<JobSlot>,
     attached_at: Instant,
+    /// The waiter's own request trace; its coalesce-attach span is
+    /// recorded when the lead computation settles it.
+    trace: qobs::trace::TraceCtx,
+    /// Attach instant as an offset in the waiter's own trace timeline.
+    attached_offset: u64,
 }
 
 /// Failure protection for the in-flight entry: if the oracle (a public
@@ -687,6 +695,7 @@ impl Drop for InflightGuard<'_> {
                 oracle_version: self.oracle_version.to_string(),
                 slot: w.slot,
                 enqueued_at: w.attached_at,
+                trace: w.trace,
             });
             metrics::queue_depth().inc();
             self.work_ready.notify_one();
@@ -725,11 +734,33 @@ struct SlotProgress<'a> {
     slot: &'a JobSlot,
     key: &'a JobKey,
     inflight: &'a Mutex<HashMap<JobKey, Vec<Waiter>>>,
+    /// The job's trace; each round becomes a closed span under the
+    /// engine span. Rounds are strictly sequential on this thread, so
+    /// the previous round's end offset is the next one's start.
+    trace: qobs::trace::TraceHandle,
+    engine_span: u64,
+    round_started: AtomicU64,
 }
 
 impl RoundObserver for SlotProgress<'_> {
-    fn on_round(&self, round: usize, _record: &RoundRecord) {
+    fn on_round(&self, round: usize, record: &RoundRecord) {
         self.slot.rounds.store(round, Relaxed);
+        if self.trace.enabled() {
+            let now = self.trace.now_nanos();
+            let start = self.round_started.swap(now, Relaxed);
+            self.trace.span_closed(
+                "round",
+                self.engine_span,
+                start,
+                now.saturating_sub(start),
+                vec![
+                    ("round", round.into()),
+                    ("fingers", record.fingers.into()),
+                    ("selected", record.selected.into()),
+                    ("accepted", record.accepted.into()),
+                ],
+            );
+        }
         // One short map lock per engine round (tens per job) is noise next
         // to the oracle calls the round just made.
         if let Ok(inflight) = self.inflight.lock() {
@@ -749,12 +780,22 @@ impl RoundObserver for SlotProgress<'_> {
 struct TimedOracle<'a> {
     inner: &'a (dyn SegmentOracle<Gate> + Send + Sync),
     histogram: Arc<qobs::Histogram>,
+    /// Carried explicitly (not via the thread-local context) because
+    /// `optimize` runs on qexec pool threads that never install one.
+    trace: qobs::trace::TraceHandle,
+    engine_span: u64,
 }
 
 impl SegmentOracle<Gate> for TimedOracle<'_> {
     fn optimize(&self, units: &[Gate], num_qubits: u32) -> Vec<Gate> {
         let _timer = self.histogram.start_timer();
-        self.inner.optimize(units, num_qubits)
+        let mut span = self.trace.span("oracle_call", self.engine_span);
+        let out = self.inner.optimize(units, num_qubits);
+        if self.trace.enabled() {
+            span.attr("gates_in", units.len());
+            span.attr("gates_out", out.len());
+        }
+        out
     }
 
     fn cost(&self, units: &[Gate]) -> u64 {
@@ -834,6 +875,19 @@ impl Inner {
             .remove(key);
         for w in waiters.into_iter().flatten() {
             self.coalesced.fetch_add(1, Relaxed);
+            if w.trace.handle.enabled() {
+                // The waiter's whole service-side story is one span: from
+                // attaching onto the in-flight computation to being
+                // settled by it.
+                let now = w.trace.handle.now_nanos();
+                w.trace.handle.span_closed(
+                    "coalesce_attach",
+                    w.trace.parent,
+                    w.attached_offset,
+                    now.saturating_sub(w.attached_offset),
+                    vec![("oracle", key.oracle_id.as_str().into())],
+                );
+            }
             let slot = w.slot;
             self.complete(
                 &slot,
@@ -852,12 +906,40 @@ impl Inner {
     }
 
     fn run_job(&self, job: QueuedJob) {
+        // Install the job's trace as this worker thread's ambient
+        // context so store tiers (including the remote wire hop) record
+        // their spans into the right trace without plumbing.
+        let ctx = job.trace.clone();
+        qobs::trace::with_active(&ctx, || self.run_job_traced(job))
+    }
+
+    fn run_job_traced(&self, job: QueuedJob) {
         let queue_nanos = job.enqueued_at.elapsed().as_nanos() as u64;
+        let trace = job.trace.handle.clone();
+        let trace_parent = job.trace.parent;
+        trace.span_closed(
+            "job_queue_wait",
+            trace_parent,
+            trace.now_nanos().saturating_sub(queue_nanos),
+            queue_nanos,
+            Vec::new(),
+        );
         // Second probe: an identical job submitted earlier may have
         // completed while this one sat in the queue (possible when the
         // earlier job's in-flight entry was removed between this job's
         // submit-time cache probe and its in-flight check).
-        if let Some(cached) = self.store.get(&job.key, &job.oracle_version) {
+        let second_probe = {
+            let mut span = trace.span("store_get", trace_parent);
+            let nested = qobs::trace::TraceCtx {
+                handle: trace.clone(),
+                parent: span.id(),
+            };
+            let r =
+                qobs::trace::with_active(&nested, || self.store.get(&job.key, &job.oracle_version));
+            span.attr("hit", r.is_some());
+            r
+        };
+        if let Some(cached) = second_probe {
             self.settle_waiters(&job.key, &cached.circuit, &cached.stats);
             self.complete(
                 &job.slot,
@@ -876,10 +958,17 @@ impl Inner {
         }
 
         let t0 = Instant::now();
+        let mut engine_span = trace.span("engine", trace_parent);
+        engine_span.attr("width", self.threads_per_job);
+        engine_span.attr("oracle", job.key.oracle_id.as_str());
+        let engine_span_id = engine_span.id();
         let observer = SlotProgress {
             slot: &job.slot,
             key: &job.key,
             inflight: &self.inflight,
+            trace: trace.clone(),
+            engine_span: engine_span_id,
+            round_started: AtomicU64::new(trace.now_nanos()),
         };
         let mut guard = InflightGuard {
             inflight: &self.inflight,
@@ -900,28 +989,43 @@ impl Inner {
         let timed_oracle = TimedOracle {
             inner: job.oracle.as_ref(),
             histogram: metrics::oracle_call_duration(&job.key.oracle_id),
+            trace: trace.clone(),
+            engine_span: engine_span_id,
         };
         // The segment-cache hook wraps the RAW oracle: template derivation
         // re-invokes it on marker segments, and those derivation calls
         // must not land in the per-call latency histogram.
-        let seg_hook = self
-            .segcache
-            .for_job(&job.key.oracle_id, job.oracle.as_ref());
+        let seg_hook = self.segcache.for_job_traced(
+            &job.key.oracle_id,
+            job.oracle.as_ref(),
+            trace.clone(),
+            engine_span_id,
+        );
+        // Re-anchor the ambient context under the engine span so the
+        // engine's parallel-op spans (recorded by qexec on this driving
+        // thread) nest correctly.
+        let engine_ctx = qobs::trace::TraceCtx {
+            handle: trace.clone(),
+            parent: engine_span_id,
+        };
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             // The per-job thread budget is a width scope on the shared
             // qexec work-stealing pool: the engine's parallel rounds run
             // at `threads_per_job` width on persistent pool threads
             // instead of spawning scoped threads per round.
-            qexec::with_width(self.threads_per_job, || {
-                optimize_circuit_cached(
-                    &job.circuit,
-                    &timed_oracle,
-                    &job.key.config,
-                    &observer,
-                    &seg_hook,
-                )
+            qobs::trace::with_active(&engine_ctx, || {
+                qexec::with_width(self.threads_per_job, || {
+                    optimize_circuit_cached(
+                        &job.circuit,
+                        &timed_oracle,
+                        &job.key.config,
+                        &observer,
+                        &seg_hook,
+                    )
+                })
             })
         }));
+        drop(engine_span);
         let (optimized, stats) = match outcome {
             Ok(run) => run,
             Err(payload) => {
@@ -963,14 +1067,23 @@ impl Inner {
 
         self.oracle_calls_issued
             .fetch_add(stats.oracle_calls, Relaxed);
-        self.store.put(
-            &job.key,
-            &job.oracle_version,
-            Arc::new(CachedRun {
-                circuit: optimized.clone(),
-                stats: stats.clone(),
-            }),
-        );
+        {
+            let span = trace.span("store_put", trace_parent);
+            let nested = qobs::trace::TraceCtx {
+                handle: trace.clone(),
+                parent: span.id(),
+            };
+            qobs::trace::with_active(&nested, || {
+                self.store.put(
+                    &job.key,
+                    &job.oracle_version,
+                    Arc::new(CachedRun {
+                        circuit: optimized.clone(),
+                        stats: stats.clone(),
+                    }),
+                )
+            });
+        }
         self.settle_waiters(&job.key, &optimized, &stats);
         self.complete(
             &job.slot,
@@ -1194,6 +1307,10 @@ impl OptimizationService {
         cfg: &PopqcConfig,
     ) -> JobHandle {
         self.inner.submitted.fetch_add(1, Relaxed);
+        // The submitting thread (an HTTP dispatcher or connection
+        // thread) carries the request's ambient trace; capture it here
+        // so the worker, possibly seconds later, joins the same trace.
+        let trace = qobs::trace::current();
         let key = JobKey {
             fingerprint: circuit.fingerprint(),
             oracle_id,
@@ -1201,7 +1318,18 @@ impl OptimizationService {
         };
         let slot = JobSlot::new();
 
-        if let Some(cached) = self.inner.store.get(&key, &oracle_version) {
+        let submit_probe = {
+            let mut span = trace.handle.span("store_get", trace.parent);
+            let nested = qobs::trace::TraceCtx {
+                handle: trace.handle.clone(),
+                parent: span.id(),
+            };
+            let r =
+                qobs::trace::with_active(&nested, || self.inner.store.get(&key, &oracle_version));
+            span.attr("hit", r.is_some());
+            r
+        };
+        if let Some(cached) = submit_probe {
             self.inner.complete(
                 &slot,
                 JobResult {
@@ -1227,6 +1355,8 @@ impl OptimizationService {
                 waiters.push(Waiter {
                     slot: Arc::clone(&slot),
                     attached_at: Instant::now(),
+                    attached_offset: trace.handle.now_nanos(),
+                    trace,
                 });
                 return JobHandle { slot };
             }
@@ -1240,6 +1370,7 @@ impl OptimizationService {
             oracle_version,
             slot: Arc::clone(&slot),
             enqueued_at: Instant::now(),
+            trace,
         };
         {
             let mut q = self.inner.queue.lock().expect("job queue poisoned");

@@ -269,16 +269,57 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
 
 /// Serializes a `(key, oracle_version)` lookup as the GET/REMOVE payload.
 pub fn encode_key(key: &JobKey, oracle_version: &str) -> Vec<u8> {
-    let doc = json!({
+    encode_key_traced(key, oracle_version, None, false)
+}
+
+/// [`encode_key`], optionally stamping the client's trace id onto the
+/// key document so the `popqc cached` server's spans join the same
+/// trace. The fields are additive: [`decode_key`] looks fields up by
+/// name and ignores unknown ones, so traced GETs interoperate with
+/// pre-trace servers (and vice versa) without a protocol version bump.
+pub fn encode_key_traced(
+    key: &JobKey,
+    oracle_version: &str,
+    trace_id: Option<&str>,
+    trace_forced: bool,
+) -> Vec<u8> {
+    let mut doc = json!({
         "fingerprint": key.fingerprint.to_hex().as_str(),
         "oracle_id": key.oracle_id.as_str(),
         "omega": key.config.omega as u64,
         "max_rounds": key.config.max_rounds as u64,
         "oracle_version": oracle_version,
     });
+    if let (Some(id), Value::Object(fields)) = (trace_id, &mut doc) {
+        fields.push(("trace_id".to_string(), json!(id)));
+        if trace_forced {
+            fields.push(("trace_forced".to_string(), json!(true)));
+        }
+    }
     serde_json::to_string(&doc)
         .expect("serialize key document")
         .into_bytes()
+}
+
+/// Pulls the optional trace propagation fields off a GET payload:
+/// `(trace_id, trace_forced)`. Absent or unparseable fields read as
+/// "untraced" — propagation is best-effort and never fails a lookup.
+pub fn decode_key_trace(payload: &[u8]) -> (Option<u64>, bool) {
+    let Ok(text) = std::str::from_utf8(payload) else {
+        return (None, false);
+    };
+    let Ok(doc) = serde_json::from_str(text) else {
+        return (None, false);
+    };
+    let id = doc
+        .get("trace_id")
+        .and_then(Value::as_str)
+        .and_then(qobs::trace::parse_id);
+    let forced = doc
+        .get("trace_forced")
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+    (id, forced)
 }
 
 /// Parses a GET/REMOVE payload back into `(key, oracle_version)`.

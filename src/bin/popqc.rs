@@ -16,7 +16,9 @@
 //!             [--shed-queue-depth N] [--grain N]
 //!             [--cache-tier memory|disk|tiered|remote|null]
 //!             [--cache-dir DIR] [--cache-addr HOST:PORT]
+//!             [--trace-capacity N] [--trace-slow-ms MS]
 //!             [--log-level error|warn|info|debug]
+//! popqc trace <ID|last> [--addr HOST:PORT] [--chrome]
 //! popqc cached [--addr HOST:PORT] --cache-dir DIR [--cache-tier disk|tiered]
 //!              [--cache-capacity N] [--max-conns N]
 //!              [--log-level error|warn|info|debug]
@@ -71,6 +73,13 @@
 //! items, `0`/unset meaning adaptive splitting. The executor's counters
 //! are reported in `GET /v1/stats` and the `--report` document.
 //!
+//! `--trace-capacity`/`--trace-slow-ms` tune the request tracer (see
+//! `qobs::trace`): the server keeps up to N tail-sampled traces in a
+//! ring (`0` disables tracing entirely) and always keeps traces slower
+//! than the threshold. `popqc trace <ID|last>` fetches a kept trace from
+//! a running server and prints its span tree (`--chrome` emits Chrome
+//! `trace_event` JSON for chrome://tracing instead).
+//!
 //! `--log-level` installs a `popqc-obs` log filter — a bare level
 //! (`error|warn|info|debug`) or a full spec with per-target overrides
 //! like `info,qexec=debug`. When the flag is absent the `POPQC_LOG`
@@ -97,7 +106,9 @@ fn usage() -> ! {
          [--rate-limit REQS_PER_SEC] [--shed-queue-depth N]\n           \
          [--grain N] [--cache-tier memory|disk|tiered|remote|null]\n           \
          [--cache-dir DIR] [--cache-addr HOST:PORT]\n           \
+         [--trace-capacity N] [--trace-slow-ms MS]\n           \
          [--log-level error|warn|info|debug]\n  \
+         popqc trace <ID|last> [--addr HOST:PORT] [--chrome]\n  \
          popqc cached [--addr HOST:PORT] --cache-dir DIR [--cache-tier disk|tiered]\n           \
          [--cache-capacity N] [--max-conns N] [--log-level error|warn|info|debug]\n  \
          popqc cache stats --cache-dir DIR\n  \
@@ -134,6 +145,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("optimize") => cmd_optimize(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("cached") => cmd_cached(&args[1..]),
         Some("cache") => cmd_cache(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
@@ -322,12 +334,22 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     let mut cache_tier: Option<String> = None;
     let mut cache_dir: Option<PathBuf> = None;
     let mut cache_addr: Option<String> = None;
+    let mut trace_capacity: usize = 256;
+    let mut trace_slow_ms: u64 = 1000;
     let mut log_level: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--log-level" => {
                 log_level = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
+                i += 2;
+            }
+            "--trace-capacity" => {
+                trace_capacity = parse_num("--trace-capacity", args.get(i + 1));
+                i += 2;
+            }
+            "--trace-slow-ms" => {
+                trace_slow_ms = parse_num("--trace-slow-ms", args.get(i + 1));
                 i += 2;
             }
             "--cache-tier" => {
@@ -426,6 +448,12 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     // Executor tuning before any parallel work runs: 0 keeps the
     // adaptive default (or POPQC_GRAIN).
     qexec::set_grain(grain);
+    // Tracer config before the first request can start a trace.
+    qobs::trace::configure(
+        trace_capacity,
+        std::time::Duration::from_millis(trace_slow_ms),
+        16,
+    );
 
     // One dynamically dispatched service over the whole registry: every
     // oracle stays selectable per request, `--oracle` only picks the
@@ -538,6 +566,15 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         0 => qobs::log_info!(target: "popqc::serve", "segment cache", state = "disabled"),
         cap => qobs::log_info!(target: "popqc::serve", "segment cache", capacity = cap),
     }
+    match trace_capacity {
+        0 => qobs::log_info!(target: "popqc::serve", "tracing", state = "disabled"),
+        cap => qobs::log_info!(
+            target: "popqc::serve",
+            "tracing",
+            capacity = cap,
+            slow_ms = trace_slow_ms
+        ),
+    }
     match qexec::configured_grain() {
         0 => qobs::log_info!(
             target: "popqc::serve",
@@ -556,12 +593,171 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         target: "popqc::serve",
         "endpoints",
         routes = "POST /v1/optimize  POST /v1/batch  GET /v1/jobs/{id}  GET /v1/oracles  \
-                  GET /v1/stats  GET /v1/metrics  GET|DELETE /v1/cache  GET /v1/version  \
-                  GET /healthz"
+                  GET /v1/stats  GET /v1/metrics  GET|DELETE /v1/cache  GET /v1/traces  \
+                  GET /v1/traces/{id}  GET /v1/version  GET /healthz"
     );
     // Serve until the process is killed; the acceptor threads own the work.
     loop {
         std::thread::park();
+    }
+}
+
+/// One blocking `GET` against a running server, no HTTP client crate:
+/// `Connection: close` + read-to-EOF keeps the framing trivial. Returns
+/// `(status, body)`; any transport or parse failure is a diagnostic and
+/// exit 1 (the server not running is the common case).
+fn http_get(addr: &str, path: &str) -> (u16, String) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).unwrap_or_else(|e| {
+        fail(format!(
+            "cannot connect to {addr}: {e} (is `popqc serve` running?)"
+        ))
+    });
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(10)));
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .unwrap_or_else(|e| fail(format!("cannot send request to {addr}: {e}")));
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .unwrap_or_else(|e| fail(format!("cannot read response from {addr}: {e}")));
+    let text = String::from_utf8_lossy(&raw);
+    let Some((head, body)) = text.split_once("\r\n\r\n") else {
+        fail(format!("malformed HTTP response from {addr}"));
+    };
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .unwrap_or_else(|| fail(format!("malformed HTTP status line from {addr}")));
+    (status, body.to_string())
+}
+
+/// `popqc trace <ID|last>` — fetches one kept trace from a running
+/// server and prints its span tree (or, with `--chrome`, the Chrome
+/// `trace_event` JSON on stdout, ready for chrome://tracing).
+fn cmd_trace(args: &[String]) -> ExitCode {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut chrome = false;
+    let mut target: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                addr = args.get(i + 1).unwrap_or_else(|| usage()).clone();
+                i += 2;
+            }
+            "--chrome" => {
+                chrome = true;
+                i += 1;
+            }
+            flag if flag.starts_with("--") => usage(),
+            id if target.is_none() => {
+                target = Some(id.to_string());
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+    let Some(target) = target else { usage() };
+    let id = if target == "last" {
+        let (status, body) = http_get(&addr, "/v1/traces?limit=1");
+        if status != 200 {
+            fail(format!("GET /v1/traces answered {status}"));
+        }
+        let doc = serde_json::from_str(&body)
+            .unwrap_or_else(|e| fail(format!("cannot parse trace index: {e}")));
+        let index = popqc::api::TraceIndex::from_json(&doc)
+            .unwrap_or_else(|e| fail(format!("cannot parse trace index: {e}")));
+        match index.traces.first() {
+            Some(t) => t.trace_id.clone(),
+            None => fail(
+                "no traces kept yet (force one with `?trace=1` on POST /v1/optimize, \
+                 or lower --trace-slow-ms)",
+            ),
+        }
+    } else {
+        target
+    };
+    let path = if chrome {
+        format!("/v1/traces/{id}?format=chrome")
+    } else {
+        format!("/v1/traces/{id}")
+    };
+    let (status, body) = http_get(&addr, &path);
+    match status {
+        200 => {}
+        404 => fail(format!(
+            "trace {id} not found (not kept by tail sampling, or evicted from the ring)"
+        )),
+        other => fail(format!("GET {path} answered {other}")),
+    }
+    if chrome {
+        // Raw JSON on stdout: `popqc trace last --chrome > trace.json`,
+        // then load trace.json in chrome://tracing.
+        println!("{body}");
+        return ExitCode::SUCCESS;
+    }
+    let doc = serde_json::from_str(&body)
+        .unwrap_or_else(|e| fail(format!("cannot parse trace report: {e}")));
+    let report = popqc::api::TraceReport::from_json(&doc)
+        .unwrap_or_else(|e| fail(format!("cannot parse trace report: {e}")));
+    let ms = |nanos: u64| nanos as f64 / 1e6;
+    println!(
+        "trace {} status={} kept={} duration={:.3}ms spans={}{}",
+        report.trace_id,
+        report.status,
+        report.sampled_because,
+        ms(report.duration_nanos),
+        report.spans.len(),
+        if report.dropped_spans > 0 {
+            format!(" (+{} dropped)", report.dropped_spans)
+        } else {
+            String::new()
+        }
+    );
+    println!(
+        "split: queue={:.3}ms engine={:.3}ms oracle={:.3}ms store={:.3}ms",
+        ms(report.queue_nanos),
+        ms(report.engine_nanos),
+        ms(report.oracle_nanos),
+        ms(report.store_nanos)
+    );
+    print_span_tree(&report.spans, 0, 0);
+    ExitCode::SUCCESS
+}
+
+/// Prints `spans` as an indented tree under `parent`, children in start
+/// order. Orphans (parents lost to the span cap) are simply not printed;
+/// the header's dropped count already announces them.
+fn print_span_tree(spans: &[popqc::api::TraceSpan], parent: u64, depth: usize) {
+    let mut children: Vec<&popqc::api::TraceSpan> = spans
+        .iter()
+        .filter(|s| s.parent == parent && s.id != parent)
+        .collect();
+    children.sort_by_key(|s| s.start_nanos);
+    for span in children {
+        let attrs = span
+            .attrs
+            .iter()
+            .map(|(k, v)| {
+                format!(
+                    " {k}={}",
+                    serde_json::to_string(v).unwrap_or_else(|_| "?".to_string())
+                )
+            })
+            .collect::<String>();
+        println!(
+            "{:indent$}{} {:.3}ms{}",
+            "",
+            span.name,
+            span.duration_nanos as f64 / 1e6,
+            attrs,
+            indent = depth * 2
+        );
+        print_span_tree(spans, span.id, depth + 1);
     }
 }
 
